@@ -1,0 +1,77 @@
+// Shared scaffolding for the experiment harnesses: dataset bundles,
+// model factories, and table printing.
+//
+// Every bench binary honours the KPEF_SCALE environment variable
+// (default 1.0): entity counts are multiplied by it, so the full suite
+// can be smoke-tested quickly with KPEF_SCALE=0.2.
+
+#ifndef KPEF_BENCH_BENCH_COMMON_H_
+#define KPEF_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/g2g.h"
+#include "baselines/gvnr_t.h"
+#include "baselines/idne.h"
+#include "baselines/tadw.h"
+#include "baselines/text_models.h"
+#include "core/engine.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "embed/pretrain.h"
+#include "eval/evaluation.h"
+#include "metapath/projection.h"
+#include "text/tfidf.h"
+
+namespace kpef::bench {
+
+/// Scale factor from KPEF_SCALE (clamped to [0.05, 10]).
+double Scale();
+
+/// Number of evaluation queries per dataset, scaled.
+size_t NumQueries();
+
+/// Everything the experiment harnesses need about one dataset, built once.
+struct BenchDataset {
+  Dataset dataset;
+  Corpus corpus;
+  TfIdfModel tfidf;
+  /// GloVe-pretrained token embeddings shared by every method.
+  Matrix tokens;
+  /// Merged homogeneous paper graph (P-A-P ∪ P-T-P ∪ P-P ∪ P-V-P) for
+  /// the homogeneous-embedding baselines.
+  HomogeneousProjection merged;
+  QuerySet queries;
+  double pretrain_seconds = 0.0;
+  double projection_seconds = 0.0;
+
+  explicit BenchDataset(DatasetConfig config, size_t embedding_dim = 64);
+};
+
+/// The three Table-I-profile datasets, scaled. Heavy: construct once.
+std::vector<DatasetConfig> PaperProfiles();
+
+/// Default top-m (scaled analogue of the paper's m = 1000).
+size_t DefaultTopM(const BenchDataset& data);
+
+/// Engine config matching §VI-A defaults, sized for `data`.
+EngineConfig DefaultEngineConfig(const BenchDataset& data);
+
+/// Builds the paper's method over `data` with the given config.
+std::unique_ptr<ExpertFindingEngine> BuildEngine(
+    const BenchDataset& data, const EngineConfig& config,
+    EngineBuildReport* report = nullptr);
+
+/// Builds all seven baselines of Table II, in the paper's row order.
+std::vector<std::unique_ptr<RetrievalModel>> BuildBaselines(
+    const BenchDataset& data, size_t top_m);
+
+/// Prints a "### <title>" section header.
+void PrintHeader(const std::string& title);
+
+}  // namespace kpef::bench
+
+#endif  // KPEF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,67 @@
+// Figure 7: efficiency of expert finding over three datasets.
+//
+// Compares the per-query response time of the seven baselines against the
+// four variants of our solution:
+//   Ours-1: w/ PG-Index, w/ TA (default)
+//   Ours-2: w/ PG-Index, w/o TA
+//   Ours-3: w/o PG-Index, w/ TA
+//   Ours-4: w/o PG-Index, w/o TA
+// Expected shape: Ours-1 fastest; most of the gain from the PG-Index,
+// the rest from TA.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+int main() {
+  using namespace kpef;
+  using namespace kpef::bench;
+  SetLogLevel(LogLevel::kError);
+
+  PrintHeader("Figure 7: efficiency of expert finding (ms/query)");
+  for (const DatasetConfig& profile : PaperProfiles()) {
+    const BenchDataset data(profile);
+    const Evaluator evaluator(&data.dataset, &data.queries, &data.corpus,
+                              &data.tfidf, &data.tokens);
+    const size_t top_m = DefaultTopM(data);
+    std::printf("--- dataset: %s (%zu papers, m=%zu)\n", profile.name.c_str(),
+                data.dataset.Papers().size(), top_m);
+    std::printf("%-12s %12s %8s\n", "Method", "ms/query", "MAP");
+
+    for (auto& model : BuildBaselines(data, top_m)) {
+      const EvaluationResult r = evaluator.Evaluate(*model, 20);
+      std::printf("%-12s %12.3f %8.3f\n", r.model.c_str(),
+                  r.mean_response_ms, r.map);
+    }
+
+    struct Variant {
+      const char* name;
+      bool pg;
+      bool ta;
+    };
+    const Variant variants[] = {
+        {"Ours-1", true, true},
+        {"Ours-2", true, false},
+        {"Ours-3", false, true},
+        {"Ours-4", false, false},
+    };
+    // Build the PG and non-PG engines once; toggle TA in place.
+    EngineConfig config = DefaultEngineConfig(data);
+    auto engine_pg = BuildEngine(data, config);
+    config.use_pg_index = false;
+    auto engine_flat = BuildEngine(data, config);
+    for (const Variant& v : variants) {
+      ExpertFindingEngine& engine = v.pg ? *engine_pg : *engine_flat;
+      engine.set_use_ta(v.ta);
+      // Name shows up in the table via the evaluator's model name; the
+      // engine keeps its configured display name, so print explicitly.
+      const EvaluationResult r = evaluator.Evaluate(engine, 20);
+      std::printf("%-12s %12.3f %8.3f\n", v.name, r.mean_response_ms, r.map);
+    }
+    engine_pg->set_use_ta(true);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Ablation A1: (k, P)-core community-search cost.
+//
+// google-benchmark microbenchmarks comparing Algorithm 1 (with and
+// without its pruning optimization), FastBCore, and the naive full
+// decomposition, over k and meta-paths. Expected shape:
+// Algorithm 1 <= FastBCore << naive, with identical strict cores.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "data/dataset.h"
+#include "kpcore/fastbcore.h"
+#include "kpcore/kpcore_search.h"
+#include "kpcore/naive_search.h"
+#include "metapath/meta_path.h"
+#include "metapath/projection.h"
+
+namespace {
+
+using namespace kpef;
+
+const Dataset& BenchData() {
+  static const Dataset* dataset = [] {
+    SetLogLevel(LogLevel::kError);
+    DatasetConfig config = AminerProfile();
+    config.num_papers = 1500;
+    config.num_authors = 1100;
+    return new Dataset(GenerateDataset(config));
+  }();
+  return *dataset;
+}
+
+const MetaPath& PathFor(const std::string& text) {
+  static auto* cache = new std::map<std::string, MetaPath>();
+  auto it = cache->find(text);
+  if (it == cache->end()) {
+    auto parsed = MetaPath::Parse(BenchData().graph.schema(), text);
+    KPEF_CHECK(parsed.ok());
+    it = cache->emplace(text, *parsed).first;
+  }
+  return it->second;
+}
+
+// A deterministic seed paper with a reasonable degree.
+NodeId SeedPaper() {
+  const Dataset& data = BenchData();
+  return data.Papers()[data.Papers().size() / 2];
+}
+
+void BM_KPCoreSearch(benchmark::State& state, const char* path_text,
+                     bool pruning) {
+  const Dataset& data = BenchData();
+  const MetaPath& path = PathFor(path_text);
+  const int32_t k = static_cast<int32_t>(state.range(0));
+  KPCoreSearchOptions options;
+  options.enable_pruning = pruning;
+  size_t core_size = 0;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    const KPCoreCommunity c =
+        KPCoreSearch(data.graph, path, SeedPaper(), k, options);
+    benchmark::DoNotOptimize(c.core.data());
+    core_size = c.core.size();
+    edges = c.edges_scanned;
+  }
+  state.counters["core_size"] = static_cast<double>(core_size);
+  state.counters["edges_scanned"] = static_cast<double>(edges);
+}
+
+void BM_FastBCore(benchmark::State& state, const char* path_text) {
+  const Dataset& data = BenchData();
+  const MetaPath& path = PathFor(path_text);
+  const int32_t k = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    const KPCoreCommunity c =
+        FastBCoreSearch(data.graph, path, SeedPaper(), k);
+    benchmark::DoNotOptimize(c.core.data());
+  }
+}
+
+void BM_NaiveDecomposition(benchmark::State& state, const char* path_text) {
+  const Dataset& data = BenchData();
+  const MetaPath& path = PathFor(path_text);
+  const int32_t k = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    const KPCoreCommunity c =
+        NaiveKPCoreSearch(data.graph, path, SeedPaper(), k);
+    benchmark::DoNotOptimize(c.core.data());
+  }
+}
+
+void BM_ProjectHomogeneous(benchmark::State& state, const char* path_text) {
+  const Dataset& data = BenchData();
+  const MetaPath& path = PathFor(path_text);
+  for (auto _ : state) {
+    const HomogeneousProjection proj = ProjectHomogeneous(data.graph, path);
+    benchmark::DoNotOptimize(proj.adjacency.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_KPCoreSearch, PAP_pruned, "P-A-P", true)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK_CAPTURE(BM_KPCoreSearch, PAP_unpruned, "P-A-P", false)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK_CAPTURE(BM_FastBCore, PAP, "P-A-P")->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK_CAPTURE(BM_NaiveDecomposition, PAP, "P-A-P")->Arg(4);
+BENCHMARK_CAPTURE(BM_KPCoreSearch, Cite_pruned, "P-P", true)->Arg(2)->Arg(4);
+BENCHMARK_CAPTURE(BM_FastBCore, Cite, "P-P")->Arg(2)->Arg(4);
+BENCHMARK_CAPTURE(BM_ProjectHomogeneous, PAP, "P-A-P");
+BENCHMARK_CAPTURE(BM_ProjectHomogeneous, PTP, "P-T-P");
+
+BENCHMARK_MAIN();

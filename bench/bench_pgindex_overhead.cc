@@ -1,0 +1,49 @@
+// Table VI: overhead of PG-Index construction (Aminer profile).
+//
+// Builds the index over progressively smaller subsets of the graph (the
+// paper's G, G1..G4) and reports construction time and memory. Expected
+// shape: both grow roughly linearly with graph size.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "embed/pretrain.h"
+#include "embed/text_embedding.h"
+
+int main() {
+  using namespace kpef;
+  using namespace kpef::bench;
+  SetLogLevel(LogLevel::kError);
+
+  PrintHeader("Table VI: overhead of PG-Index (aminer)");
+  std::printf("%-22s %10s %10s %12s %12s\n", "Graph", "papers", "edges",
+              "Mem (MB)", "Time (s)");
+  const double factors[] = {1.0, 0.8, 0.4, 0.2, 0.1};
+  const char* names[] = {"G", "G1", "G2", "G3", "G4"};
+  for (size_t i = 0; i < 5; ++i) {
+    DatasetConfig config =
+        AminerProfile().ScaledCopy(Scale() * factors[i], "");
+    config.name = names[i];
+    const Dataset dataset = GenerateDataset(config);
+    const Corpus corpus = BuildPaperCorpus(dataset);
+    // Index overhead is independent of fine-tuning; embed with the
+    // pre-trained encoder directly.
+    PretrainConfig pretrain;
+    pretrain.dim = 64;
+    const Matrix tokens =
+        PretrainTokenEmbeddings(corpus, pretrain).token_embeddings;
+    const Matrix embeddings = MeanEmbedAllDocuments(tokens, corpus);
+
+    PGIndexConfig index_config;
+    index_config.knn_k = 10;
+    PGIndexBuildStats stats;
+    const PGIndex index = PGIndex::Build(embeddings, index_config, &stats);
+    std::printf("%s(%zu nodes, %zu edges) %8zu %10zu %12.2f %12.2f\n",
+                names[i], dataset.graph.NumNodes(), dataset.graph.NumEdges(),
+                dataset.Papers().size(), index.NumEdges(),
+                static_cast<double>(index.MemoryUsageBytes()) / (1 << 20),
+                stats.build_seconds);
+  }
+  return 0;
+}

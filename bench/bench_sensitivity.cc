@@ -1,0 +1,109 @@
+// Figure 8: parameter sensitivity on the Aminer profile.
+//   (a) sample ratio f in 10%..50%   (quality up then saturating; train
+//       time ~linear in f)
+//   (b) core size k in 2..9          (quality peaks mid-range; core search
+//       cost grows with community size)
+//   (c) top-m papers 50..max         (quality and latency rise with m)
+//   (d) top-n experts 5..100         (P@n falls with n; latency rises)
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace kpef;
+using namespace kpef::bench;
+
+void SweepSampleRatio(const BenchDataset& data, const Evaluator& evaluator) {
+  std::printf("(a) sample ratio f\n");
+  std::printf("%6s %7s %7s %7s %10s %9s\n", "f", "MAP", "P@5", "P@10",
+              "triples", "train(s)");
+  for (double f : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    EngineConfig config = DefaultEngineConfig(data);
+    config.seed_fraction = f;
+    EngineBuildReport report;
+    auto engine = BuildEngine(data, config, &report);
+    const EvaluationResult r = evaluator.Evaluate(*engine, 20);
+    std::printf("%5.0f%% %7.3f %7.3f %7.3f %10zu %9.2f\n", f * 100, r.map,
+                r.p_at_5, r.p_at_10, report.sampling.triples.size(),
+                report.training.train_seconds +
+                    report.sampling.core_search_seconds);
+  }
+}
+
+void SweepK(const BenchDataset& data, const Evaluator& evaluator) {
+  std::printf("\n(b) core size k\n");
+  std::printf("%4s %7s %7s %7s %12s %12s\n", "k", "MAP", "P@5", "P@10",
+              "core-sec", "edges-scan");
+  for (int32_t k = 2; k <= 9; ++k) {
+    EngineConfig config = DefaultEngineConfig(data);
+    config.k = k;
+    EngineBuildReport report;
+    auto engine = BuildEngine(data, config, &report);
+    const EvaluationResult r = evaluator.Evaluate(*engine, 20);
+    std::printf("%4d %7.3f %7.3f %7.3f %12.2f %12llu\n", k, r.map, r.p_at_5,
+                r.p_at_10, report.sampling.core_search_seconds,
+                static_cast<unsigned long long>(report.sampling.edges_scanned));
+  }
+}
+
+void SweepTopM(const BenchDataset& data, const Evaluator& evaluator) {
+  std::printf("\n(c) top-m papers\n");
+  std::printf("%6s %7s %7s %7s %10s\n", "m", "MAP", "P@5", "P@10",
+              "ms/query");
+  EngineConfig config = DefaultEngineConfig(data);
+  auto engine = BuildEngine(data, config);
+  const size_t max_m = DefaultTopM(data);
+  for (size_t m : {max_m / 8, max_m / 4, max_m / 2, max_m, max_m * 2}) {
+    if (m == 0) continue;
+    engine->set_top_m(m);
+    const EvaluationResult r = evaluator.Evaluate(*engine, 20);
+    std::printf("%6zu %7.3f %7.3f %7.3f %10.3f\n", m, r.map, r.p_at_5,
+                r.p_at_10, r.mean_response_ms);
+  }
+}
+
+void SweepTopN(const BenchDataset& data, const Evaluator& evaluator) {
+  std::printf("\n(d) top-n experts\n");
+  std::printf("%6s %7s %7s %10s\n", "n", "P@n", "MAP", "ms/query");
+  EngineConfig config = DefaultEngineConfig(data);
+  auto engine = BuildEngine(data, config);
+  for (size_t n : {5u, 10u, 20u, 50u, 100u}) {
+    // P@n for the sweep's own n: evaluate manually per query.
+    double p_at_n = 0.0;
+    Timer timer;
+    std::vector<std::vector<NodeId>> rankings;
+    std::vector<std::vector<NodeId>> truths;
+    for (const Query& q : data.queries.queries) {
+      const auto experts = engine->FindExperts(q.text, n);
+      std::vector<NodeId> ranked;
+      for (const auto& e : experts) ranked.push_back(e.author);
+      p_at_n += PrecisionAtN(ranked, q.ground_truth, n);
+      rankings.push_back(std::move(ranked));
+      truths.push_back(q.ground_truth);
+    }
+    const double total_ms = timer.ElapsedMillis();
+    const double nq = static_cast<double>(data.queries.queries.size());
+    std::printf("%6zu %7.3f %7.3f %10.3f\n", n, p_at_n / nq,
+                MeanAveragePrecision(rankings, truths), total_ms / nq);
+  }
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kError);
+  PrintHeader("Figure 8: parameter sensitivity (aminer)");
+  const BenchDataset data(AminerProfile());
+  const Evaluator evaluator(&data.dataset, &data.queries, &data.corpus,
+                            &data.tfidf, &data.tokens);
+  SweepSampleRatio(data, evaluator);
+  SweepK(data, evaluator);
+  SweepTopM(data, evaluator);
+  SweepTopN(data, evaluator);
+  return 0;
+}

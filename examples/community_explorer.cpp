@@ -1,0 +1,102 @@
+// Community explorer: inspect (k, P)-core communities directly.
+//
+// Walks one seed paper through the paper's §III machinery: strict cores
+// under each meta-path and k, the seed-neighbor extension, the near-
+// negative pool, the multi-meta-path intersection (§V), and the cost of
+// Algorithm 1's pruning vs FastBCore vs the naive decomposition.
+//
+//   ./community_explorer
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/dataset.h"
+#include "kpcore/fastbcore.h"
+#include "kpcore/kpcore_search.h"
+#include "kpcore/multi_path.h"
+#include "kpcore/naive_search.h"
+#include "metapath/meta_path.h"
+#include "metapath/p_neighbor.h"
+
+int main() {
+  using namespace kpef;
+  SetLogLevel(LogLevel::kWarning);
+
+  DatasetConfig config = TinyProfile();
+  config.num_papers = 1500;
+  config.num_authors = 1000;
+  config.num_topics = 24;
+  const Dataset dataset = GenerateDataset(config);
+
+  // Pick a well-connected seed: the first paper with >= 5 co-author
+  // neighbors.
+  const MetaPath pap = *MetaPath::Parse(dataset.graph.schema(), "P-A-P");
+  PNeighborFinder finder(dataset.graph, pap);
+  NodeId seed = dataset.Papers().front();
+  for (NodeId p : dataset.Papers()) {
+    if (finder.Degree(p) >= 5) {
+      seed = p;
+      break;
+    }
+  }
+  std::printf("seed paper: node %d, co-author degree %zu\n", seed,
+              finder.Degree(seed));
+
+  // --- Communities per meta-path and k.
+  std::printf("\n%-8s %-4s %-8s %-10s %-10s\n", "path", "k", "core",
+              "extension", "near-neg");
+  for (const char* path_text : {"P-A-P", "P-T-P", "P-P"}) {
+    const MetaPath path = *MetaPath::Parse(dataset.graph.schema(), path_text);
+    for (int32_t k : {2, 4, 6}) {
+      const KPCoreCommunity c = KPCoreSearch(dataset.graph, path, seed, k);
+      std::printf("%-8s %-4d %-8zu %-10zu %-10zu\n", path_text, k,
+                  c.core.size(), c.extension.size(),
+                  c.near_negatives.size());
+    }
+  }
+
+  // --- Multi-meta-path intersection (§V).
+  std::printf("\nmeta-path intersections at k = 4:\n");
+  const MetaPath ptp = *MetaPath::Parse(dataset.graph.schema(), "P-T-P");
+  const MetaPath pp = *MetaPath::Parse(dataset.graph.schema(), "P-P");
+  struct Combo {
+    const char* name;
+    std::vector<MetaPath> paths;
+  };
+  const std::vector<Combo> combos = {
+      {"A", {pap}},          {"AT", {pap, ptp}},
+      {"AC", {pap, pp}},     {"CT", {pp, ptp}},
+      {"ACT", {pap, pp, ptp}}};
+  for (const Combo& combo : combos) {
+    const KPCoreCommunity c =
+        MultiPathKPCoreSearch(dataset.graph, combo.paths, seed, 4);
+    std::printf("  %-4s core=%-5zu members=%zu\n", combo.name, c.core.size(),
+                c.Members().size());
+  }
+
+  // --- Cost comparison: Algorithm 1 vs FastBCore vs naive.
+  std::printf("\ncore-search cost at k = 4 (P-A-P), same strict core:\n");
+  Timer timer;
+  const KPCoreCommunity ours = KPCoreSearch(dataset.graph, pap, seed, 4);
+  const double ours_ms = timer.ElapsedMillis();
+  timer.Restart();
+  const KPCoreCommunity fast = FastBCoreSearch(dataset.graph, pap, seed, 4);
+  const double fast_ms = timer.ElapsedMillis();
+  timer.Restart();
+  const KPCoreCommunity naive = NaiveKPCoreSearch(dataset.graph, pap, seed, 4);
+  const double naive_ms = timer.ElapsedMillis();
+  std::printf("  %-12s %8s %12s %10s\n", "method", "ms", "edges", "expanded");
+  std::printf("  %-12s %8.2f %12llu %10zu\n", "Algorithm 1", ours_ms,
+              static_cast<unsigned long long>(ours.edges_scanned),
+              ours.papers_expanded);
+  std::printf("  %-12s %8.2f %12llu %10zu\n", "FastBCore", fast_ms,
+              static_cast<unsigned long long>(fast.edges_scanned),
+              fast.papers_expanded);
+  std::printf("  %-12s %8.2f %12s %10zu\n", "Naive", naive_ms, "(all)",
+              naive.papers_expanded);
+  std::printf("  cores equal: %s\n",
+              (ours.core == fast.core && fast.core == naive.core) ? "yes"
+                                                                  : "NO");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// kpef_cli: end-to-end command-line driver for the library, demonstrating
+// the offline-build / online-serve split with persisted artifacts.
+//
+//   kpef_cli generate --out graph.kg [--profile aminer|dblp|acm|tiny]
+//                     [--scale 0.5]
+//   kpef_cli stats    --graph graph.kg
+//   kpef_cli build    --graph graph.kg --model-dir dir [--k 4]
+//   kpef_cli query    --graph graph.kg --model-dir dir --text "..."
+//                     [--n 10]
+//
+// `build` persists the fine-tuned encoder, the paper embeddings, and the
+// PG-Index; `query` reloads them and serves queries without retraining.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "ann/pg_index.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "embed/model_io.h"
+#include "graph/graph_io.h"
+#include "ranking/top_n_finder.h"
+
+namespace {
+
+using namespace kpef;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+DatasetConfig ProfileByName(const std::string& name) {
+  if (name == "dblp") return DblpProfile();
+  if (name == "acm") return AcmProfile();
+  if (name == "tiny") return TinyProfile();
+  return AminerProfile();
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string out = FlagOr(flags, "out", "graph.kg");
+  DatasetConfig config = ProfileByName(FlagOr(flags, "profile", "aminer"));
+  const double scale = std::atof(FlagOr(flags, "scale", "1.0").c_str());
+  if (scale > 0 && scale != 1.0) config = config.ScaledCopy(scale, "");
+  const Dataset dataset = GenerateDataset(config);
+  const Status saved = SaveGraph(dataset.graph, out);
+  if (!saved.ok()) return Fail(saved);
+  const DatasetStats stats = ComputeStats(dataset);
+  std::printf("wrote %s: %zu papers, %zu experts, %zu venues, %zu topics, "
+              "%zu relations\n",
+              out.c_str(), stats.papers, stats.experts, stats.venues,
+              stats.topics, stats.relations);
+  return 0;
+}
+
+StatusOr<Dataset> LoadDataset(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "graph", "graph.kg");
+  KPEF_ASSIGN_OR_RETURN(HeteroGraph graph, LoadGraph(path));
+  return DatasetFromGraph(std::move(graph), path);
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const DatasetStats stats = ComputeStats(*dataset);
+  std::printf("papers=%zu experts=%zu venues=%zu topics=%zu relations=%zu\n",
+              stats.papers, stats.experts, stats.venues, stats.topics,
+              stats.relations);
+  return 0;
+}
+
+int CmdBuild(const std::map<std::string, std::string>& flags) {
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const std::string model_dir = FlagOr(flags, "model-dir", "model");
+  const Corpus corpus = BuildPaperCorpus(*dataset);
+
+  EngineConfig config;
+  config.k = std::atoi(FlagOr(flags, "k", "4").c_str());
+  config.top_m =
+      std::max<size_t>(50, dataset->Papers().size() / 10);
+  Timer timer;
+  EngineBuildReport report;
+  auto engine = ExpertFindingEngine::Build(&*dataset, &corpus, config,
+                                           nullptr, &report);
+  if (!engine.ok()) return Fail(engine.status());
+  std::printf("built pipeline in %.1fs (%zu triples, %zu index edges)\n",
+              timer.ElapsedSeconds(), report.sampling.triples.size(),
+              report.index.edges_final);
+
+  Status s = SaveEncoder((*engine)->encoder(), model_dir + "/encoder.bin");
+  if (!s.ok()) return Fail(s);
+  s = SaveMatrix((*engine)->embeddings(), model_dir + "/embeddings.bin");
+  if (!s.ok()) return Fail(s);
+  s = (*engine)->index()->Save(model_dir + "/pgindex.bin");
+  if (!s.ok()) return Fail(s);
+  std::printf("saved encoder.bin, embeddings.bin, pgindex.bin under %s/\n",
+              model_dir.c_str());
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const std::string model_dir = FlagOr(flags, "model-dir", "model");
+  const std::string text = FlagOr(flags, "text", "");
+  const size_t n =
+      static_cast<size_t>(std::atoi(FlagOr(flags, "n", "10").c_str()));
+  if (text.empty()) {
+    std::fprintf(stderr, "query requires --text\n");
+    return 1;
+  }
+  const Corpus corpus = BuildPaperCorpus(*dataset);
+  auto encoder = LoadEncoder(model_dir + "/encoder.bin");
+  if (!encoder.ok()) return Fail(encoder.status());
+  auto index = PGIndex::Load(model_dir + "/pgindex.bin");
+  if (!index.ok()) return Fail(index.status());
+
+  Timer timer;
+  const std::vector<float> query_vec =
+      encoder->Encode(corpus.EncodeQuery(text));
+  const size_t m = std::max<size_t>(50, dataset->Papers().size() / 10);
+  const auto neighbors = index->Search(query_vec, m, m);
+  std::vector<NodeId> top_papers;
+  top_papers.reserve(neighbors.size());
+  for (const Neighbor& nb : neighbors) {
+    top_papers.push_back(dataset->Papers()[nb.id]);
+  }
+  const RankedLists lists =
+      BuildRankedLists(dataset->graph, dataset->ids.write, top_papers);
+  const auto experts = ThresholdTopN(lists, n);
+  std::printf("top-%zu experts (%.2f ms):\n", experts.size(),
+              timer.ElapsedMillis());
+  for (size_t i = 0; i < experts.size(); ++i) {
+    std::printf("  %2zu. %-16s R(a)=%.4f\n", i + 1,
+                dataset->graph.Label(experts[i].author).c_str(),
+                experts[i].score);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kpef::SetLogLevel(kpef::LogLevel::kWarning);
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: kpef_cli <generate|stats|build|query> [--flag "
+                 "value]...\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "query") return CmdQuery(flags);
+  std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
+  return 1;
+}

@@ -1,0 +1,106 @@
+// Reviewer recommendation: the paper's flagship application (§I).
+//
+// Given a submission's title+abstract, recommend reviewers: find the
+// top-n experts whose work is semantically and structurally closest to
+// the submission, then filter conflicts of interest (recent co-authors of
+// the submitting authors).
+//
+//   ./reviewer_recommendation
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/explain.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "metapath/meta_path.h"
+#include "metapath/p_neighbor.h"
+
+int main() {
+  using namespace kpef;
+  SetLogLevel(LogLevel::kWarning);
+
+  DatasetConfig config = TinyProfile();
+  config.num_papers = 1000;
+  config.num_authors = 700;
+  config.num_topics = 20;
+  const Dataset dataset = GenerateDataset(config);
+  const Corpus corpus = BuildPaperCorpus(dataset);
+
+  EngineConfig engine_config;
+  engine_config.k = 3;
+  engine_config.encoder.dim = 48;
+  engine_config.top_m = 120;
+  auto engine =
+      ExpertFindingEngine::Build(&dataset, &corpus, engine_config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Treat a held-out paper as the incoming submission; its authors are
+  // the submitting authors (conflict sources).
+  const QuerySet queries = GenerateQueries(dataset, 1, 4242);
+  const Query& submission = queries.queries[0];
+  const auto submitting_authors =
+      dataset.graph.Neighbors(submission.query_paper, dataset.ids.write);
+  std::printf("submission: %.70s...\n",
+              submission.text.c_str());
+  std::printf("submitting authors:");
+  for (NodeId a : submitting_authors) {
+    std::printf(" %s", dataset.graph.Label(a).c_str());
+  }
+  std::printf("\n\n");
+
+  // Conflict set: the submitting authors plus anyone who co-authored a
+  // paper with them (1 hop through A-P-A).
+  std::set<NodeId> conflicts(submitting_authors.begin(),
+                             submitting_authors.end());
+  for (NodeId author : submitting_authors) {
+    for (NodeId paper : dataset.graph.Neighbors(author, dataset.ids.write)) {
+      for (NodeId coauthor :
+           dataset.graph.Neighbors(paper, dataset.ids.write)) {
+        conflicts.insert(coauthor);
+      }
+    }
+  }
+  std::printf("conflict-of-interest set: %zu researchers\n\n",
+              conflicts.size());
+
+  // Over-fetch experts, then drop conflicts.
+  const size_t panel_size = 5;
+  const auto candidates = (*engine)->FindExperts(submission.text, 30);
+  std::printf("recommended review panel:\n");
+  size_t listed = 0;
+  for (const ExpertScore& e : candidates) {
+    if (conflicts.count(e.author)) continue;
+    const ExpertProfile profile = BuildExpertProfile(dataset, e.author);
+    std::printf("  %zu. %-12s R(a)=%.4f  (%zu papers, %zu co-authors, %zu "
+                "venues)\n",
+                ++listed, dataset.graph.Label(e.author).c_str(), e.score,
+                profile.num_papers, profile.num_coauthors,
+                profile.num_venues);
+    // Expertise evidence: the strongest matched papers behind the score.
+    const ExpertExplanation why =
+        ExplainExpert(**engine, submission.text, e.author);
+    for (size_t i = 0; i < std::min<size_t>(2, why.evidence.size()); ++i) {
+      const ExpertEvidence& ev = why.evidence[i];
+      std::printf("       evidence: retrieved paper #%zu (author %zu/%zu, "
+                  "score share %.4f)\n",
+                  ev.paper_rank, ev.author_rank, ev.num_authors,
+                  ev.score_share);
+    }
+    if (listed >= panel_size) break;
+  }
+  if (listed < panel_size) {
+    std::printf("  (only %zu conflict-free reviewers in top-30; widen the "
+                "candidate pool)\n",
+                listed);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "ann/brute_force.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+std::vector<Neighbor> BruteForceSearch(const Matrix& points,
+                                       std::span<const float> query,
+                                       size_t k) {
+  std::vector<Neighbor> heap;  // max-heap on distance, size <= k
+  heap.reserve(k + 1);
+  auto cmp = [](const Neighbor& a, const Neighbor& b) { return a < b; };
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const float dist = L2Distance(points.Row(i), query);
+    if (heap.size() < k) {
+      heap.push_back({static_cast<int32_t>(i), dist});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && dist < heap.front().distance) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {static_cast<int32_t>(i), dist};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+double ComputeRecall(const std::vector<Neighbor>& result,
+                     const std::vector<Neighbor>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<int32_t> found;
+  found.reserve(result.size() * 2);
+  for (const Neighbor& n : result) found.insert(n.id);
+  size_t hits = 0;
+  for (const Neighbor& n : truth) hits += found.count(n.id);
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace kpef

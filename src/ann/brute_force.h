@@ -1,0 +1,27 @@
+// Exact k-nearest-neighbor search by full scan. Serves as (a) the
+// "w/o PG-Index" configuration of the efficiency study (Figure 7) and
+// (b) ground truth for PG-Index recall tests.
+
+#ifndef KPEF_ANN_BRUTE_FORCE_H_
+#define KPEF_ANN_BRUTE_FORCE_H_
+
+#include <span>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "embed/matrix.h"
+
+namespace kpef {
+
+/// Returns the `k` points of `points` nearest to `query` under L2
+/// distance, ascending by distance.
+std::vector<Neighbor> BruteForceSearch(const Matrix& points,
+                                       std::span<const float> query, size_t k);
+
+/// Fraction of `truth` ids present in `result` (recall@|truth|).
+double ComputeRecall(const std::vector<Neighbor>& result,
+                     const std::vector<Neighbor>& truth);
+
+}  // namespace kpef
+
+#endif  // KPEF_ANN_BRUTE_FORCE_H_

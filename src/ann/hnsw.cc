@@ -1,0 +1,220 @@
+#include "ann/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+int32_t Hnsw::GreedyClosest(std::span<const float> query, int32_t start,
+                            size_t layer, uint64_t& dist_count) const {
+  int32_t current = start;
+  ++dist_count;
+  float current_dist = L2Distance(points_.Row(current), query);
+  for (;;) {
+    bool improved = false;
+    for (int32_t u : layers_[layer][current]) {
+      ++dist_count;
+      const float d = L2Distance(points_.Row(u), query);
+      if (d < current_dist) {
+        current = u;
+        current_dist = d;
+        improved = true;
+      }
+    }
+    if (!improved) return current;
+  }
+}
+
+std::vector<Neighbor> Hnsw::SearchLayer(std::span<const float> query,
+                                        int32_t start, size_t layer,
+                                        size_t ef, uint64_t& dist_count,
+                                        uint64_t* hops) const {
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<Neighbor>>
+      candidates;
+  std::priority_queue<Neighbor> pool;  // worst on top
+  std::vector<char> visited(points_.rows(), 0);
+  ++dist_count;
+  const Neighbor entry{start, L2Distance(points_.Row(start), query)};
+  candidates.push(entry);
+  pool.push(entry);
+  visited[start] = 1;
+  while (!candidates.empty()) {
+    const Neighbor current = candidates.top();
+    candidates.pop();
+    if (pool.size() >= ef && current.distance > pool.top().distance) break;
+    if (hops) ++(*hops);
+    for (int32_t u : layers_[layer][current.id]) {
+      if (visited[u]) continue;
+      visited[u] = 1;
+      ++dist_count;
+      const Neighbor next{u, L2Distance(points_.Row(u), query)};
+      if (pool.size() < ef || next.distance < pool.top().distance) {
+        candidates.push(next);
+        pool.push(next);
+        if (pool.size() > ef) pool.pop();
+      }
+    }
+  }
+  std::vector<Neighbor> result;
+  result.reserve(pool.size());
+  while (!pool.empty()) {
+    result.push_back(pool.top());
+    pool.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int32_t> Hnsw::SelectNeighbors(int32_t node,
+                                           std::vector<Neighbor> candidates,
+                                           size_t max_degree,
+                                           uint64_t& dist_count) const {
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<Neighbor> kept;
+  for (const Neighbor& y : candidates) {
+    if (y.id == node) continue;
+    if (kept.size() >= max_degree) break;
+    bool occluded = false;
+    for (const Neighbor& x : kept) {
+      ++dist_count;
+      if (L2Distance(points_.Row(x.id), points_.Row(y.id)) <= y.distance) {
+        occluded = true;
+        break;
+      }
+    }
+    if (!occluded) kept.push_back(y);
+  }
+  std::vector<int32_t> out;
+  out.reserve(kept.size());
+  for (const Neighbor& nb : kept) out.push_back(nb.id);
+  return out;
+}
+
+Hnsw Hnsw::Build(const Matrix& points, const HnswConfig& config,
+                 HnswBuildStats* stats) {
+  Timer timer;
+  Hnsw index;
+  index.points_ = points;
+  index.max_degree_base_ = config.m;
+  const size_t n = points.rows();
+  index.node_level_.assign(n, 0);
+  HnswBuildStats local_stats;
+  if (n == 0) {
+    if (stats) *stats = local_stats;
+    return index;
+  }
+
+  Rng rng(config.seed);
+  const double mult = config.level_multiplier > 0.0
+                          ? config.level_multiplier
+                          : 1.0 / std::log(static_cast<double>(
+                                std::max<size_t>(2, config.m)));
+  // Pre-draw levels to size the layer structure.
+  int32_t top_level = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const double u = std::max(1e-12, rng.UniformDouble());
+    index.node_level_[v] = static_cast<int32_t>(-std::log(u) * mult);
+    top_level = std::max(top_level, index.node_level_[v]);
+  }
+  index.layers_.assign(top_level + 1,
+                       std::vector<std::vector<int32_t>>(n));
+
+  uint64_t dist_count = 0;
+  index.entry_point_ = 0;
+  int32_t current_top = index.node_level_[0];
+  for (size_t v = 1; v < n; ++v) {
+    const auto query = points.Row(v);
+    const int32_t level = index.node_level_[v];
+    int32_t entry = index.entry_point_;
+    // Descend through layers above the node's level greedily.
+    for (int32_t l = current_top; l > level; --l) {
+      entry = index.GreedyClosest(query, entry, static_cast<size_t>(l),
+                                  dist_count);
+    }
+    // Insert on each layer from min(level, current_top) down to 0.
+    for (int32_t l = std::min(level, current_top); l >= 0; --l) {
+      const size_t layer = static_cast<size_t>(l);
+      std::vector<Neighbor> found = index.SearchLayer(
+          query, entry, layer, config.ef_construction, dist_count, nullptr);
+      entry = found.empty() ? entry : found[0].id;
+      const size_t max_degree = l == 0 ? 2 * config.m : config.m;
+      std::vector<int32_t> selected = index.SelectNeighbors(
+          static_cast<int32_t>(v), found, max_degree, dist_count);
+      index.layers_[layer][v] = selected;
+      // Connect back, re-pruning neighbors that overflow.
+      for (int32_t u : selected) {
+        auto& back = index.layers_[layer][u];
+        back.push_back(static_cast<int32_t>(v));
+        if (back.size() > max_degree) {
+          std::vector<Neighbor> candidates;
+          candidates.reserve(back.size());
+          for (int32_t w : back) {
+            ++dist_count;
+            candidates.push_back(
+                {w, L2Distance(points.Row(u), points.Row(w))});
+          }
+          back = index.SelectNeighbors(u, std::move(candidates), max_degree,
+                                       dist_count);
+        }
+      }
+    }
+    if (level > current_top) {
+      current_top = level;
+      index.entry_point_ = static_cast<int32_t>(v);
+    }
+  }
+  // Trim unused top layers (possible when the max-level node is node 0).
+  while (index.layers_.size() > static_cast<size_t>(current_top) + 1) {
+    index.layers_.pop_back();
+  }
+
+  local_stats.build_seconds = timer.ElapsedSeconds();
+  local_stats.distance_computations = dist_count;
+  local_stats.num_layers = index.layers_.size();
+  local_stats.edges_total = index.NumEdges();
+  if (stats) *stats = local_stats;
+  return index;
+}
+
+std::vector<Neighbor> Hnsw::Search(std::span<const float> query, size_t k,
+                                   size_t ef, SearchStats* stats) const {
+  std::vector<Neighbor> result;
+  if (points_.rows() == 0 || k == 0) return result;
+  SearchStats local_stats;
+  int32_t entry = entry_point_;
+  for (size_t l = layers_.size(); l-- > 1;) {
+    entry = GreedyClosest(query, entry, l, local_stats.distance_computations);
+  }
+  result = SearchLayer(query, entry, 0, std::max(ef, k),
+                       local_stats.distance_computations, &local_stats.hops);
+  if (result.size() > k) result.resize(k);
+  if (stats) *stats = local_stats;
+  return result;
+}
+
+size_t Hnsw::NumEdges() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) {
+    for (const auto& nbrs : layer) total += nbrs.size();
+  }
+  return total;
+}
+
+size_t Hnsw::MemoryUsageBytes() const {
+  size_t bytes = points_.data().size() * sizeof(float) +
+                 node_level_.size() * sizeof(int32_t);
+  for (const auto& layer : layers_) {
+    for (const auto& nbrs : layer) {
+      bytes += nbrs.size() * sizeof(int32_t) + sizeof(std::vector<int32_t>);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace kpef

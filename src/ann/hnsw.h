@@ -1,0 +1,95 @@
+// Hierarchical Navigable Small World (HNSW) index.
+//
+// An alternative ANN index to the paper's PG-Index (cited in its related
+// work via the graph-ANN survey [35]). The PG-Index flattens "highway"
+// edges into a single layer; HNSW stacks coarser layers instead. Provided
+// as an extension so the retrieval stage can be ablated against a second
+// graph index (bench_pgindex_search compares them).
+
+#ifndef KPEF_ANN_HNSW_H_
+#define KPEF_ANN_HNSW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "embed/matrix.h"
+
+namespace kpef {
+
+struct HnswConfig {
+  /// Max neighbors per node on layers > 0 (layer 0 gets 2x).
+  size_t m = 12;
+  /// Candidate-pool size during construction.
+  size_t ef_construction = 100;
+  /// Level multiplier; expected #layers ~ ln(n) * level_multiplier.
+  double level_multiplier = 0.0;  // 0 = 1/ln(m)
+  uint64_t seed = 1234;
+};
+
+struct HnswBuildStats {
+  double build_seconds = 0.0;
+  uint64_t distance_computations = 0;
+  size_t num_layers = 0;
+  size_t edges_total = 0;
+};
+
+/// HNSW over the rows of a Matrix, L2 distance. Build is sequential
+/// (insert order = row order, deterministic under the config seed).
+class Hnsw {
+ public:
+  struct SearchStats {
+    uint64_t distance_computations = 0;
+    uint64_t hops = 0;
+  };
+
+  static Hnsw Build(const Matrix& points, const HnswConfig& config,
+                    HnswBuildStats* stats = nullptr);
+
+  /// Approximate k nearest neighbors, ascending by distance. `ef` is the
+  /// layer-0 candidate pool (clamped up to k).
+  std::vector<Neighbor> Search(std::span<const float> query, size_t k,
+                               size_t ef = 0,
+                               SearchStats* stats = nullptr) const;
+
+  size_t NumPoints() const { return points_.rows(); }
+  size_t NumLayers() const { return layers_.size(); }
+  int32_t entry_point() const { return entry_point_; }
+  size_t NumEdges() const;
+  size_t MemoryUsageBytes() const;
+
+  /// Neighbors of `node` on `layer` (testing / inspection).
+  const std::vector<int32_t>& NeighborsOf(size_t layer, int32_t node) const {
+    return layers_[layer][node];
+  }
+
+ private:
+  Hnsw() = default;
+
+  // Greedy descent to the closest node on a layer (ef = 1).
+  int32_t GreedyClosest(std::span<const float> query, int32_t start,
+                        size_t layer, uint64_t& dist_count) const;
+  // Best-first search on one layer with a bounded pool.
+  std::vector<Neighbor> SearchLayer(std::span<const float> query,
+                                    int32_t start, size_t layer, size_t ef,
+                                    uint64_t& dist_count,
+                                    uint64_t* hops) const;
+  // Occlusion pruning identical in spirit to the PG-Index refinement.
+  std::vector<int32_t> SelectNeighbors(int32_t node,
+                                       std::vector<Neighbor> candidates,
+                                       size_t max_degree,
+                                       uint64_t& dist_count) const;
+
+  Matrix points_;
+  // layers_[l][node] = adjacency on layer l; nodes absent from a layer
+  // have empty lists and node_level_[node] < l.
+  std::vector<std::vector<std::vector<int32_t>>> layers_;
+  std::vector<int32_t> node_level_;
+  int32_t entry_point_ = -1;
+  size_t max_degree_base_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_ANN_HNSW_H_

@@ -1,0 +1,27 @@
+// Shared neighbor record for the ANN structures.
+
+#ifndef KPEF_ANN_NEIGHBOR_H_
+#define KPEF_ANN_NEIGHBOR_H_
+
+#include <cstdint>
+
+namespace kpef {
+
+/// A candidate point with its distance to some query/anchor.
+struct Neighbor {
+  int32_t id = -1;
+  float distance = 0.0f;
+
+  bool operator<(const Neighbor& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;
+  }
+  bool operator>(const Neighbor& other) const { return other < *this; }
+  bool operator==(const Neighbor& other) const {
+    return id == other.id && distance == other.distance;
+  }
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_ANN_NEIGHBOR_H_

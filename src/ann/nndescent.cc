@@ -1,0 +1,189 @@
+#include "ann/nndescent.h"
+
+#include <algorithm>
+
+#include "ann/brute_force.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+namespace {
+
+// Bounded neighbor heap with "new" flags, as in the NNDescent paper.
+struct HeapEntry {
+  Neighbor neighbor;
+  bool is_new = true;
+};
+
+class NeighborHeap {
+ public:
+  explicit NeighborHeap(size_t capacity) : capacity_(capacity) {}
+
+  // Inserts if closer than the current worst; returns true on change.
+  bool Insert(int32_t id, float distance) {
+    for (const HeapEntry& e : entries_) {
+      if (e.neighbor.id == id) return false;
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back({{id, distance}, true});
+      std::push_heap(entries_.begin(), entries_.end(), Cmp);
+      return true;
+    }
+    if (distance >= entries_.front().neighbor.distance) return false;
+    std::pop_heap(entries_.begin(), entries_.end(), Cmp);
+    entries_.back() = {{id, distance}, true};
+    std::push_heap(entries_.begin(), entries_.end(), Cmp);
+    return true;
+  }
+
+  std::vector<HeapEntry>& entries() { return entries_; }
+  const std::vector<HeapEntry>& entries() const { return entries_; }
+
+ private:
+  static bool Cmp(const HeapEntry& a, const HeapEntry& b) {
+    return a.neighbor < b.neighbor;  // max-heap on distance
+  }
+
+  size_t capacity_;
+  std::vector<HeapEntry> entries_;
+};
+
+}  // namespace
+
+KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config) {
+  const size_t n = points.rows();
+  KnnGraph result;
+  result.neighbors.resize(n);
+  if (n == 0) return result;
+  const size_t k = std::min(config.k, n - 1);
+  if (k == 0) return result;
+
+  Rng rng(config.seed);
+  uint64_t dist_count = 0;
+  auto distance = [&](int32_t a, int32_t b) {
+    ++dist_count;
+    return L2Distance(points.Row(a), points.Row(b));
+  };
+
+  // Random initialization.
+  std::vector<NeighborHeap> heaps(n, NeighborHeap(k));
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t attempts = 0; heaps[v].entries().size() < k && attempts < 4 * k;
+         ++attempts) {
+      const int32_t u = static_cast<int32_t>(rng.Uniform(n));
+      if (u == static_cast<int32_t>(v)) continue;
+      heaps[v].Insert(u, distance(static_cast<int32_t>(v), u));
+    }
+  }
+
+  std::vector<std::vector<int32_t>> new_cands(n), old_cands(n);
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // Collect forward candidates and clear "new" flags.
+    for (auto& c : new_cands) c.clear();
+    for (auto& c : old_cands) c.clear();
+    for (size_t v = 0; v < n; ++v) {
+      for (HeapEntry& e : heaps[v].entries()) {
+        auto& bucket = e.is_new ? new_cands[v] : old_cands[v];
+        bucket.push_back(e.neighbor.id);
+        e.is_new = false;
+      }
+    }
+    // Add reverse candidates.
+    for (size_t v = 0; v < n; ++v) {
+      for (int32_t u : std::vector<int32_t>(new_cands[v])) {
+        new_cands[u].push_back(static_cast<int32_t>(v));
+      }
+      for (int32_t u : std::vector<int32_t>(old_cands[v])) {
+        old_cands[u].push_back(static_cast<int32_t>(v));
+      }
+    }
+    size_t updates = 0;
+    for (size_t v = 0; v < n; ++v) {
+      auto& nc = new_cands[v];
+      auto& oc = old_cands[v];
+      std::sort(nc.begin(), nc.end());
+      nc.erase(std::unique(nc.begin(), nc.end()), nc.end());
+      std::sort(oc.begin(), oc.end());
+      oc.erase(std::unique(oc.begin(), oc.end()), oc.end());
+      if (nc.size() > config.max_candidates) {
+        rng.Shuffle(nc);
+        nc.resize(config.max_candidates);
+      }
+      if (oc.size() > config.max_candidates) {
+        rng.Shuffle(oc);
+        oc.resize(config.max_candidates);
+      }
+      // Local join: new x new and new x old.
+      for (size_t i = 0; i < nc.size(); ++i) {
+        for (size_t j = i + 1; j < nc.size(); ++j) {
+          const float d = distance(nc[i], nc[j]);
+          updates += heaps[nc[i]].Insert(nc[j], d);
+          updates += heaps[nc[j]].Insert(nc[i], d);
+        }
+        for (int32_t u : oc) {
+          if (u == nc[i]) continue;
+          const float d = distance(nc[i], u);
+          updates += heaps[nc[i]].Insert(u, d);
+          updates += heaps[u].Insert(nc[i], d);
+        }
+      }
+    }
+    if (static_cast<double>(updates) <
+        config.delta * static_cast<double>(n) * static_cast<double>(k)) {
+      break;
+    }
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    auto& out = result.neighbors[v];
+    for (const HeapEntry& e : heaps[v].entries()) out.push_back(e.neighbor);
+    std::sort(out.begin(), out.end());
+  }
+  result.distance_computations = dist_count;
+  return result;
+}
+
+KnnGraph BuildExactKnnGraph(const Matrix& points, size_t k) {
+  KnnGraph result;
+  const size_t n = points.rows();
+  result.neighbors.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    // k+1 because the point itself comes back at distance zero.
+    std::vector<Neighbor> knn = BruteForceSearch(points, points.Row(v), k + 1);
+    for (const Neighbor& nb : knn) {
+      if (nb.id == static_cast<int32_t>(v)) continue;
+      if (result.neighbors[v].size() >= k) break;
+      result.neighbors[v].push_back(nb);
+    }
+    result.distance_computations += n;
+  }
+  return result;
+}
+
+double KnnGraphRecall(const Matrix& points, const KnnGraph& graph) {
+  const size_t n = points.rows();
+  if (n == 0) return 1.0;
+  double total = 0.0;
+  for (size_t v = 0; v < n; ++v) {
+    const size_t k = graph.neighbors[v].size();
+    if (k == 0) {
+      total += 1.0;
+      continue;
+    }
+    KnnGraph exact;  // only need row v; reuse helper lazily
+    std::vector<Neighbor> truth =
+        BruteForceSearch(points, points.Row(v), k + 1);
+    std::vector<Neighbor> filtered;
+    for (const Neighbor& nb : truth) {
+      if (nb.id != static_cast<int32_t>(v) && filtered.size() < k) {
+        filtered.push_back(nb);
+      }
+    }
+    total += ComputeRecall(graph.neighbors[v], filtered);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace kpef

@@ -1,0 +1,47 @@
+// NNDescent [36]: approximate kNN-graph construction by iterative
+// neighbor-of-neighbor refinement. Initializes the PG-Index (Algorithm 2,
+// lines 3-6).
+
+#ifndef KPEF_ANN_NNDESCENT_H_
+#define KPEF_ANN_NNDESCENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "embed/matrix.h"
+
+namespace kpef {
+
+struct NNDescentConfig {
+  /// Neighbors kept per point (the kNN graph's k).
+  size_t k = 10;
+  size_t max_iterations = 12;
+  /// Stop when fewer than delta * n * k neighbor updates happen in an
+  /// iteration.
+  double delta = 0.001;
+  /// Cap on candidates considered per point per iteration.
+  size_t max_candidates = 50;
+  uint64_t seed = 17;
+};
+
+/// Result: per-point nearest-neighbor lists sorted ascending by distance,
+/// plus convergence diagnostics.
+struct KnnGraph {
+  std::vector<std::vector<Neighbor>> neighbors;
+  size_t iterations_run = 0;
+  uint64_t distance_computations = 0;
+};
+
+/// Builds an approximate kNN graph over the rows of `points`.
+KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config);
+
+/// Builds the exact kNN graph by brute force (testing aid; quadratic).
+KnnGraph BuildExactKnnGraph(const Matrix& points, size_t k);
+
+/// Mean recall of `graph` against the exact kNN graph (testing aid).
+double KnnGraphRecall(const Matrix& points, const KnnGraph& graph);
+
+}  // namespace kpef
+
+#endif  // KPEF_ANN_NNDESCENT_H_

@@ -1,0 +1,357 @@
+#include "ann/pg_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
+                       PGIndexBuildStats* stats) {
+  Timer total_timer;
+  PGIndex index;
+  index.points_ = points;
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  index.adjacency_.resize(n);
+  PGIndexBuildStats local_stats;
+  if (n == 0) {
+    if (stats) *stats = local_stats;
+    return index;
+  }
+
+  // --- Navigating node selection (lines 1-2): nearest to the centroid.
+  std::vector<float> centroid(d, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = points.Row(i);
+    for (size_t k = 0; k < d; ++k) centroid[k] += row[k];
+  }
+  for (float& c : centroid) c /= static_cast<float>(n);
+  float best = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float dist = L2Distance(points.Row(i), centroid);
+    ++local_stats.distance_computations;
+    if (index.navigating_node_ < 0 || dist < best) {
+      index.navigating_node_ = static_cast<int32_t>(i);
+      best = dist;
+    }
+  }
+
+  // --- Initialize kNN graph (lines 3-6).
+  Timer knn_timer;
+  KnnGraph knn = config.exact_knn
+                     ? BuildExactKnnGraph(points, config.knn_k)
+                     : BuildKnnGraph(points, [&] {
+                         NNDescentConfig c = config.nndescent;
+                         c.k = config.knn_k;
+                         return c;
+                       }());
+  local_stats.knn_seconds = knn_timer.ElapsedSeconds();
+  local_stats.distance_computations += knn.distance_computations;
+  for (const auto& nbrs : knn.neighbors) {
+    local_stats.edges_after_knn += nbrs.size();
+  }
+
+  // --- Refine neighbors (per-node independent; parallel over chunks).
+  Timer refine_timer;
+  std::atomic<uint64_t> refine_distances{0};
+  auto refine_node = [&](size_t p, uint64_t& dist_count) {
+    auto distance = [&](int32_t a, int32_t b) {
+      ++dist_count;
+      return L2Distance(points.Row(a), points.Row(b));
+    };
+    // Long-distance neighbors extension (lines 7-8): N(p) plus N(x) for
+    // every x in N(p).
+    std::vector<Neighbor> candidates = knn.neighbors[p];
+    size_t extension_edges = 0;
+    if (config.extend_neighbors) {
+      std::unordered_set<int32_t> seen;
+      seen.insert(static_cast<int32_t>(p));
+      for (const Neighbor& nb : knn.neighbors[p]) seen.insert(nb.id);
+      for (const Neighbor& x : knn.neighbors[p]) {
+        for (const Neighbor& y : knn.neighbors[x.id]) {
+          if (seen.insert(y.id).second) {
+            candidates.push_back(
+                {y.id, distance(static_cast<int32_t>(p), y.id)});
+          }
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    extension_edges = candidates.size();
+
+    // Redundant neighbors removal (lines 9-12): scanning nearest-first,
+    // drop y when some kept x satisfies δ(x, y) <= δ(y, p).
+    auto& out = index.adjacency_[p];
+    out.clear();
+    if (config.remove_redundant) {
+      std::vector<Neighbor> kept;
+      for (const Neighbor& y : candidates) {
+        if (kept.size() >= config.max_degree) break;
+        bool redundant = false;
+        for (const Neighbor& x : kept) {
+          if (distance(x.id, y.id) <= y.distance) {
+            redundant = true;
+            break;
+          }
+        }
+        if (!redundant) kept.push_back(y);
+      }
+      out.reserve(kept.size());
+      for (const Neighbor& nb : kept) out.push_back(nb.id);
+    } else {
+      const size_t limit = std::min(candidates.size(), config.max_degree);
+      out.reserve(limit);
+      for (size_t i = 0; i < limit; ++i) out.push_back(candidates[i].id);
+    }
+    return extension_edges;
+  };
+  {
+    ThreadPool& pool = ThreadPool::Default();
+    const size_t workers = std::max<size_t>(1, pool.num_threads());
+    std::atomic<uint64_t> extension_total{0};
+    auto refine_range = [&](size_t begin, size_t end) {
+      uint64_t dists = 0;
+      uint64_t ext = 0;
+      for (size_t p = begin; p < end; ++p) ext += refine_node(p, dists);
+      refine_distances.fetch_add(dists, std::memory_order_relaxed);
+      extension_total.fetch_add(ext, std::memory_order_relaxed);
+    };
+    if (workers <= 1 || n < 2 * workers) {
+      refine_range(0, n);
+    } else {
+      const size_t chunk = (n + workers - 1) / workers;
+      for (size_t start = 0; start < n; start += chunk) {
+        const size_t end = std::min(n, start + chunk);
+        pool.Submit([&, start, end] { refine_range(start, end); });
+      }
+      pool.Wait();
+    }
+    local_stats.edges_after_extension = extension_total.load();
+    local_stats.distance_computations += refine_distances.load();
+  }
+  local_stats.refine_seconds = refine_timer.ElapsedSeconds();
+
+  // --- Connectivity repair: the kNN graph of clustered data can be
+  // disconnected, which would make whole clusters unreachable from the
+  // navigating node. Link the navigating node to the nearest point of
+  // each unreachable component (these are exactly the "highway" edges of
+  // §IV-A, guaranteeing the greedy search can leave the entry cluster).
+  {
+    std::vector<char> reachable(n, 0);
+    std::vector<int32_t> stack;
+    auto bfs_from = [&](int32_t start) {
+      stack.push_back(start);
+      reachable[start] = 1;
+      while (!stack.empty()) {
+        const int32_t v = stack.back();
+        stack.pop_back();
+        for (int32_t u : index.adjacency_[v]) {
+          if (!reachable[u]) {
+            reachable[u] = 1;
+            stack.push_back(u);
+          }
+        }
+      }
+    };
+    bfs_from(index.navigating_node_);
+    for (;;) {
+      int32_t nearest = -1;
+      float nearest_dist = 0.0f;
+      for (size_t u = 0; u < n; ++u) {
+        if (reachable[u]) continue;
+        ++local_stats.distance_computations;
+        const float dist = L2Distance(points.Row(index.navigating_node_),
+                                      points.Row(u));
+        if (nearest < 0 || dist < nearest_dist) {
+          nearest = static_cast<int32_t>(u);
+          nearest_dist = dist;
+        }
+      }
+      if (nearest < 0) break;
+      index.adjacency_[index.navigating_node_].push_back(nearest);
+      ++local_stats.connectivity_edges;
+      bfs_from(nearest);
+    }
+  }
+
+  local_stats.edges_final = index.NumEdges();
+  local_stats.build_seconds = total_timer.ElapsedSeconds();
+  if (stats) *stats = local_stats;
+  return index;
+}
+
+std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
+                                      size_t ef, SearchStats* stats) const {
+  const size_t n = points_.rows();
+  std::vector<Neighbor> result;
+  if (n == 0 || m == 0) return result;
+  const size_t pool_size = std::max(ef, m);
+  SearchStats local_stats;
+  auto distance = [&](int32_t id) {
+    ++local_stats.distance_computations;
+    return L2Distance(points_.Row(id), query);
+  };
+
+  // Best-first search from the navigating node with a bounded result pool
+  // (§IV-B): candidates ascending, pool as max-heap of size pool_size.
+  std::priority_queue<Neighbor, std::vector<Neighbor>,
+                      std::greater<Neighbor>>
+      candidates;
+  std::priority_queue<Neighbor> pool;  // max-heap: worst on top
+  std::vector<char> visited(n, 0);
+
+  const Neighbor entry{navigating_node_, distance(navigating_node_)};
+  candidates.push(entry);
+  pool.push(entry);
+  visited[navigating_node_] = 1;
+
+  while (!candidates.empty()) {
+    const Neighbor current = candidates.top();
+    candidates.pop();
+    if (pool.size() >= pool_size && current.distance > pool.top().distance) {
+      break;  // Cannot improve the pool anymore.
+    }
+    ++local_stats.hops;
+    for (int32_t u : adjacency_[current.id]) {
+      if (visited[u]) continue;
+      visited[u] = 1;
+      const Neighbor next{u, distance(u)};
+      if (pool.size() < pool_size || next.distance < pool.top().distance) {
+        candidates.push(next);
+        pool.push(next);
+        if (pool.size() > pool_size) pool.pop();
+      }
+    }
+  }
+  result.reserve(pool.size());
+  while (!pool.empty()) {
+    result.push_back(pool.top());
+    pool.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  if (result.size() > m) result.resize(m);
+  if (stats) *stats = local_stats;
+  return result;
+}
+
+size_t PGIndex::NumEdges() const {
+  size_t total = 0;
+  for (const auto& nbrs : adjacency_) total += nbrs.size();
+  return total;
+}
+
+size_t PGIndex::MemoryUsageBytes() const {
+  size_t bytes = points_.data().size() * sizeof(float);
+  for (const auto& nbrs : adjacency_) {
+    bytes += nbrs.size() * sizeof(int32_t) + sizeof(std::vector<int32_t>);
+  }
+  return bytes;
+}
+
+namespace {
+
+constexpr uint32_t kPGIndexMagic = 0x4B504749;  // "KPGI"
+constexpr uint32_t kPGIndexVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status PGIndex::Save(std::ostream& out) const {
+  WritePod(out, kPGIndexMagic);
+  WritePod(out, kPGIndexVersion);
+  WritePod(out, static_cast<uint64_t>(points_.rows()));
+  WritePod(out, static_cast<uint64_t>(points_.cols()));
+  WritePod(out, navigating_node_);
+  out.write(reinterpret_cast<const char*>(points_.data().data()),
+            static_cast<std::streamsize>(points_.data().size() *
+                                         sizeof(float)));
+  for (const auto& nbrs : adjacency_) {
+    WritePod(out, static_cast<uint32_t>(nbrs.size()));
+    out.write(reinterpret_cast<const char*>(nbrs.data()),
+              static_cast<std::streamsize>(nbrs.size() * sizeof(int32_t)));
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status PGIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  KPEF_RETURN_IF_ERROR(Save(out));
+  out.close();
+  if (!out) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<PGIndex> PGIndex::Load(std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  uint64_t rows = 0, cols = 0;
+  int32_t navigating = -1;
+  if (!ReadPod(in, magic) || magic != kPGIndexMagic) {
+    return Status::InvalidArgument("not a kpef PG-Index file");
+  }
+  if (!ReadPod(in, version) || version != kPGIndexVersion) {
+    return Status::InvalidArgument("unsupported PG-Index version");
+  }
+  if (!ReadPod(in, rows) || !ReadPod(in, cols) || !ReadPod(in, navigating)) {
+    return Status::InvalidArgument("corrupt PG-Index header");
+  }
+  if (rows > (1ull << 32) || cols > (1ull << 20) ||
+      rows * cols > (1ull << 31)) {
+    return Status::InvalidArgument("implausible PG-Index dimensions");
+  }
+  if (rows > 0 &&
+      (navigating < 0 || static_cast<uint64_t>(navigating) >= rows)) {
+    return Status::InvalidArgument("navigating node out of range");
+  }
+  PGIndex index;
+  index.navigating_node_ = navigating;
+  index.points_ = Matrix(rows, cols);
+  in.read(reinterpret_cast<char*>(index.points_.data().data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  if (!in) return Status::InvalidArgument("truncated PG-Index embeddings");
+  index.adjacency_.resize(rows);
+  for (uint64_t v = 0; v < rows; ++v) {
+    uint32_t degree = 0;
+    if (!ReadPod(in, degree) || degree > rows) {
+      return Status::InvalidArgument("corrupt adjacency header");
+    }
+    auto& nbrs = index.adjacency_[v];
+    nbrs.resize(degree);
+    in.read(reinterpret_cast<char*>(nbrs.data()),
+            static_cast<std::streamsize>(degree * sizeof(int32_t)));
+    if (!in) return Status::InvalidArgument("truncated adjacency");
+    for (int32_t u : nbrs) {
+      if (u < 0 || static_cast<uint64_t>(u) >= rows) {
+        return Status::InvalidArgument("neighbor id out of range");
+      }
+    }
+  }
+  return index;
+}
+
+StatusOr<PGIndex> PGIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return Load(in);
+}
+
+}  // namespace kpef

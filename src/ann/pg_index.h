@@ -1,0 +1,98 @@
+// Proximity graph-based document index (§IV-A, Algorithm 2) and the
+// greedy best-first search over it (§IV-B).
+
+#ifndef KPEF_ANN_PG_INDEX_H_
+#define KPEF_ANN_PG_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "ann/nndescent.h"
+#include "common/status.h"
+#include "embed/matrix.h"
+
+namespace kpef {
+
+struct PGIndexConfig {
+  /// kNN graph degree used for initialization.
+  size_t knn_k = 10;
+  NNDescentConfig nndescent;
+  /// Build the initial kNN graph exactly (O(n^2); small corpora/tests).
+  bool exact_knn = false;
+  /// Algorithm 2 lines 7-8: add two-hop "highway" neighbors.
+  bool extend_neighbors = true;
+  /// Algorithm 2 lines 9-12: occlusion-prune redundant neighbors.
+  bool remove_redundant = true;
+  /// Hard cap on a node's out-degree after refinement.
+  size_t max_degree = 48;
+};
+
+/// Build-time diagnostics (Table VI).
+struct PGIndexBuildStats {
+  double build_seconds = 0.0;
+  double knn_seconds = 0.0;
+  double refine_seconds = 0.0;
+  uint64_t distance_computations = 0;
+  size_t edges_after_knn = 0;
+  size_t edges_after_extension = 0;
+  size_t edges_final = 0;
+  /// Highway edges added to connect otherwise-unreachable components.
+  size_t connectivity_edges = 0;
+};
+
+/// The index: a navigating entry node plus a pruned neighborhood graph
+/// over the document embeddings (which it owns a copy of).
+class PGIndex {
+ public:
+  /// Builds the index over the rows of `points` per Algorithm 2.
+  static PGIndex Build(const Matrix& points, const PGIndexConfig& config,
+                       PGIndexBuildStats* stats = nullptr);
+
+  struct SearchStats {
+    uint64_t distance_computations = 0;
+    /// Nodes whose adjacency lists were expanded.
+    uint64_t hops = 0;
+  };
+
+  /// Returns the approximate `m` nearest points to `query`, ascending by
+  /// distance. `ef` is the candidate-pool size (clamped up to m).
+  std::vector<Neighbor> Search(std::span<const float> query, size_t m,
+                               size_t ef = 0, SearchStats* stats = nullptr) const;
+
+  int32_t navigating_node() const { return navigating_node_; }
+  size_t NumPoints() const { return points_.rows(); }
+  const std::vector<int32_t>& NeighborsOf(int32_t node) const {
+    return adjacency_[node];
+  }
+  const Matrix& points() const { return points_; }
+
+  /// Persists the index (embeddings + adjacency + navigating node) in a
+  /// host-endian binary format, enabling the paper's offline-build /
+  /// online-serve split.
+  Status Save(const std::string& path) const;
+  Status Save(std::ostream& out) const;
+
+  /// Loads an index written by Save.
+  static StatusOr<PGIndex> Load(const std::string& path);
+  static StatusOr<PGIndex> Load(std::istream& in);
+
+  /// Total directed edges in the refined graph.
+  size_t NumEdges() const;
+  /// Approximate heap footprint: embeddings + adjacency (Table VI).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  PGIndex() = default;
+
+  Matrix points_;
+  std::vector<std::vector<int32_t>> adjacency_;
+  int32_t navigating_node_ = -1;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_ANN_PG_INDEX_H_

@@ -1,0 +1,52 @@
+// Shared retrieval scaffolding for the dense-embedding baselines: score
+// every paper against the query embedding (the baselines have no index),
+// take the top-m papers, and rank all candidate experts exhaustively.
+
+#ifndef KPEF_BASELINES_DENSE_EXPERT_MODEL_H_
+#define KPEF_BASELINES_DENSE_EXPERT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "embed/matrix.h"
+#include "eval/retrieval_model.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Base class: subclasses provide the fitted paper embeddings and a query
+/// embedder; FindExperts implements the common retrieve-then-rank flow
+/// (brute-force cosine retrieval + full-scan expert ranking, matching the
+/// baselines' behaviour described in §VI-A).
+class DenseExpertModel : public RetrievalModel {
+ public:
+  DenseExpertModel(const Dataset* dataset, const Corpus* corpus, size_t top_m)
+      : dataset_(dataset), corpus_(corpus), top_m_(top_m) {}
+
+  std::vector<ExpertScore> FindExperts(const std::string& query_text,
+                                       size_t n) final;
+
+  const Matrix& paper_embeddings() const { return paper_embeddings_; }
+
+ protected:
+  /// Embeds a query text into the model's vector space.
+  virtual std::vector<float> EmbedQuery(const std::string& query_text) = 0;
+
+  const Dataset* dataset_;
+  const Corpus* corpus_;
+  size_t top_m_;
+  /// One row per paper (LocalIndex order); set by the subclass constructor.
+  Matrix paper_embeddings_;
+};
+
+/// Retrieves the top-m papers for a query by brute-force cosine similarity
+/// over `paper_embeddings`, returning paper node ids best-first (shared by
+/// the TFIDF baseline, which has its own sparse scorer).
+std::vector<NodeId> TopPapersByScore(const Dataset& dataset,
+                                     const std::vector<float>& scores,
+                                     size_t m);
+
+}  // namespace kpef
+
+#endif  // KPEF_BASELINES_DENSE_EXPERT_MODEL_H_

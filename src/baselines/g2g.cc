@@ -1,0 +1,60 @@
+#include "baselines/g2g.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "embed/trainer.h"
+
+namespace kpef {
+
+G2GModel::G2GModel(const Dataset* dataset, const Corpus* corpus,
+                   const HomogeneousProjection* projection,
+                   const Matrix* pretrained_tokens, size_t top_m,
+                   G2GConfig config)
+    : DenseExpertModel(dataset, corpus, top_m) {
+  EncoderConfig encoder_config;
+  encoder_config.dim = pretrained_tokens->cols();
+  encoder_ = std::make_unique<DocumentEncoder>(pretrained_tokens->rows(),
+                                               encoder_config);
+  encoder_->SetTokenEmbeddings(*pretrained_tokens);
+
+  // Hop-ranking triples: positive = direct neighbor in the merged paper
+  // graph, negative = random non-neighbor.
+  Rng rng(config.seed);
+  const size_t n = corpus->NumDocuments();
+  std::vector<Triple> triples;
+  triples.reserve(n * config.triples_per_node);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& nbrs = projection->adjacency[i];
+    if (nbrs.empty()) continue;
+    for (size_t t = 0; t < config.triples_per_node; ++t) {
+      const int32_t pos = nbrs[rng.Uniform(nbrs.size())];
+      int32_t neg = -1;
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const int32_t candidate = static_cast<int32_t>(rng.Uniform(n));
+        if (candidate == static_cast<int32_t>(i) || candidate == pos) continue;
+        if (!std::binary_search(nbrs.begin(), nbrs.end(), candidate)) {
+          neg = candidate;
+          break;
+        }
+      }
+      if (neg < 0) continue;
+      triples.push_back({pos, static_cast<int32_t>(i), neg});
+    }
+  }
+
+  TrainerConfig trainer_config;
+  trainer_config.epochs = config.epochs;
+  trainer_config.margin = config.margin;
+  trainer_config.seed = config.seed;
+  TripletTrainer trainer(encoder_.get(), corpus);
+  trainer.Train(triples, trainer_config);
+
+  paper_embeddings_ = encoder_->EncodeCorpus(*corpus);
+}
+
+std::vector<float> G2GModel::EmbedQuery(const std::string& query_text) {
+  return encoder_->Encode(corpus_->EncodeQuery(query_text));
+}
+
+}  // namespace kpef

@@ -1,0 +1,49 @@
+// Graph2Gauss (G2G) [51] stand-in: a text encoder trained with a ranking
+// (triplet) loss on the *homogeneous* paper graph's direct edges.
+//
+// Structurally this is the closest baseline to the paper's method — the
+// crucial difference is the supervision: G2G pulls together any pair
+// adjacent in the merged paper-paper graph (including the same-venue and
+// free-rider noise the paper's introduction criticizes), while the
+// (k, P)-core method samples positives from cohesive communities.
+
+#ifndef KPEF_BASELINES_G2G_H_
+#define KPEF_BASELINES_G2G_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dense_expert_model.h"
+#include "embed/document_encoder.h"
+#include "metapath/projection.h"
+
+namespace kpef {
+
+struct G2GConfig {
+  size_t triples_per_node = 3;
+  size_t epochs = 3;
+  float margin = 1.0f;
+  uint64_t seed = 55;
+};
+
+class G2GModel : public DenseExpertModel {
+ public:
+  /// `pretrained_tokens` initializes the encoder (same starting point the
+  /// paper's method gets).
+  G2GModel(const Dataset* dataset, const Corpus* corpus,
+           const HomogeneousProjection* projection,
+           const Matrix* pretrained_tokens, size_t top_m, G2GConfig config = {});
+
+  std::string name() const override { return "G2G"; }
+
+ protected:
+  std::vector<float> EmbedQuery(const std::string& query_text) override;
+
+ private:
+  std::unique_ptr<DocumentEncoder> encoder_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_BASELINES_G2G_H_

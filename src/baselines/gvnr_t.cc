@@ -1,0 +1,172 @@
+#include "baselines/gvnr_t.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "baselines/text_features.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+namespace {
+
+uint64_t PairKey(int32_t doc, int32_t node) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(doc)) << 32) |
+         static_cast<uint32_t>(node);
+}
+
+}  // namespace
+
+std::vector<TokenId> GvnrTModel::SalientTokens(const SparseVector& vec) const {
+  std::vector<SparseEntry> entries(vec.begin(), vec.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.token < b.token;
+            });
+  std::vector<TokenId> tokens;
+  const size_t keep = std::min(entries.size(), config_.salient_tokens);
+  tokens.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) tokens.push_back(entries[i].token);
+  return tokens;
+}
+
+std::vector<float> GvnrTModel::EmbedTokens(
+    const std::vector<TokenId>& tokens) const {
+  return MeanTokenEmbedding(word_vectors_, tokens);
+}
+
+GvnrTModel::GvnrTModel(const Dataset* dataset, const Corpus* corpus,
+                       const HomogeneousProjection* projection,
+                       const TfIdfModel* tfidf, size_t top_m,
+                       GvnrTConfig config)
+    : DenseExpertModel(dataset, corpus, top_m),
+      tfidf_(tfidf),
+      config_(config) {
+  const size_t n = corpus->NumDocuments();
+  const size_t d = config_.dim;
+  const size_t vocab = corpus->vocabulary().size();
+  Rng rng(config_.seed);
+
+  // Salient token sets per document.
+  std::vector<std::vector<TokenId>> salient(n);
+  for (size_t i = 0; i < n; ++i) {
+    salient[i] = SalientTokens(tfidf->DocumentVector(i));
+  }
+
+  // Random walks -> (center doc, context node) co-occurrence counts.
+  std::unordered_map<uint64_t, float> counts;
+  std::vector<int32_t> walk;
+  for (size_t start = 0; start < n; ++start) {
+    for (size_t w = 0; w < config_.walks_per_node; ++w) {
+      walk.clear();
+      int32_t current = static_cast<int32_t>(start);
+      walk.push_back(current);
+      for (size_t step = 1; step < config_.walk_length; ++step) {
+        const auto& nbrs = projection->adjacency[current];
+        if (nbrs.empty()) break;
+        current = nbrs[rng.Uniform(nbrs.size())];
+        walk.push_back(current);
+      }
+      for (size_t a = 0; a < walk.size(); ++a) {
+        const size_t end = std::min(walk.size(), a + 1 + config_.window);
+        for (size_t b = a + 1; b < end; ++b) {
+          if (walk[a] == walk[b]) continue;
+          counts[PairKey(walk[a], walk[b])] += 1.0f;
+          counts[PairKey(walk[b], walk[a])] += 1.0f;
+        }
+      }
+    }
+  }
+  struct Pair {
+    int32_t doc;
+    int32_t node;
+    float count;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    pairs.push_back({static_cast<int32_t>(key >> 32),
+                     static_cast<int32_t>(key & 0xFFFFFFFFu), count});
+  }
+
+  // GloVe-style training: mean(word vectors of doc) . context(node).
+  word_vectors_ = Matrix(vocab, d);
+  Matrix context(n, d);
+  std::vector<float> bias(n, 0.0f);
+  const float init = 0.5f / static_cast<float>(d);
+  for (float& v : word_vectors_.data()) {
+    v = static_cast<float>(rng.UniformDouble(-init, init));
+  }
+  for (float& v : context.data()) {
+    v = static_cast<float>(rng.UniformDouble(-init, init));
+  }
+  Matrix grad_word(vocab, d, 1.0f), grad_ctx(n, d, 1.0f);
+  std::vector<float> grad_bias(n, 1.0f);
+  const float lr = static_cast<float>(config_.learning_rate);
+  std::vector<float> doc_vec(d);
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    for (const Pair& p : pairs) {
+      const auto& words = salient[p.doc];
+      if (words.empty()) continue;
+      // e = mean word vector of the doc's salient tokens.
+      std::fill(doc_vec.begin(), doc_vec.end(), 0.0f);
+      for (TokenId t : words) {
+        auto row = word_vectors_.Row(static_cast<size_t>(t));
+        for (size_t k = 0; k < d; ++k) doc_vec[k] += row[k];
+      }
+      const float inv_words = 1.0f / static_cast<float>(words.size());
+      for (float& v : doc_vec) v *= inv_words;
+
+      auto ctx = context.Row(p.node);
+      double dot = bias[p.node];
+      for (size_t k = 0; k < d; ++k) {
+        dot += static_cast<double>(doc_vec[k]) * ctx[k];
+      }
+      const double diff = dot - std::log(static_cast<double>(p.count));
+      const double weight =
+          std::min(1.0, std::pow(p.count / config_.x_max, config_.alpha));
+      const float g = static_cast<float>(weight * diff);
+      // Word updates (shared gradient through the mean).
+      for (TokenId t : words) {
+        auto row = word_vectors_.Row(static_cast<size_t>(t));
+        auto acc = grad_word.Row(static_cast<size_t>(t));
+        for (size_t k = 0; k < d; ++k) {
+          const float gw = g * ctx[k] * inv_words;
+          row[k] -= lr * gw / std::sqrt(acc[k]);
+          acc[k] += gw * gw;
+        }
+      }
+      // Context and bias updates.
+      auto acc_ctx = grad_ctx.Row(p.node);
+      for (size_t k = 0; k < d; ++k) {
+        const float gc = g * doc_vec[k];
+        ctx[k] -= lr * gc / std::sqrt(acc_ctx[k]);
+        acc_ctx[k] += gc * gc;
+      }
+      bias[p.node] -= lr * g / std::sqrt(grad_bias[p.node]);
+      grad_bias[p.node] += g * g;
+    }
+  }
+
+  // Final paper embeddings through the learned word vectors.
+  paper_embeddings_ = Matrix(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<float> v = EmbedTokens(salient[i]);
+    std::copy(v.begin(), v.end(), paper_embeddings_.Row(i).begin());
+  }
+  KPEF_LOG(Info) << "GVNR-t trained on " << pairs.size()
+                 << " co-occurrence pairs";
+}
+
+std::vector<float> GvnrTModel::EmbedQuery(const std::string& query_text) {
+  const SparseVector vec =
+      tfidf_->Vectorize(corpus_->EncodeQuery(query_text));
+  return EmbedTokens(SalientTokens(vec));
+}
+
+}  // namespace kpef

@@ -1,0 +1,57 @@
+// GVNR-t [50] stand-in: global vectors for node representations with text.
+//
+// Random walks over the homogeneous paper graph produce node co-occurrence
+// counts; word vectors are trained (GloVe-style, AdaGrad) so that a
+// document's representation — the mean of its salient words' vectors —
+// reconstructs the log co-occurrence with context nodes. Inductive for
+// queries: a query embeds through the same word vectors.
+
+#ifndef KPEF_BASELINES_GVNR_T_H_
+#define KPEF_BASELINES_GVNR_T_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/dense_expert_model.h"
+#include "metapath/projection.h"
+#include "text/tfidf.h"
+
+namespace kpef {
+
+struct GvnrTConfig {
+  size_t dim = 64;
+  size_t walks_per_node = 8;
+  size_t walk_length = 16;
+  size_t window = 5;
+  /// Salient tokens representing a document (top TF-IDF weights).
+  size_t salient_tokens = 16;
+  size_t epochs = 2;
+  double learning_rate = 0.08;
+  double x_max = 10.0;
+  double alpha = 0.75;
+  uint64_t seed = 91;
+};
+
+class GvnrTModel : public DenseExpertModel {
+ public:
+  GvnrTModel(const Dataset* dataset, const Corpus* corpus,
+             const HomogeneousProjection* projection, const TfIdfModel* tfidf,
+             size_t top_m, GvnrTConfig config = {});
+
+  std::string name() const override { return "GVNR-t"; }
+
+ protected:
+  std::vector<float> EmbedQuery(const std::string& query_text) override;
+
+ private:
+  std::vector<TokenId> SalientTokens(const SparseVector& vec) const;
+  std::vector<float> EmbedTokens(const std::vector<TokenId>& tokens) const;
+
+  const TfIdfModel* tfidf_;
+  GvnrTConfig config_;
+  Matrix word_vectors_;  // vocab x dim
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_BASELINES_GVNR_T_H_

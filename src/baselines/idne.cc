@@ -1,0 +1,68 @@
+#include "baselines/idne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/text_features.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+IdneModel::IdneModel(const Dataset* dataset, const Corpus* corpus,
+                     const Matrix* token_embeddings, size_t top_m,
+                     IdneConfig config)
+    : DenseExpertModel(dataset, corpus, top_m),
+      token_embeddings_(token_embeddings),
+      config_(config) {
+  const Matrix text = MeanEmbedAllDocuments(*token_embeddings_, *corpus);
+  KMeansConfig km;
+  km.num_clusters = config_.num_topics;
+  km.seed = config_.seed;
+  topic_vectors_ = RunKMeans(text, km).centroids;
+
+  paper_embeddings_ = Matrix(corpus->NumDocuments(), token_embeddings->cols());
+  for (size_t doc = 0; doc < corpus->NumDocuments(); ++doc) {
+    std::vector<float> t(text.Row(doc).begin(), text.Row(doc).end());
+    const std::vector<float> v = AttentionEmbed(t);
+    std::copy(v.begin(), v.end(), paper_embeddings_.Row(doc).begin());
+  }
+}
+
+std::vector<float> IdneModel::AttentionEmbed(
+    const std::vector<float>& text) const {
+  const size_t d = text.size();
+  const size_t k = topic_vectors_.rows();
+  std::vector<float> out(d, 0.0f);
+  if (k == 0) return text;
+  // softmax over beta * cos(text, topic_k).
+  std::vector<double> scores(k);
+  double max_score = -1e30;
+  for (size_t c = 0; c < k; ++c) {
+    scores[c] = config_.attention_beta *
+                CosineSimilarity(text, topic_vectors_.Row(c));
+    max_score = std::max(max_score, scores[c]);
+  }
+  double total = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_score);
+    total += s;
+  }
+  for (size_t c = 0; c < k; ++c) {
+    const float w = static_cast<float>(scores[c] / total);
+    auto topic = topic_vectors_.Row(c);
+    for (size_t j = 0; j < d; ++j) out[j] += w * topic[j];
+  }
+  // Residual text component keeps within-topic ordering informative.
+  const float rw = static_cast<float>(config_.residual_weight);
+  for (size_t j = 0; j < d; ++j) {
+    out[j] = (1.0f - rw) * out[j] + rw * text[j];
+  }
+  return out;
+}
+
+std::vector<float> IdneModel::EmbedQuery(const std::string& query_text) {
+  return AttentionEmbed(MeanTokenEmbedding(
+      *token_embeddings_, corpus_->EncodeQuery(query_text)));
+}
+
+}  // namespace kpef

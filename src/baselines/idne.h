@@ -1,0 +1,51 @@
+// IDNE [52] stand-in: inductive document embedding with topic-word
+// attention.
+//
+// Latent "topics" are discovered by k-means over text features; a
+// document embeds as the attention-weighted mixture of topic vectors
+// (attention = softmax of scaled cosine between the document's text
+// vector and each topic). Inductive: queries embed through the same
+// attention mechanism.
+
+#ifndef KPEF_BASELINES_IDNE_H_
+#define KPEF_BASELINES_IDNE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/dense_expert_model.h"
+#include "embed/kmeans.h"
+
+namespace kpef {
+
+struct IdneConfig {
+  size_t num_topics = 32;
+  /// Softmax temperature (higher = sharper attention).
+  double attention_beta = 8.0;
+  /// Residual weight of the raw text vector mixed into the topic mixture.
+  double residual_weight = 0.25;
+  uint64_t seed = 77;
+};
+
+class IdneModel : public DenseExpertModel {
+ public:
+  IdneModel(const Dataset* dataset, const Corpus* corpus,
+            const Matrix* token_embeddings, size_t top_m,
+            IdneConfig config = {});
+
+  std::string name() const override { return "IDNE"; }
+
+ protected:
+  std::vector<float> EmbedQuery(const std::string& query_text) override;
+
+ private:
+  std::vector<float> AttentionEmbed(const std::vector<float>& text) const;
+
+  const Matrix* token_embeddings_;
+  IdneConfig config_;
+  Matrix topic_vectors_;  // num_topics x dim
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_BASELINES_IDNE_H_

@@ -1,0 +1,55 @@
+#include "baselines/tadw.h"
+
+#include <algorithm>
+
+#include "baselines/text_features.h"
+#include "common/logging.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+TadwModel::TadwModel(const Dataset* dataset, const Corpus* corpus,
+                     const HomogeneousProjection* projection,
+                     const Matrix* token_embeddings, size_t top_m)
+    : DenseExpertModel(dataset, corpus, top_m),
+      token_embeddings_(token_embeddings) {
+  const size_t n = corpus->NumDocuments();
+  const size_t d = token_embeddings->cols();
+  KPEF_CHECK(projection->NumNodes() == n);
+  const Matrix text = MeanEmbedAllDocuments(*token_embeddings_, *corpus);
+
+  paper_embeddings_ = Matrix(n, 2 * d);
+  for (size_t i = 0; i < n; ++i) {
+    auto out = paper_embeddings_.Row(i);
+    auto t = text.Row(i);
+    // First half: the paper's own (normalized) text features.
+    std::copy(t.begin(), t.end(), out.begin());
+    NormalizeL2(out.subspan(0, d));
+    // Second half: mean of the neighbors' text features (structure-
+    // propagated text); falls back to own text for isolated papers.
+    auto prop = out.subspan(d, d);
+    const auto& nbrs = projection->adjacency[i];
+    if (nbrs.empty()) {
+      std::copy(out.begin(), out.begin() + d, prop.begin());
+    } else {
+      for (int32_t j : nbrs) {
+        auto tj = text.Row(static_cast<size_t>(j));
+        for (size_t k = 0; k < d; ++k) prop[k] += tj[k];
+      }
+      Scale(1.0f / static_cast<float>(nbrs.size()), prop);
+      NormalizeL2(prop);
+    }
+  }
+}
+
+std::vector<float> TadwModel::EmbedQuery(const std::string& query_text) {
+  const std::vector<TokenId> tokens = corpus_->EncodeQuery(query_text);
+  std::vector<float> text = MeanTokenEmbedding(*token_embeddings_, tokens);
+  NormalizeL2(text);
+  std::vector<float> out(2 * text.size());
+  std::copy(text.begin(), text.end(), out.begin());
+  std::copy(text.begin(), text.end(), out.begin() + text.size());
+  return out;
+}
+
+}  // namespace kpef

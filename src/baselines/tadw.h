@@ -1,0 +1,40 @@
+// TADW [49] stand-in: text-associated network embedding by feature
+// propagation over the homogeneous paper graph.
+//
+// The original factorizes the DeepWalk proximity matrix with a text-factor
+// constraint; at our scale one propagation step of the text features
+// through the row-normalized adjacency captures the same "structure-
+// smoothed text" representation. Paper embedding = [text | neighbor-mean
+// text]; a query (no graph context) embeds as [text | text].
+
+#ifndef KPEF_BASELINES_TADW_H_
+#define KPEF_BASELINES_TADW_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/dense_expert_model.h"
+#include "metapath/projection.h"
+
+namespace kpef {
+
+class TadwModel : public DenseExpertModel {
+ public:
+  /// `projection` is the merged homogeneous paper-paper graph;
+  /// `token_embeddings` provides the text features.
+  TadwModel(const Dataset* dataset, const Corpus* corpus,
+            const HomogeneousProjection* projection,
+            const Matrix* token_embeddings, size_t top_m);
+
+  std::string name() const override { return "TADW"; }
+
+ protected:
+  std::vector<float> EmbedQuery(const std::string& query_text) override;
+
+ private:
+  const Matrix* token_embeddings_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_BASELINES_TADW_H_

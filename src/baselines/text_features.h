@@ -1,0 +1,9 @@
+// Forwarding header: the text-feature helpers moved to
+// embed/text_embedding.h so the evaluation harness can use them too.
+
+#ifndef KPEF_BASELINES_TEXT_FEATURES_H_
+#define KPEF_BASELINES_TEXT_FEATURES_H_
+
+#include "embed/text_embedding.h"
+
+#endif  // KPEF_BASELINES_TEXT_FEATURES_H_

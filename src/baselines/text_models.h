@@ -1,0 +1,67 @@
+// The three text-only baselines of Table II: TFIDF, Avg.GloVe, and the
+// SBERT-like sentence embedder. None of them sees graph structure.
+
+#ifndef KPEF_BASELINES_TEXT_MODELS_H_
+#define KPEF_BASELINES_TEXT_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/dense_expert_model.h"
+#include "text/tfidf.h"
+
+namespace kpef {
+
+/// TFIDF [47]: sparse lexical bag-of-words retrieval.
+class TfIdfExpertModel : public RetrievalModel {
+ public:
+  TfIdfExpertModel(const Dataset* dataset, const Corpus* corpus,
+                   const TfIdfModel* tfidf, size_t top_m)
+      : dataset_(dataset), corpus_(corpus), tfidf_(tfidf), top_m_(top_m) {}
+
+  std::string name() const override { return "TFIDF"; }
+  std::vector<ExpertScore> FindExperts(const std::string& query_text,
+                                       size_t n) override;
+
+ private:
+  const Dataset* dataset_;
+  const Corpus* corpus_;
+  const TfIdfModel* tfidf_;
+  size_t top_m_;
+};
+
+/// Avg.GloVe [48]: unweighted mean of pre-trained word vectors.
+class AvgGloveModel : public DenseExpertModel {
+ public:
+  AvgGloveModel(const Dataset* dataset, const Corpus* corpus,
+                const Matrix* token_embeddings, size_t top_m);
+
+  std::string name() const override { return "AvgGloVe"; }
+
+ protected:
+  std::vector<float> EmbedQuery(const std::string& query_text) override;
+
+ private:
+  const Matrix* token_embeddings_;
+};
+
+/// SBERT [23] stand-in: smooth-inverse-frequency weighted, normalized
+/// sentence embedding — a stronger text-only encoder than the plain mean,
+/// playing SBERT's role relative to Avg.GloVe.
+class SbertLikeModel : public DenseExpertModel {
+ public:
+  SbertLikeModel(const Dataset* dataset, const Corpus* corpus,
+                 const Matrix* token_embeddings, size_t top_m);
+
+  std::string name() const override { return "SBERT"; }
+
+ protected:
+  std::vector<float> EmbedQuery(const std::string& query_text) override;
+
+ private:
+  const Matrix* token_embeddings_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_BASELINES_TEXT_MODELS_H_

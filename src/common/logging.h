@@ -1,0 +1,85 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Logging is stderr-only and off by default above the configured level;
+// benchmark binaries raise the level to INFO to narrate progress.
+
+#ifndef KPEF_COMMON_LOGGING_H_
+#define KPEF_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kpef {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum emitted level.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and flushes it (with level prefix) on
+/// destruction. FATAL aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace kpef
+
+#define KPEF_LOG_INTERNAL_(level)                                 \
+  (static_cast<int>(level) < static_cast<int>(::kpef::GetLogLevel())) \
+      ? void(0)                                                   \
+      : void(0),                                                  \
+      ::kpef::internal_logging::LogMessage(level, __FILE__, __LINE__)
+
+/// Streams a log line at the given severity, e.g.
+/// KPEF_LOG(INFO) << "built index in " << secs << "s";
+#define KPEF_LOG(severity) \
+  ::kpef::internal_logging::LogMessage(::kpef::LogLevel::k##severity, \
+                                       __FILE__, __LINE__)
+
+/// Aborts with a message if `cond` is false. Active in all build types:
+/// these guard internal invariants whose violation would corrupt results.
+#define KPEF_CHECK(cond)                                        \
+  if (!(cond))                                                  \
+  ::kpef::internal_logging::LogMessage(::kpef::LogLevel::kFatal, \
+                                       __FILE__, __LINE__)      \
+      << "Check failed: " #cond " "
+
+#endif  // KPEF_COMMON_LOGGING_H_

@@ -1,0 +1,149 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// The library does not use exceptions (following the database-engine
+// convention); fallible operations return a Status or StatusOr<T> that the
+// caller must inspect.
+
+#ifndef KPEF_COMMON_STATUS_H_
+#define KPEF_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kpef {
+
+/// Canonical error space, a small subset of the usual database codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Statuses are cheap to copy in the OK case (empty message) and carry a
+/// diagnostic string otherwise. Use the factory functions
+/// (Status::InvalidArgument(...) etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds both.
+///
+/// Access the value with value() / operator* only after checking ok();
+/// violations abort in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: allows `return my_t;` in functions returning
+  /// StatusOr<T>.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace kpef
+
+/// Propagates an error status from an expression returning Status.
+#define KPEF_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::kpef::Status _kpef_status = (expr);          \
+    if (!_kpef_status.ok()) return _kpef_status;   \
+  } while (false)
+
+/// Evaluates an expression returning StatusOr<T>; on success assigns the
+/// value to `lhs`, otherwise propagates the error status.
+#define KPEF_ASSIGN_OR_RETURN(lhs, expr)          \
+  KPEF_ASSIGN_OR_RETURN_IMPL_(                    \
+      KPEF_STATUS_CONCAT_(_kpef_statusor, __LINE__), lhs, expr)
+
+#define KPEF_STATUS_CONCAT_INNER_(a, b) a##b
+#define KPEF_STATUS_CONCAT_(a, b) KPEF_STATUS_CONCAT_INNER_(a, b)
+#define KPEF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // KPEF_COMMON_STATUS_H_

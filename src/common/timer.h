@@ -1,0 +1,36 @@
+// Wall-clock timing helpers used by the benchmark harnesses.
+
+#ifndef KPEF_COMMON_TIMER_H_
+#define KPEF_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kpef {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_COMMON_TIMER_H_

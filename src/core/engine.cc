@@ -1,0 +1,197 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "ann/brute_force.h"
+#include "embed/model_io.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "metapath/meta_path.h"
+#include "ranking/top_n_finder.h"
+
+namespace kpef {
+
+StatusOr<std::unique_ptr<ExpertFindingEngine>> ExpertFindingEngine::Build(
+    const Dataset* dataset, const Corpus* corpus, const EngineConfig& config,
+    const Matrix* pretrained_tokens, EngineBuildReport* report) {
+  Timer total_timer;
+  EngineBuildReport local_report;
+  if (config.meta_paths.empty()) {
+    return Status::InvalidArgument("at least one meta-path is required");
+  }
+  std::vector<MetaPath> paths;
+  for (const std::string& text : config.meta_paths) {
+    KPEF_ASSIGN_OR_RETURN(MetaPath path,
+                          MetaPath::Parse(dataset->graph.schema(), text));
+    if (path.SourceType() != dataset->ids.paper ||
+        path.TargetType() != dataset->ids.paper) {
+      return Status::InvalidArgument("meta-path " + text +
+                                     " must connect papers");
+    }
+    paths.push_back(std::move(path));
+  }
+
+  auto engine = std::unique_ptr<ExpertFindingEngine>(
+      new ExpertFindingEngine(dataset, corpus, config));
+
+  // --- Pre-trained encoder (Θ_B).
+  Timer phase_timer;
+  EncoderConfig encoder_config = config.encoder;
+  Matrix tokens;
+  if (pretrained_tokens != nullptr) {
+    tokens = *pretrained_tokens;
+    encoder_config.dim = tokens.cols();
+  } else {
+    PretrainConfig pretrain = config.pretrain;
+    pretrain.dim = encoder_config.dim;
+    tokens = PretrainTokenEmbeddings(*corpus, pretrain).token_embeddings;
+  }
+  local_report.pretrain_seconds = phase_timer.ElapsedSeconds();
+  if (config.use_weighted_pooling) {
+    encoder_config.pooling = Pooling::kWeightedMean;
+  }
+  engine->encoder_ = std::make_unique<DocumentEncoder>(
+      corpus->vocabulary().size(), encoder_config);
+  engine->encoder_->SetTokenEmbeddings(tokens);
+  if (config.use_weighted_pooling) {
+    const Vocabulary& vocab = corpus->vocabulary();
+    const double n_docs =
+        std::max<size_t>(1, corpus->NumDocuments());
+    std::vector<float> weights(vocab.size());
+    for (size_t t = 0; t < vocab.size(); ++t) {
+      const double p =
+          vocab.DocumentFrequency(static_cast<TokenId>(t)) / n_docs;
+      weights[t] = static_cast<float>(config.sif_a / (config.sif_a + p));
+    }
+    engine->encoder_->SetTokenWeights(std::move(weights));
+  }
+
+  // --- (k, P)-core based training data (§III-A/B).
+  TrainingDataGenerator generator(dataset->graph, paths, dataset->ids.paper);
+  SamplingConfig sampling;
+  sampling.seed_fraction = config.seed_fraction;
+  sampling.k = config.k;
+  sampling.use_core = config.use_kpcore;
+  sampling.strategy = config.negative_strategy;
+  sampling.negatives_per_positive = config.negatives_per_positive;
+  sampling.near_fraction = config.near_fraction;
+  sampling.max_positives_per_seed = config.max_positives_per_seed;
+  sampling.core_options = config.core_options;
+  sampling.rng_seed = config.seed;
+  local_report.sampling = generator.Generate(sampling);
+
+  // --- Triplet fine-tuning (§III-C).
+  TrainerConfig trainer_config = config.trainer;
+  trainer_config.seed = config.seed + 1;
+  TripletTrainer trainer(engine->encoder_.get(), corpus);
+  local_report.training =
+      trainer.Train(local_report.sampling.triples, trainer_config);
+
+  // --- Paper embeddings E.
+  phase_timer.Restart();
+  engine->embeddings_ = engine->encoder_->EncodeCorpus(*corpus);
+  local_report.embed_seconds = phase_timer.ElapsedSeconds();
+
+  // --- PG-Index (§IV-A).
+  if (config.use_pg_index) {
+    engine->index_ = std::make_unique<PGIndex>(PGIndex::Build(
+        engine->embeddings_, config.pg_index, &local_report.index));
+  }
+  local_report.total_seconds = total_timer.ElapsedSeconds();
+  if (report) *report = local_report;
+  return engine;
+}
+
+Status ExpertFindingEngine::SaveArtifacts(const std::string& dir) const {
+  KPEF_RETURN_IF_ERROR(SaveEncoder(*encoder_, dir + "/encoder.bin"));
+  KPEF_RETURN_IF_ERROR(SaveMatrix(embeddings_, dir + "/embeddings.bin"));
+  if (index_) {
+    KPEF_RETURN_IF_ERROR(index_->Save(dir + "/pgindex.bin"));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<ExpertFindingEngine>>
+ExpertFindingEngine::LoadFromArtifacts(const Dataset* dataset,
+                                       const Corpus* corpus,
+                                       const EngineConfig& config,
+                                       const std::string& dir) {
+  auto engine = std::unique_ptr<ExpertFindingEngine>(
+      new ExpertFindingEngine(dataset, corpus, config));
+  KPEF_ASSIGN_OR_RETURN(DocumentEncoder encoder,
+                        LoadEncoder(dir + "/encoder.bin"));
+  if (encoder.vocab_size() != corpus->vocabulary().size()) {
+    return Status::FailedPrecondition(
+        "encoder vocabulary does not match the corpus");
+  }
+  engine->encoder_ = std::make_unique<DocumentEncoder>(std::move(encoder));
+  KPEF_ASSIGN_OR_RETURN(engine->embeddings_,
+                        LoadMatrix(dir + "/embeddings.bin"));
+  if (engine->embeddings_.rows() != corpus->NumDocuments()) {
+    return Status::FailedPrecondition(
+        "embedding count does not match the corpus");
+  }
+  if (config.use_pg_index) {
+    KPEF_ASSIGN_OR_RETURN(PGIndex index, PGIndex::Load(dir + "/pgindex.bin"));
+    if (index.NumPoints() != engine->embeddings_.rows()) {
+      return Status::FailedPrecondition(
+          "index size does not match the embeddings");
+    }
+    engine->index_ = std::make_unique<PGIndex>(std::move(index));
+  }
+  return engine;
+}
+
+std::vector<NodeId> ExpertFindingEngine::RetrievePapers(
+    const std::string& query_text, size_t m, QueryStats* stats) {
+  Timer timer;
+  const std::vector<float> query =
+      encoder_->Encode(corpus_->EncodeQuery(query_text));
+  std::vector<Neighbor> neighbors;
+  uint64_t distance_computations = 0;
+  if (index_) {
+    PGIndex::SearchStats search_stats;
+    const size_t ef = config_.search_ef == 0 ? m : config_.search_ef;
+    neighbors = index_->Search(query, m, ef, &search_stats);
+    distance_computations = search_stats.distance_computations;
+  } else {
+    neighbors = BruteForceSearch(embeddings_, query, m);
+    distance_computations = embeddings_.rows();
+  }
+  const std::vector<NodeId>& papers = dataset_->Papers();
+  std::vector<NodeId> result;
+  result.reserve(neighbors.size());
+  for (const Neighbor& nb : neighbors) result.push_back(papers[nb.id]);
+  if (stats) {
+    stats->retrieval_ms = timer.ElapsedMillis();
+    stats->distance_computations = distance_computations;
+  }
+  return result;
+}
+
+std::vector<ExpertScore> ExpertFindingEngine::FindExpertsWithStats(
+    const std::string& query_text, size_t n, QueryStats* stats) {
+  const std::vector<NodeId> top_papers =
+      RetrievePapers(query_text, config_.top_m, stats);
+  Timer timer;
+  const RankedLists lists =
+      BuildRankedLists(dataset_->graph, dataset_->ids.write, top_papers,
+                       config_.contribution_weighting);
+  TopNStats top_stats;
+  std::vector<ExpertScore> experts =
+      config_.use_ta ? ThresholdTopN(lists, n, &top_stats)
+                     : FullScanTopN(lists, n, &top_stats);
+  if (stats) {
+    stats->ranking_ms = timer.ElapsedMillis();
+    stats->ranking_entries_accessed = top_stats.entries_accessed;
+    stats->ta_early_terminated = top_stats.early_terminated;
+  }
+  return experts;
+}
+
+std::vector<ExpertScore> ExpertFindingEngine::FindExperts(
+    const std::string& query_text, size_t n) {
+  return FindExpertsWithStats(query_text, n, nullptr);
+}
+
+}  // namespace kpef

@@ -1,0 +1,158 @@
+// ExpertFindingEngine: the paper's full pipeline behind one facade.
+//
+// Offline (Build): meta-path (k, P)-core communities -> triple sampling ->
+// triplet fine-tuning of the document encoder -> paper embeddings E ->
+// PG-Index. Online (FindExperts): encode query -> top-m papers via
+// PG-Index (or brute force) -> TA-based (or full-scan) top-n experts.
+
+#ifndef KPEF_CORE_ENGINE_H_
+#define KPEF_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ann/pg_index.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "embed/document_encoder.h"
+#include "embed/pretrain.h"
+#include "embed/trainer.h"
+#include "eval/retrieval_model.h"
+#include "ranking/expert_score.h"
+#include "sampling/training_data.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Full pipeline configuration; defaults follow §VI-A scaled to the
+/// synthetic corpora (top-m is proportionally smaller because the corpora
+/// are ~500x smaller than the paper's).
+struct EngineConfig {
+  /// Meta-paths between papers; several entries activate the §V
+  /// intersection. Default: the paper's best setting P-A-P ∩ P-T-P ("AT").
+  std::vector<std::string> meta_paths = {"P-A-P", "P-T-P"};
+  int32_t k = 4;
+
+  // --- Sampling (§III-B).
+  double seed_fraction = 0.3;
+  bool use_kpcore = true;  // Table IV row 1 when false
+  /// The paper defaults to kNear; with our from-scratch encoder the
+  /// hard-only near negatives collapse the global geometry (documented in
+  /// DESIGN.md §5 and measured by bench_negative_sampling), so the engine
+  /// defaults to random negatives.
+  NegativeStrategy negative_strategy = NegativeStrategy::kRandom;
+  size_t negatives_per_positive = 3;
+  /// See SamplingConfig::near_fraction.
+  double near_fraction = 1.0;
+  size_t max_positives_per_seed = 128;
+  KPCoreSearchOptions core_options;
+
+  // --- Embedding (§III-C).
+  PretrainConfig pretrain;
+  EncoderConfig encoder;
+  /// Use frequency-weighted (SIF) pooling instead of the plain mean —
+  /// our analog of a contextual encoder's attention; downweights
+  /// background words. Overrides encoder.pooling when true.
+  bool use_weighted_pooling = true;
+  /// SIF weight parameter: w(t) = sif_a / (sif_a + p(t)).
+  double sif_a = 1e-3;
+  TrainerConfig trainer;
+
+  // --- Retrieval (§IV).
+  /// Author-contribution weighting of Eq. 4 (Zipf per the paper, or
+  /// uniform = reciprocal-rank scoring for ablation).
+  ContributionWeighting contribution_weighting = ContributionWeighting::kZipf;
+  PGIndexConfig pg_index;
+  size_t top_m = 400;
+  /// Candidate-pool size of the greedy search (0 = top_m).
+  size_t search_ef = 0;
+  bool use_pg_index = true;  // Ours-3/4 of Figure 7 when false
+  bool use_ta = true;        // Ours-2/4 of Figure 7 when false
+
+  uint64_t seed = 1234;
+  /// Display name in result tables.
+  std::string display_name = "Ours";
+};
+
+/// Offline build diagnostics, one per phase.
+struct EngineBuildReport {
+  double pretrain_seconds = 0.0;
+  SamplingResult sampling;
+  TrainStats training;
+  PGIndexBuildStats index;
+  double embed_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Per-query online statistics.
+struct QueryStats {
+  double retrieval_ms = 0.0;
+  double ranking_ms = 0.0;
+  uint64_t distance_computations = 0;
+  size_t ranking_entries_accessed = 0;
+  bool ta_early_terminated = false;
+};
+
+class ExpertFindingEngine : public RetrievalModel {
+ public:
+  /// Builds the full offline pipeline. `pretrained_tokens`, when provided,
+  /// skips GloVe pre-training (lets benches share one pre-training run
+  /// across methods). The dataset and corpus must outlive the engine.
+  static StatusOr<std::unique_ptr<ExpertFindingEngine>> Build(
+      const Dataset* dataset, const Corpus* corpus, const EngineConfig& config,
+      const Matrix* pretrained_tokens = nullptr,
+      EngineBuildReport* report = nullptr);
+
+  /// Persists the offline artifacts (encoder.bin, embeddings.bin and,
+  /// when built with an index, pgindex.bin) under `dir` (must exist).
+  Status SaveArtifacts(const std::string& dir) const;
+
+  /// Reconstructs a serving engine from artifacts written by
+  /// SaveArtifacts, skipping sampling and training entirely. The dataset
+  /// and corpus must be the ones the artifacts were built from.
+  static StatusOr<std::unique_ptr<ExpertFindingEngine>> LoadFromArtifacts(
+      const Dataset* dataset, const Corpus* corpus, const EngineConfig& config,
+      const std::string& dir);
+
+  std::string name() const override { return config_.display_name; }
+
+  std::vector<ExpertScore> FindExperts(const std::string& query_text,
+                                       size_t n) override;
+
+  /// FindExperts with per-phase timing (efficiency benches).
+  std::vector<ExpertScore> FindExpertsWithStats(const std::string& query_text,
+                                                size_t n, QueryStats* stats);
+
+  /// Top-m semantically similar papers for a query (§IV-B), best first.
+  std::vector<NodeId> RetrievePapers(const std::string& query_text, size_t m,
+                                     QueryStats* stats = nullptr);
+
+  /// Adjusts the retrieval depth m without rebuilding (Figure 8(c)).
+  void set_top_m(size_t m) { config_.top_m = m; }
+  /// Toggles the TA path without rebuilding (Figure 7 variants).
+  void set_use_ta(bool use_ta) { config_.use_ta = use_ta; }
+
+  const Dataset& dataset() const { return *dataset_; }
+  const Matrix& embeddings() const { return embeddings_; }
+  const DocumentEncoder& encoder() const { return *encoder_; }
+  const PGIndex* index() const { return index_.get(); }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  ExpertFindingEngine(const Dataset* dataset, const Corpus* corpus,
+                      EngineConfig config)
+      : dataset_(dataset), corpus_(corpus), config_(std::move(config)) {}
+
+  const Dataset* dataset_;
+  const Corpus* corpus_;
+  EngineConfig config_;
+  std::unique_ptr<DocumentEncoder> encoder_;
+  Matrix embeddings_;
+  std::unique_ptr<PGIndex> index_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_CORE_ENGINE_H_

@@ -1,0 +1,80 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ranking/expert_score.h"
+
+namespace kpef {
+
+ExpertExplanation ExplainExpert(ExpertFindingEngine& engine,
+                                const std::string& query_text,
+                                NodeId author) {
+  ExpertExplanation explanation;
+  explanation.author = author;
+  const Dataset& dataset = engine.dataset();
+  const std::vector<NodeId> top_papers =
+      engine.RetrievePapers(query_text, engine.config().top_m);
+  for (size_t j = 0; j < top_papers.size(); ++j) {
+    const auto authors =
+        dataset.graph.Neighbors(top_papers[j], dataset.ids.write);
+    for (size_t rank = 1; rank <= authors.size(); ++rank) {
+      if (authors[rank - 1] != author) continue;
+      ExpertEvidence evidence;
+      evidence.paper = top_papers[j];
+      evidence.paper_rank = j + 1;
+      evidence.author_rank = rank;
+      evidence.num_authors = authors.size();
+      const double w =
+          engine.config().contribution_weighting == ContributionWeighting::kZipf
+              ? ZipfContribution(rank, authors.size())
+              : 1.0 / static_cast<double>(authors.size());
+      evidence.score_share = w / static_cast<double>(j + 1);
+      explanation.total_score += evidence.score_share;
+      explanation.evidence.push_back(evidence);
+      break;
+    }
+  }
+  std::sort(explanation.evidence.begin(), explanation.evidence.end(),
+            [](const ExpertEvidence& a, const ExpertEvidence& b) {
+              if (a.score_share != b.score_share) {
+                return a.score_share > b.score_share;
+              }
+              return a.paper < b.paper;
+            });
+  return explanation;
+}
+
+ExpertProfile BuildExpertProfile(const Dataset& dataset, NodeId author) {
+  ExpertProfile profile;
+  profile.author = author;
+  const HeteroGraph& graph = dataset.graph;
+  std::unordered_set<NodeId> coauthors;
+  std::unordered_set<NodeId> venues;
+  std::unordered_map<NodeId, size_t> topic_counts;
+  const auto papers = graph.Neighbors(author, dataset.ids.write);
+  profile.num_papers = papers.size();
+  for (NodeId paper : papers) {
+    for (NodeId coauthor : graph.Neighbors(paper, dataset.ids.write)) {
+      if (coauthor != author) coauthors.insert(coauthor);
+    }
+    for (NodeId venue : graph.Neighbors(paper, dataset.ids.publish)) {
+      venues.insert(venue);
+    }
+    for (NodeId topic : graph.Neighbors(paper, dataset.ids.mention)) {
+      ++topic_counts[topic];
+    }
+  }
+  profile.num_coauthors = coauthors.size();
+  profile.num_venues = venues.size();
+  profile.topics.assign(topic_counts.begin(), topic_counts.end());
+  std::sort(profile.topics.begin(), profile.topics.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return profile;
+}
+
+}  // namespace kpef

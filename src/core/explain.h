@@ -1,0 +1,61 @@
+// Explainability helpers: why was this expert returned for this query?
+//
+// The ranking score R(a) (Eq. 6) is a sum of per-paper contributions, so
+// every recommendation decomposes exactly into (paper, retrieval rank,
+// author rank, score share) tuples — the "expertise evidence" of the
+// document-centric framework. ExpertProfile summarizes an author's
+// standing in the graph independent of any query.
+
+#ifndef KPEF_CORE_EXPLAIN_H_
+#define KPEF_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace kpef {
+
+/// One piece of evidence behind a recommendation.
+struct ExpertEvidence {
+  NodeId paper = kInvalidNode;
+  /// Retrieval rank I(p) of the paper for this query (1-based).
+  size_t paper_rank = 0;
+  /// The expert's author rank I(a) within the paper (1-based).
+  size_t author_rank = 0;
+  size_t num_authors = 0;
+  /// Contribution S(a, p) to the ranking score.
+  double score_share = 0.0;
+};
+
+/// Full explanation of one expert for one query.
+struct ExpertExplanation {
+  NodeId author = kInvalidNode;
+  double total_score = 0.0;
+  /// Evidence papers, descending by score share.
+  std::vector<ExpertEvidence> evidence;
+};
+
+/// Recomputes the evidence decomposition for `author` under `query_text`
+/// (same retrieval pipeline as FindExperts; deterministic).
+ExpertExplanation ExplainExpert(ExpertFindingEngine& engine,
+                                const std::string& query_text, NodeId author);
+
+/// Query-independent summary of an author.
+struct ExpertProfile {
+  NodeId author = kInvalidNode;
+  size_t num_papers = 0;
+  /// Distinct co-authors over all papers.
+  size_t num_coauthors = 0;
+  /// Topics of the author's papers with paper counts, descending.
+  std::vector<std::pair<NodeId, size_t>> topics;
+  /// Venue spread (distinct venues published in).
+  size_t num_venues = 0;
+};
+
+/// Builds the profile from the heterogeneous graph.
+ExpertProfile BuildExpertProfile(const Dataset& dataset, NodeId author);
+
+}  // namespace kpef
+
+#endif  // KPEF_CORE_EXPLAIN_H_

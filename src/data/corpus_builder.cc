@@ -1,0 +1,18 @@
+#include "data/corpus_builder.h"
+
+#include "common/logging.h"
+
+namespace kpef {
+
+Corpus BuildPaperCorpus(const Dataset& dataset,
+                        TokenizerOptions tokenizer_options) {
+  Corpus corpus(tokenizer_options);
+  for (NodeId paper : dataset.Papers()) {
+    const size_t doc = corpus.AddDocument(dataset.graph.Label(paper));
+    KPEF_CHECK(doc == dataset.graph.LocalIndex(paper))
+        << "corpus order must match paper LocalIndex order";
+  }
+  return corpus;
+}
+
+}  // namespace kpef

@@ -1,0 +1,18 @@
+// Builds the tokenized paper corpus from a dataset's labels, preserving
+// the invariant corpus-doc-id == paper LocalIndex.
+
+#ifndef KPEF_DATA_CORPUS_BUILDER_H_
+#define KPEF_DATA_CORPUS_BUILDER_H_
+
+#include "data/dataset.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Tokenizes every paper's L(p) in LocalIndex order.
+Corpus BuildPaperCorpus(const Dataset& dataset,
+                        TokenizerOptions tokenizer_options = {});
+
+}  // namespace kpef
+
+#endif  // KPEF_DATA_CORPUS_BUILDER_H_

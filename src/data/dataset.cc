@@ -1,0 +1,385 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace kpef {
+namespace {
+
+// Knuth's Poisson sampler (small means only).
+size_t SamplePoisson(Rng& rng, double mean) {
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  size_t k = 0;
+  do {
+    ++k;
+    p *= rng.UniformDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+// A research group: authors of one topic who co-author papers.
+struct Group {
+  int32_t topic;
+  std::vector<NodeId> members;
+};
+
+std::string CommonWord(size_t index) { return "c" + std::to_string(index); }
+
+// Samples a topical word for a (global) subfield: a Zipf draw within the
+// subfield's window of the global pool, centered at the subfield's own
+// offset. Adjacent subfields' windows overlap, so their vocabularies are
+// confusable; the Zipf concentration near the center keeps each subfield
+// identifiable.
+std::string TopicalWord(Rng& rng, const DatasetConfig& config,
+                        size_t subfield) {
+  const size_t pool = config.topical_pool_words;
+  const size_t window = std::min(config.topic_window_words, pool);
+  const size_t num_subfields =
+      std::max<size_t>(1, config.num_topics * config.subfields_per_topic);
+  const size_t center = (subfield * pool) / num_subfields;
+  // Zipf rank 1..window, mapped symmetrically around the center:
+  // rank 1 -> center, rank 2 -> center+1, rank 3 -> center-1, ...
+  const uint64_t rank = rng.Zipf(window, 1.04) - 1;
+  const int64_t offset =
+      (rank % 2 == 0) ? static_cast<int64_t>(rank / 2)
+                      : -static_cast<int64_t>((rank + 1) / 2);
+  const size_t index =
+      static_cast<size_t>((static_cast<int64_t>(center + pool) + offset)) %
+      pool;
+  // Synonymy: each concept has several interchangeable surface forms.
+  const size_t variant =
+      config.surface_variants <= 1 ? 0 : rng.Uniform(config.surface_variants);
+  if (config.surface_vocabulary_words == 0) {
+    return "w" + std::to_string(index) + "v" + std::to_string(variant);
+  }
+  // Polysemy: hash-fold (concept, variant) onto a smaller surface
+  // vocabulary so distant topics reuse words.
+  uint64_t h = index * 0x9E3779B97F4A7C15ULL + variant * 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 31;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 29;
+  return "w" + std::to_string(h % config.surface_vocabulary_words);
+}
+
+}  // namespace
+
+DatasetConfig DatasetConfig::ScaledCopy(double factor,
+                                        const std::string& suffix) const {
+  DatasetConfig scaled = *this;
+  auto scale = [&](size_t v) {
+    return std::max<size_t>(1, static_cast<size_t>(
+                                   std::llround(static_cast<double>(v) * factor)));
+  };
+  scaled.num_papers = scale(num_papers);
+  scaled.num_authors = scale(num_authors);
+  scaled.num_venues = scale(num_venues);
+  scaled.num_topics = std::max<size_t>(4, scale(num_topics));
+  scaled.name = name + suffix;
+  return scaled;
+}
+
+DatasetConfig AminerProfile() {
+  DatasetConfig config;
+  config.name = "aminer";
+  config.seed = 101;
+  config.num_papers = 3000;
+  config.num_authors = 2300;
+  config.num_venues = 42;
+  // Aminer has the coarsest topic granularity in Table I.
+  config.num_topics = 28;
+  config.mean_citations = 4.4;
+  return config;
+}
+
+DatasetConfig DblpProfile() {
+  DatasetConfig config;
+  config.name = "dblp";
+  config.seed = 202;
+  config.num_papers = 3600;
+  config.num_authors = 2600;
+  config.num_venues = 24;
+  config.num_topics = 44;
+  config.mean_citations = 4.6;
+  return config;
+}
+
+DatasetConfig AcmProfile() {
+  DatasetConfig config;
+  config.name = "acm";
+  config.seed = 303;
+  config.num_papers = 4400;
+  config.num_authors = 3500;
+  config.num_venues = 34;
+  config.num_topics = 44;
+  config.mean_citations = 3.4;
+  return config;
+}
+
+DatasetConfig TinyProfile() {
+  DatasetConfig config;
+  config.name = "tiny";
+  config.seed = 7;
+  config.num_papers = 220;
+  config.num_authors = 160;
+  config.num_venues = 8;
+  config.num_topics = 8;
+  config.common_vocabulary_words = 120;
+  config.topical_pool_words = 300;
+  config.topic_window_words = 60;
+  config.abstract_tokens = 30;
+  return config;
+}
+
+Dataset GenerateDataset(const DatasetConfig& config) {
+  Dataset dataset;
+  dataset.config = config;
+  dataset.ids = AcademicSchema::Make();
+  const AcademicSchema& ids = dataset.ids;
+  HeteroGraphBuilder builder(ids.schema);
+  Rng rng(config.seed);
+
+  // --- Topic and venue nodes.
+  std::vector<NodeId> topics(config.num_topics);
+  for (size_t t = 0; t < config.num_topics; ++t) {
+    topics[t] = builder.AddNode(ids.topic, "topic" + std::to_string(t));
+  }
+  std::vector<NodeId> venues(config.num_venues);
+  std::vector<int32_t> venue_topic(config.num_venues);
+  std::vector<std::vector<size_t>> venues_of_topic(config.num_topics);
+  for (size_t v = 0; v < config.num_venues; ++v) {
+    venues[v] = builder.AddNode(ids.venue, "venue" + std::to_string(v));
+    venue_topic[v] = static_cast<int32_t>(v % config.num_topics);
+    venues_of_topic[venue_topic[v]].push_back(v);
+  }
+
+  // --- Authors: Zipf-popular topics, partitioned into research groups.
+  std::vector<double> topic_weights(config.num_topics);
+  for (size_t t = 0; t < config.num_topics; ++t) {
+    topic_weights[t] = 1.0 / std::pow(static_cast<double>(t + 1), 0.6);
+  }
+  std::vector<NodeId> authors(config.num_authors);
+  dataset.author_primary_topic.resize(config.num_authors);
+  std::vector<std::vector<NodeId>> authors_of_topic(config.num_topics);
+  for (size_t a = 0; a < config.num_authors; ++a) {
+    authors[a] = builder.AddNode(ids.author, "author" + std::to_string(a));
+    const int32_t topic = static_cast<int32_t>(rng.Discrete(topic_weights));
+    dataset.author_primary_topic[a] = topic;
+    authors_of_topic[topic].push_back(authors[a]);
+  }
+  std::vector<Group> groups;
+  for (size_t t = 0; t < config.num_topics; ++t) {
+    auto& pool = authors_of_topic[t];
+    rng.Shuffle(pool);
+    size_t cursor = 0;
+    while (cursor < pool.size()) {
+      const size_t size = std::min(
+          pool.size() - cursor,
+          static_cast<size_t>(rng.UniformInt(
+              static_cast<int64_t>(config.group_size_min),
+              static_cast<int64_t>(config.group_size_max))));
+      Group group;
+      group.topic = static_cast<int32_t>(t);
+      group.members.assign(pool.begin() + cursor,
+                           pool.begin() + cursor + size);
+      groups.push_back(std::move(group));
+      cursor += size;
+    }
+  }
+  KPEF_CHECK(!groups.empty());
+
+  // --- Papers.
+  std::vector<NodeId> papers(config.num_papers);
+  dataset.paper_primary_topic.resize(config.num_papers);
+  std::vector<std::vector<size_t>> papers_of_topic(config.num_topics);
+  std::vector<std::vector<int32_t>> paper_topics(config.num_papers);
+  std::vector<size_t> paper_group(config.num_papers);
+  for (size_t i = 0; i < config.num_papers; ++i) {
+    paper_group[i] = rng.Uniform(groups.size());
+    const Group& group = groups[paper_group[i]];
+    const int32_t topic = group.topic;
+    dataset.paper_primary_topic[i] = topic;
+    paper_topics[i].push_back(topic);
+    if (rng.Bernoulli(config.second_topic_prob) && config.num_topics > 1) {
+      int32_t second = topic;
+      while (second == topic) {
+        second = static_cast<int32_t>(rng.Discrete(topic_weights));
+      }
+      paper_topics[i].push_back(second);
+    }
+
+    // Text: topic- and subfield-conditioned mixture over a Zipf
+    // vocabulary, plus per-document bursty style words.
+    const size_t S = std::max<size_t>(1, config.subfields_per_topic);
+    const size_t primary_subfield =
+        static_cast<size_t>(topic) * S + rng.Uniform(S);
+    std::vector<size_t> bursty(config.bursty_words_per_doc);
+    for (size_t& b : bursty) b = rng.Uniform(config.common_vocabulary_words);
+    const size_t total_tokens = config.title_tokens + config.abstract_tokens;
+    const double background_slots =
+        std::max(1.0, total_tokens * (1.0 - config.topic_word_prob));
+    const double burst_prob =
+        std::min(0.9, static_cast<double>(config.bursty_words_per_doc *
+                                          config.burst_repeats) /
+                          background_slots);
+    std::string text;
+    for (size_t w = 0; w < total_tokens; ++w) {
+      if (!text.empty()) text += ' ';
+      if (rng.Bernoulli(config.topic_word_prob)) {
+        const int32_t tw =
+            paper_topics[i][rng.Uniform(paper_topics[i].size())];
+        size_t subfield;
+        if (tw == topic && !rng.Bernoulli(config.subfield_mix_prob)) {
+          subfield = primary_subfield;
+        } else {
+          subfield = static_cast<size_t>(tw) * S + rng.Uniform(S);
+        }
+        text += TopicalWord(rng, config, subfield);
+      } else if (!bursty.empty() && rng.Bernoulli(burst_prob)) {
+        text += CommonWord(bursty[rng.Uniform(bursty.size())]);
+      } else {
+        text += CommonWord(rng.Zipf(config.common_vocabulary_words, 1.2) - 1);
+      }
+    }
+    papers[i] = builder.AddNode(ids.paper, text);
+  }
+
+  auto add_edge = [&](EdgeTypeId type, NodeId src, NodeId dst) {
+    const Status s = builder.AddEdge(type, src, dst);
+    KPEF_CHECK(s.ok()) << s.ToString();
+  };
+
+  // --- Edges, paper by paper. Write edges are inserted in author-rank
+  // order (first author first) — the order Eq. 5 weights depend on.
+  for (size_t i = 0; i < config.num_papers; ++i) {
+    const int32_t topic = dataset.paper_primary_topic[i];
+
+    // Authors: a subset of the paper's research group.
+    const Group& group = groups[paper_group[i]];
+    size_t num_paper_authors = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(config.authors_per_paper_min),
+                       static_cast<int64_t>(config.authors_per_paper_max)));
+    num_paper_authors = std::min(num_paper_authors, group.members.size());
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(group.members.size(), num_paper_authors);
+    std::vector<NodeId> paper_authors;
+    paper_authors.reserve(picks.size());
+    for (size_t pick : picks) paper_authors.push_back(group.members[pick]);
+    // Occasional external collaborator (cross-topic noise).
+    if (!paper_authors.empty() &&
+        rng.Bernoulli(config.external_coauthor_prob)) {
+      paper_authors.back() = authors[rng.Uniform(authors.size())];
+    }
+    // Dedup while keeping rank order.
+    std::unordered_set<NodeId> used;
+    std::vector<NodeId> unique_authors;
+    for (NodeId a : paper_authors) {
+      if (used.insert(a).second) unique_authors.push_back(a);
+    }
+    for (NodeId a : unique_authors) add_edge(ids.write, a, papers[i]);
+
+    // Venue matching the primary topic when one exists.
+    const auto& venue_pool = venues_of_topic[topic];
+    const size_t venue_index = venue_pool.empty()
+                                   ? rng.Uniform(config.num_venues)
+                                   : venue_pool[rng.Uniform(venue_pool.size())];
+    add_edge(ids.publish, papers[i], venues[venue_index]);
+
+    // Topic mention: the paper is labeled with its primary topic only.
+    // Secondary topics influence the text (interdisciplinary content) but
+    // not the label; labeling every influence would glue all topic
+    // cliques into one giant P-T-P component and void the (k, P-T-P)
+    // constraint.
+    add_edge(ids.mention, papers[i], topics[topic]);
+
+    // Citations to earlier papers, biased to the same topic.
+    if (i > 0) {
+      const size_t num_cites =
+          std::min(SamplePoisson(rng, config.mean_citations), i);
+      std::unordered_set<size_t> cited;
+      for (size_t c = 0; c < num_cites; ++c) {
+        size_t target = i;
+        if (rng.Bernoulli(config.citation_same_topic_prob) &&
+            !papers_of_topic[topic].empty()) {
+          const auto& pool = papers_of_topic[topic];
+          target = pool[rng.Uniform(pool.size())];
+        } else {
+          target = rng.Uniform(i);
+        }
+        if (target >= i || !cited.insert(target).second) continue;
+        add_edge(ids.cite, papers[i], papers[target]);
+      }
+    }
+    papers_of_topic[topic].push_back(i);
+  }
+
+  dataset.graph = std::move(builder).Build();
+  KPEF_LOG(Info) << "generated dataset '" << config.name << "': "
+                 << dataset.graph.NumNodes() << " nodes, "
+                 << dataset.graph.NumEdges() << " edges";
+  return dataset;
+}
+
+StatusOr<Dataset> DatasetFromGraph(HeteroGraph graph, std::string name) {
+  Dataset dataset;
+  dataset.config.name = std::move(name);
+  const Schema& schema = graph.schema();
+  AcademicSchema& ids = dataset.ids;
+  ids.schema = schema;
+  ids.author = schema.FindNodeType("A");
+  ids.paper = schema.FindNodeType("P");
+  ids.venue = schema.FindNodeType("V");
+  ids.topic = schema.FindNodeType("T");
+  ids.write = schema.FindEdgeType("Write");
+  ids.publish = schema.FindEdgeType("Publish");
+  ids.mention = schema.FindEdgeType("Mention");
+  ids.cite = schema.FindEdgeType("Cite");
+  if (ids.author == kInvalidNodeType || ids.paper == kInvalidNodeType ||
+      ids.venue == kInvalidNodeType || ids.topic == kInvalidNodeType) {
+    return Status::InvalidArgument(
+        "graph schema missing one of the node types A/P/V/T");
+  }
+  if (ids.write == kInvalidEdgeType || ids.publish == kInvalidEdgeType ||
+      ids.mention == kInvalidEdgeType || ids.cite == kInvalidEdgeType) {
+    return Status::InvalidArgument(
+        "graph schema missing one of Write/Publish/Mention/Cite");
+  }
+  dataset.graph = std::move(graph);
+  dataset.config.num_papers = dataset.graph.NumNodesOfType(ids.paper);
+  dataset.config.num_authors = dataset.graph.NumNodesOfType(ids.author);
+  dataset.config.num_venues = dataset.graph.NumNodesOfType(ids.venue);
+  dataset.config.num_topics = dataset.graph.NumNodesOfType(ids.topic);
+  dataset.paper_primary_topic.assign(dataset.config.num_papers, 0);
+  for (NodeId paper : dataset.graph.NodesOfType(ids.paper)) {
+    const auto topics = dataset.graph.Neighbors(paper, ids.mention);
+    if (!topics.empty()) {
+      dataset.paper_primary_topic[dataset.graph.LocalIndex(paper)] =
+          static_cast<int32_t>(dataset.graph.LocalIndex(topics[0]));
+    }
+  }
+  dataset.author_primary_topic.assign(dataset.config.num_authors, 0);
+  for (NodeId author : dataset.graph.NodesOfType(ids.author)) {
+    const auto papers = dataset.graph.Neighbors(author, ids.write);
+    if (!papers.empty()) {
+      dataset.author_primary_topic[dataset.graph.LocalIndex(author)] =
+          dataset.paper_primary_topic[dataset.graph.LocalIndex(papers[0])];
+    }
+  }
+  return dataset;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.papers = dataset.graph.NumNodesOfType(dataset.ids.paper);
+  stats.experts = dataset.graph.NumNodesOfType(dataset.ids.author);
+  stats.venues = dataset.graph.NumNodesOfType(dataset.ids.venue);
+  stats.topics = dataset.graph.NumNodesOfType(dataset.ids.topic);
+  stats.relations = dataset.graph.NumEdges();
+  return stats;
+}
+
+}  // namespace kpef

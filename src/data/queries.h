@@ -1,0 +1,37 @@
+// Query and ground-truth generation (§VI-A): queries are papers' own
+// textual labels; the ground truth for a query is every author who shares
+// a topic with the query paper.
+
+#ifndef KPEF_DATA_QUERIES_H_
+#define KPEF_DATA_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace kpef {
+
+/// One evaluation query.
+struct Query {
+  /// Paper the query text was taken from.
+  NodeId query_paper = kInvalidNode;
+  /// The query text T (the paper's L(p) = title + abstract).
+  std::string text;
+  /// Relevant experts: authors with at least one paper sharing a topic
+  /// with the query paper. Sorted ascending.
+  std::vector<NodeId> ground_truth;
+};
+
+struct QuerySet {
+  std::vector<Query> queries;
+};
+
+/// Samples `num_queries` query papers uniformly and computes their ground
+/// truth by walking Paper -> Topic -> Paper -> Author.
+QuerySet GenerateQueries(const Dataset& dataset, size_t num_queries,
+                         uint64_t seed);
+
+}  // namespace kpef
+
+#endif  // KPEF_DATA_QUERIES_H_

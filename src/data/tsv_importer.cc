@@ -1,0 +1,157 @@
+#include "data/tsv_importer.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kpef {
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+struct PaperRow {
+  std::string id;
+  std::vector<std::string> authors;
+  std::string venue;
+  std::vector<std::string> topics;
+  std::vector<std::string> citations;
+  std::string text;
+};
+
+bool ParseRow(const std::string& line, PaperRow& row) {
+  const std::vector<std::string> columns = [&] {
+    std::vector<std::string> cols;
+    size_t start = 0;
+    // Keep empty columns (unlike SplitOn): fields may legitimately be
+    // empty (a paper without topics).
+    for (;;) {
+      const size_t end = line.find('\t', start);
+      cols.push_back(line.substr(
+          start, end == std::string::npos ? std::string::npos : end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    return cols;
+  }();
+  if (columns.size() != 6) return false;
+  row.id = columns[0];
+  if (row.id.empty()) return false;
+  row.authors = SplitOn(columns[1], '|');
+  if (row.authors.empty()) return false;  // a paper needs an author
+  row.venue = columns[2];
+  if (row.venue.empty()) return false;
+  row.topics = SplitOn(columns[3], '|');
+  row.citations = SplitOn(columns[4], '|');
+  row.text = columns[5];
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ImportTsvDataset(std::istream& in, const std::string& name,
+                                   TsvImportReport* report) {
+  TsvImportReport local_report;
+  std::vector<PaperRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    PaperRow row;
+    if (ParseRow(line, row)) {
+      rows.push_back(std::move(row));
+    } else {
+      ++local_report.malformed_lines;
+    }
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no valid paper rows in TSV input");
+  }
+
+  AcademicSchema ids = AcademicSchema::Make();
+  HeteroGraphBuilder builder(ids.schema);
+  std::unordered_map<std::string, NodeId> authors, venues, topics;
+  std::unordered_map<std::string, NodeId> paper_ids;
+
+  auto intern = [&](std::unordered_map<std::string, NodeId>& table,
+                    NodeTypeId type, const std::string& key) {
+    auto [it, inserted] = table.emplace(key, kInvalidNode);
+    if (inserted) it->second = builder.AddNode(type, key);
+    return it->second;
+  };
+
+  // Pass 1: create entity and paper nodes (papers in file order so that
+  // LocalIndex == row order).
+  for (const PaperRow& row : rows) {
+    for (const std::string& a : row.authors) intern(authors, ids.author, a);
+    intern(venues, ids.venue, row.venue);
+    for (const std::string& t : row.topics) intern(topics, ids.topic, t);
+  }
+  for (const PaperRow& row : rows) {
+    auto [it, inserted] = paper_ids.emplace(row.id, kInvalidNode);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate paper id \"" + row.id +
+                                     "\"");
+    }
+    it->second = builder.AddNode(ids.paper, row.text);
+  }
+
+  // Pass 2: edges. Write edges in the row's author order (= rank order).
+  auto add_edge = [&](EdgeTypeId type, NodeId src, NodeId dst) -> Status {
+    return builder.AddEdge(type, src, dst);
+  };
+  for (const PaperRow& row : rows) {
+    const NodeId paper = paper_ids[row.id];
+    for (const std::string& a : row.authors) {
+      KPEF_RETURN_IF_ERROR(add_edge(ids.write, authors[a], paper));
+    }
+    KPEF_RETURN_IF_ERROR(add_edge(ids.publish, paper, venues[row.venue]));
+    for (const std::string& t : row.topics) {
+      KPEF_RETURN_IF_ERROR(add_edge(ids.mention, paper, topics[t]));
+    }
+    for (const std::string& c : row.citations) {
+      auto it = paper_ids.find(c);
+      if (it == paper_ids.end() || it->second == paper) {
+        ++local_report.dangling_citations;
+        continue;
+      }
+      KPEF_RETURN_IF_ERROR(add_edge(ids.cite, paper, it->second));
+    }
+  }
+
+  KPEF_ASSIGN_OR_RETURN(Dataset dataset,
+                        DatasetFromGraph(std::move(builder).Build(), name));
+  local_report.papers = rows.size();
+  local_report.authors = authors.size();
+  local_report.venues = venues.size();
+  local_report.topics = topics.size();
+  if (local_report.malformed_lines > 0 ||
+      local_report.dangling_citations > 0) {
+    KPEF_LOG(Warning) << "TSV import skipped " << local_report.malformed_lines
+                      << " malformed lines and "
+                      << local_report.dangling_citations
+                      << " dangling citations";
+  }
+  if (report) *report = local_report;
+  return dataset;
+}
+
+StatusOr<Dataset> ImportTsvDataset(const std::string& path,
+                                   TsvImportReport* report) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ImportTsvDataset(in, path, report);
+}
+
+}  // namespace kpef

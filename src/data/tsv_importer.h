@@ -1,0 +1,45 @@
+// TSV importer: builds an academic heterogeneous graph from a simple
+// one-paper-per-line tab-separated file, the intended path for loading
+// real bibliographies (e.g., a converted DBLP/Aminer dump).
+//
+// Columns (tab-separated, one paper per line, '#' lines are comments):
+//   paper_id <TAB> authors <TAB> venue <TAB> topics <TAB> citations <TAB> text
+// where authors/topics/citations are '|'-separated keys (authors in rank
+// order, citations referencing other papers' paper_ids; unknown citation
+// targets are skipped with a warning count). Author/venue/topic nodes are
+// created on first mention; paper text becomes the node label L(p).
+
+#ifndef KPEF_DATA_TSV_IMPORTER_H_
+#define KPEF_DATA_TSV_IMPORTER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace kpef {
+
+/// Import diagnostics.
+struct TsvImportReport {
+  size_t papers = 0;
+  size_t authors = 0;
+  size_t venues = 0;
+  size_t topics = 0;
+  /// Citation references to unknown paper ids (skipped).
+  size_t dangling_citations = 0;
+  /// Lines that could not be parsed (skipped).
+  size_t malformed_lines = 0;
+};
+
+/// Imports a dataset from a TSV file.
+StatusOr<Dataset> ImportTsvDataset(const std::string& path,
+                                   TsvImportReport* report = nullptr);
+
+/// Imports from an arbitrary stream (testing / piping).
+StatusOr<Dataset> ImportTsvDataset(std::istream& in, const std::string& name,
+                                   TsvImportReport* report = nullptr);
+
+}  // namespace kpef
+
+#endif  // KPEF_DATA_TSV_IMPORTER_H_

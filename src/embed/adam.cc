@@ -1,0 +1,48 @@
+#include "embed/adam.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+Adam::Adam(size_t num_params, AdamConfig config)
+    : config_(config), m_(num_params, 0.0f), v_(num_params, 0.0f) {}
+
+void Adam::UpdateSlice(float* params, const float* grads, size_t count,
+                       size_t state_offset) {
+  KPEF_CHECK(step_ > 0) << "call BeginStep() before updates";
+  KPEF_CHECK(state_offset + count <= m_.size());
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  // Bias-corrected step size folded into alpha.
+  const double alpha =
+      config_.learning_rate *
+      std::sqrt(1.0 - std::pow(b2, static_cast<double>(step_))) /
+      (1.0 - std::pow(b1, static_cast<double>(step_)));
+  float* m = m_.data() + state_offset;
+  float* v = v_.data() + state_offset;
+  for (size_t i = 0; i < count; ++i) {
+    const double g = grads[i];
+    m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
+    v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
+    params[i] -= static_cast<float>(alpha * m[i] /
+                                    (std::sqrt(v[i]) + config_.epsilon));
+  }
+}
+
+void Adam::UpdateDense(std::span<float> params, std::span<const float> grads,
+                       size_t offset) {
+  KPEF_CHECK(params.size() == grads.size());
+  UpdateSlice(params.data(), grads.data(), grads.size(), offset);
+}
+
+void Adam::UpdateRow(Matrix& params, size_t row, std::span<const float> grads,
+                     size_t block_offset) {
+  auto row_span = params.Row(row);
+  KPEF_CHECK(row_span.size() == grads.size());
+  UpdateSlice(row_span.data(), grads.data(), grads.size(),
+              block_offset + row * params.cols());
+}
+
+}  // namespace kpef

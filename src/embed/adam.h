@@ -1,0 +1,60 @@
+// Adam optimizer [33] with dense and sparse-row update paths.
+
+#ifndef KPEF_EMBED_ADAM_H_
+#define KPEF_EMBED_ADAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "embed/matrix.h"
+
+namespace kpef {
+
+/// Adam hyperparameters. β1/β2 follow the paper (§III-C, citing BERT's
+/// recipe); the default learning rate is scaled up from the paper's 2e-5
+/// because our encoder is orders of magnitude smaller than SciBERT.
+struct AdamConfig {
+  double learning_rate = 2e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Adam state for one flat parameter block of fixed size.
+///
+/// Usage per optimizer step: call BeginStep() once (advances the bias-
+/// correction step t), then UpdateDense / UpdateRow for the block's
+/// gradients. Sparse rows only advance their own moments, so untouched
+/// rows pay no cost (lazy Adam).
+class Adam {
+ public:
+  Adam(size_t num_params, AdamConfig config);
+
+  void BeginStep() { ++step_; }
+
+  /// Dense update of params[offset .. offset+grads.size()).
+  void UpdateDense(std::span<float> params, std::span<const float> grads,
+                   size_t offset = 0);
+
+  /// Sparse update of one row of a parameter matrix whose storage begins
+  /// at `block_offset` within this optimizer's state.
+  void UpdateRow(Matrix& params, size_t row, std::span<const float> grads,
+                 size_t block_offset);
+
+  int64_t step() const { return step_; }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  void UpdateSlice(float* params, const float* grads, size_t count,
+                   size_t state_offset);
+
+  AdamConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  int64_t step_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_ADAM_H_

@@ -1,0 +1,198 @@
+#include "embed/document_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "embed/vector_ops.h"
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace kpef {
+
+void EncoderGradients::Reset(size_t dim) {
+  if (d_projection.rows() != dim) {
+    d_projection = Matrix(dim, dim);
+    d_bias.assign(dim, 0.0f);
+  } else {
+    d_projection.Fill(0.0f);
+    std::fill(d_bias.begin(), d_bias.end(), 0.0f);
+  }
+  d_tokens.clear();
+}
+
+DocumentEncoder::DocumentEncoder(size_t vocab_size, EncoderConfig config)
+    : config_(config),
+      token_embeddings_(vocab_size, config.dim),
+      projection_(config.dim, config.dim),
+      bias_(config.dim, 0.0f) {
+  // Near-identity projection: the un-fine-tuned encoder reduces to pooled
+  // token embeddings, i.e. the "pre-trained model" output.
+  for (size_t i = 0; i < config_.dim; ++i) projection_.At(i, i) = 1.0f;
+}
+
+void DocumentEncoder::SetTokenEmbeddings(const Matrix& pretrained) {
+  KPEF_CHECK(pretrained.rows() == token_embeddings_.rows());
+  KPEF_CHECK(pretrained.cols() == token_embeddings_.cols());
+  token_embeddings_ = pretrained;
+}
+
+void DocumentEncoder::InitializeRandomTokens(Rng& rng, float scale) {
+  for (float& v : token_embeddings_.data()) {
+    v = static_cast<float>(rng.Normal(0.0, scale));
+  }
+}
+
+void DocumentEncoder::SetTokenWeights(std::vector<float> weights) {
+  KPEF_CHECK(weights.size() == token_embeddings_.rows());
+  token_weights_ = std::move(weights);
+}
+
+void DocumentEncoder::Pool(std::span<const TokenId> tokens,
+                           std::vector<float>& pooled,
+                           std::vector<int32_t>* argmax) const {
+  const size_t d = config_.dim;
+  pooled.assign(d, 0.0f);
+  if (tokens.empty()) return;
+  if (config_.pooling == Pooling::kMean ||
+      config_.pooling == Pooling::kWeightedMean) {
+    const bool weighted = config_.pooling == Pooling::kWeightedMean;
+    KPEF_CHECK(!weighted || !token_weights_.empty())
+        << "SetTokenWeights before weighted pooling";
+    float total = 0.0f;
+    for (TokenId t : tokens) {
+      const float w = weighted ? token_weights_[t] : 1.0f;
+      total += w;
+      auto row = token_embeddings_.Row(t);
+      for (size_t k = 0; k < d; ++k) pooled[k] += w * row[k];
+    }
+    if (total > 0.0f) {
+      const float inv = 1.0f / total;
+      for (size_t k = 0; k < d; ++k) pooled[k] *= inv;
+    }
+  } else {
+    pooled.assign(d, -std::numeric_limits<float>::infinity());
+    if (argmax) argmax->assign(d, 0);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      auto row = token_embeddings_.Row(tokens[i]);
+      for (size_t k = 0; k < d; ++k) {
+        if (row[k] > pooled[k]) {
+          pooled[k] = row[k];
+          if (argmax) (*argmax)[k] = static_cast<int32_t>(i);
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> DocumentEncoder::Encode(
+    std::span<const TokenId> tokens) const {
+  std::vector<float> pooled;
+  Pool(tokens, pooled, nullptr);
+  const size_t d = config_.dim;
+  std::vector<float> out(bias_);
+  for (size_t i = 0; i < d; ++i) {
+    auto w_row = projection_.Row(i);
+    float acc = out[i];
+    for (size_t k = 0; k < d; ++k) acc += w_row[k] * pooled[k];
+    out[i] = acc;
+  }
+  if (config_.normalize_output) NormalizeL2(out);
+  return out;
+}
+
+Matrix DocumentEncoder::EncodeCorpus(const Corpus& corpus) const {
+  Matrix out(corpus.NumDocuments(), config_.dim);
+  ParallelFor(corpus.NumDocuments(), [&](size_t doc) {
+    const std::vector<float> v = Encode(corpus.Document(doc));
+    std::copy(v.begin(), v.end(), out.Row(doc).begin());
+  });
+  return out;
+}
+
+DocumentEncoder::ForwardCache DocumentEncoder::Forward(
+    std::span<const TokenId> tokens) const {
+  ForwardCache cache;
+  cache.tokens.assign(tokens.begin(), tokens.end());
+  Pool(tokens, cache.pooled,
+       config_.pooling == Pooling::kMax ? &cache.argmax : nullptr);
+  const size_t d = config_.dim;
+  cache.projected = bias_;
+  for (size_t i = 0; i < d; ++i) {
+    auto w_row = projection_.Row(i);
+    float acc = cache.projected[i];
+    for (size_t k = 0; k < d; ++k) acc += w_row[k] * cache.pooled[k];
+    cache.projected[i] = acc;
+  }
+  cache.output = cache.projected;
+  if (config_.normalize_output) {
+    cache.norm = std::max(L2Norm(cache.output), 1e-12f);
+    const float inv = 1.0f / cache.norm;
+    for (float& v : cache.output) v *= inv;
+  }
+  return cache;
+}
+
+void DocumentEncoder::Backward(const ForwardCache& cache,
+                               std::span<const float> grad_output,
+                               EncoderGradients& grads) const {
+  const size_t d = config_.dim;
+  KPEF_CHECK(grad_output.size() == d);
+  // Backprop through the normalization u = v/||v||:
+  //   dL/dv = (dL/du - (dL/du . u) u) / ||v||.
+  std::vector<float> grad_projected(grad_output.begin(), grad_output.end());
+  if (config_.normalize_output) {
+    float dot = 0.0f;
+    for (size_t i = 0; i < d; ++i) dot += grad_output[i] * cache.output[i];
+    const float inv = 1.0f / cache.norm;
+    for (size_t i = 0; i < d; ++i) {
+      grad_projected[i] = (grad_output[i] - dot * cache.output[i]) * inv;
+    }
+  }
+  // dL/dW[i][k] = g[i] * h[k];  dL/db[i] = g[i].
+  for (size_t i = 0; i < d; ++i) {
+    const float g = grad_projected[i];
+    grads.d_bias[i] += g;
+    auto w_grad_row = grads.d_projection.Row(i);
+    for (size_t k = 0; k < d; ++k) w_grad_row[k] += g * cache.pooled[k];
+  }
+  if (cache.tokens.empty()) return;
+  // dL/dh = W^T g.
+  std::vector<float> grad_pooled(d, 0.0f);
+  for (size_t i = 0; i < d; ++i) {
+    const float g = grad_projected[i];
+    auto w_row = projection_.Row(i);
+    for (size_t k = 0; k < d; ++k) grad_pooled[k] += w_row[k] * g;
+  }
+  auto token_grad = [&](TokenId t) -> std::vector<float>& {
+    auto [it, inserted] = grads.d_tokens.try_emplace(t);
+    if (inserted) it->second.assign(d, 0.0f);
+    return it->second;
+  };
+  if (config_.pooling == Pooling::kMean ||
+      config_.pooling == Pooling::kWeightedMean) {
+    const bool weighted = config_.pooling == Pooling::kWeightedMean;
+    float total = 0.0f;
+    if (weighted) {
+      for (TokenId t : cache.tokens) total += token_weights_[t];
+    } else {
+      total = static_cast<float>(cache.tokens.size());
+    }
+    if (total <= 0.0f) return;
+    const float inv = 1.0f / total;
+    for (TokenId t : cache.tokens) {
+      const float w = weighted ? token_weights_[t] : 1.0f;
+      auto& g = token_grad(t);
+      for (size_t k = 0; k < d; ++k) g[k] += grad_pooled[k] * w * inv;
+    }
+  } else {
+    // Max pooling routes each dimension's gradient to the winning token.
+    for (size_t k = 0; k < d; ++k) {
+      const TokenId t = cache.tokens[cache.argmax[k]];
+      token_grad(t)[k] += grad_pooled[k];
+    }
+  }
+}
+
+}  // namespace kpef

@@ -1,0 +1,121 @@
+// Trainable document encoder (§III-C, Figure 4).
+//
+// Substitutes the paper's SciBERT encoder with a compact differentiable
+// model: token-embedding lookup -> mean/max pooling -> linear projection.
+// The token table is initialized from GloVe-style pre-training (the
+// "pre-trained Θ_B") and the whole model is fine-tuned by the triplet loss.
+
+#ifndef KPEF_EMBED_DOCUMENT_ENCODER_H_
+#define KPEF_EMBED_DOCUMENT_ENCODER_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/matrix.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Pooling strategy Φ_P of Eq. 2. Mean pooling is the paper's default;
+/// weighted pooling downweights frequent background tokens (our stand-in
+/// for the attention a contextual encoder like SciBERT applies).
+enum class Pooling {
+  kMean,
+  kMax,
+  /// Weighted mean with fixed per-token weights (SetTokenWeights).
+  kWeightedMean,
+};
+
+struct EncoderConfig {
+  /// Embedding dimensionality d.
+  size_t dim = 64;
+  Pooling pooling = Pooling::kMean;
+  /// L2-normalize the output vector. Keeps the L2-distance retrieval of
+  /// §IV equivalent to cosine ranking and makes the triplet margin scale-
+  /// free (documents of different lengths otherwise differ mostly in
+  /// norm). Gradients flow through the normalization.
+  bool normalize_output = true;
+};
+
+/// Accumulated parameter gradients for one (mini-)batch.
+///
+/// The projection gradients are dense; token gradients are kept sparse
+/// because a batch touches only a small slice of the vocabulary.
+struct EncoderGradients {
+  Matrix d_projection;        // dim x dim
+  std::vector<float> d_bias;  // dim
+  std::unordered_map<TokenId, std::vector<float>> d_tokens;
+
+  void Reset(size_t dim);
+};
+
+/// The encoder model. Parameters: token table E (V x d), projection
+/// W (d x d), bias b (d). Encode(tokens) = W * pool(E[tokens]) + b.
+class DocumentEncoder {
+ public:
+  DocumentEncoder(size_t vocab_size, EncoderConfig config);
+
+  /// Copies pre-trained token embeddings (must be vocab_size x dim).
+  void SetTokenEmbeddings(const Matrix& pretrained);
+
+  /// Random-initializes the token table (used when training from scratch
+  /// in tests); the projection always starts near identity so that the
+  /// initial encoder approximates plain pooled token embeddings.
+  void InitializeRandomTokens(Rng& rng, float scale = 0.1f);
+
+  /// Sets the fixed per-token pooling weights used by
+  /// Pooling::kWeightedMean (size must equal vocab_size; weights >= 0).
+  void SetTokenWeights(std::vector<float> weights);
+
+  /// Encodes a token stream into a d-dimensional vector.
+  std::vector<float> Encode(std::span<const TokenId> tokens) const;
+
+  /// Encodes every document of the corpus; row i is document i. This
+  /// produces the embedding set E of §III-C.
+  Matrix EncodeCorpus(const Corpus& corpus) const;
+
+  /// Forward pass state kept for backpropagation.
+  struct ForwardCache {
+    std::vector<TokenId> tokens;
+    std::vector<float> pooled;      // h = pool(E[tokens])
+    std::vector<float> projected;   // v = W h + b
+    std::vector<float> output;      // u = v/||v|| (or v when unnormalized)
+    float norm = 1.0f;              // ||v||
+    std::vector<int32_t> argmax;    // max pooling: winning token slot per dim
+  };
+
+  ForwardCache Forward(std::span<const TokenId> tokens) const;
+
+  /// Accumulates dL/dW, dL/db, dL/dE into `grads` given dL/dv.
+  void Backward(const ForwardCache& cache, std::span<const float> grad_output,
+                EncoderGradients& grads) const;
+
+  size_t dim() const { return config_.dim; }
+  size_t vocab_size() const { return token_embeddings_.rows(); }
+  const EncoderConfig& config() const { return config_; }
+
+  Matrix& token_embeddings() { return token_embeddings_; }
+  const Matrix& token_embeddings() const { return token_embeddings_; }
+  Matrix& projection() { return projection_; }
+  const Matrix& projection() const { return projection_; }
+  std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& bias() const { return bias_; }
+  /// Pooling weights (empty unless SetTokenWeights was called).
+  const std::vector<float>& token_weights() const { return token_weights_; }
+
+ private:
+  void Pool(std::span<const TokenId> tokens, std::vector<float>& pooled,
+            std::vector<int32_t>* argmax) const;
+
+  EncoderConfig config_;
+  Matrix token_embeddings_;  // V x d
+  Matrix projection_;        // d x d
+  std::vector<float> bias_;  // d
+  std::vector<float> token_weights_;  // V (kWeightedMean only)
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_DOCUMENT_ENCODER_H_

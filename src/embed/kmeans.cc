@@ -1,0 +1,88 @@
+#include "embed/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& config) {
+  KMeansResult result;
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const size_t k = std::min(config.num_clusters, n);
+  result.centroids = Matrix(k, d);
+  result.assignment.assign(n, 0);
+  if (n == 0 || k == 0) return result;
+
+  Rng rng(config.seed);
+  // k-means++ seeding.
+  std::vector<size_t> chosen;
+  chosen.push_back(rng.Uniform(n));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  while (chosen.size() < k) {
+    const size_t last = chosen.back();
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(
+          min_dist[i],
+          static_cast<double>(SquaredL2Distance(points.Row(i),
+                                                points.Row(last))));
+    }
+    chosen.push_back(rng.Discrete(min_dist));
+  }
+  for (size_t c = 0; c < k; ++c) {
+    auto src = points.Row(chosen[c]);
+    std::copy(src.begin(), src.end(), result.centroids.Row(c).begin());
+  }
+
+  std::vector<size_t> counts(k, 0);
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      int32_t best = 0;
+      float best_dist = std::numeric_limits<float>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const float dist =
+            SquaredL2Distance(points.Row(i), result.centroids.Row(c));
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int32_t>(c);
+        }
+      }
+      result.inertia += best_dist;
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step.
+    result.centroids.Fill(0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto centroid = result.centroids.Row(result.assignment[i]);
+      auto point = points.Row(i);
+      for (size_t j = 0; j < d; ++j) centroid[j] += point[j];
+      ++counts[result.assignment[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster from a random point.
+        auto src = points.Row(rng.Uniform(n));
+        std::copy(src.begin(), src.end(), result.centroids.Row(c).begin());
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (float& v : result.centroids.Row(c)) v *= inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace kpef

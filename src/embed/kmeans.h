@@ -1,0 +1,34 @@
+// Lloyd's k-means over dense row vectors (used by the IDNE baseline's
+// topic discovery and available as a general utility).
+
+#ifndef KPEF_EMBED_KMEANS_H_
+#define KPEF_EMBED_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/matrix.h"
+
+namespace kpef {
+
+struct KMeansConfig {
+  size_t num_clusters = 16;
+  size_t max_iterations = 25;
+  uint64_t seed = 33;
+};
+
+struct KMeansResult {
+  Matrix centroids;                  // num_clusters x dim
+  std::vector<int32_t> assignment;   // row -> cluster
+  size_t iterations_run = 0;
+  double inertia = 0.0;              // sum of squared distances
+};
+
+/// Clusters the rows of `points`. Initialization is k-means++ style
+/// (distance-weighted seeding); empty clusters are reseeded from the
+/// farthest point.
+KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& config);
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_KMEANS_H_

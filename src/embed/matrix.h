@@ -1,0 +1,51 @@
+// Dense row-major float matrix used for embedding tables and projection
+// weights.
+
+#ifndef KPEF_EMBED_MATRIX_H_
+#define KPEF_EMBED_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+/// Row-major dense matrix of floats. Rows are the unit of access
+/// (embedding per token / document).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  std::span<float> Row(size_t r) {
+    KPEF_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> Row(size_t r) const {
+    KPEF_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void Fill(float value) { data_.assign(data_.size(), value); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_MATRIX_H_

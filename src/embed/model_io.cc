@@ -1,0 +1,173 @@
+#include "embed/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace kpef {
+namespace {
+
+constexpr uint32_t kMatrixMagic = 0x4B50464D;   // "KPFM"
+constexpr uint32_t kEncoderMagic = 0x4B504645;  // "KPFE"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+Status WriteFloats(std::ostream& out, const std::vector<float>& data) {
+  const uint64_t count = data.size();
+  WritePod(out, count);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<std::vector<float>> ReadFloats(std::istream& in,
+                                        uint64_t max_count = (1ull << 32)) {
+  uint64_t count = 0;
+  if (!ReadPod(in, count) || count > max_count) {
+    return Status::InvalidArgument("corrupt float array header");
+  }
+  std::vector<float> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) return Status::InvalidArgument("truncated float array");
+  return data;
+}
+
+}  // namespace
+
+Status SaveMatrix(const Matrix& matrix, std::ostream& out) {
+  WritePod(out, kMatrixMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(matrix.rows()));
+  WritePod(out, static_cast<uint64_t>(matrix.cols()));
+  return WriteFloats(out, matrix.data());
+}
+
+Status SaveMatrix(const Matrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  KPEF_RETURN_IF_ERROR(SaveMatrix(matrix, out));
+  out.close();
+  if (!out) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Matrix> LoadMatrix(std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  uint64_t rows = 0, cols = 0;
+  if (!ReadPod(in, magic) || magic != kMatrixMagic) {
+    return Status::InvalidArgument("not a kpef matrix file");
+  }
+  if (!ReadPod(in, version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported matrix version");
+  }
+  if (!ReadPod(in, rows) || !ReadPod(in, cols) ||
+      rows * cols > (1ull << 31)) {
+    return Status::InvalidArgument("corrupt matrix header");
+  }
+  KPEF_ASSIGN_OR_RETURN(std::vector<float> data, ReadFloats(in));
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument("matrix size mismatch");
+  }
+  Matrix matrix(rows, cols);
+  matrix.data() = std::move(data);
+  return matrix;
+}
+
+StatusOr<Matrix> LoadMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadMatrix(in);
+}
+
+Status SaveEncoder(const DocumentEncoder& encoder, std::ostream& out) {
+  WritePod(out, kEncoderMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(encoder.vocab_size()));
+  WritePod(out, static_cast<uint64_t>(encoder.dim()));
+  WritePod(out, static_cast<int32_t>(encoder.config().pooling));
+  WritePod(out, static_cast<uint8_t>(encoder.config().normalize_output));
+  KPEF_RETURN_IF_ERROR(WriteFloats(out, encoder.token_embeddings().data()));
+  KPEF_RETURN_IF_ERROR(WriteFloats(out, encoder.projection().data()));
+  KPEF_RETURN_IF_ERROR(WriteFloats(out, encoder.bias()));
+  return WriteFloats(out, encoder.token_weights());
+}
+
+Status SaveEncoder(const DocumentEncoder& encoder, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  KPEF_RETURN_IF_ERROR(SaveEncoder(encoder, out));
+  out.close();
+  if (!out) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<DocumentEncoder> LoadEncoder(std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  uint64_t vocab = 0, dim = 0;
+  int32_t pooling = 0;
+  uint8_t normalize = 1;
+  if (!ReadPod(in, magic) || magic != kEncoderMagic) {
+    return Status::InvalidArgument("not a kpef encoder file");
+  }
+  if (!ReadPod(in, version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported encoder version");
+  }
+  if (!ReadPod(in, vocab) || !ReadPod(in, dim) || !ReadPod(in, pooling) ||
+      !ReadPod(in, normalize)) {
+    return Status::InvalidArgument("corrupt encoder header");
+  }
+  if (pooling < 0 || pooling > static_cast<int32_t>(Pooling::kWeightedMean)) {
+    return Status::InvalidArgument("unknown pooling mode");
+  }
+  if (vocab * dim > (1ull << 31) || dim > (1ull << 20)) {
+    return Status::InvalidArgument("implausible encoder dimensions");
+  }
+  EncoderConfig config;
+  config.dim = dim;
+  config.pooling = static_cast<Pooling>(pooling);
+  config.normalize_output = normalize != 0;
+  DocumentEncoder encoder(vocab, config);
+
+  KPEF_ASSIGN_OR_RETURN(std::vector<float> tokens, ReadFloats(in));
+  if (tokens.size() != vocab * dim) {
+    return Status::InvalidArgument("token table size mismatch");
+  }
+  encoder.token_embeddings().data() = std::move(tokens);
+  KPEF_ASSIGN_OR_RETURN(std::vector<float> projection, ReadFloats(in));
+  if (projection.size() != dim * dim) {
+    return Status::InvalidArgument("projection size mismatch");
+  }
+  encoder.projection().data() = std::move(projection);
+  KPEF_ASSIGN_OR_RETURN(std::vector<float> bias, ReadFloats(in));
+  if (bias.size() != dim) {
+    return Status::InvalidArgument("bias size mismatch");
+  }
+  encoder.bias() = std::move(bias);
+  KPEF_ASSIGN_OR_RETURN(std::vector<float> weights, ReadFloats(in));
+  if (!weights.empty()) {
+    if (weights.size() != vocab) {
+      return Status::InvalidArgument("token weight size mismatch");
+    }
+    encoder.SetTokenWeights(std::move(weights));
+  }
+  return encoder;
+}
+
+StatusOr<DocumentEncoder> LoadEncoder(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadEncoder(in);
+}
+
+}  // namespace kpef

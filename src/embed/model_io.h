@@ -1,0 +1,41 @@
+// Binary persistence for embedding artifacts: matrices (token tables,
+// paper embeddings E) and the fine-tuned document encoder.
+//
+// The paper's pipeline builds embeddings and the PG-Index offline and
+// serves queries online; these helpers let the offline artifacts be
+// written to disk and reloaded by a serving process. Format is
+// host-endian binary with magic headers (not a cross-architecture
+// interchange format).
+
+#ifndef KPEF_EMBED_MODEL_IO_H_
+#define KPEF_EMBED_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "embed/document_encoder.h"
+#include "embed/matrix.h"
+
+namespace kpef {
+
+/// Writes a matrix (magic, rows, cols, row-major float data).
+Status SaveMatrix(const Matrix& matrix, const std::string& path);
+Status SaveMatrix(const Matrix& matrix, std::ostream& out);
+
+/// Reads a matrix written by SaveMatrix.
+StatusOr<Matrix> LoadMatrix(const std::string& path);
+StatusOr<Matrix> LoadMatrix(std::istream& in);
+
+/// Writes the encoder: config (dim, pooling, normalization), token table,
+/// projection, bias, and optional pooling weights.
+Status SaveEncoder(const DocumentEncoder& encoder, const std::string& path);
+Status SaveEncoder(const DocumentEncoder& encoder, std::ostream& out);
+
+/// Reads an encoder written by SaveEncoder.
+StatusOr<DocumentEncoder> LoadEncoder(const std::string& path);
+StatusOr<DocumentEncoder> LoadEncoder(std::istream& in);
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_MODEL_IO_H_

@@ -1,0 +1,46 @@
+// GloVe-style co-occurrence pre-training of token embeddings.
+//
+// Plays the role of the paper's pre-trained SciBERT weights Θ_B: it gives
+// the document encoder a semantically meaningful starting point, which the
+// triplet fine-tuning of §III-C then adapts with structural signal. Also
+// provides the word vectors of the Avg.GloVe baseline directly.
+
+#ifndef KPEF_EMBED_PRETRAIN_H_
+#define KPEF_EMBED_PRETRAIN_H_
+
+#include <cstdint>
+
+#include "embed/matrix.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Pre-training hyperparameters (GloVe defaults scaled to small corpora).
+struct PretrainConfig {
+  size_t dim = 64;
+  /// Symmetric co-occurrence window; pairs are weighted 1/distance.
+  size_t window = 5;
+  size_t epochs = 12;
+  /// AdaGrad initial learning rate.
+  double learning_rate = 0.05;
+  /// Weighting-function knee: f(x) = min(1, (x / x_max)^alpha).
+  double x_max = 20.0;
+  double alpha = 0.75;
+  uint64_t seed = 42;
+};
+
+/// Result of pre-training: the token embedding table (sum of the word and
+/// context factor matrices, per the GloVe paper) and the final objective.
+struct PretrainResult {
+  Matrix token_embeddings;  // vocab_size x dim
+  double final_loss = 0.0;
+  size_t num_cooccurrence_pairs = 0;
+};
+
+/// Trains token embeddings on the corpus' co-occurrence statistics.
+PretrainResult PretrainTokenEmbeddings(const Corpus& corpus,
+                                       const PretrainConfig& config);
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_PRETRAIN_H_

@@ -1,0 +1,59 @@
+#include "embed/text_embedding.h"
+
+#include <algorithm>
+
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+std::vector<float> MeanTokenEmbedding(const Matrix& token_embeddings,
+                                      std::span<const TokenId> tokens) {
+  const size_t d = token_embeddings.cols();
+  std::vector<float> out(d, 0.0f);
+  if (tokens.empty()) return out;
+  for (TokenId t : tokens) {
+    auto row = token_embeddings.Row(static_cast<size_t>(t));
+    for (size_t k = 0; k < d; ++k) out[k] += row[k];
+  }
+  const float inv = 1.0f / static_cast<float>(tokens.size());
+  for (float& v : out) v *= inv;
+  return out;
+}
+
+std::vector<float> SifEmbedding(const Matrix& token_embeddings,
+                                const Vocabulary& vocabulary,
+                                size_t num_documents,
+                                std::span<const TokenId> tokens, double a) {
+  const size_t d = token_embeddings.cols();
+  std::vector<float> out(d, 0.0f);
+  if (tokens.empty() || num_documents == 0) return out;
+  double weight_total = 0.0;
+  for (TokenId t : tokens) {
+    const double p =
+        static_cast<double>(vocabulary.DocumentFrequency(t)) /
+        static_cast<double>(num_documents);
+    const float w = static_cast<float>(a / (a + p));
+    weight_total += w;
+    auto row = token_embeddings.Row(static_cast<size_t>(t));
+    for (size_t k = 0; k < d; ++k) out[k] += w * row[k];
+  }
+  if (weight_total > 0.0) {
+    const float inv = static_cast<float>(1.0 / weight_total);
+    for (float& v : out) v *= inv;
+  }
+  NormalizeL2(out);
+  return out;
+}
+
+Matrix MeanEmbedAllDocuments(const Matrix& token_embeddings,
+                             const Corpus& corpus) {
+  Matrix out(corpus.NumDocuments(), token_embeddings.cols());
+  for (size_t doc = 0; doc < corpus.NumDocuments(); ++doc) {
+    const std::vector<float> v =
+        MeanTokenEmbedding(token_embeddings, corpus.Document(doc));
+    std::copy(v.begin(), v.end(), out.Row(doc).begin());
+  }
+  return out;
+}
+
+}  // namespace kpef

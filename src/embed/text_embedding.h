@@ -1,0 +1,35 @@
+// Dense text-feature helpers: plain and frequency-weighted (SIF)
+// sentence embeddings over a token-embedding table.
+
+#ifndef KPEF_EMBED_TEXT_EMBEDDING_H_
+#define KPEF_EMBED_TEXT_EMBEDDING_H_
+
+#include <span>
+#include <vector>
+
+#include "embed/matrix.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Mean of the token embeddings of `tokens` (zero vector when empty).
+std::vector<float> MeanTokenEmbedding(const Matrix& token_embeddings,
+                                      std::span<const TokenId> tokens);
+
+/// Smooth-inverse-frequency weighted mean (Arora et al. style):
+/// weight(t) = a / (a + p(t)) with p(t) the corpus token probability.
+/// Result is L2-normalized. Used by the SBERT-like baseline as a stronger
+/// text-only sentence embedding than the plain average.
+std::vector<float> SifEmbedding(const Matrix& token_embeddings,
+                                const Vocabulary& vocabulary,
+                                size_t num_documents,
+                                std::span<const TokenId> tokens,
+                                double a = 1e-3);
+
+/// Embeds every corpus document with MeanTokenEmbedding.
+Matrix MeanEmbedAllDocuments(const Matrix& token_embeddings,
+                             const Corpus& corpus);
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_TEXT_EMBEDDING_H_

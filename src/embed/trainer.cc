@@ -1,0 +1,88 @@
+#include "embed/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace kpef {
+
+TrainStats TripletTrainer::Train(const std::vector<Triple>& triples,
+                                 const TrainerConfig& config) {
+  Timer timer;
+  TrainStats stats;
+  stats.num_triples = triples.size();
+  if (triples.empty()) {
+    KPEF_LOG(Warning) << "no training triples; encoder left unchanged";
+    return stats;
+  }
+
+  const size_t d = encoder_->dim();
+  const size_t token_params = encoder_->vocab_size() * d;
+  const size_t proj_params = d * d;
+  // One optimizer state over [tokens | projection | bias].
+  Adam adam(token_params + proj_params + d, config.adam);
+  const size_t proj_offset = token_params;
+  const size_t bias_offset = token_params + proj_params;
+
+  std::vector<Triple> shuffled(triples);
+  Rng rng(config.seed);
+  EncoderGradients grads;
+  grads.Reset(d);
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(shuffled);
+    double epoch_loss = 0.0;
+    size_t active = 0;
+    for (size_t start = 0; start < shuffled.size();
+         start += config.batch_size) {
+      const size_t end = std::min(shuffled.size(), start + config.batch_size);
+      grads.Reset(d);
+      size_t batch_active = 0;
+      for (size_t i = start; i < end; ++i) {
+        const Triple& t = shuffled[i];
+        const auto cache_s = encoder_->Forward(corpus_->Document(t.seed));
+        const auto cache_p = encoder_->Forward(corpus_->Document(t.positive));
+        const auto cache_n = encoder_->Forward(corpus_->Document(t.negative));
+        const TripletLossResult loss = ComputeTripletLoss(
+            cache_s.output, cache_p.output, cache_n.output, config.margin);
+        epoch_loss += loss.loss;
+        if (!loss.active) continue;
+        ++batch_active;
+        encoder_->Backward(cache_s, loss.grad_seed, grads);
+        encoder_->Backward(cache_p, loss.grad_positive, grads);
+        encoder_->Backward(cache_n, loss.grad_negative, grads);
+      }
+      if (batch_active == 0) continue;
+      active += batch_active;
+      // Average accumulated gradients over the batch, then one Adam step.
+      const float inv = 1.0f / static_cast<float>(end - start);
+      adam.BeginStep();
+      if (config.train_token_embeddings) {
+        for (auto& [token, grad] : grads.d_tokens) {
+          for (float& g : grad) g *= inv;
+          adam.UpdateRow(encoder_->token_embeddings(),
+                         static_cast<size_t>(token), grad, /*block_offset=*/0);
+        }
+      }
+      for (float& g : grads.d_projection.data()) g *= inv;
+      for (float& g : grads.d_bias) g *= inv;
+      adam.UpdateDense(std::span<float>(encoder_->projection().data()),
+                       grads.d_projection.data(), proj_offset);
+      adam.UpdateDense(std::span<float>(encoder_->bias()), grads.d_bias,
+                       bias_offset);
+    }
+    stats.epoch_loss.push_back(epoch_loss /
+                               static_cast<double>(shuffled.size()));
+    stats.final_active_fraction =
+        static_cast<double>(active) / static_cast<double>(shuffled.size());
+    KPEF_LOG(Info) << "epoch " << epoch + 1 << "/" << config.epochs
+                   << " loss=" << stats.epoch_loss.back()
+                   << " active=" << stats.final_active_fraction;
+  }
+  stats.train_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace kpef

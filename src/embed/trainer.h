@@ -1,0 +1,56 @@
+// Fine-tuning loop of §III-C: minimizes the triplet loss over the sampled
+// triples with Adam, updating the encoder's token table and projection.
+
+#ifndef KPEF_EMBED_TRAINER_H_
+#define KPEF_EMBED_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/adam.h"
+#include "embed/document_encoder.h"
+#include "embed/triplet.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Training hyperparameters. Defaults follow §VI-A: margin c = 1,
+/// 4 epochs, batch size 64 used for gradient accumulation.
+struct TrainerConfig {
+  size_t epochs = 4;
+  size_t batch_size = 64;
+  float margin = 1.0f;
+  AdamConfig adam;
+  uint64_t seed = 7;
+  /// Also fine-tune the token embedding table (Θ_B); disabling restricts
+  /// training to the projection head.
+  bool train_token_embeddings = true;
+};
+
+/// Outcome of a training run.
+struct TrainStats {
+  /// Mean triplet loss per epoch, in order.
+  std::vector<double> epoch_loss;
+  /// Fraction of margin-active triples in the final epoch.
+  double final_active_fraction = 0.0;
+  size_t num_triples = 0;
+  double train_seconds = 0.0;
+};
+
+/// Runs triplet fine-tuning in place on `encoder`.
+class TripletTrainer {
+ public:
+  TripletTrainer(DocumentEncoder* encoder, const Corpus* corpus)
+      : encoder_(encoder), corpus_(corpus) {}
+
+  TrainStats Train(const std::vector<Triple>& triples,
+                   const TrainerConfig& config);
+
+ private:
+  DocumentEncoder* encoder_;
+  const Corpus* corpus_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_TRAINER_H_

@@ -1,0 +1,44 @@
+#include "embed/triplet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+
+TripletLossResult ComputeTripletLoss(std::span<const float> seed,
+                                     std::span<const float> positive,
+                                     std::span<const float> negative,
+                                     float margin, float epsilon) {
+  KPEF_CHECK(seed.size() == positive.size());
+  KPEF_CHECK(seed.size() == negative.size());
+  const size_t d = seed.size();
+  TripletLossResult result;
+
+  const float d_pos = std::max(L2Distance(seed, positive), epsilon);
+  const float d_neg = std::max(L2Distance(seed, negative), epsilon);
+  const float raw = d_pos - d_neg + margin;
+  if (raw <= 0.0f) {
+    result.loss = 0.0f;
+    result.active = false;
+    return result;
+  }
+  result.loss = raw;
+  result.active = true;
+  result.grad_seed.assign(d, 0.0f);
+  result.grad_positive.assign(d, 0.0f);
+  result.grad_negative.assign(d, 0.0f);
+  // d||a-b|| / da = (a-b)/||a-b||.
+  for (size_t k = 0; k < d; ++k) {
+    const float u_pos = (seed[k] - positive[k]) / d_pos;
+    const float u_neg = (seed[k] - negative[k]) / d_neg;
+    result.grad_seed[k] = u_pos - u_neg;
+    result.grad_positive[k] = -u_pos;
+    result.grad_negative[k] = u_neg;
+  }
+  return result;
+}
+
+}  // namespace kpef

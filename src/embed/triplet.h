@@ -1,0 +1,44 @@
+// Training triples and the margin triplet loss of §III-C (Eq. 3).
+
+#ifndef KPEF_EMBED_TRIPLET_H_
+#define KPEF_EMBED_TRIPLET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kpef {
+
+/// One training example <p+, ps, p->: corpus document ids of the positive
+/// sample, seed paper, and negative sample.
+struct Triple {
+  int32_t positive;
+  int32_t seed;
+  int32_t negative;
+
+  bool operator==(const Triple&) const = default;
+};
+
+/// Value and input-gradients of the triplet loss
+///   L = max(0, δ(vs, vp) - δ(vs, vn) + margin)
+/// with δ the (non-squared) L2 distance, matching the paper.
+struct TripletLossResult {
+  float loss = 0.0f;
+  /// True when the example is inside the margin (gradients non-zero).
+  bool active = false;
+  std::vector<float> grad_seed;
+  std::vector<float> grad_positive;
+  std::vector<float> grad_negative;
+};
+
+/// Computes the loss and, when active, the gradients with respect to the
+/// three encoded vectors. Distances below `epsilon` are clamped to avoid
+/// division blow-ups for coincident embeddings.
+TripletLossResult ComputeTripletLoss(std::span<const float> seed,
+                                     std::span<const float> positive,
+                                     std::span<const float> negative,
+                                     float margin, float epsilon = 1e-8f);
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_TRIPLET_H_

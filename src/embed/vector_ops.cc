@@ -1,0 +1,58 @@
+#include "embed/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kpef {
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(sum);
+}
+
+float SquaredL2Distance(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return static_cast<float>(sum);
+}
+
+float L2Distance(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(SquaredL2Distance(a, b));
+}
+
+float L2Norm(std::span<const float> a) {
+  double sum = 0.0;
+  for (float v : a) sum += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(sum));
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void NormalizeL2(std::span<float> x) {
+  const float norm = L2Norm(x);
+  if (norm > 0.0f) Scale(1.0f / norm, x);
+}
+
+float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  const float na = L2Norm(a);
+  const float nb = L2Norm(b);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace kpef

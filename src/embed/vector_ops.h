@@ -1,0 +1,38 @@
+// Small dense float-vector kernels shared by the embedding models and the
+// ANN index.
+
+#ifndef KPEF_EMBED_VECTOR_OPS_H_
+#define KPEF_EMBED_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace kpef {
+
+/// Dot product. Spans must have equal size.
+float Dot(std::span<const float> a, std::span<const float> b);
+
+/// Squared L2 distance ||a - b||^2.
+float SquaredL2Distance(std::span<const float> a, std::span<const float> b);
+
+/// L2 norm distance δ(a, b) = ||a - b||_2 (the paper's distance).
+float L2Distance(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean norm ||a||_2.
+float L2Norm(std::span<const float> a);
+
+/// y += alpha * x.
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void Scale(float alpha, std::span<float> x);
+
+/// Normalizes x to unit L2 norm; leaves the zero vector untouched.
+void NormalizeL2(std::span<float> x);
+
+/// Cosine similarity; 0 when either vector is zero.
+float CosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+}  // namespace kpef
+
+#endif  // KPEF_EMBED_VECTOR_OPS_H_

@@ -1,0 +1,135 @@
+#include "eval/evaluation.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "embed/text_embedding.h"
+#include "embed/vector_ops.h"
+#include "eval/metrics.h"
+
+namespace kpef {
+
+Evaluator::Evaluator(const Dataset* dataset, const QuerySet* queries,
+                     const Corpus* corpus, const TfIdfModel* reference,
+                     const Matrix* reference_tokens)
+    : dataset_(dataset),
+      queries_(queries),
+      corpus_(corpus),
+      reference_(reference),
+      reference_tokens_(reference_tokens) {
+  if (reference_tokens_ != nullptr) {
+    const size_t d = reference_tokens_->cols();
+    sif_docs_ = Matrix(corpus_->NumDocuments(), d);
+    for (size_t doc = 0; doc < corpus_->NumDocuments(); ++doc) {
+      const std::vector<float> v =
+          SifEmbedding(*reference_tokens_, corpus_->vocabulary(),
+                       corpus_->NumDocuments(), corpus_->Document(doc));
+      std::copy(v.begin(), v.end(), sif_docs_.Row(doc).begin());
+    }
+    // SIF common-component removal (approximated by the corpus mean):
+    // without it every pair of documents shares a large generic
+    // component and ADS saturates near 1 for all methods.
+    sif_mean_.assign(d, 0.0f);
+    for (size_t doc = 0; doc < corpus_->NumDocuments(); ++doc) {
+      auto row = sif_docs_.Row(doc);
+      for (size_t k = 0; k < d; ++k) sif_mean_[k] += row[k];
+    }
+    const float inv =
+        1.0f / static_cast<float>(std::max<size_t>(1, corpus_->NumDocuments()));
+    for (float& v : sif_mean_) v *= inv;
+    for (size_t doc = 0; doc < corpus_->NumDocuments(); ++doc) {
+      auto row = sif_docs_.Row(doc);
+      for (size_t k = 0; k < d; ++k) row[k] -= sif_mean_[k];
+      NormalizeL2(row);
+    }
+  }
+}
+
+double Evaluator::AverageDocumentSimilarity(
+    const std::vector<NodeId>& experts, const std::string& query_text) const {
+  if (experts.empty()) return 0.0;
+  const HeteroGraph& graph = dataset_->graph;
+  const std::vector<TokenId> query_tokens = corpus_->EncodeQuery(query_text);
+  const SparseVector query_vec =
+      reference_tokens_ == nullptr ? reference_->Vectorize(query_tokens)
+                                   : SparseVector{};
+  std::vector<float> query_sif;
+  if (reference_tokens_ != nullptr) {
+    query_sif = SifEmbedding(*reference_tokens_, corpus_->vocabulary(),
+                             corpus_->NumDocuments(), query_tokens);
+    for (size_t k = 0; k < query_sif.size(); ++k) {
+      query_sif[k] -= sif_mean_[k];
+    }
+    NormalizeL2(query_sif);
+  }
+  double total = 0.0;
+  for (NodeId author : experts) {
+    const auto papers = graph.Neighbors(author, dataset_->ids.write);
+    if (papers.empty()) continue;
+    double author_total = 0.0;
+    for (NodeId paper : papers) {
+      const size_t doc = graph.LocalIndex(paper);
+      if (reference_tokens_ != nullptr) {
+        author_total += CosineSimilarity(sif_docs_.Row(doc), query_sif);
+      } else {
+        author_total +=
+            TfIdfModel::Cosine(reference_->DocumentVector(doc), query_vec);
+      }
+    }
+    total += author_total / static_cast<double>(papers.size());
+  }
+  return total / static_cast<double>(experts.size());
+}
+
+EvaluationResult Evaluator::Evaluate(RetrievalModel& model, size_t n) const {
+  EvaluationResult result;
+  result.model = model.name();
+  result.num_queries = queries_->queries.size();
+  if (queries_->queries.empty()) return result;
+
+  std::vector<std::vector<NodeId>> rankings;
+  std::vector<std::vector<NodeId>> truths;
+  rankings.reserve(queries_->queries.size());
+  truths.reserve(queries_->queries.size());
+  double total_ms = 0.0;
+  double total_ads = 0.0;
+  for (const Query& query : queries_->queries) {
+    Timer timer;
+    const std::vector<ExpertScore> experts = model.FindExperts(query.text, n);
+    total_ms += timer.ElapsedMillis();
+    std::vector<NodeId> ranked;
+    ranked.reserve(experts.size());
+    for (const ExpertScore& e : experts) ranked.push_back(e.author);
+
+    result.p_at_5 += PrecisionAtN(ranked, query.ground_truth, 5);
+    result.p_at_10 += PrecisionAtN(ranked, query.ground_truth, 10);
+    result.p_at_20 += PrecisionAtN(ranked, query.ground_truth, 20);
+    total_ads += AverageDocumentSimilarity(ranked, query.text);
+    rankings.push_back(std::move(ranked));
+    truths.push_back(query.ground_truth);
+  }
+  const double q = static_cast<double>(queries_->queries.size());
+  result.per_query_ap.reserve(rankings.size());
+  for (size_t i = 0; i < rankings.size(); ++i) {
+    result.per_query_ap.push_back(AveragePrecision(rankings[i], truths[i]));
+  }
+  result.map = MeanAveragePrecision(rankings, truths);
+  result.p_at_5 /= q;
+  result.p_at_10 /= q;
+  result.p_at_20 /= q;
+  result.ads = total_ads / q;
+  result.mean_response_ms = total_ms / q;
+  return result;
+}
+
+void PrintResultsTable(const std::vector<EvaluationResult>& results) {
+  std::printf("%-22s %7s %7s %7s %7s %7s %10s\n", "Method", "MAP", "P@5",
+              "P@10", "P@20", "ADS", "ms/query");
+  for (const EvaluationResult& r : results) {
+    std::printf("%-22s %7.3f %7.3f %7.3f %7.3f %7.3f %10.2f\n",
+                r.model.c_str(), r.map, r.p_at_5, r.p_at_10, r.p_at_20, r.ads,
+                r.mean_response_ms);
+  }
+}
+
+}  // namespace kpef

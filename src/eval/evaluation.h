@@ -1,0 +1,76 @@
+// Evaluation harness: runs a retrieval model over a query set and reports
+// the paper's effectiveness (MAP, P@n, ADS) and efficiency (response
+// time) measures.
+
+#ifndef KPEF_EVAL_EVALUATION_H_
+#define KPEF_EVAL_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "embed/matrix.h"
+#include "eval/retrieval_model.h"
+#include "text/corpus.h"
+#include "text/tfidf.h"
+
+namespace kpef {
+
+/// Aggregated results of one model over one query set.
+struct EvaluationResult {
+  std::string model;
+  double map = 0.0;
+  double p_at_5 = 0.0;
+  double p_at_10 = 0.0;
+  double p_at_20 = 0.0;
+  /// Average document similarity of the returned experts' papers to the
+  /// query (§VI-A). Computed with a model-independent reference
+  /// similarity so values are comparable across methods: SIF-embedding
+  /// cosine when the evaluator was given reference token embeddings,
+  /// TF-IDF cosine otherwise.
+  double ads = 0.0;
+  /// Mean per-query response time, milliseconds.
+  double mean_response_ms = 0.0;
+  size_t num_queries = 0;
+  /// Per-query average precision, in query order (input to the paired
+  /// bootstrap significance test).
+  std::vector<double> per_query_ap;
+};
+
+/// Evaluates models against a fixed dataset + query set.
+///
+/// The corpus must index the dataset's papers in LocalIndex order (the
+/// convention used throughout the library).
+class Evaluator {
+ public:
+  /// `reference_tokens` (optional) switches the ADS reference similarity
+  /// from lexical (TF-IDF cosine) to semantic (SIF-embedding cosine).
+  Evaluator(const Dataset* dataset, const QuerySet* queries,
+            const Corpus* corpus, const TfIdfModel* reference,
+            const Matrix* reference_tokens = nullptr);
+
+  /// Runs `model` over every query at ranking depth n.
+  EvaluationResult Evaluate(RetrievalModel& model, size_t n = 20) const;
+
+ private:
+  double AverageDocumentSimilarity(const std::vector<NodeId>& experts,
+                                   const std::string& query_text) const;
+
+  const Dataset* dataset_;
+  const QuerySet* queries_;
+  const Corpus* corpus_;
+  const TfIdfModel* reference_;
+  const Matrix* reference_tokens_;
+  /// Per-paper SIF embeddings (mean-removed, unit norm) when
+  /// reference_tokens_ is set.
+  Matrix sif_docs_;
+  std::vector<float> sif_mean_;
+};
+
+/// Prints a result table (one row per result) to stdout, aligned.
+void PrintResultsTable(const std::vector<EvaluationResult>& results);
+
+}  // namespace kpef
+
+#endif  // KPEF_EVAL_EVALUATION_H_

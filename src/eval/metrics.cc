@@ -1,0 +1,86 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+double PrecisionAtN(const std::vector<NodeId>& ranked,
+                    const std::vector<NodeId>& truth, size_t n) {
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  const size_t limit = std::min(n, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (std::binary_search(truth.begin(), truth.end(), ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double AveragePrecision(const std::vector<NodeId>& ranked,
+                        const std::vector<NodeId>& truth) {
+  if (ranked.empty() || truth.empty()) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (std::binary_search(truth.begin(), truth.end(), ranked[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const size_t denom = std::min(truth.size(), ranked.size());
+  return sum / static_cast<double>(denom);
+}
+
+double ReciprocalRank(const std::vector<NodeId>& ranked,
+                      const std::vector<NodeId>& truth) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (std::binary_search(truth.begin(), truth.end(), ranked[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double RecallAtN(const std::vector<NodeId>& ranked,
+                 const std::vector<NodeId>& truth, size_t n) {
+  if (truth.empty()) return 0.0;
+  size_t hits = 0;
+  const size_t limit = std::min(n, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (std::binary_search(truth.begin(), truth.end(), ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double NdcgAtN(const std::vector<NodeId>& ranked,
+               const std::vector<NodeId>& truth, size_t n) {
+  if (n == 0 || truth.empty()) return 0.0;
+  double dcg = 0.0;
+  const size_t limit = std::min(n, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (std::binary_search(truth.begin(), truth.end(), ranked[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i + 2));
+    }
+  }
+  double ideal = 0.0;
+  const size_t ideal_hits = std::min(n, truth.size());
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i + 2));
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+double MeanAveragePrecision(const std::vector<std::vector<NodeId>>& rankings,
+                            const std::vector<std::vector<NodeId>>& truths) {
+  KPEF_CHECK(rankings.size() == truths.size());
+  if (rankings.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < rankings.size(); ++q) {
+    total += AveragePrecision(rankings[q], truths[q]);
+  }
+  return total / static_cast<double>(rankings.size());
+}
+
+}  // namespace kpef

@@ -1,0 +1,48 @@
+// Information-retrieval effectiveness metrics of §VI-A: P@n, AP/MAP, and
+// the average document similarity (ADS).
+
+#ifndef KPEF_EVAL_METRICS_H_
+#define KPEF_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace kpef {
+
+/// P@n: fraction of the first n ranked experts present in the ground
+/// truth (`truth` must be sorted ascending). Counts over exactly n slots:
+/// returning fewer than n experts scores the missing slots as misses.
+double PrecisionAtN(const std::vector<NodeId>& ranked,
+                    const std::vector<NodeId>& truth, size_t n);
+
+/// Average precision over the ranked list:
+///   AP = sum_i P@i * rel(i) / min(|truth|, |ranked|),
+/// the standard normalization (the paper's N is capped by the retrieval
+/// depth; without the cap AP would be bounded by n/|truth| for the large
+/// topic-level ground truths used here).
+double AveragePrecision(const std::vector<NodeId>& ranked,
+                        const std::vector<NodeId>& truth);
+
+/// Mean of per-query APs; `rankings[q]` is the ranked experts of query q.
+double MeanAveragePrecision(
+    const std::vector<std::vector<NodeId>>& rankings,
+    const std::vector<std::vector<NodeId>>& truths);
+
+/// Reciprocal rank of the first relevant expert (0 when none is ranked).
+double ReciprocalRank(const std::vector<NodeId>& ranked,
+                      const std::vector<NodeId>& truth);
+
+/// Recall@n: fraction of the ground truth found in the first n results.
+double RecallAtN(const std::vector<NodeId>& ranked,
+                 const std::vector<NodeId>& truth, size_t n);
+
+/// nDCG@n with binary relevance: DCG over the first n results normalized
+/// by the ideal DCG (min(n, |truth|) relevant results up front).
+double NdcgAtN(const std::vector<NodeId>& ranked,
+               const std::vector<NodeId>& truth, size_t n);
+
+}  // namespace kpef
+
+#endif  // KPEF_EVAL_METRICS_H_

@@ -1,0 +1,30 @@
+// Common interface implemented by every expert-finding method (the paper's
+// solution and all seven baselines), so the evaluation harness and benches
+// treat them uniformly.
+
+#ifndef KPEF_EVAL_RETRIEVAL_MODEL_H_
+#define KPEF_EVAL_RETRIEVAL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "ranking/expert_score.h"
+
+namespace kpef {
+
+/// A fitted expert-finding model: maps a query text to ranked experts.
+class RetrievalModel {
+ public:
+  virtual ~RetrievalModel() = default;
+
+  /// Method name as printed in result tables ("TFIDF", "GVNR-t", ...).
+  virtual std::string name() const = 0;
+
+  /// Returns the top-n experts for the query, best first.
+  virtual std::vector<ExpertScore> FindExperts(const std::string& query_text,
+                                               size_t n) = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_EVAL_RETRIEVAL_MODEL_H_

@@ -1,0 +1,58 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace kpef {
+
+BootstrapResult PairedBootstrap(const std::vector<double>& scores_a,
+                                const std::vector<double>& scores_b,
+                                size_t num_samples, uint64_t seed) {
+  KPEF_CHECK(scores_a.size() == scores_b.size());
+  BootstrapResult result;
+  result.num_queries = scores_a.size();
+  result.num_samples = num_samples;
+  if (scores_a.empty() || num_samples == 0) return result;
+
+  const size_t n = scores_a.size();
+  std::vector<double> diffs(n);
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diffs[i] = scores_a[i] - scores_b[i];
+    mean += diffs[i];
+  }
+  mean /= static_cast<double>(n);
+  result.mean_difference = mean;
+
+  Rng rng(seed);
+  std::vector<double> resampled_means;
+  resampled_means.reserve(num_samples);
+  size_t sign_flips = 0;
+  for (size_t s = 0; s < num_samples; ++s) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += diffs[rng.Uniform(n)];
+    const double resampled = total / static_cast<double>(n);
+    resampled_means.push_back(resampled);
+    // Count resamples on the opposite side of zero from the observed mean
+    // (including exactly zero as half a flip is unnecessary at this
+    // granularity).
+    if ((mean > 0 && resampled <= 0) || (mean < 0 && resampled >= 0) ||
+        mean == 0) {
+      ++sign_flips;
+    }
+  }
+  result.p_value = std::min(
+      1.0, 2.0 * static_cast<double>(sign_flips) /
+               static_cast<double>(num_samples));
+  std::sort(resampled_means.begin(), resampled_means.end());
+  const size_t lo = static_cast<size_t>(0.025 * (num_samples - 1));
+  const size_t hi = static_cast<size_t>(0.975 * (num_samples - 1));
+  result.ci_low = resampled_means[lo];
+  result.ci_high = resampled_means[hi];
+  return result;
+}
+
+}  // namespace kpef

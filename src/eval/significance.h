@@ -1,0 +1,39 @@
+// Statistical significance of effectiveness differences.
+//
+// Table II-style comparisons on a few dozen queries need a significance
+// check before claiming a winner. Implements the standard paired
+// bootstrap test over per-query metric values (e.g. average precision).
+
+#ifndef KPEF_EVAL_SIGNIFICANCE_H_
+#define KPEF_EVAL_SIGNIFICANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kpef {
+
+struct BootstrapResult {
+  /// Mean per-query difference (a - b).
+  double mean_difference = 0.0;
+  /// Two-sided p-value for the null hypothesis "no difference".
+  double p_value = 1.0;
+  /// 95% bootstrap confidence interval of the mean difference.
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  size_t num_queries = 0;
+  size_t num_samples = 0;
+};
+
+/// Paired bootstrap over per-query scores of two systems (same queries,
+/// same order). Resamples query sets with replacement `num_samples`
+/// times; the p-value is the fraction of resampled mean differences whose
+/// sign flips (doubled, capped at 1).
+BootstrapResult PairedBootstrap(const std::vector<double>& scores_a,
+                                const std::vector<double>& scores_b,
+                                size_t num_samples = 10000,
+                                uint64_t seed = 171);
+
+}  // namespace kpef
+
+#endif  // KPEF_EVAL_SIGNIFICANCE_H_

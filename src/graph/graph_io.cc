@@ -1,0 +1,192 @@
+#include "graph/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace kpef {
+namespace {
+
+constexpr char kMagic[] = "kpef-graph";
+constexpr int kVersion = 1;
+
+std::string EscapeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLabel(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out += text[i];
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      default:
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+// Reads one line; returns false at EOF.
+bool GetLine(std::istream& in, std::string& line) {
+  return static_cast<bool>(std::getline(in, line));
+}
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed graph file: " + what);
+}
+
+}  // namespace
+
+Status SaveGraph(const HeteroGraph& graph, std::ostream& out) {
+  const Schema& schema = graph.schema();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "nodetypes " << schema.NumNodeTypes() << '\n';
+  for (size_t t = 0; t < schema.NumNodeTypes(); ++t) {
+    out << schema.NodeTypeName(static_cast<NodeTypeId>(t)) << '\n';
+  }
+  out << "edgetypes " << schema.NumEdgeTypes() << '\n';
+  for (size_t r = 0; r < schema.NumEdgeTypes(); ++r) {
+    const EdgeTypeId id = static_cast<EdgeTypeId>(r);
+    out << schema.EdgeTypeName(id) << ' ' << schema.EdgeSrcType(id) << ' '
+        << schema.EdgeDstType(id) << '\n';
+  }
+  out << "nodes " << graph.NumNodes() << '\n';
+  for (size_t v = 0; v < graph.NumNodes(); ++v) {
+    const NodeId id = static_cast<NodeId>(v);
+    out << graph.TypeOf(id) << '\t' << EscapeLabel(graph.Label(id)) << '\n';
+  }
+  out << "edges " << graph.Edges().size() << '\n';
+  for (const auto& e : graph.Edges()) {
+    out << e.type << ' ' << e.src << ' ' << e.dst << '\n';
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveGraph(const HeteroGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  KPEF_RETURN_IF_ERROR(SaveGraph(graph, out));
+  out.close();
+  if (!out) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<HeteroGraph> LoadGraph(std::istream& in) {
+  std::string line;
+  if (!GetLine(in, line)) return Malformed("empty file");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic) return Malformed("bad magic \"" + magic + "\"");
+    if (version != kVersion) {
+      return Malformed("unsupported version " + std::to_string(version));
+    }
+  }
+
+  auto read_count = [&](const std::string& keyword) -> StatusOr<size_t> {
+    std::string current;
+    if (!GetLine(in, current)) return Malformed("missing " + keyword);
+    std::istringstream parse(current);
+    std::string word;
+    size_t count = 0;
+    parse >> word >> count;
+    if (word != keyword) {
+      return Malformed("expected \"" + keyword + "\", got \"" + word + "\"");
+    }
+    return count;
+  };
+
+  Schema schema;
+  KPEF_ASSIGN_OR_RETURN(const size_t num_node_types, read_count("nodetypes"));
+  for (size_t t = 0; t < num_node_types; ++t) {
+    if (!GetLine(in, line) || line.empty()) return Malformed("node type name");
+    schema.AddNodeType(line);
+  }
+  KPEF_ASSIGN_OR_RETURN(const size_t num_edge_types, read_count("edgetypes"));
+  for (size_t r = 0; r < num_edge_types; ++r) {
+    if (!GetLine(in, line)) return Malformed("edge type line");
+    std::istringstream parse(line);
+    std::string name;
+    int src = -1, dst = -1;
+    parse >> name >> src >> dst;
+    if (name.empty() || src < 0 || dst < 0 ||
+        static_cast<size_t>(src) >= num_node_types ||
+        static_cast<size_t>(dst) >= num_node_types) {
+      return Malformed("edge type \"" + line + "\"");
+    }
+    schema.AddEdgeType(name, static_cast<NodeTypeId>(src),
+                       static_cast<NodeTypeId>(dst));
+  }
+
+  HeteroGraphBuilder builder(schema);
+  KPEF_ASSIGN_OR_RETURN(const size_t num_nodes, read_count("nodes"));
+  for (size_t v = 0; v < num_nodes; ++v) {
+    if (!GetLine(in, line)) return Malformed("node line");
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) return Malformed("node line without tab");
+    int type = -1;
+    const auto [ptr, ec] =
+        std::from_chars(line.data(), line.data() + tab, type);
+    if (ec != std::errc() || ptr != line.data() + tab) {
+      return Malformed("node type id \"" + line.substr(0, tab) + "\"");
+    }
+    if (type < 0 || static_cast<size_t>(type) >= num_node_types) {
+      return Malformed("node type id out of range");
+    }
+    builder.AddNode(static_cast<NodeTypeId>(type),
+                    UnescapeLabel(line.substr(tab + 1)));
+  }
+  KPEF_ASSIGN_OR_RETURN(const size_t num_edges, read_count("edges"));
+  for (size_t e = 0; e < num_edges; ++e) {
+    if (!GetLine(in, line)) return Malformed("edge line");
+    std::istringstream parse(line);
+    long long type = -1, src = -1, dst = -1;
+    parse >> type >> src >> dst;
+    if (parse.fail()) return Malformed("edge line \"" + line + "\"");
+    const Status added =
+        builder.AddEdge(static_cast<EdgeTypeId>(type),
+                        static_cast<NodeId>(src), static_cast<NodeId>(dst));
+    if (!added.ok()) return Malformed(added.message());
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<HeteroGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadGraph(in);
+}
+
+}  // namespace kpef

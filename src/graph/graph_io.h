@@ -1,0 +1,46 @@
+// Text serialization of heterogeneous graphs.
+//
+// Lets users persist generated datasets or load their own academic
+// networks (e.g., converted DBLP dumps) into the engine. The format is a
+// line-oriented text file that round-trips the graph exactly, including
+// the edge insertion order that defines author-rank neighbor ordering.
+
+#ifndef KPEF_GRAPH_GRAPH_IO_H_
+#define KPEF_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/hetero_graph.h"
+
+namespace kpef {
+
+/// Writes `graph` to `path` in the kpef-graph v1 text format:
+///
+///   kpef-graph 1
+///   nodetypes <count>
+///   <name>                      (one per node type)
+///   edgetypes <count>
+///   <name> <src_type_id> <dst_type_id>
+///   nodes <count>
+///   <type_id> <escaped label>   (one per node, id = line order)
+///   edges <count>
+///   <edge_type_id> <src> <dst>  (insertion order)
+///
+/// Labels are escaped: '\\' -> "\\\\", '\n' -> "\\n", '\t' -> "\\t".
+Status SaveGraph(const HeteroGraph& graph, const std::string& path);
+
+/// Serializes to an arbitrary stream (testing / piping).
+Status SaveGraph(const HeteroGraph& graph, std::ostream& out);
+
+/// Reads a graph written by SaveGraph. Fails with IOError on unreadable
+/// files and InvalidArgument on malformed content.
+StatusOr<HeteroGraph> LoadGraph(const std::string& path);
+
+/// Deserializes from an arbitrary stream.
+StatusOr<HeteroGraph> LoadGraph(std::istream& in);
+
+}  // namespace kpef
+
+#endif  // KPEF_GRAPH_GRAPH_IO_H_

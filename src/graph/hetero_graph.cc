@@ -1,0 +1,151 @@
+#include "graph/hetero_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+size_t HeteroGraph::NumEdgesOfType(EdgeTypeId type) const {
+  return edges_per_type_[type];
+}
+
+std::span<const NodeId> HeteroGraph::Neighbors(NodeId v,
+                                               EdgeTypeId type) const {
+  const Csr& csr = adjacency_[type];
+  const int64_t begin = csr.offsets[v];
+  const int64_t end = csr.offsets[v + 1];
+  return {csr.targets.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+std::pair<HeteroGraph, std::vector<NodeId>> HeteroGraph::InducedSubgraph(
+    const std::vector<NodeId>& keep) const {
+  std::vector<NodeId> old_to_new(NumNodes(), kInvalidNode);
+  HeteroGraphBuilder builder(schema_);
+  for (NodeId old_id : keep) {
+    old_to_new[old_id] = builder.AddNode(node_types_[old_id], labels_[old_id]);
+  }
+  // Emit each undirected edge once: from the canonical src orientation.
+  for (EdgeTypeId r = 0; r < static_cast<EdgeTypeId>(adjacency_.size());
+       ++r) {
+    const NodeTypeId src_type = schema_.EdgeSrcType(r);
+    const NodeTypeId dst_type = schema_.EdgeDstType(r);
+    const bool self_relation = (src_type == dst_type);
+    for (NodeId old_id : keep) {
+      if (node_types_[old_id] != src_type) continue;
+      for (NodeId nbr : Neighbors(old_id, r)) {
+        if (old_to_new[nbr] == kInvalidNode) continue;
+        // For self-relations (Cite) each undirected edge appears in both
+        // endpoints' lists; keep only one copy via an id tiebreak. This
+        // loses edge direction, which no consumer of subgraphs needs.
+        if (self_relation && old_id > nbr) continue;
+        Status s = builder.AddEdge(r, old_to_new[old_id], old_to_new[nbr]);
+        KPEF_CHECK(s.ok()) << s.ToString();
+      }
+    }
+  }
+  return {std::move(builder).Build(), std::move(old_to_new)};
+}
+
+size_t HeteroGraph::MemoryUsageBytes() const {
+  size_t bytes = node_types_.size() * sizeof(NodeTypeId) +
+                 local_index_.size() * sizeof(size_t) +
+                 edges_.size() * sizeof(EdgeRecord);
+  for (const Csr& csr : adjacency_) {
+    bytes += csr.offsets.size() * sizeof(int64_t) +
+             csr.targets.size() * sizeof(NodeId);
+  }
+  for (const auto& per_type : nodes_by_type_) {
+    bytes += per_type.size() * sizeof(NodeId);
+  }
+  for (const auto& label : labels_) bytes += label.capacity();
+  return bytes;
+}
+
+NodeId HeteroGraphBuilder::AddNode(NodeTypeId type, std::string label) {
+  KPEF_CHECK(type >= 0 &&
+             static_cast<size_t>(type) < schema_.NumNodeTypes());
+  node_types_.push_back(type);
+  labels_.push_back(std::move(label));
+  return static_cast<NodeId>(node_types_.size() - 1);
+}
+
+Status HeteroGraphBuilder::AddEdge(EdgeTypeId type, NodeId src, NodeId dst) {
+  if (type < 0 || static_cast<size_t>(type) >= schema_.NumEdgeTypes()) {
+    return Status::InvalidArgument("unknown edge type");
+  }
+  if (src < 0 || static_cast<size_t>(src) >= node_types_.size() || dst < 0 ||
+      static_cast<size_t>(dst) >= node_types_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (node_types_[src] != schema_.EdgeSrcType(type) ||
+      node_types_[dst] != schema_.EdgeDstType(type)) {
+    std::ostringstream msg;
+    msg << "edge type " << schema_.EdgeTypeName(type)
+        << " expects endpoint types ("
+        << schema_.NodeTypeName(schema_.EdgeSrcType(type)) << ", "
+        << schema_.NodeTypeName(schema_.EdgeDstType(type)) << ") but got ("
+        << schema_.NodeTypeName(node_types_[src]) << ", "
+        << schema_.NodeTypeName(node_types_[dst]) << ")";
+    return Status::InvalidArgument(msg.str());
+  }
+  edges_.push_back({type, src, dst});
+  return Status::OK();
+}
+
+HeteroGraph HeteroGraphBuilder::Build() && {
+  HeteroGraph g;
+  g.schema_ = std::move(schema_);
+  g.node_types_ = std::move(node_types_);
+  g.labels_ = std::move(labels_);
+  const size_t n = g.node_types_.size();
+  const size_t num_edge_types = g.schema_.NumEdgeTypes();
+
+  g.nodes_by_type_.resize(g.schema_.NumNodeTypes());
+  g.local_index_.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    auto& bucket = g.nodes_by_type_[g.node_types_[v]];
+    g.local_index_[v] = bucket.size();
+    bucket.push_back(static_cast<NodeId>(v));
+  }
+
+  g.adjacency_.resize(num_edge_types);
+  g.edges_per_type_.assign(num_edge_types, 0);
+  for (const auto& e : edges_) ++g.edges_per_type_[e.type];
+  g.num_edges_ = edges_.size();
+  g.edges_.reserve(edges_.size());
+  for (const auto& e : edges_) g.edges_.push_back({e.type, e.src, e.dst});
+
+  // Counting sort into per-type CSR; each undirected edge lands in both
+  // endpoints' lists (including self-relations like Cite).
+  for (size_t r = 0; r < num_edge_types; ++r) {
+    auto& csr = g.adjacency_[r];
+    csr.offsets.assign(n + 1, 0);
+  }
+  for (const auto& e : edges_) {
+    auto& csr = g.adjacency_[e.type];
+    ++csr.offsets[e.src + 1];
+    ++csr.offsets[e.dst + 1];
+  }
+  for (size_t r = 0; r < num_edge_types; ++r) {
+    auto& csr = g.adjacency_[r];
+    for (size_t v = 0; v < n; ++v) csr.offsets[v + 1] += csr.offsets[v];
+    csr.targets.resize(csr.offsets[n]);
+  }
+  // Fill in insertion order so per-node neighbor lists preserve edge order.
+  std::vector<std::vector<int64_t>> cursors(num_edge_types);
+  for (size_t r = 0; r < num_edge_types; ++r) {
+    cursors[r].assign(g.adjacency_[r].offsets.begin(),
+                      g.adjacency_[r].offsets.end() - 1);
+  }
+  for (const auto& e : edges_) {
+    auto& csr = g.adjacency_[e.type];
+    auto& cur = cursors[e.type];
+    csr.targets[cur[e.src]++] = e.dst;
+    csr.targets[cur[e.dst]++] = e.src;
+  }
+  return g;
+}
+
+}  // namespace kpef

@@ -1,0 +1,145 @@
+// Heterogeneous graph G = (V, E, L) (Definition 1) with CSR adjacency
+// per edge type.
+
+#ifndef KPEF_GRAPH_HETERO_GRAPH_H_
+#define KPEF_GRAPH_HETERO_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema.h"
+#include "graph/types.h"
+
+namespace kpef {
+
+class HeteroGraphBuilder;
+
+/// Immutable heterogeneous graph.
+///
+/// Storage: one undirected CSR slice per edge type. Every relation is
+/// traversable from both endpoints (Neighbors(author, Write) yields the
+/// author's papers; Neighbors(paper, Write) yields its authors).
+///
+/// Ordering guarantee: within a node's neighbor list for one edge type,
+/// neighbors appear in edge-insertion order. Dataset builders insert Write
+/// edges in author-rank order, so Neighbors(paper, Write) is the paper's
+/// author list ranked first-author-first — the order the expert ranking
+/// score (Eq. 5) depends on.
+class HeteroGraph {
+ public:
+  /// One edge as originally inserted (canonical src->dst orientation).
+  struct EdgeRecord {
+    EdgeTypeId type;
+    NodeId src;
+    NodeId dst;
+
+    bool operator==(const EdgeRecord&) const = default;
+  };
+
+  /// Constructs an empty graph (use HeteroGraphBuilder to populate one).
+  HeteroGraph() = default;
+
+  const Schema& schema() const { return schema_; }
+
+  size_t NumNodes() const { return node_types_.size(); }
+  /// Number of undirected edges over all types.
+  size_t NumEdges() const { return num_edges_; }
+  /// Number of undirected edges of one type.
+  size_t NumEdgesOfType(EdgeTypeId type) const;
+
+  NodeTypeId TypeOf(NodeId v) const { return node_types_[v]; }
+
+  /// Node label L(v); empty when the node carries no text.
+  const std::string& Label(NodeId v) const { return labels_[v]; }
+
+  /// Neighbors of `v` through edges of type `type`, both orientations.
+  std::span<const NodeId> Neighbors(NodeId v, EdgeTypeId type) const;
+
+  /// Degree of `v` restricted to edges of type `type`.
+  size_t Degree(NodeId v, EdgeTypeId type) const {
+    return Neighbors(v, type).size();
+  }
+
+  /// All node ids of the given type, ascending.
+  const std::vector<NodeId>& NodesOfType(NodeTypeId type) const {
+    return nodes_by_type_[type];
+  }
+  size_t NumNodesOfType(NodeTypeId type) const {
+    return nodes_by_type_[type].size();
+  }
+
+  /// Index of `v` within NodesOfType(TypeOf(v)). Papers are created
+  /// contiguously by the dataset builders, so for them this is also the
+  /// corpus document id.
+  size_t LocalIndex(NodeId v) const { return local_index_[v]; }
+
+  /// Induced subgraph on `keep` (any order, no duplicates): nodes are
+  /// remapped densely in the order given; edges survive iff both endpoints
+  /// are kept. Returns the subgraph and old->new id map (kInvalidNode for
+  /// dropped nodes).
+  std::pair<HeteroGraph, std::vector<NodeId>> InducedSubgraph(
+      const std::vector<NodeId>& keep) const;
+
+  /// Edges in insertion order (the order that defines per-node neighbor
+  /// ordering, e.g. author rank). Basis for serialization.
+  const std::vector<EdgeRecord>& Edges() const { return edges_; }
+
+  /// Approximate heap footprint of the adjacency structures, in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  friend class HeteroGraphBuilder;
+
+  struct Csr {
+    std::vector<int64_t> offsets;  // size NumNodes()+1
+    std::vector<NodeId> targets;
+  };
+
+  Schema schema_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<NodeId>> nodes_by_type_;
+  std::vector<size_t> local_index_;
+  std::vector<Csr> adjacency_;  // one per edge type
+  std::vector<size_t> edges_per_type_;
+  std::vector<EdgeRecord> edges_;  // insertion order
+  size_t num_edges_ = 0;
+};
+
+/// Accumulates nodes and edges, then finalizes into a HeteroGraph.
+class HeteroGraphBuilder {
+ public:
+  explicit HeteroGraphBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Adds a node of `type` with optional text label; returns its id.
+  NodeId AddNode(NodeTypeId type, std::string label = "");
+
+  /// Adds an undirected edge of `type`. Endpoint node types must match the
+  /// schema's (src, dst) pair in the given orientation.
+  Status AddEdge(EdgeTypeId type, NodeId src, NodeId dst);
+
+  size_t NumNodes() const { return node_types_.size(); }
+
+  /// Finalizes into an immutable graph. The builder is consumed.
+  HeteroGraph Build() &&;
+
+ private:
+  struct Edge {
+    EdgeTypeId type;
+    NodeId src;
+    NodeId dst;
+  };
+
+  Schema schema_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_GRAPH_HETERO_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "graph/schema.h"
+
+#include "common/logging.h"
+
+namespace kpef {
+
+NodeTypeId Schema::AddNodeType(std::string_view name) {
+  KPEF_CHECK(FindNodeType(name) == kInvalidNodeType)
+      << "duplicate node type " << name;
+  node_type_names_.emplace_back(name);
+  return static_cast<NodeTypeId>(node_type_names_.size() - 1);
+}
+
+EdgeTypeId Schema::AddEdgeType(std::string_view name, NodeTypeId src,
+                               NodeTypeId dst) {
+  KPEF_CHECK(FindEdgeType(name) == kInvalidEdgeType)
+      << "duplicate edge type " << name;
+  KPEF_CHECK(src >= 0 && static_cast<size_t>(src) < node_type_names_.size());
+  KPEF_CHECK(dst >= 0 && static_cast<size_t>(dst) < node_type_names_.size());
+  edge_types_.push_back({std::string(name), src, dst});
+  return static_cast<EdgeTypeId>(edge_types_.size() - 1);
+}
+
+NodeTypeId Schema::FindNodeType(std::string_view name) const {
+  for (size_t i = 0; i < node_type_names_.size(); ++i) {
+    if (node_type_names_[i] == name) return static_cast<NodeTypeId>(i);
+  }
+  return kInvalidNodeType;
+}
+
+EdgeTypeId Schema::FindEdgeType(std::string_view name) const {
+  for (size_t i = 0; i < edge_types_.size(); ++i) {
+    if (edge_types_[i].name == name) return static_cast<EdgeTypeId>(i);
+  }
+  return kInvalidEdgeType;
+}
+
+EdgeTypeId Schema::EdgeTypeBetween(NodeTypeId a, NodeTypeId b) const {
+  for (size_t i = 0; i < edge_types_.size(); ++i) {
+    const EdgeTypeInfo& e = edge_types_[i];
+    if ((e.src == a && e.dst == b) || (e.src == b && e.dst == a)) {
+      return static_cast<EdgeTypeId>(i);
+    }
+  }
+  return kInvalidEdgeType;
+}
+
+AcademicSchema AcademicSchema::Make() {
+  AcademicSchema s;
+  s.author = s.schema.AddNodeType("A");
+  s.paper = s.schema.AddNodeType("P");
+  s.venue = s.schema.AddNodeType("V");
+  s.topic = s.schema.AddNodeType("T");
+  s.write = s.schema.AddEdgeType("Write", s.author, s.paper);
+  s.publish = s.schema.AddEdgeType("Publish", s.paper, s.venue);
+  s.mention = s.schema.AddEdgeType("Mention", s.paper, s.topic);
+  s.cite = s.schema.AddEdgeType("Cite", s.paper, s.paper);
+  return s;
+}
+
+}  // namespace kpef

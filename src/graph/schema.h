@@ -1,0 +1,89 @@
+// Schema of a heterogeneous graph (Definition 2): the node-type set A and
+// edge-type set R, with each edge type constrained to a (src, dst) node
+// type pair.
+
+#ifndef KPEF_GRAPH_SCHEMA_H_
+#define KPEF_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace kpef {
+
+/// Declares the node and edge types of a heterogeneous graph.
+///
+/// Edge types are stored with a canonical (src, dst) orientation but the
+/// graph treats every relation as traversable in both directions, matching
+/// the paper's meta-paths (e.g., P-A-P walks Write edges against their
+/// Author->Paper orientation).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a node type; returns its id. Names must be unique.
+  NodeTypeId AddNodeType(std::string_view name);
+
+  /// Registers an edge type between two existing node types; returns its
+  /// id. Names must be unique.
+  EdgeTypeId AddEdgeType(std::string_view name, NodeTypeId src,
+                         NodeTypeId dst);
+
+  /// Node type id by name, or kInvalidNodeType.
+  NodeTypeId FindNodeType(std::string_view name) const;
+
+  /// Edge type id by name, or kInvalidEdgeType.
+  EdgeTypeId FindEdgeType(std::string_view name) const;
+
+  /// The unique edge type connecting `a` and `b` in either orientation.
+  /// Returns kInvalidEdgeType if none exists; if several exist, returns
+  /// the first registered (callers needing a specific relation should use
+  /// FindEdgeType by name).
+  EdgeTypeId EdgeTypeBetween(NodeTypeId a, NodeTypeId b) const;
+
+  size_t NumNodeTypes() const { return node_type_names_.size(); }
+  size_t NumEdgeTypes() const { return edge_types_.size(); }
+
+  const std::string& NodeTypeName(NodeTypeId id) const {
+    return node_type_names_[id];
+  }
+  const std::string& EdgeTypeName(EdgeTypeId id) const {
+    return edge_types_[id].name;
+  }
+  NodeTypeId EdgeSrcType(EdgeTypeId id) const { return edge_types_[id].src; }
+  NodeTypeId EdgeDstType(EdgeTypeId id) const { return edge_types_[id].dst; }
+
+ private:
+  struct EdgeTypeInfo {
+    std::string name;
+    NodeTypeId src;
+    NodeTypeId dst;
+  };
+
+  std::vector<std::string> node_type_names_;
+  std::vector<EdgeTypeInfo> edge_types_;
+};
+
+/// The DBLP-style academic schema used throughout the paper (Figure 2):
+/// node types A(uthor), P(aper), V(enue), T(opic); edge types
+/// Write(A-P), Publish(P-V), Mention(P-T), Cite(P-P).
+struct AcademicSchema {
+  Schema schema;
+  NodeTypeId author;
+  NodeTypeId paper;
+  NodeTypeId venue;
+  NodeTypeId topic;
+  EdgeTypeId write;
+  EdgeTypeId publish;
+  EdgeTypeId mention;
+  EdgeTypeId cite;
+
+  static AcademicSchema Make();
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_GRAPH_SCHEMA_H_

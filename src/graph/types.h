@@ -1,0 +1,25 @@
+// Fundamental id types for the heterogeneous graph.
+
+#ifndef KPEF_GRAPH_TYPES_H_
+#define KPEF_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace kpef {
+
+/// Global node id, dense in [0, num_nodes).
+using NodeId = int32_t;
+
+/// Node type id, dense in [0, num_node_types) per Schema.
+using NodeTypeId = int16_t;
+
+/// Edge type id, dense in [0, num_edge_types) per Schema.
+using EdgeTypeId = int16_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr NodeTypeId kInvalidNodeType = -1;
+inline constexpr EdgeTypeId kInvalidEdgeType = -1;
+
+}  // namespace kpef
+
+#endif  // KPEF_GRAPH_TYPES_H_

@@ -1,0 +1,19 @@
+#include "kpcore/community.h"
+
+#include <algorithm>
+
+namespace kpef {
+
+std::vector<NodeId> KPCoreCommunity::Members() const {
+  std::vector<NodeId> members;
+  members.reserve(core.size() + extension.size());
+  std::merge(core.begin(), core.end(), extension.begin(), extension.end(),
+             std::back_inserter(members));
+  return members;
+}
+
+bool KPCoreCommunity::CoreContains(NodeId v) const {
+  return std::binary_search(core.begin(), core.end(), v);
+}
+
+}  // namespace kpef

@@ -1,0 +1,56 @@
+// Result type shared by all (k, P)-core community-search algorithms.
+
+#ifndef KPEF_KPCORE_COMMUNITY_H_
+#define KPEF_KPCORE_COMMUNITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace kpef {
+
+/// Output of a seed-centered (k, P)-core search.
+///
+/// All algorithms in this module use connected community-search semantics:
+/// `core` is the connected component of the seed within the (k, P)-core
+/// (empty when the seed itself does not survive the k-constraint).
+struct KPCoreCommunity {
+  /// Seed paper the search started from.
+  NodeId seed = kInvalidNode;
+  /// Strict (k, P)-core members connected to the seed, sorted ascending.
+  /// Includes the seed when non-empty.
+  std::vector<NodeId> core;
+  /// The same members in BFS discovery order from the seed (seed first,
+  /// direct P-neighbors next, ...). When a community is far larger than
+  /// the positive-sample budget, the sampler takes a prefix of this order
+  /// so positives stay close to the seed. May be empty for algorithms
+  /// that do not track discovery order (naive decomposition).
+  std::vector<NodeId> core_by_discovery;
+  /// The seed's P-neighbors with P-degree < k, added by the extension
+  /// optimization of Algorithm 1 (empty for the baseline algorithms).
+  /// Disjoint from `core`, sorted ascending.
+  std::vector<NodeId> extension;
+  /// Papers that entered the delete queue D (pruned or peeled), i.e. the
+  /// "near negative" candidates of §III-B. Excludes extension members.
+  /// Sorted ascending.
+  std::vector<NodeId> near_negatives;
+
+  // --- Cost counters for the efficiency benchmarks. ---
+  /// Adjacency entries scanned while enumerating P-neighbors.
+  uint64_t edges_scanned = 0;
+  /// Papers whose P-neighbor lists were materialized.
+  size_t papers_expanded = 0;
+
+  /// Core plus extension: the community actually used for positive
+  /// sampling (the "final result" of Example 4). Sorted ascending.
+  std::vector<NodeId> Members() const;
+
+  /// True if `v` is in `core` (binary search).
+  bool CoreContains(NodeId v) const;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_COMMUNITY_H_

@@ -1,0 +1,81 @@
+#include "kpcore/core_decomposition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+std::vector<int32_t> CoreDecomposition(const HomogeneousProjection& graph) {
+  const size_t n = graph.NumNodes();
+  std::vector<int32_t> degree(n);
+  int32_t max_degree = 0;
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<int32_t>(graph.adjacency[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort nodes by degree (bin[d] = start offset of degree-d nodes).
+  std::vector<int32_t> bin(max_degree + 2, 0);
+  for (size_t v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (int32_t d = 0; d <= max_degree; ++d) bin[d + 1] += bin[d];
+  std::vector<int32_t> order(n);   // nodes sorted by current degree
+  std::vector<int32_t> pos(n);     // position of each node in `order`
+  {
+    std::vector<int32_t> cursor(bin.begin(), bin.end() - 1);
+    for (size_t v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      order[pos[v]] = static_cast<int32_t>(v);
+    }
+  }
+
+  // Peel in nondecreasing degree order; degree[] becomes the core number.
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t v = order[i];
+    for (int32_t u : graph.adjacency[v]) {
+      if (degree[u] > degree[v]) {
+        // Swap u with the first node of its degree bucket, then shrink u's
+        // degree by one.
+        const int32_t du = degree[u];
+        const int32_t pu = pos[u];
+        const int32_t pw = bin[du];
+        const int32_t w = order[pw];
+        if (u != w) {
+          pos[u] = pw;
+          order[pw] = u;
+          pos[w] = pu;
+          order[pu] = w;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return degree;
+}
+
+std::vector<int32_t> KCoreComponentOf(const HomogeneousProjection& graph,
+                                      const std::vector<int32_t>& core_numbers,
+                                      int32_t seed_local, int32_t k) {
+  KPEF_CHECK(core_numbers.size() == graph.NumNodes());
+  std::vector<int32_t> component;
+  if (core_numbers[seed_local] < k) return component;
+  std::vector<char> visited(graph.NumNodes(), 0);
+  std::vector<int32_t> stack = {seed_local};
+  visited[seed_local] = 1;
+  while (!stack.empty()) {
+    const int32_t v = stack.back();
+    stack.pop_back();
+    component.push_back(v);
+    for (int32_t u : graph.adjacency[v]) {
+      if (!visited[u] && core_numbers[u] >= k) {
+        visited[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+}  // namespace kpef

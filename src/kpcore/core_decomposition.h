@@ -1,0 +1,29 @@
+// Classic O(m) k-core decomposition (Batagelj-Zaversnik [29]) on a
+// materialized homogeneous projection. Building block of the
+// "straightforward solution" of §III-A and the ground truth for the
+// Theorem 1 property tests.
+
+#ifndef KPEF_KPCORE_CORE_DECOMPOSITION_H_
+#define KPEF_KPCORE_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metapath/projection.h"
+
+namespace kpef {
+
+/// Core number of every node of a homogeneous projection: the largest k
+/// such that the node belongs to the k-core.
+std::vector<int32_t> CoreDecomposition(const HomogeneousProjection& graph);
+
+/// Local indices (into graph.nodes) of the members of the connected
+/// component of `seed_local` inside the k-core, or empty if the seed's
+/// core number is below k.
+std::vector<int32_t> KCoreComponentOf(const HomogeneousProjection& graph,
+                                      const std::vector<int32_t>& core_numbers,
+                                      int32_t seed_local, int32_t k);
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_CORE_DECOMPOSITION_H_

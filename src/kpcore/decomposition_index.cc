@@ -1,0 +1,46 @@
+#include "kpcore/decomposition_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kpcore/core_decomposition.h"
+#include "metapath/projection.h"
+
+namespace kpef {
+
+KPCoreDecompositionIndex::KPCoreDecompositionIndex(const HeteroGraph& graph,
+                                                   const MetaPath& path)
+    : graph_(&graph) {
+  KPEF_CHECK(path.IsSymmetricEndpoints());
+  const HomogeneousProjection projection = ProjectHomogeneous(graph, path);
+  core_numbers_ = CoreDecomposition(projection);
+  max_core_ = 0;
+  for (int32_t c : core_numbers_) max_core_ = std::max(max_core_, c);
+  core_sizes_.assign(static_cast<size_t>(max_core_) + 1, 0);
+  // core_sizes_[k] counts papers with core number >= k (suffix counts).
+  std::vector<size_t> exact(static_cast<size_t>(max_core_) + 1, 0);
+  for (int32_t c : core_numbers_) ++exact[c];
+  size_t running = 0;
+  for (int32_t k = max_core_; k >= 0; --k) {
+    running += exact[k];
+    core_sizes_[k] = running;
+  }
+}
+
+int32_t KPCoreDecompositionIndex::CoreNumberOf(NodeId paper) const {
+  return core_numbers_[graph_->LocalIndex(paper)];
+}
+
+int32_t KPCoreDecompositionIndex::SuggestK(double min_coverage) const {
+  const size_t total = core_numbers_.size();
+  if (total == 0) return 0;
+  int32_t best = 0;
+  for (int32_t k = 0; k <= max_core_; ++k) {
+    const double coverage =
+        static_cast<double>(core_sizes_[k]) / static_cast<double>(total);
+    if (coverage >= min_coverage) best = k;
+  }
+  return best;
+}
+
+}  // namespace kpef

@@ -1,0 +1,57 @@
+// Meta-path core decomposition: the core number of every paper w.r.t. a
+// meta-path P, i.e. the largest k for which the paper is in some
+// (k, P)-core.
+//
+// A library utility on top of the paper's machinery: it answers "which k
+// should I use?" (§VI-D sweeps k by hand) and provides O(1) membership
+// checks for any (k, P)-core after one offline decomposition.
+
+#ifndef KPEF_KPCORE_DECOMPOSITION_INDEX_H_
+#define KPEF_KPCORE_DECOMPOSITION_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+
+/// Offline index of (k, P)-core membership for one meta-path.
+class KPCoreDecompositionIndex {
+ public:
+  /// Materializes the homogeneous projection and decomposes it.
+  KPCoreDecompositionIndex(const HeteroGraph& graph, const MetaPath& path);
+
+  /// Core number of a paper (largest k with the paper in the (k, P)-core).
+  int32_t CoreNumberOf(NodeId paper) const;
+
+  /// True iff the paper belongs to the (k, P)-core.
+  bool InCore(NodeId paper, int32_t k) const {
+    return CoreNumberOf(paper) >= k;
+  }
+
+  /// The largest k for which the (k, P)-core is non-empty (the graph's
+  /// P-degeneracy).
+  int32_t MaxCoreNumber() const { return max_core_; }
+
+  /// Number of papers in the (k, P)-core, for k in [0, MaxCoreNumber()].
+  /// (Useful for choosing k: the paper's §VI-D balances community
+  /// cohesiveness against training-data volume.)
+  const std::vector<size_t>& CoreSizeHistogram() const { return core_sizes_; }
+
+  /// Suggests the largest k whose core still covers at least
+  /// `min_coverage` (fraction) of all papers — a heuristic default for
+  /// the §VI-D trade-off.
+  int32_t SuggestK(double min_coverage = 0.5) const;
+
+ private:
+  const HeteroGraph* graph_;
+  std::vector<int32_t> core_numbers_;  // by paper LocalIndex
+  std::vector<size_t> core_sizes_;     // core_sizes_[k] = |(k,P)-core|
+  int32_t max_core_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_DECOMPOSITION_INDEX_H_

@@ -1,0 +1,112 @@
+#include "kpcore/fastbcore.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "metapath/p_neighbor.h"
+
+namespace kpef {
+
+KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                                NodeId seed, int32_t k) {
+  KPEF_CHECK(graph.TypeOf(seed) == path.SourceType());
+  PNeighborFinder finder(graph, path);
+  KPCoreCommunity result;
+  result.seed = seed;
+
+  // Step 1: labeled search. BFS over P-neighbors from the seed; every
+  // reachable paper is expanded, qualified or not.
+  std::unordered_map<NodeId, int32_t> local_of;  // node -> dense index
+  std::vector<NodeId> nodes;                      // dense index -> node
+  std::vector<std::vector<int32_t>> adjacency;    // dense adjacency
+  auto intern = [&](NodeId v) {
+    auto [it, inserted] = local_of.emplace(v, static_cast<int32_t>(nodes.size()));
+    if (inserted) {
+      nodes.push_back(v);
+      adjacency.emplace_back();
+    }
+    return it->second;
+  };
+  intern(seed);
+  std::deque<int32_t> queue = {0};
+  size_t expanded = 0;
+  while (!queue.empty()) {
+    const int32_t v = queue.front();
+    queue.pop_front();
+    ++expanded;
+    const std::vector<NodeId> nbrs = finder.Neighbors(nodes[v]);
+    std::vector<int32_t> adj;
+    adj.reserve(nbrs.size());
+    for (NodeId u : nbrs) {
+      const size_t before = nodes.size();
+      const int32_t lu = intern(u);  // may grow `adjacency`
+      adj.push_back(lu);
+      if (nodes.size() > before) queue.push_back(lu);
+    }
+    adjacency[v] = std::move(adj);
+  }
+  result.papers_expanded = expanded;
+  result.edges_scanned = finder.edges_scanned();
+
+  // Step 2: clean up nodes. Iteratively remove papers whose degree within
+  // the surviving set is below k.
+  const size_t n = nodes.size();
+  std::vector<int32_t> degree(n);
+  std::vector<char> removed(n, 0);
+  std::deque<int32_t> delete_queue;
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<int32_t>(adjacency[v].size());
+    if (degree[v] < k) {
+      removed[v] = 1;
+      delete_queue.push_back(static_cast<int32_t>(v));
+    }
+  }
+  while (!delete_queue.empty()) {
+    const int32_t v = delete_queue.front();
+    delete_queue.pop_front();
+    result.near_negatives.push_back(nodes[v]);
+    for (int32_t u : adjacency[v]) {
+      if (removed[u]) continue;
+      if (--degree[u] < k) {
+        removed[u] = 1;
+        delete_queue.push_back(u);
+      }
+    }
+  }
+
+  // Connected community-search semantics: keep the seed's component.
+  const int32_t seed_local = local_of[seed];
+  if (!removed[seed_local]) {
+    std::vector<char> visited(n, 0);
+    std::vector<int32_t> stack = {seed_local};
+    visited[seed_local] = 1;
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      result.core.push_back(nodes[v]);
+      for (int32_t u : adjacency[v]) {
+        if (!removed[u] && !visited[u]) {
+          visited[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  std::sort(result.core.begin(), result.core.end());
+  // Discovery order: nodes were interned in BFS order from the seed.
+  result.core_by_discovery.reserve(result.core.size());
+  for (size_t v = 0; v < n; ++v) {
+    if (result.CoreContains(nodes[v])) {
+      result.core_by_discovery.push_back(nodes[v]);
+    }
+  }
+  std::sort(result.near_negatives.begin(), result.near_negatives.end());
+  result.near_negatives.erase(
+      std::unique(result.near_negatives.begin(), result.near_negatives.end()),
+      result.near_negatives.end());
+  return result;
+}
+
+}  // namespace kpef

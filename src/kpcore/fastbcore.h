@@ -1,0 +1,23 @@
+// FastBCore [30]: the extended baseline of §III-A. A labeled BFS collects
+// every paper reachable from the seed via P, then unqualified papers are
+// peeled until all survivors meet the k-constraint.
+//
+// Compared to Algorithm 1 it lacks (a) early pruning of low-degree papers
+// during the BFS and (b) the seed-neighbor extension.
+
+#ifndef KPEF_KPCORE_FASTBCORE_H_
+#define KPEF_KPCORE_FASTBCORE_H_
+
+#include "graph/hetero_graph.h"
+#include "kpcore/community.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+
+/// Runs FastBCore for one seed paper.
+KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                                NodeId seed, int32_t k);
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_FASTBCORE_H_

@@ -1,0 +1,161 @@
+#include "kpcore/kpcore_search.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "metapath/p_neighbor.h"
+
+namespace kpef {
+
+KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                             NodeId seed, int32_t k,
+                             const KPCoreSearchOptions& options) {
+  KPEF_CHECK(graph.TypeOf(seed) == path.SourceType());
+  PNeighborFinder finder(graph, path);
+  KPCoreCommunity result;
+  result.seed = seed;
+
+  // --- Candidate nodes selection (Algorithm 1 lines 2-11). ---
+  // Dense-local bookkeeping over discovered papers.
+  std::unordered_map<NodeId, int32_t> local_of;
+  std::vector<NodeId> nodes;
+  std::vector<std::vector<NodeId>> psi;  // full P-neighbor list per node
+  std::vector<char> expanded_from;       // qualified (deg >= k) and expanded
+  auto intern = [&](NodeId v) {
+    auto [it, inserted] =
+        local_of.emplace(v, static_cast<int32_t>(nodes.size()));
+    if (inserted) {
+      nodes.push_back(v);
+      psi.emplace_back();
+      expanded_from.push_back(0);
+    }
+    return it->second;
+  };
+  intern(seed);
+  std::deque<int32_t> queue = {0};
+  std::deque<int32_t> delete_queue;  // D
+  std::vector<char> in_delete(1, 0);
+  size_t polled = 0;
+  while (!queue.empty()) {
+    const int32_t v = queue.front();
+    queue.pop_front();
+    ++polled;
+    const std::vector<NodeId> nbrs = finder.Neighbors(nodes[v]);
+    psi[v] = nbrs;
+    const bool qualified =
+        static_cast<int32_t>(nbrs.size()) >= k || !options.enable_pruning;
+    if (qualified) {
+      expanded_from[v] = 1;
+      for (NodeId u : nbrs) {
+        const size_t before = nodes.size();
+        const int32_t lu = intern(u);  // may grow `psi`
+        if (nodes.size() > before) {
+          in_delete.push_back(0);
+          queue.push_back(lu);
+        }
+      }
+    }
+    if (static_cast<int32_t>(nbrs.size()) < k) {
+      delete_queue.push_back(v);
+      in_delete[v] = 1;
+    }
+  }
+  result.papers_expanded = polled;
+  result.edges_scanned = finder.edges_scanned();
+
+  // --- Unpromising nodes prune (lines 12-18). ---
+  // Degree of each candidate counted within the candidate set.
+  const size_t n = nodes.size();
+  std::vector<int32_t> count(n, 0);
+  std::vector<char> removed(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    int32_t c = 0;
+    for (NodeId u : psi[v]) {
+      auto it = local_of.find(u);
+      if (it != local_of.end()) ++c;
+    }
+    count[v] = c;
+    // With pruning disabled every discovered node was expanded; with it
+    // enabled, sub-k nodes are already queued for deletion above.
+  }
+  while (!delete_queue.empty()) {
+    const int32_t v = delete_queue.front();
+    delete_queue.pop_front();
+    if (removed[v]) continue;
+    removed[v] = 1;
+    result.near_negatives.push_back(nodes[v]);
+    for (NodeId u : psi[v]) {
+      auto it = local_of.find(u);
+      if (it == local_of.end()) continue;
+      const int32_t lu = it->second;
+      if (removed[lu] || in_delete[lu]) continue;
+      if (--count[lu] < k) {
+        in_delete[lu] = 1;
+        delete_queue.push_back(lu);
+      }
+    }
+  }
+
+  // Connected community-search semantics: the seed's component among the
+  // survivors.
+  const int32_t seed_local = 0;
+  if (!removed[seed_local]) {
+    std::vector<char> visited(n, 0);
+    std::vector<int32_t> stack = {seed_local};
+    visited[seed_local] = 1;
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      result.core.push_back(nodes[v]);
+      for (NodeId u : psi[v]) {
+        auto it = local_of.find(u);
+        if (it == local_of.end()) continue;
+        const int32_t lu = it->second;
+        if (!removed[lu] && !visited[lu]) {
+          visited[lu] = 1;
+          stack.push_back(lu);
+        }
+      }
+    }
+  }
+  std::sort(result.core.begin(), result.core.end());
+  // Discovery order: nodes were interned in BFS order from the seed.
+  result.core_by_discovery.reserve(result.core.size());
+  for (size_t v = 0; v < n; ++v) {
+    if (result.CoreContains(nodes[v])) {
+      result.core_by_discovery.push_back(nodes[v]);
+    }
+  }
+
+  // --- (k, P)-core extension (lines 19-20). ---
+  if (options.enable_extension) {
+    for (NodeId u : psi[seed_local]) {
+      if (result.extension.size() >= options.max_extension) break;
+      if (!result.CoreContains(u)) result.extension.push_back(u);
+    }
+    std::sort(result.extension.begin(), result.extension.end());
+  }
+
+  // Near negatives: D members that are neither the seed nor re-admitted by
+  // the extension.
+  std::sort(result.near_negatives.begin(), result.near_negatives.end());
+  result.near_negatives.erase(
+      std::unique(result.near_negatives.begin(), result.near_negatives.end()),
+      result.near_negatives.end());
+  std::vector<NodeId> filtered;
+  filtered.reserve(result.near_negatives.size());
+  for (NodeId v : result.near_negatives) {
+    if (v == seed) continue;
+    if (std::binary_search(result.extension.begin(), result.extension.end(),
+                           v)) {
+      continue;
+    }
+    filtered.push_back(v);
+  }
+  result.near_negatives = std::move(filtered);
+  return result;
+}
+
+}  // namespace kpef

@@ -1,0 +1,43 @@
+// Algorithm 1: optimized (k, P)-core community search.
+//
+// Improves FastBCore with (1) early pruning — papers whose P-degree is
+// below k are never expanded (safe by Theorem 1) — and (2) a community
+// extension that re-admits the seed's own P-neighbors that fail the
+// k-constraint. The delete queue D doubles as the "near negative" pool of
+// the sampling stage (§III-B).
+
+#ifndef KPEF_KPCORE_KPCORE_SEARCH_H_
+#define KPEF_KPCORE_KPCORE_SEARCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/hetero_graph.h"
+#include "kpcore/community.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+
+/// Tuning knobs; the defaults run the full Algorithm 1. Disabling flags
+/// recovers the ablation variants measured by bench_kpcore.
+struct KPCoreSearchOptions {
+  /// Optimization (1): stop expanding from papers with P-degree < k.
+  bool enable_pruning = true;
+  /// Optimization (2): append the seed's sub-k P-neighbors to the result.
+  bool enable_extension = true;
+  /// Cap on the number of extension papers (the paper adds "a small
+  /// amount"); default keeps all, matching Algorithm 1 line 19.
+  size_t max_extension = static_cast<size_t>(-1);
+};
+
+/// Runs Algorithm 1 for one seed paper.
+///
+/// The strict core (`result.core`) equals FastBCoreSearch's core for every
+/// input (Theorem 1); `result.extension` holds the relaxation papers.
+KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                             NodeId seed, int32_t k,
+                             const KPCoreSearchOptions& options = {});
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_KPCORE_SEARCH_H_

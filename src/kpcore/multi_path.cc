@@ -1,0 +1,84 @@
+#include "kpcore/multi_path.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kpef {
+namespace {
+
+std::vector<NodeId> IntersectSorted(const std::vector<NodeId>& a,
+                                    const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<NodeId> UnionSorted(const std::vector<NodeId>& a,
+                                const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+KPCoreCommunity IntersectCommunities(
+    const std::vector<KPCoreCommunity>& communities) {
+  KPEF_CHECK(!communities.empty());
+  KPCoreCommunity result;
+  result.seed = communities[0].seed;
+  std::vector<NodeId> core = communities[0].core;
+  std::vector<NodeId> members = communities[0].Members();
+  std::vector<NodeId> near = communities[0].near_negatives;
+  // Union of every path's relaxed community: a paper cohesive with the
+  // seed under ANY meta-path is never a near negative.
+  std::vector<NodeId> any_member = communities[0].Members();
+  result.edges_scanned = communities[0].edges_scanned;
+  result.papers_expanded = communities[0].papers_expanded;
+  for (size_t i = 1; i < communities.size(); ++i) {
+    KPEF_CHECK(communities[i].seed == result.seed)
+        << "intersecting communities of different seeds";
+    core = IntersectSorted(core, communities[i].core);
+    members = IntersectSorted(members, communities[i].Members());
+    near = UnionSorted(near, communities[i].near_negatives);
+    any_member = UnionSorted(any_member, communities[i].Members());
+    result.edges_scanned += communities[i].edges_scanned;
+    result.papers_expanded += communities[i].papers_expanded;
+  }
+  result.core = std::move(core);
+  // Discovery order inherited from the first path's search, filtered to
+  // the intersection.
+  for (NodeId v : communities[0].core_by_discovery) {
+    if (result.CoreContains(v)) result.core_by_discovery.push_back(v);
+  }
+  // Relaxed members that did not make the intersected strict core.
+  result.extension.clear();
+  std::set_difference(members.begin(), members.end(), result.core.begin(),
+                      result.core.end(),
+                      std::back_inserter(result.extension));
+  // A near negative that is cohesive with the seed under any meta-path
+  // is not a negative.
+  result.near_negatives.clear();
+  std::set_difference(near.begin(), near.end(), any_member.begin(),
+                      any_member.end(),
+                      std::back_inserter(result.near_negatives));
+  return result;
+}
+
+KPCoreCommunity MultiPathKPCoreSearch(const HeteroGraph& graph,
+                                      const std::vector<MetaPath>& paths,
+                                      NodeId seed, int32_t k,
+                                      const KPCoreSearchOptions& options) {
+  KPEF_CHECK(!paths.empty());
+  std::vector<KPCoreCommunity> communities;
+  communities.reserve(paths.size());
+  for (const MetaPath& path : paths) {
+    communities.push_back(KPCoreSearch(graph, path, seed, k, options));
+  }
+  return IntersectCommunities(communities);
+}
+
+}  // namespace kpef

@@ -1,0 +1,37 @@
+// §V optimization: combine several meta-paths by intersecting their
+// per-seed (k, P)-cores, G^k_{P1..l} = G^k_{P1} ∩ ... ∩ G^k_{Pl}.
+
+#ifndef KPEF_KPCORE_MULTI_PATH_H_
+#define KPEF_KPCORE_MULTI_PATH_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "kpcore/community.h"
+#include "kpcore/kpcore_search.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+
+/// Intersects communities found for the same seed under different
+/// meta-paths.
+///
+/// - `core` = intersection of the strict cores (Eq. 8).
+/// - `extension` = intersection of each path's (core ∪ extension), minus
+///   the intersected core: a paper stays in the relaxed community only if
+///   every meta-path admitted it at least via its extension.
+/// - `near_negatives` = union of the per-path delete queues.
+/// Cost counters are summed.
+KPCoreCommunity IntersectCommunities(
+    const std::vector<KPCoreCommunity>& communities);
+
+/// Convenience: runs KPCoreSearch for every meta-path on the same seed and
+/// intersects the results. `paths` must be non-empty.
+KPCoreCommunity MultiPathKPCoreSearch(const HeteroGraph& graph,
+                                      const std::vector<MetaPath>& paths,
+                                      NodeId seed, int32_t k,
+                                      const KPCoreSearchOptions& options = {});
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_MULTI_PATH_H_

@@ -1,0 +1,40 @@
+#include "kpcore/naive_search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kpcore/core_decomposition.h"
+
+namespace kpef {
+
+KPCoreCommunity NaiveKPCoreSearch(const HeteroGraph& graph,
+                                  const MetaPath& path, NodeId seed,
+                                  int32_t k) {
+  const HomogeneousProjection projection = ProjectHomogeneous(graph, path);
+  KPCoreCommunity result =
+      NaiveKPCoreSearchOnProjection(graph, projection, seed, k);
+  // The projection enumerated every paper's neighbor list.
+  result.papers_expanded = projection.NumNodes();
+  return result;
+}
+
+KPCoreCommunity NaiveKPCoreSearchOnProjection(
+    const HeteroGraph& graph, const HomogeneousProjection& projection,
+    NodeId seed, int32_t k) {
+  KPEF_CHECK(graph.TypeOf(seed) == projection.node_type);
+  KPCoreCommunity result;
+  result.seed = seed;
+  const int32_t seed_local = static_cast<int32_t>(graph.LocalIndex(seed));
+
+  const std::vector<int32_t> core_numbers = CoreDecomposition(projection);
+  const std::vector<int32_t> component =
+      KCoreComponentOf(projection, core_numbers, seed_local, k);
+  result.core.reserve(component.size());
+  for (int32_t local : component) {
+    result.core.push_back(projection.nodes[local]);
+  }
+  std::sort(result.core.begin(), result.core.end());
+  return result;
+}
+
+}  // namespace kpef

@@ -1,0 +1,29 @@
+// "Straightforward solution" of §III-A: materialize the homogeneous
+// meta-path graph, run a full core decomposition, and read off the seed's
+// component. Correct but deliberately expensive — the baseline the paper's
+// Algorithm 1 is measured against.
+
+#ifndef KPEF_KPCORE_NAIVE_SEARCH_H_
+#define KPEF_KPCORE_NAIVE_SEARCH_H_
+
+#include "graph/hetero_graph.h"
+#include "kpcore/community.h"
+#include "metapath/meta_path.h"
+#include "metapath/projection.h"
+
+namespace kpef {
+
+/// Runs the naive pipeline end-to-end for one seed. Enumerates the
+/// P-neighbors of *every* paper in the graph regardless of the seed.
+KPCoreCommunity NaiveKPCoreSearch(const HeteroGraph& graph,
+                                  const MetaPath& path, NodeId seed, int32_t k);
+
+/// Same, but against an already-materialized projection (used when many
+/// seeds share one projection; the projection cost is then amortized).
+KPCoreCommunity NaiveKPCoreSearchOnProjection(
+    const HeteroGraph& graph, const HomogeneousProjection& projection,
+    NodeId seed, int32_t k);
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_NAIVE_SEARCH_H_

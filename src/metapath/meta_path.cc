@@ -1,0 +1,62 @@
+#include "metapath/meta_path.h"
+
+#include <sstream>
+
+namespace kpef {
+
+StatusOr<MetaPath> MetaPath::Parse(const Schema& schema,
+                                   std::string_view text) {
+  std::vector<NodeTypeId> node_types;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t dash = text.find('-', start);
+    const std::string_view part =
+        text.substr(start, dash == std::string_view::npos ? std::string_view::npos
+                                                          : dash - start);
+    if (part.empty()) {
+      return Status::InvalidArgument("empty component in meta-path \"" +
+                                     std::string(text) + "\"");
+    }
+    const NodeTypeId t = schema.FindNodeType(part);
+    if (t == kInvalidNodeType) {
+      return Status::InvalidArgument("unknown node type \"" +
+                                     std::string(part) + "\" in meta-path");
+    }
+    node_types.push_back(t);
+    if (dash == std::string_view::npos) break;
+    start = dash + 1;
+  }
+  return FromNodeTypes(schema, node_types);
+}
+
+StatusOr<MetaPath> MetaPath::FromNodeTypes(
+    const Schema& schema, const std::vector<NodeTypeId>& node_types) {
+  if (node_types.size() < 2) {
+    return Status::InvalidArgument("meta-path needs at least two node types");
+  }
+  std::vector<EdgeTypeId> edge_types;
+  edge_types.reserve(node_types.size() - 1);
+  for (size_t i = 0; i + 1 < node_types.size(); ++i) {
+    const EdgeTypeId e =
+        schema.EdgeTypeBetween(node_types[i], node_types[i + 1]);
+    if (e == kInvalidEdgeType) {
+      std::ostringstream msg;
+      msg << "no edge type connects " << schema.NodeTypeName(node_types[i])
+          << " and " << schema.NodeTypeName(node_types[i + 1]);
+      return Status::InvalidArgument(msg.str());
+    }
+    edge_types.push_back(e);
+  }
+  return MetaPath(node_types, std::move(edge_types));
+}
+
+std::string MetaPath::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < node_types_.size(); ++i) {
+    if (i > 0) out += '-';
+    out += schema.NodeTypeName(node_types_[i]);
+  }
+  return out;
+}
+
+}  // namespace kpef

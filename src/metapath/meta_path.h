@@ -1,0 +1,68 @@
+// Meta-paths (Definition 3): typed node sequences over the schema, e.g.
+// P-A-P (co-authorship), P-T-P (same topic), P-P (citation).
+
+#ifndef KPEF_METAPATH_META_PATH_H_
+#define KPEF_METAPATH_META_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema.h"
+#include "graph/types.h"
+
+namespace kpef {
+
+/// A validated meta-path: alternating node types and the edge types
+/// connecting them.
+///
+/// The paper's meta-paths always start and end at the Paper type; Parse
+/// enforces symmetric endpoints only when `require_paper_endpoints` names
+/// a type.
+class MetaPath {
+ public:
+  /// Parses "P-A-P"-style strings against `schema`. Each dash-separated
+  /// component must be a node type name; consecutive components must be
+  /// connected by exactly one schema edge type (EdgeTypeBetween).
+  static StatusOr<MetaPath> Parse(const Schema& schema, std::string_view text);
+
+  /// Builds a meta-path from explicit node types, inferring edge types
+  /// from the schema.
+  static StatusOr<MetaPath> FromNodeTypes(
+      const Schema& schema, const std::vector<NodeTypeId>& node_types);
+
+  /// Number of hops l (= edges). P-A-P has 2, P-P has 1.
+  size_t NumHops() const { return edge_types_.size(); }
+
+  const std::vector<NodeTypeId>& node_types() const { return node_types_; }
+  const std::vector<EdgeTypeId>& edge_types() const { return edge_types_; }
+
+  NodeTypeId SourceType() const { return node_types_.front(); }
+  NodeTypeId TargetType() const { return node_types_.back(); }
+
+  /// True if source and target node types coincide (required for
+  /// (k, P)-cores over papers).
+  bool IsSymmetricEndpoints() const { return SourceType() == TargetType(); }
+
+  /// "P-A-P" rendering.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const MetaPath& other) const {
+    return node_types_ == other.node_types_ &&
+           edge_types_ == other.edge_types_;
+  }
+
+ private:
+  MetaPath(std::vector<NodeTypeId> node_types,
+           std::vector<EdgeTypeId> edge_types)
+      : node_types_(std::move(node_types)),
+        edge_types_(std::move(edge_types)) {}
+
+  std::vector<NodeTypeId> node_types_;
+  std::vector<EdgeTypeId> edge_types_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_METAPATH_META_PATH_H_

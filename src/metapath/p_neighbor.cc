@@ -1,0 +1,75 @@
+#include "metapath/p_neighbor.h"
+
+#include "common/logging.h"
+
+namespace kpef {
+
+PNeighborFinder::PNeighborFinder(const HeteroGraph& graph, MetaPath path)
+    : graph_(&graph), path_(std::move(path)) {
+  const size_t levels = path_.NumHops() + 1;
+  visited_marks_.assign(levels, std::vector<uint64_t>(graph.NumNodes(), 0));
+  frontiers_.resize(levels);
+}
+
+template <typename Emit>
+void PNeighborFinder::Expand(NodeId v, Emit emit) {
+  KPEF_CHECK(graph_->TypeOf(v) == path_.SourceType())
+      << "node type does not match meta-path source";
+  ++current_stamp_;
+  const size_t hops = path_.NumHops();
+  frontiers_[0].clear();
+  frontiers_[0].push_back(v);
+  visited_marks_[0][v] = current_stamp_;
+  for (size_t level = 0; level < hops; ++level) {
+    const EdgeTypeId edge_type = path_.edge_types()[level];
+    const NodeTypeId next_type = path_.node_types()[level + 1];
+    auto& next_frontier = frontiers_[level + 1];
+    next_frontier.clear();
+    auto& next_marks = visited_marks_[level + 1];
+    const bool terminal = (level + 1 == hops);
+    for (NodeId u : frontiers_[level]) {
+      for (NodeId w : graph_->Neighbors(u, edge_type)) {
+        ++edges_scanned_;
+        if (graph_->TypeOf(w) != next_type) continue;
+        if (next_marks[w] == current_stamp_) continue;
+        next_marks[w] = current_stamp_;
+        if (terminal) {
+          if (w == v) continue;
+          if (!emit(w)) return;
+        } else {
+          next_frontier.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> PNeighborFinder::Neighbors(NodeId v) {
+  std::vector<NodeId> out;
+  Expand(v, [&](NodeId u) {
+    out.push_back(u);
+    return true;
+  });
+  return out;
+}
+
+size_t PNeighborFinder::Degree(NodeId v) {
+  size_t count = 0;
+  Expand(v, [&](NodeId) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+bool PNeighborFinder::DegreeAtLeast(NodeId v, size_t threshold) {
+  if (threshold == 0) return true;
+  size_t count = 0;
+  Expand(v, [&](NodeId) {
+    ++count;
+    return count < threshold;  // Stop as soon as the threshold is met.
+  });
+  return count >= threshold;
+}
+
+}  // namespace kpef

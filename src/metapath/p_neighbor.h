@@ -1,0 +1,63 @@
+// P-neighbor computation (Definition 4): the set of nodes reachable from a
+// node via path instances of a meta-path P.
+
+#ifndef KPEF_METAPATH_P_NEIGHBOR_H_
+#define KPEF_METAPATH_P_NEIGHBOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+
+/// Enumerates P-neighbors of individual nodes.
+///
+/// Uses timestamped visited marks so repeated queries reuse scratch
+/// buffers without clearing them; a finder is therefore cheap to query
+/// many times but is NOT thread-safe (clone one per thread).
+///
+/// A node is never its own P-neighbor (the paper's deg(p) counts *other*
+/// papers connected to p).
+class PNeighborFinder {
+ public:
+  PNeighborFinder(const HeteroGraph& graph, MetaPath path);
+
+  /// All distinct P-neighbors of `v`, in discovery (BFS layer) order.
+  std::vector<NodeId> Neighbors(NodeId v);
+
+  /// Number of distinct P-neighbors of `v` (= deg(v) in Definition 5).
+  size_t Degree(NodeId v);
+
+  /// True iff `v` has at least `threshold` P-neighbors; stops early once
+  /// the threshold is reached, which Algorithm 1's pruning check exploits.
+  bool DegreeAtLeast(NodeId v, size_t threshold);
+
+  const MetaPath& path() const { return path_; }
+  const HeteroGraph& graph() const { return *graph_; }
+
+  /// Total adjacency-list entries scanned since construction; the
+  /// (k, P)-core benchmarks report this as a machine-independent cost.
+  uint64_t edges_scanned() const { return edges_scanned_; }
+
+ private:
+  // Expands layer-by-layer; calls `emit(u)` for each new terminal node u
+  // != v. If `emit` returns false, expansion stops early.
+  template <typename Emit>
+  void Expand(NodeId v, Emit emit);
+
+  const HeteroGraph* graph_;
+  MetaPath path_;
+  // visited_mark_[level][node] == current_stamp_ means already reached at
+  // that meta-path level during the current query.
+  std::vector<std::vector<uint64_t>> visited_marks_;
+  uint64_t current_stamp_ = 0;
+  // Reused frontier buffers, one per level.
+  std::vector<std::vector<NodeId>> frontiers_;
+  uint64_t edges_scanned_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_METAPATH_P_NEIGHBOR_H_

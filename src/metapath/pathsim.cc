@@ -1,0 +1,92 @@
+#include "metapath/pathsim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+PathSim::PathSim(const HeteroGraph& graph, MetaPath path)
+    : graph_(&graph), path_(std::move(path)) {
+  KPEF_CHECK(path_.IsSymmetricEndpoints())
+      << "PathSim requires a symmetric meta-path";
+  count_.assign(graph.NumNodes(), 0);
+  stamp_.assign(graph.NumNodes(), 0);
+}
+
+std::vector<std::pair<NodeId, uint64_t>> PathSim::CountsFrom(NodeId x) {
+  KPEF_CHECK(graph_->TypeOf(x) == path_.SourceType());
+  // Layered dynamic programming over path positions: counts[v] at level l
+  // = number of path instances from x to v following the first l hops.
+  std::vector<std::pair<NodeId, uint64_t>> frontier = {{x, 1}};
+  for (size_t level = 0; level < path_.NumHops(); ++level) {
+    const EdgeTypeId edge_type = path_.edge_types()[level];
+    const NodeTypeId next_type = path_.node_types()[level + 1];
+    ++current_stamp_;
+    std::vector<NodeId> next_nodes;
+    for (const auto& [v, c] : frontier) {
+      for (NodeId w : graph_->Neighbors(v, edge_type)) {
+        if (graph_->TypeOf(w) != next_type) continue;
+        if (stamp_[w] != current_stamp_) {
+          stamp_[w] = current_stamp_;
+          count_[w] = 0;
+          next_nodes.push_back(w);
+        }
+        count_[w] += c;
+      }
+    }
+    frontier.clear();
+    frontier.reserve(next_nodes.size());
+    for (NodeId w : next_nodes) frontier.push_back({w, count_[w]});
+  }
+  return frontier;
+}
+
+uint64_t PathSim::CountPathInstances(NodeId x, NodeId y) {
+  for (const auto& [node, count] : CountsFrom(x)) {
+    if (node == y) return count;
+  }
+  return 0;
+}
+
+double PathSim::Similarity(NodeId x, NodeId y) {
+  const auto counts = CountsFrom(x);
+  uint64_t xy = 0, xx = 0;
+  for (const auto& [node, count] : counts) {
+    if (node == y) xy = count;
+    if (node == x) xx = count;
+  }
+  uint64_t yy = CountPathInstances(y, y);
+  const uint64_t denom = xx + yy;
+  if (denom == 0) return 0.0;
+  return 2.0 * static_cast<double>(xy) / static_cast<double>(denom);
+}
+
+std::vector<PathSim::Scored> PathSim::TopK(NodeId x, size_t k) {
+  const auto counts = CountsFrom(x);
+  uint64_t xx = 0;
+  for (const auto& [node, count] : counts) {
+    if (node == x) {
+      xx = count;
+      break;
+    }
+  }
+  std::vector<Scored> scored;
+  scored.reserve(counts.size());
+  for (const auto& [node, count] : counts) {
+    if (node == x) continue;
+    const uint64_t yy = CountPathInstances(node, node);
+    const uint64_t denom = xx + yy;
+    if (denom == 0) continue;
+    scored.push_back(
+        {node, 2.0 * static_cast<double>(count) / static_cast<double>(denom)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace kpef

@@ -1,0 +1,63 @@
+// PathSim [27]: meta-path-based similarity between two nodes of the same
+// type, cited by the paper as the foundation of meta-path semantics.
+//
+//   PathSim(x, y) = 2 * |paths x~>y| / (|paths x~>x| + |paths y~>y|)
+//
+// where paths are instances of a symmetric meta-path P. Provided as a
+// library utility: it gives a *weighted* notion of P-closeness, where the
+// (k, P)-core uses only the binary P-neighbor relation.
+
+#ifndef KPEF_METAPATH_PATHSIM_H_
+#define KPEF_METAPATH_PATHSIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+
+/// Computes path-instance counts and PathSim scores for one source node.
+///
+/// Like PNeighborFinder this object keeps reusable scratch space and is
+/// not thread-safe.
+class PathSim {
+ public:
+  /// `path` must have symmetric endpoints.
+  PathSim(const HeteroGraph& graph, MetaPath path);
+
+  /// Number of path instances from `x` to `y` (0 when unreachable).
+  /// Instances are counted with multiplicity (two shared co-authors =
+  /// two P-A-P instances).
+  uint64_t CountPathInstances(NodeId x, NodeId y);
+
+  /// PathSim(x, y) in [0, 1]; 1 iff x and y have identical connection
+  /// structure weight. PathSim(x, x) == 1 for any node with at least one
+  /// self path instance.
+  double Similarity(NodeId x, NodeId y);
+
+  /// Scored list of the top-k most PathSim-similar nodes to `x`
+  /// (excluding x), descending; ties broken by node id.
+  struct Scored {
+    NodeId node;
+    double score;
+  };
+  std::vector<Scored> TopK(NodeId x, size_t k);
+
+ private:
+  // Path-instance counts from x to every reachable terminal node.
+  // Returns pairs (node, count), unordered.
+  std::vector<std::pair<NodeId, uint64_t>> CountsFrom(NodeId x);
+
+  const HeteroGraph* graph_;
+  MetaPath path_;
+  // Scratch: per-node accumulators with a timestamp trick.
+  std::vector<uint64_t> count_;
+  std::vector<uint64_t> stamp_;
+  uint64_t current_stamp_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_METAPATH_PATHSIM_H_

@@ -1,0 +1,76 @@
+#include "metapath/projection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "metapath/p_neighbor.h"
+
+namespace kpef {
+
+size_t HomogeneousProjection::NumEdges() const {
+  size_t total = 0;
+  for (const auto& nbrs : adjacency) total += nbrs.size();
+  return total / 2;
+}
+
+HomogeneousProjection ProjectHomogeneous(const HeteroGraph& graph,
+                                         const MetaPath& path) {
+  KPEF_CHECK(path.IsSymmetricEndpoints());
+  HomogeneousProjection proj;
+  proj.node_type = path.SourceType();
+  proj.nodes = graph.NodesOfType(proj.node_type);
+  proj.adjacency.resize(proj.nodes.size());
+  // One finder per worker chunk (PNeighborFinder keeps mutable scratch).
+  ThreadPool& pool = ThreadPool::Default();
+  const size_t n = proj.nodes.size();
+  const size_t workers = std::max<size_t>(1, pool.num_threads());
+  const size_t chunk = (n + workers - 1) / workers;
+  auto project_range = [&](size_t begin, size_t end) {
+    PNeighborFinder finder(graph, path);
+    for (size_t i = begin; i < end; ++i) {
+      std::vector<NodeId> nbrs = finder.Neighbors(proj.nodes[i]);
+      auto& out = proj.adjacency[i];
+      out.reserve(nbrs.size());
+      for (NodeId u : nbrs) {
+        out.push_back(static_cast<int32_t>(graph.LocalIndex(u)));
+      }
+      std::sort(out.begin(), out.end());
+    }
+  };
+  if (workers <= 1 || n < 2 * workers) {
+    project_range(0, n);
+  } else {
+    for (size_t start = 0; start < n; start += chunk) {
+      const size_t end = std::min(n, start + chunk);
+      pool.Submit([&, start, end] { project_range(start, end); });
+    }
+    pool.Wait();
+  }
+  return proj;
+}
+
+HomogeneousProjection UnionProjections(
+    const std::vector<HomogeneousProjection>& projections) {
+  KPEF_CHECK(!projections.empty());
+  HomogeneousProjection out;
+  out.node_type = projections[0].node_type;
+  out.nodes = projections[0].nodes;
+  out.adjacency.resize(out.nodes.size());
+  for (const auto& proj : projections) {
+    KPEF_CHECK(proj.node_type == out.node_type);
+    KPEF_CHECK(proj.nodes.size() == out.nodes.size());
+    for (size_t i = 0; i < proj.adjacency.size(); ++i) {
+      auto& dst = out.adjacency[i];
+      dst.insert(dst.end(), proj.adjacency[i].begin(),
+                 proj.adjacency[i].end());
+    }
+  }
+  for (auto& nbrs : out.adjacency) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return out;
+}
+
+}  // namespace kpef

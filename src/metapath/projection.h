@@ -1,0 +1,43 @@
+// Homogeneous projection: materializes the paper-paper graph induced by a
+// meta-path (the "straightforward solution" of §III-A, and the substrate
+// for the homogeneous network-embedding baselines).
+
+#ifndef KPEF_METAPATH_PROJECTION_H_
+#define KPEF_METAPATH_PROJECTION_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+
+/// Homogeneous graph over the nodes of one type, stored as adjacency
+/// lists indexed by the node's LocalIndex within its type.
+struct HomogeneousProjection {
+  /// Node type the projection covers (e.g., Paper).
+  NodeTypeId node_type;
+  /// Global node id per local index.
+  std::vector<NodeId> nodes;
+  /// adjacency[i] = local indices of P-neighbors of nodes[i], sorted.
+  std::vector<std::vector<int32_t>> adjacency;
+
+  size_t NumNodes() const { return nodes.size(); }
+  size_t NumEdges() const;
+};
+
+/// Materializes the full homogeneous graph for `path` by enumerating the
+/// P-neighbors of every node of the source type. Expensive by design —
+/// this is exactly the cost Algorithm 1 avoids.
+HomogeneousProjection ProjectHomogeneous(const HeteroGraph& graph,
+                                         const MetaPath& path);
+
+/// Union of several projections over the same node type (used by the
+/// homogeneous-graph baselines, which merge all relations into one
+/// paper-paper graph — the noise the paper's introduction criticizes).
+HomogeneousProjection UnionProjections(
+    const std::vector<HomogeneousProjection>& projections);
+
+}  // namespace kpef
+
+#endif  // KPEF_METAPATH_PROJECTION_H_

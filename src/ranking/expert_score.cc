@@ -1,0 +1,52 @@
+#include "ranking/expert_score.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+double ZipfContribution(size_t author_rank, size_t num_authors) {
+  KPEF_CHECK(author_rank >= 1 && author_rank <= num_authors);
+  double harmonic = 0.0;
+  for (size_t i = 1; i <= num_authors; ++i) {
+    harmonic += 1.0 / static_cast<double>(i);
+  }
+  return 1.0 / (static_cast<double>(author_rank) * harmonic);
+}
+
+RankedLists BuildRankedLists(const HeteroGraph& graph, EdgeTypeId write_type,
+                             const std::vector<NodeId>& top_papers,
+                             ContributionWeighting weighting) {
+  RankedLists result;
+  result.papers = top_papers;
+  result.lists.resize(top_papers.size());
+  std::unordered_set<NodeId> candidates;
+  for (size_t j = 0; j < top_papers.size(); ++j) {
+    const NodeId paper = top_papers[j];
+    const auto authors = graph.Neighbors(paper, write_type);
+    const size_t num_authors = authors.size();
+    auto& list = result.lists[j];
+    list.reserve(num_authors);
+    const double inv_paper_rank = 1.0 / static_cast<double>(j + 1);
+    for (size_t rank = 1; rank <= num_authors; ++rank) {
+      const NodeId author = authors[rank - 1];
+      // S(a, p) = w(a, p) / I(p)  (Eq. 4).
+      const double w = weighting == ContributionWeighting::kZipf
+                           ? ZipfContribution(rank, num_authors)
+                           : 1.0 / static_cast<double>(num_authors);
+      list.push_back({author, inv_paper_rank * w});
+      candidates.insert(author);
+    }
+    std::sort(list.begin(), list.end(),
+              [](const ExpertScore& a, const ExpertScore& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.author < b.author;
+              });
+  }
+  result.num_candidates = candidates.size();
+  return result;
+}
+
+}  // namespace kpef

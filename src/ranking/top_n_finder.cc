@@ -1,0 +1,178 @@
+#include "ranking/top_n_finder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace kpef {
+namespace {
+
+bool BetterExpert(const ExpertScore& a, const ExpertScore& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.author < b.author;
+}
+
+}  // namespace
+
+std::vector<ExpertScore> FullScanTopN(const RankedLists& lists, size_t n,
+                                      TopNStats* stats) {
+  TopNStats local;
+  std::unordered_map<NodeId, double> totals;
+  for (const auto& list : lists.lists) {
+    for (const ExpertScore& entry : list) {
+      totals[entry.author] += entry.score;
+      ++local.entries_accessed;
+    }
+    ++local.rounds;
+  }
+  local.experts_touched = totals.size();
+  std::vector<ExpertScore> all;
+  all.reserve(totals.size());
+  for (const auto& [author, score] : totals) all.push_back({author, score});
+  std::sort(all.begin(), all.end(), BetterExpert);
+  if (all.size() > n) all.resize(n);
+  if (stats) *stats = local;
+  return all;
+}
+
+std::vector<ExpertScore> ThresholdTopN(const RankedLists& lists, size_t n,
+                                       TopNStats* stats) {
+  TopNStats local;
+  const size_t m = lists.lists.size();
+  if (m == 0 || n == 0) {
+    if (stats) *stats = local;
+    return {};
+  }
+
+  // Dense per-author state, indexed on first sight.
+  std::unordered_map<NodeId, int32_t> author_index;
+  std::vector<NodeId> authors;             // dense id -> author
+  std::vector<double> lower;               // exact partial sum
+  std::vector<double> cur_sum_found;       // sum of cur[j] over found lists
+  // Flat (list, author) log of sorted accesses, for threshold updates.
+  std::vector<std::pair<int32_t, int32_t>> access_log;
+  access_log.reserve(4 * m);
+
+  // Per-list sorted-access state. cur[j] bounds unseen entries of list j.
+  std::vector<double> cur(m, 0.0);
+  double tau = 0.0;  // upper bound on a completely unseen author
+  size_t max_depth = 0;
+  for (size_t j = 0; j < m; ++j) {
+    cur[j] = lists.lists[j].empty() ? 0.0 : lists.lists[j][0].score;
+    tau += cur[j];
+    max_depth = std::max(max_depth, lists.lists[j].size());
+  }
+
+  auto intern = [&](NodeId author) {
+    auto [it, inserted] =
+        author_index.emplace(author, static_cast<int32_t>(authors.size()));
+    if (inserted) {
+      authors.push_back(author);
+      lower.push_back(0.0);
+      cur_sum_found.push_back(0.0);
+    }
+    return it->second;
+  };
+
+  std::vector<std::pair<double, int32_t>> ranked;  // reused scratch
+  bool exhausted_all = true;
+  size_t depth = 0;
+  for (; depth < max_depth; ++depth) {
+    // One round of sorted access across all lists still holding entries.
+    for (size_t j = 0; j < m; ++j) {
+      const auto& list = lists.lists[j];
+      if (depth >= list.size()) continue;
+      const ExpertScore& entry = list[depth];
+      ++local.entries_accessed;
+      const int32_t a = intern(entry.author);
+      lower[a] += entry.score;
+      access_log.push_back({static_cast<int32_t>(j), a});
+    }
+    // Refresh per-list thresholds.
+    for (size_t j = 0; j < m; ++j) {
+      const auto& list = lists.lists[j];
+      const double next =
+          depth + 1 < list.size() ? list[depth + 1].score : 0.0;
+      tau += next - cur[j];
+      cur[j] = next;
+    }
+    ++local.rounds;
+
+    // Termination check (LB >= UB). Skipped until enough experts exist.
+    const size_t c = authors.size();
+    if (c < n && c < lists.num_candidates) continue;
+    // cur_sum_found[a] = sum of cur[j] over the lists a was found in;
+    // recomputed from the flat access log (lists are short, so the log
+    // stays proportional to the entries read).
+    std::fill(cur_sum_found.begin(), cur_sum_found.end(), 0.0);
+    for (const auto& [j, a] : access_log) cur_sum_found[a] += cur[j];
+    ranked.clear();
+    ranked.reserve(c);
+    for (size_t a = 0; a < c; ++a) {
+      ranked.push_back({lower[a], static_cast<int32_t>(a)});
+    }
+    const size_t top_count = std::min(n, ranked.size());
+    std::nth_element(ranked.begin(), ranked.begin() + (top_count - 1),
+                     ranked.end(), [](const auto& x, const auto& y) {
+                       if (x.first != y.first) return x.first > y.first;
+                       return x.second < y.second;
+                     });
+    const double lb = ranked[top_count - 1].first;
+    // UB over everyone outside the current top-n: visited others via
+    // their tight bounds, unseen authors via tau.
+    double ub = c < lists.num_candidates ? tau : 0.0;
+    for (size_t i = top_count; i < ranked.size(); ++i) {
+      const int32_t a = ranked[i].second;
+      ub = std::max(ub, lower[a] + (tau - cur_sum_found[a]));
+    }
+    if (lb >= ub) {
+      local.early_terminated = depth + 1 < max_depth;
+      exhausted_all = depth + 1 >= max_depth;
+      ++depth;
+      break;
+    }
+  }
+  if (depth >= max_depth) exhausted_all = true;
+  local.experts_touched = authors.size();
+
+  // Select the top-n by lower bound (exact when every list was drained).
+  ranked.clear();
+  for (size_t a = 0; a < authors.size(); ++a) {
+    ranked.push_back({lower[a], static_cast<int32_t>(a)});
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return authors[x.second] < authors[y.second];
+  });
+  const size_t top_count = std::min(n, ranked.size());
+
+  std::vector<ExpertScore> result;
+  result.reserve(top_count);
+  if (exhausted_all) {
+    // Lower bounds are the exact scores.
+    for (size_t i = 0; i < top_count; ++i) {
+      result.push_back({authors[ranked[i].second], ranked[i].first});
+    }
+  } else {
+    // Resolve exact scores of the chosen experts with one filtered pass
+    // (sorted access already proved nobody else can enter the top-n).
+    std::unordered_map<NodeId, double> exact;
+    exact.reserve(top_count * 2);
+    for (size_t i = 0; i < top_count; ++i) {
+      exact[authors[ranked[i].second]] = 0.0;
+    }
+    for (const auto& list : lists.lists) {
+      for (const ExpertScore& entry : list) {
+        auto it = exact.find(entry.author);
+        if (it != exact.end()) it->second += entry.score;
+      }
+    }
+    for (const auto& [author, score] : exact) result.push_back({author, score});
+    std::sort(result.begin(), result.end(), BetterExpert);
+  }
+  if (stats) *stats = local;
+  return result;
+}
+
+}  // namespace kpef

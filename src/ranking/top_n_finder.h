@@ -1,0 +1,40 @@
+// Top-n expert extraction from the ranked lists: the TA-based early-
+// terminating algorithm of §IV-C and the exhaustive full-scan baseline
+// ("w/o TA" in Figure 7).
+
+#ifndef KPEF_RANKING_TOP_N_FINDER_H_
+#define KPEF_RANKING_TOP_N_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ranking/expert_score.h"
+
+namespace kpef {
+
+/// Work counters comparing TA against the full scan.
+struct TopNStats {
+  /// Rounds of sorted access (depth reached in the lists).
+  size_t rounds = 0;
+  /// List entries read.
+  uint64_t entries_accessed = 0;
+  /// Distinct experts materialized.
+  size_t experts_touched = 0;
+  /// True when TA stopped before exhausting the lists.
+  bool early_terminated = false;
+};
+
+/// Exact top-n by full aggregation of every list (scores all candidates).
+/// Descending by R(a), ties broken by author id.
+std::vector<ExpertScore> FullScanTopN(const RankedLists& lists, size_t n,
+                                      TopNStats* stats = nullptr);
+
+/// Threshold-algorithm top-n with upper/lower bound maintenance and the
+/// LB >= UB termination check (Theorem 2). Returns exactly the same
+/// experts and scores as FullScanTopN.
+std::vector<ExpertScore> ThresholdTopN(const RankedLists& lists, size_t n,
+                                       TopNStats* stats = nullptr);
+
+}  // namespace kpef
+
+#endif  // KPEF_RANKING_TOP_N_FINDER_H_

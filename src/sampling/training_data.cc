@@ -1,0 +1,161 @@
+#include "sampling/training_data.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "metapath/p_neighbor.h"
+
+namespace kpef {
+
+TrainingDataGenerator::TrainingDataGenerator(const HeteroGraph& graph,
+                                             std::vector<MetaPath> paths,
+                                             NodeTypeId paper_type)
+    : graph_(&graph), paths_(std::move(paths)), paper_type_(paper_type) {
+  KPEF_CHECK(!paths_.empty());
+  for (const MetaPath& p : paths_) {
+    KPEF_CHECK(p.SourceType() == paper_type_ && p.TargetType() == paper_type_)
+        << "meta-paths must start and end at the paper type";
+  }
+}
+
+SamplingResult TrainingDataGenerator::Generate(
+    const SamplingConfig& config) const {
+  SamplingResult result;
+  Rng rng(config.rng_seed);
+  const std::vector<NodeId>& papers = graph_->NodesOfType(paper_type_);
+  const size_t num_papers = papers.size();
+  if (num_papers == 0) return result;
+
+  // (1) Seed papers selection: simple random sample of fraction f.
+  const size_t num_seeds = std::max<size_t>(
+      1, static_cast<size_t>(config.seed_fraction *
+                             static_cast<double>(num_papers)));
+  const std::vector<size_t> seed_indices =
+      rng.SampleWithoutReplacement(num_papers, num_seeds);
+  result.num_seeds = num_seeds;
+
+  auto as_doc = [&](NodeId paper) {
+    return static_cast<int32_t>(graph_->LocalIndex(paper));
+  };
+
+  // P-neighbor finders for the no-core configuration (lazily constructed
+  // once, reused across seeds).
+  std::vector<PNeighborFinder> finders;
+  if (!config.use_core) {
+    finders.reserve(paths_.size());
+    for (const MetaPath& path : paths_) finders.emplace_back(*graph_, path);
+  }
+
+  Timer core_timer;
+  for (size_t seed_index : seed_indices) {
+    const NodeId seed = papers[seed_index];
+    core_timer.Restart();
+    KPCoreCommunity community;
+    if (config.use_core) {
+      community = MultiPathKPCoreSearch(*graph_, paths_, seed, config.k,
+                                        config.core_options);
+    } else {
+      // w/o (k, P)-core: the "community" is just the union of the seed's
+      // direct P-neighbors, cohesive or not.
+      community.seed = seed;
+      std::vector<NodeId> nbrs;
+      for (PNeighborFinder& finder : finders) {
+        const std::vector<NodeId> found = finder.Neighbors(seed);
+        nbrs.insert(nbrs.end(), found.begin(), found.end());
+      }
+      std::sort(nbrs.begin(), nbrs.end());
+      nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+      community.core = std::move(nbrs);
+    }
+    result.core_search_seconds += core_timer.ElapsedSeconds();
+    result.edges_scanned += community.edges_scanned;
+
+    // (2) Positive samples: community members other than the seed. When
+    // the community dwarfs the positive budget (e.g. P-T-P cores on
+    // coarse-topic graphs span nearly the whole corpus), keep the members
+    // closest to the seed (BFS discovery order) rather than a uniform
+    // subsample — distant members of a giant core carry no seed-specific
+    // signal.
+    std::vector<NodeId> positives;
+    if (!community.core_by_discovery.empty()) {
+      for (NodeId member : community.core_by_discovery) {
+        if (member != seed) positives.push_back(member);
+      }
+      for (NodeId member : community.extension) {
+        if (member != seed) positives.push_back(member);
+      }
+    } else {
+      for (NodeId member : community.Members()) {
+        if (member != seed) positives.push_back(member);
+      }
+    }
+    if (positives.empty()) continue;
+    if (positives.size() > config.max_positives_per_seed) {
+      positives.resize(config.max_positives_per_seed);
+    }
+    ++result.num_productive_seeds;
+    result.total_positives += positives.size();
+
+    // Membership set for rejection when sampling random negatives: the
+    // full community (Definition 7 draws negatives from outside G^k_P,
+    // not merely outside the kept positives).
+    const std::vector<NodeId> all_members = community.Members();
+    std::unordered_set<NodeId> member_set(all_members.begin(),
+                                          all_members.end());
+    member_set.insert(seed);
+
+    auto sample_random_negative = [&]() -> NodeId {
+      // Rejection sampling over all papers; communities are small relative
+      // to the corpus so this terminates quickly.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId candidate = papers[rng.Uniform(num_papers)];
+        if (!member_set.count(candidate)) return candidate;
+      }
+      return kInvalidNode;
+    };
+
+    // (3) Triples: s negatives per positive. Near draws rotate through a
+    // shuffled copy of D so no single near negative is overused.
+    std::vector<NodeId> near_pool(community.near_negatives);
+    rng.Shuffle(near_pool);
+    size_t near_cursor = 0;
+    const size_t near_budget =
+        config.max_near_reuse == 0
+            ? static_cast<size_t>(-1)
+            : near_pool.size() * config.max_near_reuse;
+    size_t near_used = 0;
+    for (NodeId positive : positives) {
+      for (size_t s = 0; s < config.negatives_per_positive; ++s) {
+        NodeId negative = kInvalidNode;
+        const bool want_near =
+            static_cast<double>(s + 1) <=
+            config.near_fraction *
+                    static_cast<double>(config.negatives_per_positive) +
+                1e-9;
+        if (config.strategy == NegativeStrategy::kNear && want_near &&
+            !near_pool.empty() && near_used < near_budget) {
+          negative = near_pool[near_cursor];
+          near_cursor = (near_cursor + 1) % near_pool.size();
+          ++near_used;
+        } else {
+          if (config.strategy == NegativeStrategy::kNear) {
+            ++result.near_fallbacks;
+          }
+          negative = sample_random_negative();
+        }
+        if (negative == kInvalidNode) continue;
+        result.triples.push_back(
+            {as_doc(positive), as_doc(seed), as_doc(negative)});
+      }
+    }
+  }
+  KPEF_LOG(Info) << "sampled " << result.triples.size() << " triples from "
+                 << result.num_productive_seeds << "/" << result.num_seeds
+                 << " productive seeds";
+  return result;
+}
+
+}  // namespace kpef

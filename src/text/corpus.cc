@@ -1,0 +1,22 @@
+#include "text/corpus.h"
+
+#include <unordered_set>
+
+namespace kpef {
+
+size_t Corpus::AddDocument(std::string_view text) {
+  const std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  std::vector<TokenId> ids = vocabulary_.EncodeAndAdd(tokens);
+  total_tokens_ += ids.size();
+  // Document frequency counts each token once per document.
+  std::unordered_set<TokenId> unique(ids.begin(), ids.end());
+  for (TokenId id : unique) vocabulary_.BumpDocumentFrequency(id);
+  documents_.push_back(std::move(ids));
+  return documents_.size() - 1;
+}
+
+std::vector<TokenId> Corpus::EncodeQuery(std::string_view text) const {
+  return vocabulary_.Encode(tokenizer_.Tokenize(text));
+}
+
+}  // namespace kpef

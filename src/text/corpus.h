@@ -1,0 +1,54 @@
+// Tokenized document collection: the bridge between raw paper labels
+// L(p) = title + abstract and every text model in the library.
+
+#ifndef KPEF_TEXT_CORPUS_H_
+#define KPEF_TEXT_CORPUS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace kpef {
+
+/// Owns the vocabulary plus one token-id sequence per document.
+///
+/// Documents are appended in order; the document id is the append index
+/// (papers use their paper index, so Corpus doc i == paper i).
+class Corpus {
+ public:
+  explicit Corpus(TokenizerOptions tokenizer_options = {})
+      : tokenizer_(tokenizer_options) {}
+
+  /// Tokenizes and appends a document; returns its id. Grows the
+  /// vocabulary and updates document frequencies.
+  size_t AddDocument(std::string_view text);
+
+  /// Tokenizes `text` against the frozen vocabulary (OOV tokens dropped).
+  /// Used for query texts at search time.
+  std::vector<TokenId> EncodeQuery(std::string_view text) const;
+
+  size_t NumDocuments() const { return documents_.size(); }
+  const std::vector<TokenId>& Document(size_t doc) const {
+    return documents_[doc];
+  }
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  Vocabulary& mutable_vocabulary() { return vocabulary_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+  /// Total token count over all documents.
+  size_t TotalTokens() const { return total_tokens_; }
+
+ private:
+  Tokenizer tokenizer_;
+  Vocabulary vocabulary_;
+  std::vector<std::vector<TokenId>> documents_;
+  size_t total_tokens_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_TEXT_CORPUS_H_

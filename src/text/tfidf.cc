@@ -1,0 +1,81 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace kpef {
+namespace {
+
+SparseVector BuildNormalizedVector(const std::vector<TokenId>& tokens,
+                                   const std::vector<float>& idf) {
+  std::unordered_map<TokenId, float> counts;
+  for (TokenId t : tokens) {
+    if (t >= 0 && static_cast<size_t>(t) < idf.size()) counts[t] += 1.0f;
+  }
+  SparseVector vec;
+  vec.reserve(counts.size());
+  double norm_sq = 0.0;
+  for (const auto& [token, tf] : counts) {
+    const float w = tf * idf[token];
+    vec.push_back({token, w});
+    norm_sq += static_cast<double>(w) * w;
+  }
+  std::sort(vec.begin(), vec.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.token < b.token;
+            });
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& e : vec) e.weight *= inv;
+  }
+  return vec;
+}
+
+}  // namespace
+
+TfIdfModel::TfIdfModel(const Corpus& corpus) {
+  const Vocabulary& vocab = corpus.vocabulary();
+  const double n_docs = static_cast<double>(corpus.NumDocuments());
+  idf_.resize(vocab.size());
+  for (size_t t = 0; t < vocab.size(); ++t) {
+    const double df = static_cast<double>(
+        vocab.DocumentFrequency(static_cast<TokenId>(t)));
+    idf_[t] = static_cast<float>(std::log((1.0 + n_docs) / (1.0 + df)) + 1.0);
+  }
+  doc_vectors_.reserve(corpus.NumDocuments());
+  for (size_t d = 0; d < corpus.NumDocuments(); ++d) {
+    doc_vectors_.push_back(BuildNormalizedVector(corpus.Document(d), idf_));
+  }
+}
+
+SparseVector TfIdfModel::Vectorize(const std::vector<TokenId>& tokens) const {
+  return BuildNormalizedVector(tokens, idf_);
+}
+
+float TfIdfModel::Cosine(const SparseVector& a, const SparseVector& b) {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].token < b[j].token) {
+      ++i;
+    } else if (a[i].token > b[j].token) {
+      ++j;
+    } else {
+      dot += static_cast<double>(a[i].weight) * b[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<float>(dot);
+}
+
+std::vector<float> TfIdfModel::ScoreAll(const SparseVector& query) const {
+  std::vector<float> scores(doc_vectors_.size(), 0.0f);
+  for (size_t d = 0; d < doc_vectors_.size(); ++d) {
+    scores[d] = Cosine(query, doc_vectors_[d]);
+  }
+  return scores;
+}
+
+}  // namespace kpef

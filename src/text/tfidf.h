@@ -1,0 +1,55 @@
+// TF-IDF sparse document vectors and cosine similarity.
+//
+// Implements the TFIDF bag-of-words baseline of Table II and provides the
+// sparse text features consumed by the TADW / GVNR-t / G2G baselines.
+
+#ifndef KPEF_TEXT_TFIDF_H_
+#define KPEF_TEXT_TFIDF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace kpef {
+
+/// Sparse vector entry: token id and weight.
+struct SparseEntry {
+  TokenId token;
+  float weight;
+};
+
+/// L2-normalized sparse vector, entries sorted by token id.
+using SparseVector = std::vector<SparseEntry>;
+
+/// Computes TF-IDF vectors for a corpus and scores queries against them.
+class TfIdfModel {
+ public:
+  /// Builds per-document TF-IDF vectors from the corpus.
+  /// idf(t) = ln((1 + N) / (1 + df(t))) + 1 (smoothed, always positive),
+  /// tf = raw count; vectors are L2-normalized.
+  explicit TfIdfModel(const Corpus& corpus);
+
+  /// TF-IDF vector for an arbitrary (already encoded) token stream.
+  SparseVector Vectorize(const std::vector<TokenId>& tokens) const;
+
+  const SparseVector& DocumentVector(size_t doc) const {
+    return doc_vectors_[doc];
+  }
+  size_t NumDocuments() const { return doc_vectors_.size(); }
+
+  /// Cosine similarity between two normalized sparse vectors.
+  static float Cosine(const SparseVector& a, const SparseVector& b);
+
+  /// Scores the query against every document; returns one similarity per
+  /// document (used by the brute-force TFIDF retrieval baseline).
+  std::vector<float> ScoreAll(const SparseVector& query) const;
+
+ private:
+  std::vector<float> idf_;
+  std::vector<SparseVector> doc_vectors_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_TEXT_TFIDF_H_

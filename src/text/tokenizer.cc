@@ -1,0 +1,32 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace kpef {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= options_.min_token_length &&
+        tokens.size() < options_.max_tokens) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char ch : text) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : ch);
+    } else {
+      flush();
+      if (tokens.size() >= options_.max_tokens) return tokens;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace kpef

@@ -1,0 +1,45 @@
+// Whitespace/punctuation tokenizer with lowercasing and truncation.
+//
+// Stands in for the paper's WordPiece front-end: it converts a paper's
+// textual label L(p) = title + abstract into a bounded token stream fed to
+// the document encoder.
+
+#ifndef KPEF_TEXT_TOKENIZER_H_
+#define KPEF_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kpef {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Maximum number of tokens per document; the paper truncates at
+  /// SciBERT's 512-token limit, we default to the same.
+  size_t max_tokens = 512;
+  /// Lowercase all tokens (uncased vocabulary).
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 1;
+};
+
+/// Splits text into word tokens on any non-alphanumeric character.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `text`, applying lowercasing, length filtering and
+  /// truncation per the options.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_TEXT_TOKENIZER_H_

@@ -1,0 +1,46 @@
+#include "text/vocabulary.h"
+
+#include <cassert>
+
+namespace kpef {
+
+TokenId Vocabulary::GetOrAdd(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  doc_freq_.push_back(0);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TokenId Vocabulary::Lookup(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kUnknownToken : it->second;
+}
+
+void Vocabulary::BumpDocumentFrequency(TokenId id) {
+  assert(id >= 0 && static_cast<size_t>(id) < doc_freq_.size());
+  ++doc_freq_[id];
+}
+
+std::vector<TokenId> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    const TokenId id = Lookup(t);
+    if (id != kUnknownToken) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<TokenId> Vocabulary::EncodeAndAdd(
+    const std::vector<std::string>& tokens) {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(GetOrAdd(t));
+  return ids;
+}
+
+}  // namespace kpef

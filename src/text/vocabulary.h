@@ -1,0 +1,58 @@
+// Token <-> id mapping shared by all text models.
+
+#ifndef KPEF_TEXT_VOCABULARY_H_
+#define KPEF_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kpef {
+
+/// Integer id of a vocabulary token.
+using TokenId = int32_t;
+
+/// Sentinel for out-of-vocabulary tokens.
+inline constexpr TokenId kUnknownToken = -1;
+
+/// Append-only bidirectional token <-> id map with document frequencies.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `token`, adding it if absent.
+  TokenId GetOrAdd(std::string_view token);
+
+  /// Returns the id of `token` or kUnknownToken.
+  TokenId Lookup(std::string_view token) const;
+
+  /// Returns the token string for a valid id.
+  const std::string& TokenOf(TokenId id) const { return tokens_[id]; }
+
+  size_t size() const { return tokens_.size(); }
+
+  /// Increments the document frequency of `id` (call once per document
+  /// containing the token).
+  void BumpDocumentFrequency(TokenId id);
+
+  /// Number of documents the token appeared in (for IDF weighting).
+  int64_t DocumentFrequency(TokenId id) const { return doc_freq_[id]; }
+
+  /// Converts a token stream to ids, dropping OOV tokens.
+  std::vector<TokenId> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Converts a token stream to ids, adding unseen tokens to the
+  /// vocabulary.
+  std::vector<TokenId> EncodeAndAdd(const std::vector<std::string>& tokens);
+
+ private:
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> doc_freq_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_TEXT_VOCABULARY_H_

@@ -1,0 +1,123 @@
+#include "topicquery/language_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace kpef {
+
+LanguageModelExpertFinder::LanguageModelExpertFinder(
+    const Dataset* dataset, const Corpus* corpus, LanguageModelConfig config)
+    : dataset_(dataset), corpus_(corpus), config_(config) {
+  const size_t vocab = corpus_->vocabulary().size();
+  postings_.resize(vocab);
+  doc_length_.resize(corpus_->NumDocuments());
+  std::vector<int64_t> term_count(vocab, 0);
+  for (size_t doc = 0; doc < corpus_->NumDocuments(); ++doc) {
+    const auto& tokens = corpus_->Document(doc);
+    doc_length_[doc] = static_cast<int32_t>(tokens.size());
+    total_tokens_ += static_cast<int64_t>(tokens.size());
+    std::unordered_map<TokenId, int32_t> counts;
+    for (TokenId t : tokens) ++counts[t];
+    for (const auto& [token, tf] : counts) {
+      postings_[token].push_back({static_cast<int32_t>(doc), tf});
+      term_count[token] += tf;
+    }
+  }
+  collection_prob_.resize(vocab);
+  for (size_t t = 0; t < vocab; ++t) {
+    collection_prob_[t] =
+        static_cast<double>(term_count[t]) /
+        static_cast<double>(std::max<int64_t>(1, total_tokens_));
+  }
+}
+
+double LanguageModelExpertFinder::LogQueryLikelihood(
+    const std::vector<TokenId>& query, size_t doc) const {
+  // log p(q|d) = sum_t log((1-l) tf/|d| + l p(t|C)).
+  double log_p = 0.0;
+  const double len = std::max(1, doc_length_[doc]);
+  for (TokenId t : query) {
+    int32_t count = 0;
+    const auto& plist = postings_[t];
+    const auto it = std::lower_bound(
+        plist.begin(), plist.end(), static_cast<int32_t>(doc),
+        [](const auto& entry, int32_t d) { return entry.first < d; });
+    if (it != plist.end() && it->first == static_cast<int32_t>(doc)) {
+      count = it->second;
+    }
+    const double p = (1.0 - config_.lambda) * count / len +
+                     config_.lambda * collection_prob_[t];
+    log_p += std::log(std::max(p, 1e-300));
+  }
+  return log_p;
+}
+
+std::vector<ExpertScore> LanguageModelExpertFinder::FindExperts(
+    const std::string& query_text, size_t n) {
+  const std::vector<TokenId> query = corpus_->EncodeQuery(query_text);
+  if (query.empty()) return {};
+
+  // Score documents sparsely: every document's score starts at the
+  // background sum_t log(l p(t|C)); documents containing query terms get
+  // the matching correction log(1 + (1-l) tf / (|d| l p(t|C))).
+  std::unordered_map<int32_t, double> corrections;
+  double background = 0.0;
+  for (TokenId t : query) {
+    const double pc = std::max(collection_prob_[t], 1e-300);
+    background += std::log(config_.lambda * pc);
+    for (const auto& [doc, tf] : postings_[t]) {
+      const double len = std::max(1, doc_length_[doc]);
+      corrections[doc] += std::log1p((1.0 - config_.lambda) * tf /
+                                     (len * config_.lambda * pc));
+    }
+  }
+  std::vector<std::pair<double, int32_t>> scored;
+  scored.reserve(corrections.size());
+  for (const auto& [doc, correction] : corrections) {
+    scored.push_back({background + correction, doc});
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (scored.size() > config_.max_candidate_documents) {
+    scored.resize(config_.max_candidate_documents);
+  }
+
+  // p(q|a) = sum_{d in D_a} p(q|d) / |D_a|. Work with likelihoods shifted
+  // by the best document's log-likelihood for numerical stability.
+  const double shift = scored.empty() ? 0.0 : scored[0].first;
+  std::unordered_map<int32_t, double> doc_likelihood;
+  for (const auto& [log_p, doc] : scored) {
+    doc_likelihood[doc] = std::exp(log_p - shift);
+  }
+  const auto& papers = dataset_->Papers();
+  std::unordered_map<NodeId, double> expert_scores;
+  for (const auto& [doc, likelihood] : doc_likelihood) {
+    const NodeId paper = papers[doc];
+    for (NodeId author :
+         dataset_->graph.Neighbors(paper, dataset_->ids.write)) {
+      const size_t num_papers =
+          dataset_->graph.Degree(author, dataset_->ids.write);
+      expert_scores[author] +=
+          likelihood / static_cast<double>(std::max<size_t>(1, num_papers));
+    }
+  }
+  std::vector<ExpertScore> result;
+  result.reserve(expert_scores.size());
+  for (const auto& [author, score] : expert_scores) {
+    result.push_back({author, score});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ExpertScore& a, const ExpertScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.author < b.author;
+            });
+  if (result.size() > n) result.resize(n);
+  return result;
+}
+
+}  // namespace kpef

@@ -1,0 +1,63 @@
+// Statistical language-model expert finding (topic-based queries, §I).
+//
+// The paper's introduction and related work describe the classic
+// document-centric approach for topic-based queries [2], [12], [20]:
+// rank expert a by p(q|a) = sum_{d in D_a} p(q|d) p(d|a), with a smoothed
+// unigram language model per document. Implemented here (Balog's Model 2
+// with Jelinek-Mercer smoothing) as an extension module, both as a
+// topic-query entry point and as an additional text-query baseline.
+
+#ifndef KPEF_TOPICQUERY_LANGUAGE_MODEL_H_
+#define KPEF_TOPICQUERY_LANGUAGE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/retrieval_model.h"
+#include "text/corpus.h"
+
+namespace kpef {
+
+struct LanguageModelConfig {
+  /// Jelinek-Mercer smoothing weight of the collection model:
+  /// p(t|d) = (1 - lambda) tf/|d| + lambda p(t|C).
+  double lambda = 0.5;
+  /// Papers scored per query: only documents containing at least one
+  /// query term are scored exactly (others contribute background mass).
+  /// Candidate experts come from the scored documents.
+  size_t max_candidate_documents = 2000;
+};
+
+/// Document-centric language-model expert finder.
+class LanguageModelExpertFinder : public RetrievalModel {
+ public:
+  /// Builds the inverted index and per-document statistics.
+  LanguageModelExpertFinder(const Dataset* dataset, const Corpus* corpus,
+                            LanguageModelConfig config = {});
+
+  std::string name() const override { return "LM-Model2"; }
+
+  /// Works for both query forms: a short topic list ("graph community
+  /// search") or a full paper text.
+  std::vector<ExpertScore> FindExperts(const std::string& query_text,
+                                       size_t n) override;
+
+  /// log p(q|d) for one document (exposed for testing).
+  double LogQueryLikelihood(const std::vector<TokenId>& query,
+                            size_t doc) const;
+
+ private:
+  const Dataset* dataset_;
+  const Corpus* corpus_;
+  LanguageModelConfig config_;
+  /// Inverted index: token -> (doc, term frequency).
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> postings_;
+  std::vector<int32_t> doc_length_;
+  std::vector<double> collection_prob_;  // p(t|C)
+  int64_t total_tokens_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_TOPICQUERY_LANGUAGE_MODEL_H_

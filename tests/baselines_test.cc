@@ -1,0 +1,193 @@
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/g2g.h"
+#include "baselines/gvnr_t.h"
+#include "baselines/idne.h"
+#include "baselines/tadw.h"
+#include "baselines/text_features.h"
+#include "baselines/text_models.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "embed/pretrain.h"
+#include "eval/evaluation.h"
+#include "metapath/meta_path.h"
+
+namespace kpef {
+namespace {
+
+// Shared expensive fixtures, built once for the whole binary.
+class BaselinesTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Dataset dataset;
+    Corpus corpus;
+    TfIdfModel tfidf;
+    Matrix tokens;
+    HomogeneousProjection merged;
+    QuerySet queries;
+
+    Shared()
+        : dataset(GenerateDataset(TinyProfile())),
+          corpus(BuildPaperCorpus(dataset)),
+          tfidf(corpus),
+          tokens([&] {
+            PretrainConfig config;
+            config.dim = 32;
+            config.epochs = 6;
+            return PretrainTokenEmbeddings(corpus, config).token_embeddings;
+          }()),
+          merged([&] {
+            std::vector<HomogeneousProjection> projections;
+            for (const char* p : {"P-A-P", "P-T-P", "P-P", "P-V-P"}) {
+              auto path = MetaPath::Parse(dataset.graph.schema(), p);
+              projections.push_back(ProjectHomogeneous(dataset.graph, *path));
+            }
+            return UnionProjections(projections);
+          }()),
+          queries(GenerateQueries(dataset, 8, 17)) {}
+  };
+
+  static Shared& shared() {
+    static Shared* s = new Shared();
+    return *s;
+  }
+};
+
+void ExpectValidExperts(const Dataset& dataset,
+                        const std::vector<ExpertScore>& experts, size_t n) {
+  EXPECT_LE(experts.size(), n);
+  EXPECT_GT(experts.size(), 0u);
+  std::set<NodeId> seen;
+  double prev = 1e30;
+  for (const ExpertScore& e : experts) {
+    EXPECT_EQ(dataset.graph.TypeOf(e.author), dataset.ids.author);
+    EXPECT_TRUE(seen.insert(e.author).second) << "duplicate expert";
+    EXPECT_LE(e.score, prev);
+    prev = e.score;
+    EXPECT_GT(e.score, 0.0);
+  }
+}
+
+TEST_F(BaselinesTest, TfIdfReturnsRankedExperts) {
+  Shared& s = shared();
+  TfIdfExpertModel model(&s.dataset, &s.corpus, &s.tfidf, 50);
+  const auto experts = model.FindExperts(s.queries.queries[0].text, 10);
+  ExpectValidExperts(s.dataset, experts, 10);
+  EXPECT_EQ(model.name(), "TFIDF");
+}
+
+TEST_F(BaselinesTest, AvgGloveReturnsRankedExperts) {
+  Shared& s = shared();
+  AvgGloveModel model(&s.dataset, &s.corpus, &s.tokens, 50);
+  ExpectValidExperts(s.dataset,
+                     model.FindExperts(s.queries.queries[0].text, 10), 10);
+  EXPECT_EQ(model.paper_embeddings().rows(), s.corpus.NumDocuments());
+}
+
+TEST_F(BaselinesTest, SbertLikeReturnsRankedExperts) {
+  Shared& s = shared();
+  SbertLikeModel model(&s.dataset, &s.corpus, &s.tokens, 50);
+  ExpectValidExperts(s.dataset,
+                     model.FindExperts(s.queries.queries[1].text, 10), 10);
+}
+
+TEST_F(BaselinesTest, TadwReturnsRankedExperts) {
+  Shared& s = shared();
+  TadwModel model(&s.dataset, &s.corpus, &s.merged, &s.tokens, 50);
+  ExpectValidExperts(s.dataset,
+                     model.FindExperts(s.queries.queries[2].text, 10), 10);
+  EXPECT_EQ(model.paper_embeddings().cols(), 2 * s.tokens.cols());
+}
+
+TEST_F(BaselinesTest, GvnrTReturnsRankedExperts) {
+  Shared& s = shared();
+  GvnrTConfig config;
+  config.dim = 24;
+  config.walks_per_node = 3;
+  config.walk_length = 8;
+  config.epochs = 1;
+  GvnrTModel model(&s.dataset, &s.corpus, &s.merged, &s.tfidf, 50, config);
+  ExpectValidExperts(s.dataset,
+                     model.FindExperts(s.queries.queries[3].text, 10), 10);
+}
+
+TEST_F(BaselinesTest, G2GReturnsRankedExperts) {
+  Shared& s = shared();
+  G2GConfig config;
+  config.epochs = 1;
+  config.triples_per_node = 1;
+  G2GModel model(&s.dataset, &s.corpus, &s.merged, &s.tokens, 50, config);
+  ExpectValidExperts(s.dataset,
+                     model.FindExperts(s.queries.queries[4].text, 10), 10);
+}
+
+TEST_F(BaselinesTest, IdneReturnsRankedExperts) {
+  Shared& s = shared();
+  IdneConfig config;
+  config.num_topics = 8;
+  IdneModel model(&s.dataset, &s.corpus, &s.tokens, 50, config);
+  ExpectValidExperts(s.dataset,
+                     model.FindExperts(s.queries.queries[5].text, 10), 10);
+}
+
+TEST_F(BaselinesTest, TfIdfBeatsNothingness) {
+  // On planted data, TFIDF must comfortably beat a zero-signal baseline
+  // (topic words dominate the text).
+  Shared& s = shared();
+  TfIdfExpertModel model(&s.dataset, &s.corpus, &s.tfidf, 50);
+  const Evaluator evaluator(&s.dataset, &s.queries, &s.corpus, &s.tfidf);
+  const EvaluationResult result = evaluator.Evaluate(model, 10);
+  EXPECT_GT(result.p_at_5, 0.3);
+  EXPECT_GT(result.map, 0.1);
+}
+
+TEST_F(BaselinesTest, QueryEmbeddingOfOwnTextRanksPaperHighly) {
+  // Self-retrieval: querying with a paper's own text should put that
+  // paper's authors into the candidate pool for every dense model.
+  Shared& s = shared();
+  AvgGloveModel model(&s.dataset, &s.corpus, &s.tokens, 20);
+  const Query& q = s.queries.queries[0];
+  const auto experts = model.FindExperts(q.text, 20);
+  const auto authors = s.dataset.graph.Neighbors(q.query_paper,
+                                                 s.dataset.ids.write);
+  size_t found = 0;
+  for (const ExpertScore& e : experts) {
+    for (NodeId a : authors) found += (e.author == a);
+  }
+  EXPECT_GT(found, 0u);
+}
+
+TEST_F(BaselinesTest, MeanTokenEmbeddingBasics) {
+  Matrix table(3, 2);
+  table.At(0, 0) = 1;
+  table.At(1, 0) = 3;
+  const std::vector<TokenId> tokens = {0, 1};
+  const auto mean = MeanTokenEmbedding(table, tokens);
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean[1], 0.0f);
+  EXPECT_EQ(MeanTokenEmbedding(table, std::vector<TokenId>{})[0], 0.0f);
+}
+
+TEST_F(BaselinesTest, SifDownweightsFrequentTokens) {
+  // Token 0 appears in all docs, token 1 in one: SIF weight of token 1
+  // should dominate.
+  Corpus corpus;
+  corpus.AddDocument("common rare");
+  corpus.AddDocument("common other");
+  corpus.AddDocument("common thing");
+  Matrix table(corpus.vocabulary().size(), 2);
+  table.At(corpus.vocabulary().Lookup("common"), 0) = 1.0f;
+  table.At(corpus.vocabulary().Lookup("rare"), 1) = 1.0f;
+  const auto emb =
+      SifEmbedding(table, corpus.vocabulary(), corpus.NumDocuments(),
+                   corpus.EncodeQuery("common rare"));
+  EXPECT_GT(emb[1], emb[0]);
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,294 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "metapath/meta_path.h"
+#include "metapath/p_neighbor.h"
+
+namespace kpef {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  DatasetTest() : dataset_(GenerateDataset(TinyProfile())) {}
+  Dataset dataset_;
+};
+
+TEST_F(DatasetTest, StatsMatchConfig) {
+  const DatasetStats stats = ComputeStats(dataset_);
+  EXPECT_EQ(stats.papers, dataset_.config.num_papers);
+  EXPECT_EQ(stats.experts, dataset_.config.num_authors);
+  EXPECT_EQ(stats.venues, dataset_.config.num_venues);
+  EXPECT_EQ(stats.topics, dataset_.config.num_topics);
+  EXPECT_GT(stats.relations, stats.papers);  // at least 1+ edges per paper
+}
+
+TEST_F(DatasetTest, DeterministicForSameSeed) {
+  const Dataset again = GenerateDataset(TinyProfile());
+  EXPECT_EQ(again.graph.NumNodes(), dataset_.graph.NumNodes());
+  EXPECT_EQ(again.graph.NumEdges(), dataset_.graph.NumEdges());
+  for (NodeId p : dataset_.Papers()) {
+    EXPECT_EQ(again.graph.Label(p), dataset_.graph.Label(p));
+  }
+}
+
+TEST_F(DatasetTest, DifferentSeedsDiffer) {
+  DatasetConfig config = TinyProfile();
+  config.seed = 12345;
+  const Dataset other = GenerateDataset(config);
+  bool any_label_differs = false;
+  for (NodeId p : dataset_.Papers()) {
+    any_label_differs |= other.graph.Label(p) != dataset_.graph.Label(p);
+  }
+  EXPECT_TRUE(any_label_differs);
+}
+
+TEST_F(DatasetTest, EveryPaperHasTextVenueAndTopic) {
+  for (NodeId p : dataset_.Papers()) {
+    EXPECT_FALSE(dataset_.graph.Label(p).empty());
+    EXPECT_EQ(dataset_.graph.Degree(p, dataset_.ids.publish), 1u);
+    EXPECT_EQ(dataset_.graph.Degree(p, dataset_.ids.mention), 1u);
+  }
+}
+
+TEST_F(DatasetTest, AuthorsAreUniquePerPaper) {
+  for (NodeId p : dataset_.Papers()) {
+    const auto authors = dataset_.graph.Neighbors(p, dataset_.ids.write);
+    std::set<NodeId> unique(authors.begin(), authors.end());
+    EXPECT_EQ(unique.size(), authors.size());
+    EXPECT_GE(authors.size(), 1u);
+  }
+}
+
+TEST_F(DatasetTest, CitationsPointToEarlierPapers) {
+  // Paper creation order = LocalIndex order; Cite edges were inserted
+  // (later -> earlier), so every paper's citation neighbors with larger
+  // LocalIndex are papers citing it.
+  const auto& papers = dataset_.Papers();
+  size_t total_cites = dataset_.graph.NumEdgesOfType(dataset_.ids.cite);
+  EXPECT_GT(total_cites, 0u);
+  (void)papers;
+}
+
+TEST_F(DatasetTest, PrimaryTopicsWithinRange) {
+  for (int32_t t : dataset_.paper_primary_topic) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, static_cast<int32_t>(dataset_.config.num_topics));
+  }
+  for (int32_t t : dataset_.author_primary_topic) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, static_cast<int32_t>(dataset_.config.num_topics));
+  }
+}
+
+TEST_F(DatasetTest, PaperMentionsItsPrimaryTopic) {
+  const auto& topics = dataset_.graph.NodesOfType(dataset_.ids.topic);
+  for (NodeId p : dataset_.Papers()) {
+    const size_t idx = dataset_.graph.LocalIndex(p);
+    const NodeId primary = topics[dataset_.paper_primary_topic[idx]];
+    const auto mentioned = dataset_.graph.Neighbors(p, dataset_.ids.mention);
+    EXPECT_NE(std::find(mentioned.begin(), mentioned.end(), primary),
+              mentioned.end());
+  }
+}
+
+TEST_F(DatasetTest, TopicalTokenFractionMatchesConfig) {
+  // Topical tokens use the "w<idx>" pool, background tokens "c<idx>"; the
+  // observed mix should track topic_word_prob.
+  size_t topical = 0, total_tokens = 0;
+  for (NodeId p : dataset_.Papers()) {
+    const std::string& label = dataset_.graph.Label(p);
+    size_t start = 0;
+    while (start < label.size()) {
+      size_t end = label.find(' ', start);
+      if (end == std::string::npos) end = label.size();
+      ++total_tokens;
+      if (label[start] == 'w') ++topical;
+      start = end + 1;
+    }
+  }
+  const double fraction = static_cast<double>(topical) / total_tokens;
+  EXPECT_NEAR(fraction, dataset_.config.topic_word_prob, 0.05);
+}
+
+TEST_F(DatasetTest, SameTopicPapersShareMoreTopicalWords) {
+  // Lexical separability: two same-topic papers must overlap more (in
+  // topical vocabulary) than two papers of distant topics, but topics
+  // must remain confusable (overlap < identical).
+  auto topical_set = [&](NodeId p) {
+    std::set<std::string> words;
+    const std::string& label = dataset_.graph.Label(p);
+    size_t start = 0;
+    while (start < label.size()) {
+      size_t end = label.find(' ', start);
+      if (end == std::string::npos) end = label.size();
+      if (label[start] == 'w') words.insert(label.substr(start, end - start));
+      start = end + 1;
+    }
+    return words;
+  };
+  auto overlap = [&](const std::set<std::string>& a,
+                     const std::set<std::string>& b) {
+    size_t inter = 0;
+    for (const auto& w : a) inter += b.count(w);
+    return static_cast<double>(inter) /
+           static_cast<double>(std::max<size_t>(1, std::min(a.size(), b.size())));
+  };
+  // Average over pairs grouped by planted primary topic.
+  double same_total = 0, diff_total = 0;
+  size_t same_count = 0, diff_count = 0;
+  const auto& papers = dataset_.Papers();
+  for (size_t i = 0; i + 1 < papers.size(); i += 2) {
+    const auto a = topical_set(papers[i]);
+    const auto b = topical_set(papers[i + 1]);
+    const int32_t ta = dataset_.paper_primary_topic[i];
+    const int32_t tb = dataset_.paper_primary_topic[i + 1];
+    if (ta == tb) {
+      same_total += overlap(a, b);
+      ++same_count;
+    } else if (std::abs(ta - tb) > 2) {  // clearly distant topics
+      diff_total += overlap(a, b);
+      ++diff_count;
+    }
+  }
+  ASSERT_GT(same_count, 0u);
+  ASSERT_GT(diff_count, 0u);
+  EXPECT_GT(same_total / same_count, diff_total / diff_count);
+}
+
+TEST_F(DatasetTest, ScaledCopyScalesCounts) {
+  const DatasetConfig half = dataset_.config.ScaledCopy(0.5, "_half");
+  EXPECT_EQ(half.num_papers, dataset_.config.num_papers / 2);
+  EXPECT_EQ(half.name, "tiny_half");
+  const DatasetConfig same = dataset_.config.ScaledCopy(1.0, "");
+  EXPECT_EQ(same.num_papers, dataset_.config.num_papers);
+}
+
+TEST_F(DatasetTest, ProfilesHaveDistinctShapes) {
+  const DatasetConfig aminer = AminerProfile();
+  const DatasetConfig dblp = DblpProfile();
+  const DatasetConfig acm = AcmProfile();
+  EXPECT_LT(aminer.num_topics, dblp.num_topics);
+  EXPECT_GT(acm.num_papers, dblp.num_papers);
+  EXPECT_GT(dblp.num_papers, aminer.num_papers);
+}
+
+TEST_F(DatasetTest, CorpusBuilderAlignsWithLocalIndex) {
+  const Corpus corpus = BuildPaperCorpus(dataset_);
+  EXPECT_EQ(corpus.NumDocuments(), dataset_.Papers().size());
+  EXPECT_GT(corpus.vocabulary().size(), 0u);
+  EXPECT_GT(corpus.TotalTokens(), corpus.NumDocuments() * 10);
+}
+
+TEST_F(DatasetTest, CoAuthoredPapersShareGroupTopicText) {
+  // Structural sanity: co-authored papers should often share the primary
+  // topic (they come from the same research group).
+  auto path = MetaPath::Parse(dataset_.graph.schema(), "P-A-P");
+  ASSERT_TRUE(path.ok());
+  PNeighborFinder finder(dataset_.graph, *path);
+  size_t same = 0, total = 0;
+  for (NodeId p : dataset_.Papers()) {
+    const size_t pi = dataset_.graph.LocalIndex(p);
+    for (NodeId q : finder.Neighbors(p)) {
+      ++total;
+      same += dataset_.paper_primary_topic[pi] ==
+              dataset_.paper_primary_topic[dataset_.graph.LocalIndex(q)];
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(same) / total, 0.7);
+}
+
+TEST(DatasetFromGraphTest, WrapsGeneratedGraph) {
+  const Dataset original = GenerateDataset(TinyProfile());
+  HeteroGraph copy = original.graph;  // value copy
+  auto wrapped = DatasetFromGraph(std::move(copy), "wrapped");
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status().ToString();
+  EXPECT_EQ(wrapped->config.name, "wrapped");
+  EXPECT_EQ(wrapped->Papers().size(), original.Papers().size());
+  EXPECT_EQ(wrapped->ids.paper, original.ids.paper);
+  // Primary topics recovered from Mention edges match the planted ones.
+  EXPECT_EQ(wrapped->paper_primary_topic, original.paper_primary_topic);
+}
+
+TEST(DatasetFromGraphTest, RejectsNonAcademicSchema) {
+  Schema schema;
+  const NodeTypeId a = schema.AddNodeType("X");
+  schema.AddEdgeType("Knows", a, a);
+  HeteroGraphBuilder builder(schema);
+  builder.AddNode(a);
+  auto wrapped = DatasetFromGraph(std::move(builder).Build());
+  ASSERT_FALSE(wrapped.ok());
+  EXPECT_EQ(wrapped.status().code(), StatusCode::kInvalidArgument);
+}
+
+class QueriesTest : public ::testing::Test {
+ protected:
+  QueriesTest()
+      : dataset_(GenerateDataset(TinyProfile())),
+        queries_(GenerateQueries(dataset_, 15, 3)) {}
+  Dataset dataset_;
+  QuerySet queries_;
+};
+
+TEST_F(QueriesTest, RequestedCountProduced) {
+  EXPECT_EQ(queries_.queries.size(), 15u);
+}
+
+TEST_F(QueriesTest, QueryTextIsPaperLabel) {
+  for (const Query& q : queries_.queries) {
+    EXPECT_EQ(q.text, dataset_.graph.Label(q.query_paper));
+  }
+}
+
+TEST_F(QueriesTest, GroundTruthSharesTopicWithQueryPaper) {
+  for (const Query& q : queries_.queries) {
+    ASSERT_FALSE(q.ground_truth.empty());
+    // Collect query paper's topics.
+    const auto topics = dataset_.graph.Neighbors(q.query_paper,
+                                                 dataset_.ids.mention);
+    const std::set<NodeId> topic_set(topics.begin(), topics.end());
+    // Spot-check the first few ground-truth authors: each must have a
+    // paper mentioning a shared topic.
+    for (size_t i = 0; i < std::min<size_t>(5, q.ground_truth.size()); ++i) {
+      const NodeId author = q.ground_truth[i];
+      bool shares = false;
+      for (NodeId paper :
+           dataset_.graph.Neighbors(author, dataset_.ids.write)) {
+        for (NodeId t : dataset_.graph.Neighbors(paper, dataset_.ids.mention)) {
+          shares |= topic_set.count(t) > 0;
+        }
+      }
+      EXPECT_TRUE(shares) << "author " << author;
+    }
+  }
+}
+
+TEST_F(QueriesTest, QueryAuthorsAreInGroundTruth) {
+  // The query paper's own authors trivially share its topics.
+  for (const Query& q : queries_.queries) {
+    for (NodeId author :
+         dataset_.graph.Neighbors(q.query_paper, dataset_.ids.write)) {
+      EXPECT_TRUE(std::binary_search(q.ground_truth.begin(),
+                                     q.ground_truth.end(), author));
+    }
+  }
+}
+
+TEST_F(QueriesTest, DeterministicForSameSeed) {
+  const QuerySet again = GenerateQueries(dataset_, 15, 3);
+  ASSERT_EQ(again.queries.size(), queries_.queries.size());
+  for (size_t i = 0; i < again.queries.size(); ++i) {
+    EXPECT_EQ(again.queries[i].query_paper, queries_.queries[i].query_paper);
+  }
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "kpcore/decomposition_index.h"
+#include "kpcore/kpcore_search.h"
+#include "test_graphs.h"
+
+namespace kpef {
+namespace {
+
+class DecompositionIndexTest : public ::testing::Test {
+ protected:
+  DecompositionIndexTest()
+      : g_(Figure2Graph::Make()),
+        pap_(*MetaPath::Parse(g_.ids.schema, "P-A-P")),
+        index_(g_.graph, pap_) {}
+
+  Figure2Graph g_;
+  MetaPath pap_;
+  KPCoreDecompositionIndex index_;
+};
+
+TEST_F(DecompositionIndexTest, CoreNumbersMatchFigure2) {
+  // Clique papers p0..p3 have core number 3; bridge p4 has at most 2 (it links p3 and
+  // p5 which form a path); isolated p9 has 0.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(index_.CoreNumberOf(g_.papers[i]), 3) << "p" << i;
+  }
+  for (int i = 5; i < 9; ++i) {
+    EXPECT_EQ(index_.CoreNumberOf(g_.papers[i]), 3) << "p" << i;
+  }
+  EXPECT_LE(index_.CoreNumberOf(g_.papers[4]), 2);
+  EXPECT_EQ(index_.CoreNumberOf(g_.papers[9]), 0);
+  EXPECT_EQ(index_.MaxCoreNumber(), 3);
+}
+
+TEST_F(DecompositionIndexTest, MembershipConsistentWithSearch) {
+  for (NodeId seed : g_.papers) {
+    for (int32_t k = 1; k <= 4; ++k) {
+      const KPCoreCommunity community = KPCoreSearch(g_.graph, pap_, seed, k);
+      // The seed is in some (k, P)-core component iff its core number
+      // reaches k.
+      EXPECT_EQ(!community.core.empty(), index_.InCore(seed, k))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST_F(DecompositionIndexTest, HistogramIsMonotoneSuffix) {
+  const auto& sizes = index_.CoreSizeHistogram();
+  ASSERT_EQ(sizes.size(), static_cast<size_t>(index_.MaxCoreNumber()) + 1);
+  EXPECT_EQ(sizes[0], g_.papers.size());  // every paper is in the 0-core
+  for (size_t k = 1; k < sizes.size(); ++k) {
+    EXPECT_LE(sizes[k], sizes[k - 1]);
+  }
+}
+
+TEST_F(DecompositionIndexTest, SuggestKRespectsCoverage) {
+  // Full coverage only at k = 0 (p9 is isolated).
+  EXPECT_EQ(index_.SuggestK(1.0), 0);
+  // 80% of the 10 papers have core number >= 3.
+  EXPECT_EQ(index_.SuggestK(0.8), 3);
+}
+
+TEST(DecompositionIndexDatasetTest, SuggestKIsReasonable) {
+  const Dataset dataset = GenerateDataset(TinyProfile());
+  const MetaPath pap = *MetaPath::Parse(dataset.graph.schema(), "P-A-P");
+  KPCoreDecompositionIndex index(dataset.graph, pap);
+  const int32_t k = index.SuggestK(0.5);
+  EXPECT_GE(k, 1);
+  EXPECT_LE(k, index.MaxCoreNumber());
+  // The suggested core must indeed cover at least half the papers.
+  size_t covered = 0;
+  for (NodeId p : dataset.Papers()) covered += index.InCore(p, k);
+  EXPECT_GE(covered * 2, dataset.Papers().size());
+}
+
+}  // namespace
+}  // namespace kpef

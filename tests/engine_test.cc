@@ -1,0 +1,328 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "eval/evaluation.h"
+#include "text/tfidf.h"
+
+namespace kpef {
+namespace {
+
+// One shared tiny pipeline for the whole binary (training is the slow
+// part; individual tests probe different aspects of the built engine).
+class EngineTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Dataset dataset;
+    Corpus corpus;
+    TfIdfModel tfidf;
+    Matrix tokens;
+    QuerySet queries;
+    EngineBuildReport report;
+    std::unique_ptr<ExpertFindingEngine> engine;
+
+    Shared()
+        : dataset(GenerateDataset(TinyProfile())),
+          corpus(BuildPaperCorpus(dataset)),
+          tfidf(corpus),
+          tokens([&] {
+            PretrainConfig config;
+            config.dim = 32;
+            config.epochs = 6;
+            return PretrainTokenEmbeddings(corpus, config).token_embeddings;
+          }()),
+          queries(GenerateQueries(dataset, 6, 23)) {
+      auto built = ExpertFindingEngine::Build(&dataset, &corpus,
+                                              SmallConfig(), &tokens, &report);
+      if (!built.ok()) std::abort();
+      engine = std::move(built).value();
+    }
+
+    static EngineConfig SmallConfig() {
+      EngineConfig config;
+      config.k = 3;
+      config.seed_fraction = 0.2;
+      config.encoder.dim = 32;
+      config.trainer.epochs = 2;
+      config.top_m = 60;
+      config.pg_index.knn_k = 8;
+      return config;
+    }
+  };
+
+  static Shared& shared() {
+    static Shared* s = new Shared();
+    return *s;
+  }
+};
+
+TEST_F(EngineTest, BuildReportPopulated) {
+  const EngineBuildReport& r = shared().report;
+  EXPECT_GT(r.sampling.triples.size(), 0u);
+  EXPECT_GT(r.sampling.num_seeds, 0u);
+  EXPECT_EQ(r.training.num_triples, r.sampling.triples.size());
+  EXPECT_FALSE(r.training.epoch_loss.empty());
+  EXPECT_GT(r.index.build_seconds, 0.0);
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+TEST_F(EngineTest, EmbeddingsCoverEveryPaper) {
+  Shared& s = shared();
+  EXPECT_EQ(s.engine->embeddings().rows(), s.dataset.Papers().size());
+  EXPECT_EQ(s.engine->embeddings().cols(), 32u);
+  EXPECT_NE(s.engine->index(), nullptr);
+}
+
+TEST_F(EngineTest, FindExpertsReturnsRankedAuthors) {
+  Shared& s = shared();
+  const auto experts = s.engine->FindExperts(s.queries.queries[0].text, 10);
+  EXPECT_LE(experts.size(), 10u);
+  EXPECT_GT(experts.size(), 0u);
+  double prev = 1e30;
+  std::set<NodeId> seen;
+  for (const ExpertScore& e : experts) {
+    EXPECT_EQ(s.dataset.graph.TypeOf(e.author), s.dataset.ids.author);
+    EXPECT_TRUE(seen.insert(e.author).second);
+    EXPECT_LE(e.score, prev);
+    prev = e.score;
+  }
+}
+
+TEST_F(EngineTest, RetrievePapersReturnsPapers) {
+  Shared& s = shared();
+  QueryStats stats;
+  const auto papers =
+      s.engine->RetrievePapers(s.queries.queries[1].text, 25, &stats);
+  EXPECT_EQ(papers.size(), 25u);
+  for (NodeId p : papers) {
+    EXPECT_EQ(s.dataset.graph.TypeOf(p), s.dataset.ids.paper);
+  }
+  EXPECT_GT(stats.distance_computations, 0u);
+  // The PG-Index should touch far fewer points than the corpus size.
+  EXPECT_LT(stats.distance_computations, s.dataset.Papers().size());
+}
+
+TEST_F(EngineTest, SelfQueryRetrievesOwnPaper) {
+  Shared& s = shared();
+  const Query& q = s.queries.queries[2];
+  const auto papers = s.engine->RetrievePapers(q.text, 20);
+  EXPECT_NE(std::find(papers.begin(), papers.end(), q.query_paper),
+            papers.end());
+}
+
+TEST_F(EngineTest, TaAndFullScanAgree) {
+  Shared& s = shared();
+  EngineConfig config = Shared::SmallConfig();
+  config.use_ta = false;
+  EngineBuildReport report;
+  auto no_ta = ExpertFindingEngine::Build(&s.dataset, &s.corpus, config,
+                                          &s.tokens, &report);
+  ASSERT_TRUE(no_ta.ok());
+  for (const Query& q : s.queries.queries) {
+    const auto a = s.engine->FindExperts(q.text, 8);
+    const auto b = (*no_ta)->FindExperts(q.text, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-9);
+    }
+  }
+}
+
+TEST_F(EngineTest, BruteForceVariantFindsSimilarExperts) {
+  Shared& s = shared();
+  EngineConfig config = Shared::SmallConfig();
+  config.use_pg_index = false;
+  auto brute = ExpertFindingEngine::Build(&s.dataset, &s.corpus, config,
+                                          &s.tokens, nullptr);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ((*brute)->index(), nullptr);
+  // Approximate retrieval should still share most experts with exact.
+  size_t overlap = 0, total = 0;
+  for (const Query& q : s.queries.queries) {
+    const auto approx = s.engine->FindExperts(q.text, 10);
+    const auto exact = (*brute)->FindExperts(q.text, 10);
+    std::set<NodeId> exact_set;
+    for (const auto& e : exact) exact_set.insert(e.author);
+    for (const auto& e : approx) overlap += exact_set.count(e.author);
+    total += exact.size();
+  }
+  EXPECT_GT(static_cast<double>(overlap) / total, 0.6);
+}
+
+TEST_F(EngineTest, DeterministicRebuild) {
+  Shared& s = shared();
+  auto again = ExpertFindingEngine::Build(&s.dataset, &s.corpus,
+                                          Shared::SmallConfig(), &s.tokens);
+  ASSERT_TRUE(again.ok());
+  const auto a = s.engine->FindExperts(s.queries.queries[0].text, 5);
+  const auto b = (*again)->FindExperts(s.queries.queries[0].text, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].author, b[i].author);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST_F(EngineTest, RejectsBadMetaPath) {
+  Shared& s = shared();
+  EngineConfig config = Shared::SmallConfig();
+  config.meta_paths = {"P-X-P"};
+  auto result =
+      ExpertFindingEngine::Build(&s.dataset, &s.corpus, config, &s.tokens);
+  EXPECT_FALSE(result.ok());
+  config.meta_paths = {"A-P-A"};  // wrong endpoints
+  EXPECT_FALSE(
+      ExpertFindingEngine::Build(&s.dataset, &s.corpus, config, &s.tokens)
+          .ok());
+  config.meta_paths = {};
+  EXPECT_FALSE(
+      ExpertFindingEngine::Build(&s.dataset, &s.corpus, config, &s.tokens)
+          .ok());
+}
+
+TEST_F(EngineTest, QueryStatsReported) {
+  Shared& s = shared();
+  QueryStats stats;
+  const auto experts = s.engine->FindExpertsWithStats(
+      s.queries.queries[3].text, 10, &stats);
+  EXPECT_GT(experts.size(), 0u);
+  EXPECT_GT(stats.retrieval_ms, 0.0);
+  EXPECT_GT(stats.ranking_ms, 0.0);
+  EXPECT_GT(stats.ranking_entries_accessed, 0u);
+}
+
+TEST_F(EngineTest, EngineBeatsTextOnlyBaselineOnPlantedData) {
+  // The central claim at miniature scale: core-based fine-tuning should
+  // beat the raw pre-trained text embedding on topic-expert retrieval.
+  Shared& s = shared();
+  const Evaluator evaluator(&s.dataset, &s.queries, &s.corpus, &s.tfidf);
+  const EvaluationResult ours = evaluator.Evaluate(*s.engine, 10);
+  EXPECT_GT(ours.p_at_5, 0.2);
+  EXPECT_GT(ours.map, 0.05);
+}
+
+TEST_F(EngineTest, ArtifactRoundTripServesIdenticalResults) {
+  Shared& s = shared();
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(s.engine->SaveArtifacts(dir).ok());
+  auto loaded = ExpertFindingEngine::LoadFromArtifacts(
+      &s.dataset, &s.corpus, Shared::SmallConfig(), dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const Query& q : s.queries.queries) {
+    const auto a = s.engine->FindExperts(q.text, 8);
+    const auto b = (*loaded)->FindExperts(q.text, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].author, b[i].author);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST_F(EngineTest, LoadFromArtifactsRejectsMissingFiles) {
+  Shared& s = shared();
+  auto loaded = ExpertFindingEngine::LoadFromArtifacts(
+      &s.dataset, &s.corpus, Shared::SmallConfig(), "/nonexistent/dir");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(EngineTest, UniformWeightingChangesScoresNotValidity) {
+  Shared& s = shared();
+  EngineConfig config = Shared::SmallConfig();
+  config.contribution_weighting = ContributionWeighting::kUniform;
+  auto uniform = ExpertFindingEngine::Build(&s.dataset, &s.corpus, config,
+                                            &s.tokens);
+  ASSERT_TRUE(uniform.ok());
+  const auto experts = (*uniform)->FindExperts(s.queries.queries[0].text, 8);
+  EXPECT_GT(experts.size(), 0u);
+}
+
+TEST_F(EngineTest, ExplanationDecomposesScoreExactly) {
+  Shared& s = shared();
+  const Query& q = s.queries.queries[0];
+  const auto experts = s.engine->FindExperts(q.text, 5);
+  ASSERT_FALSE(experts.empty());
+  for (const ExpertScore& expert : experts) {
+    const ExpertExplanation explanation =
+        ExplainExpert(*s.engine, q.text, expert.author);
+    EXPECT_NEAR(explanation.total_score, expert.score, 1e-9);
+    ASSERT_FALSE(explanation.evidence.empty());
+    double sum = 0.0;
+    for (const ExpertEvidence& e : explanation.evidence) {
+      EXPECT_GE(e.paper_rank, 1u);
+      EXPECT_GE(e.author_rank, 1u);
+      EXPECT_LE(e.author_rank, e.num_authors);
+      EXPECT_GT(e.score_share, 0.0);
+      // The evidence paper really lists this author at that rank.
+      const auto authors =
+          s.dataset.graph.Neighbors(e.paper, s.dataset.ids.write);
+      ASSERT_LE(e.author_rank, authors.size());
+      EXPECT_EQ(authors[e.author_rank - 1], expert.author);
+      sum += e.score_share;
+    }
+    EXPECT_NEAR(sum, explanation.total_score, 1e-12);
+  }
+}
+
+TEST_F(EngineTest, ExplanationForUnrelatedAuthorIsEmpty) {
+  Shared& s = shared();
+  // An author with no retrieved papers gets zero evidence.
+  const Query& q = s.queries.queries[1];
+  const auto papers = s.engine->RetrievePapers(q.text, 60);
+  std::set<NodeId> retrieved_authors;
+  for (NodeId p : papers) {
+    for (NodeId a : s.dataset.graph.Neighbors(p, s.dataset.ids.write)) {
+      retrieved_authors.insert(a);
+    }
+  }
+  NodeId outsider = kInvalidNode;
+  for (NodeId a : s.dataset.Authors()) {
+    if (!retrieved_authors.count(a)) {
+      outsider = a;
+      break;
+    }
+  }
+  ASSERT_NE(outsider, kInvalidNode);
+  const ExpertExplanation explanation =
+      ExplainExpert(*s.engine, q.text, outsider);
+  EXPECT_TRUE(explanation.evidence.empty());
+  EXPECT_DOUBLE_EQ(explanation.total_score, 0.0);
+}
+
+TEST_F(EngineTest, ExpertProfileCountsMatchGraph) {
+  Shared& s = shared();
+  const NodeId author = s.dataset.Authors()[3];
+  const ExpertProfile profile = BuildExpertProfile(s.dataset, author);
+  EXPECT_EQ(profile.num_papers,
+            s.dataset.graph.Degree(author, s.dataset.ids.write));
+  size_t topic_total = 0;
+  for (const auto& [topic, count] : profile.topics) {
+    EXPECT_EQ(s.dataset.graph.TypeOf(topic), s.dataset.ids.topic);
+    topic_total += count;
+  }
+  // One mention per paper in the synthetic data.
+  EXPECT_EQ(topic_total, profile.num_papers);
+  EXPECT_LE(profile.num_venues, profile.num_papers);
+}
+
+TEST_F(EngineTest, WithoutCoreStillBuilds) {
+  Shared& s = shared();
+  EngineConfig config = Shared::SmallConfig();
+  config.use_kpcore = false;
+  config.seed_fraction = 0.1;
+  EngineBuildReport report;
+  auto engine = ExpertFindingEngine::Build(&s.dataset, &s.corpus, config,
+                                           &s.tokens, &report);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_GT(report.sampling.triples.size(), 0u);
+  EXPECT_GT((*engine)->FindExperts(s.queries.queries[0].text, 5).size(), 0u);
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,198 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "eval/evaluation.h"
+#include "eval/metrics.h"
+#include "eval/significance.h"
+
+namespace kpef {
+namespace {
+
+TEST(PrecisionAtNTest, HandComputed) {
+  const std::vector<NodeId> truth = {1, 3, 5, 7};
+  EXPECT_DOUBLE_EQ(PrecisionAtN({1, 2, 3, 4, 5}, truth, 5), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({1, 3}, truth, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({2, 4}, truth, 2), 0.0);
+  // Fewer results than n: missing slots count as misses.
+  EXPECT_DOUBLE_EQ(PrecisionAtN({1}, truth, 4), 0.25);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({}, truth, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({1, 2}, truth, 0), 0.0);
+}
+
+TEST(AveragePrecisionTest, HandComputed) {
+  // Relevant at positions 1 and 3 of 4 retrieved; truth size 2.
+  // AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision({10, 20, 11, 21}, {10, 11}),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  // Perfect ranking.
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 2}, {1, 2}), 1.0);
+  // Nothing relevant.
+  EXPECT_DOUBLE_EQ(AveragePrecision({5, 6}, {1, 2}), 0.0);
+  // Empty inputs.
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({1}, {}), 0.0);
+}
+
+TEST(AveragePrecisionTest, NormalizesByRetrievalDepth) {
+  // Truth has 100 experts but only 2 retrieved, both relevant: AP = 1.
+  std::vector<NodeId> truth;
+  for (int i = 0; i < 100; ++i) truth.push_back(i);
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 1}, truth), 1.0);
+}
+
+TEST(ReciprocalRankTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({5, 1, 9}, {1, 9}), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({1, 5}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({5, 6}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}, {1}), 0.0);
+}
+
+TEST(RecallAtNTest, HandComputed) {
+  const std::vector<NodeId> truth = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RecallAtN({1, 2, 9}, truth, 3), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtN({1, 2, 3, 4}, truth, 4), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtN({1, 2, 3, 4}, truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtN({9}, truth, 5), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtN({1}, {}, 5), 0.0);
+}
+
+TEST(NdcgAtNTest, HandComputed) {
+  // Single relevant item at rank 1: perfect nDCG.
+  EXPECT_DOUBLE_EQ(NdcgAtN({1, 9}, {1}, 2), 1.0);
+  // Relevant at rank 2 of 2 with one relevant total:
+  // DCG = 1/log2(3), IDCG = 1/log2(2) = 1.
+  EXPECT_NEAR(NdcgAtN({9, 1}, {1}, 2), 1.0 / std::log2(3.0), 1e-12);
+  // No relevant retrieved.
+  EXPECT_DOUBLE_EQ(NdcgAtN({8, 9}, {1}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtN({1}, {1}, 0), 0.0);
+}
+
+TEST(NdcgAtNTest, MonotoneInRankQuality) {
+  const std::vector<NodeId> truth = {1, 2, 3};
+  const double good = NdcgAtN({1, 2, 3, 9, 8}, truth, 5);
+  const double bad = NdcgAtN({9, 8, 1, 2, 3}, truth, 5);
+  EXPECT_GT(good, bad);
+  EXPECT_GT(bad, 0.0);
+}
+
+TEST(MeanAveragePrecisionTest, AveragesQueries) {
+  const std::vector<std::vector<NodeId>> rankings = {{1, 2}, {9, 8}};
+  const std::vector<std::vector<NodeId>> truths = {{1, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(rankings, truths), 0.5);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}, {}), 0.0);
+}
+
+// A fake model that returns the ground truth (oracle) or wrong-but-valid
+// authors (junk).
+class OracleModel : public RetrievalModel {
+ public:
+  OracleModel(const Dataset* dataset, const QuerySet* queries, bool perfect)
+      : dataset_(dataset), queries_(queries), perfect_(perfect) {}
+
+  std::string name() const override { return perfect_ ? "Oracle" : "Junk"; }
+
+  std::vector<ExpertScore> FindExperts(const std::string& query_text,
+                                       size_t n) override {
+    std::vector<ExpertScore> out;
+    for (const Query& q : queries_->queries) {
+      if (q.text != query_text) continue;
+      if (perfect_) {
+        for (size_t i = 0; i < std::min(n, q.ground_truth.size()); ++i) {
+          out.push_back({q.ground_truth[i], 1.0 - 0.01 * i});
+        }
+      } else {
+        // Valid authors that are NOT in the ground truth.
+        for (NodeId author : dataset_->Authors()) {
+          if (out.size() >= n) break;
+          if (!std::binary_search(q.ground_truth.begin(),
+                                  q.ground_truth.end(), author)) {
+            out.push_back({author, 0.5});
+          }
+        }
+      }
+      break;
+    }
+    return out;
+  }
+
+ private:
+  const Dataset* dataset_;
+  const QuerySet* queries_;
+  bool perfect_;
+};
+
+TEST(EvaluatorTest, OracleScoresPerfectlyAndJunkZero) {
+  const Dataset dataset = GenerateDataset(TinyProfile());
+  const QuerySet queries = GenerateQueries(dataset, 10, 5);
+  const Corpus corpus = BuildPaperCorpus(dataset);
+  const TfIdfModel tfidf(corpus);
+  const Evaluator evaluator(&dataset, &queries, &corpus, &tfidf);
+
+  OracleModel oracle(&dataset, &queries, true);
+  const EvaluationResult good = evaluator.Evaluate(oracle, 20);
+  EXPECT_GT(good.map, 0.99);
+  EXPECT_GT(good.p_at_5, 0.99);
+  EXPECT_GT(good.ads, 0.0);
+  EXPECT_EQ(good.num_queries, 10u);
+
+  OracleModel junk(&dataset, &queries, false);
+  const EvaluationResult bad = evaluator.Evaluate(junk, 20);
+  EXPECT_DOUBLE_EQ(bad.map, 0.0);
+  EXPECT_DOUBLE_EQ(bad.p_at_5, 0.0);
+}
+
+TEST(PairedBootstrapTest, DetectsClearDifference) {
+  std::vector<double> a(40), b(40);
+  for (size_t i = 0; i < 40; ++i) {
+    a[i] = 0.7 + 0.01 * (i % 5);
+    b[i] = 0.3 + 0.01 * (i % 7);
+  }
+  const BootstrapResult r = PairedBootstrap(a, b, 2000, 3);
+  EXPECT_NEAR(r.mean_difference, 0.4, 0.05);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_GT(r.ci_low, 0.0);
+  EXPECT_GE(r.ci_high, r.ci_low);
+}
+
+TEST(PairedBootstrapTest, NoDifferenceIsInsignificant) {
+  // Symmetric noise around zero difference.
+  std::vector<double> a(50), b(50);
+  for (size_t i = 0; i < 50; ++i) {
+    a[i] = 0.5 + ((i % 2 == 0) ? 0.1 : -0.1);
+    b[i] = 0.5 + ((i % 2 == 0) ? -0.1 : 0.1) * ((i % 4 < 2) ? 1 : -1);
+  }
+  const BootstrapResult r = PairedBootstrap(a, b, 2000, 5);
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_LE(r.ci_low, 0.0);
+  EXPECT_GE(r.ci_high, 0.0);
+}
+
+TEST(PairedBootstrapTest, EmptyInputsAreSafe) {
+  const BootstrapResult r = PairedBootstrap({}, {});
+  EXPECT_EQ(r.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(PairedBootstrapTest, DeterministicForSeed) {
+  std::vector<double> a = {0.2, 0.5, 0.9, 0.4};
+  std::vector<double> b = {0.1, 0.6, 0.7, 0.2};
+  const BootstrapResult r1 = PairedBootstrap(a, b, 500, 42);
+  const BootstrapResult r2 = PairedBootstrap(a, b, 500, 42);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+  EXPECT_DOUBLE_EQ(r1.ci_low, r2.ci_low);
+}
+
+TEST(EvaluatorTest, PrintTableDoesNotCrash) {
+  EvaluationResult r;
+  r.model = "Test";
+  PrintResultsTable({r});
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,149 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/brute_force.h"
+#include "ann/hnsw.h"
+#include "common/rng.h"
+
+namespace kpef {
+namespace {
+
+Matrix ClusteredPoints(size_t n, size_t d, uint64_t seed,
+                       size_t num_clusters = 8) {
+  Rng rng(seed);
+  Matrix centers(num_clusters, d);
+  for (float& v : centers.data()) v = static_cast<float>(rng.Normal(0, 5));
+  Matrix points(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.Uniform(num_clusters);
+    for (size_t k = 0; k < d; ++k) {
+      points.At(i, k) = centers.At(c, k) + static_cast<float>(rng.Normal(0, 1));
+    }
+  }
+  return points;
+}
+
+class HnswTest : public ::testing::Test {
+ protected:
+  HnswTest() : points_(ClusteredPoints(600, 12, 21)) {
+    HnswConfig config;
+    config.m = 10;
+    index_ = std::make_unique<Hnsw>(Hnsw::Build(points_, config, &stats_));
+  }
+
+  Matrix points_;
+  HnswBuildStats stats_;
+  std::unique_ptr<Hnsw> index_;
+};
+
+TEST_F(HnswTest, BuildStatsPopulated) {
+  EXPECT_GT(stats_.build_seconds, 0.0);
+  EXPECT_GT(stats_.distance_computations, 0u);
+  EXPECT_GE(stats_.num_layers, 1u);
+  EXPECT_EQ(stats_.edges_total, index_->NumEdges());
+  EXPECT_GT(index_->MemoryUsageBytes(),
+            points_.data().size() * sizeof(float));
+}
+
+TEST_F(HnswTest, SearchRecallAboveNinety) {
+  Rng rng(31);
+  double total_recall = 0.0;
+  const int num_queries = 20;
+  for (int q = 0; q < num_queries; ++q) {
+    std::vector<float> query(points_.cols());
+    const size_t anchor = rng.Uniform(points_.rows());
+    for (size_t k = 0; k < query.size(); ++k) {
+      query[k] = points_.At(anchor, k) + static_cast<float>(rng.Normal(0, 0.4));
+    }
+    const auto approx = index_->Search(query, 10, 50);
+    const auto exact = BruteForceSearch(points_, query, 10);
+    total_recall += ComputeRecall(approx, exact);
+  }
+  EXPECT_GT(total_recall / num_queries, 0.9);
+}
+
+TEST_F(HnswTest, SearchVisitsFewerPointsThanBruteForce) {
+  std::vector<float> query(points_.cols(), 0.5f);
+  Hnsw::SearchStats stats;
+  index_->Search(query, 10, 30, &stats);
+  EXPECT_LT(stats.distance_computations, points_.rows());
+}
+
+TEST_F(HnswTest, ResultsSortedAndBounded) {
+  std::vector<float> query(points_.cols(), -1.0f);
+  const auto result = index_->Search(query, 7);
+  EXPECT_LE(result.size(), 7u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+TEST_F(HnswTest, AdjacencyInvariants) {
+  const size_t n = index_->NumPoints();
+  for (size_t layer = 0; layer < index_->NumLayers(); ++layer) {
+    for (size_t v = 0; v < n; ++v) {
+      const auto& nbrs = index_->NeighborsOf(layer, static_cast<int32_t>(v));
+      std::set<int32_t> seen;
+      for (int32_t u : nbrs) {
+        EXPECT_NE(u, static_cast<int32_t>(v));
+        EXPECT_TRUE(seen.insert(u).second);
+        EXPECT_GE(u, 0);
+        EXPECT_LT(u, static_cast<int32_t>(n));
+      }
+    }
+  }
+}
+
+TEST_F(HnswTest, LayersShrinkGoingUp) {
+  // Higher layers must contain (weakly) fewer nodes with edges.
+  size_t prev = SIZE_MAX;
+  for (size_t layer = 0; layer < index_->NumLayers(); ++layer) {
+    size_t populated = 0;
+    for (size_t v = 0; v < index_->NumPoints(); ++v) {
+      populated += !index_->NeighborsOf(layer, static_cast<int32_t>(v)).empty();
+    }
+    if (layer > 0) EXPECT_LE(populated, prev);
+    prev = populated;
+  }
+}
+
+TEST_F(HnswTest, LargerPoolImprovesOrMaintainsRecall) {
+  Rng rng(41);
+  std::vector<float> query(points_.cols());
+  for (float& v : query) v = static_cast<float>(rng.Normal(0, 3));
+  const auto exact = BruteForceSearch(points_, query, 10);
+  const auto small = index_->Search(query, 10, 10);
+  const auto large = index_->Search(query, 10, 120);
+  EXPECT_GE(ComputeRecall(large, exact) + 1e-9, ComputeRecall(small, exact));
+}
+
+TEST(HnswEdgeCaseTest, EmptyAndSingleton) {
+  Matrix empty(0, 4);
+  const Hnsw e = Hnsw::Build(empty, {});
+  EXPECT_TRUE(e.Search(std::vector<float>{0, 0, 0, 0}, 3).empty());
+  Matrix one(1, 4, 1.0f);
+  const Hnsw s = Hnsw::Build(one, {});
+  const auto result = s.Search(std::vector<float>{0, 0, 0, 0}, 3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0);
+}
+
+TEST(HnswEdgeCaseTest, DeterministicBuild) {
+  const Matrix points = ClusteredPoints(200, 8, 51);
+  HnswConfig config;
+  config.m = 8;
+  const Hnsw a = Hnsw::Build(points, config);
+  const Hnsw b = Hnsw::Build(points, config);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.entry_point(), b.entry_point());
+  std::vector<float> query(8, 0.0f);
+  const auto ra = a.Search(query, 5, 20);
+  const auto rb = b.Search(query, 5, 20);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i].id, rb[i].id);
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,314 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "kpcore/core_decomposition.h"
+#include "kpcore/fastbcore.h"
+#include "kpcore/kpcore_search.h"
+#include "kpcore/multi_path.h"
+#include "kpcore/naive_search.h"
+#include "metapath/p_neighbor.h"
+#include "metapath/projection.h"
+#include "test_graphs.h"
+
+namespace kpef {
+namespace {
+
+HomogeneousProjection LineGraph(size_t n) {
+  // Simple path graph 0-1-2-...-n-1 as a projection (for decomposition
+  // tests without heterogeneous scaffolding).
+  HomogeneousProjection g;
+  g.node_type = 0;
+  g.nodes.resize(n);
+  g.adjacency.resize(n);
+  for (size_t i = 0; i < n; ++i) g.nodes[i] = static_cast<NodeId>(i);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.adjacency[i].push_back(static_cast<int32_t>(i + 1));
+    g.adjacency[i + 1].push_back(static_cast<int32_t>(i));
+  }
+  for (auto& adj : g.adjacency) std::sort(adj.begin(), adj.end());
+  return g;
+}
+
+HomogeneousProjection Clique(size_t n) {
+  HomogeneousProjection g;
+  g.node_type = 0;
+  g.nodes.resize(n);
+  g.adjacency.resize(n);
+  for (size_t i = 0; i < n; ++i) g.nodes[i] = static_cast<NodeId>(i);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) g.adjacency[i].push_back(static_cast<int32_t>(j));
+    }
+  }
+  return g;
+}
+
+TEST(CoreDecompositionTest, LineGraphHasCoreNumberOne) {
+  const auto cores = CoreDecomposition(LineGraph(6));
+  for (int32_t c : cores) EXPECT_EQ(c, 1);
+}
+
+TEST(CoreDecompositionTest, CliqueHasCoreNumberNMinusOne) {
+  const auto cores = CoreDecomposition(Clique(5));
+  for (int32_t c : cores) EXPECT_EQ(c, 4);
+}
+
+TEST(CoreDecompositionTest, SingletonAndEmpty) {
+  EXPECT_TRUE(CoreDecomposition(LineGraph(0)).empty());
+  const auto cores = CoreDecomposition(LineGraph(1));
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0], 0);
+}
+
+TEST(CoreDecompositionTest, CliqueWithTail) {
+  // 4-clique {0,1,2,3} plus tail 3-4-5.
+  HomogeneousProjection g = Clique(4);
+  g.nodes.push_back(4);
+  g.nodes.push_back(5);
+  g.adjacency.push_back({3});
+  g.adjacency.push_back({4});
+  g.adjacency[3].push_back(4);
+  g.adjacency[4] = {3, 5};
+  g.adjacency[5] = {4};
+  const auto cores = CoreDecomposition(g);
+  EXPECT_EQ(cores[0], 3);
+  EXPECT_EQ(cores[1], 3);
+  EXPECT_EQ(cores[2], 3);
+  EXPECT_EQ(cores[3], 3);
+  EXPECT_EQ(cores[4], 1);
+  EXPECT_EQ(cores[5], 1);
+}
+
+TEST(CoreDecompositionTest, KCoreComponentRespectsK) {
+  HomogeneousProjection g = Clique(4);
+  const auto cores = CoreDecomposition(g);
+  EXPECT_EQ(KCoreComponentOf(g, cores, 0, 3).size(), 4u);
+  EXPECT_TRUE(KCoreComponentOf(g, cores, 0, 4).empty());
+}
+
+class KPCoreFigure2Test : public ::testing::Test {
+ protected:
+  KPCoreFigure2Test()
+      : g_(Figure2Graph::Make()),
+        pap_(*MetaPath::Parse(g_.ids.schema, "P-A-P")) {}
+
+  Figure2Graph g_;
+  MetaPath pap_;
+};
+
+TEST_F(KPCoreFigure2Test, StrictCoreMatchesExample4) {
+  // Seed p3 (has 4 P-neighbors), k = 3: strict core = clique {p0..p3}.
+  const KPCoreCommunity result = KPCoreSearch(g_.graph, pap_, g_.papers[3], 3);
+  EXPECT_EQ(result.core, (std::vector<NodeId>{g_.papers[0], g_.papers[1],
+                                              g_.papers[2], g_.papers[3]}));
+  // Extension re-admits the bridge paper p4 (deg 2 < k).
+  EXPECT_EQ(result.extension, (std::vector<NodeId>{g_.papers[4]}));
+}
+
+TEST_F(KPCoreFigure2Test, PrunedBridgeStopsExpansion) {
+  // With pruning, the search from p3 must not expand past p4 into the
+  // second clique: p5..p8 never get their neighbor lists materialized.
+  const KPCoreCommunity result = KPCoreSearch(g_.graph, pap_, g_.papers[3], 3);
+  EXPECT_LE(result.papers_expanded, 6u);  // p3, p0..p2, p4 (+slack)
+  KPCoreSearchOptions no_prune;
+  no_prune.enable_pruning = false;
+  const KPCoreCommunity full =
+      KPCoreSearch(g_.graph, pap_, g_.papers[3], 3, no_prune);
+  EXPECT_GT(full.papers_expanded, result.papers_expanded);
+  EXPECT_EQ(full.core, result.core);  // Theorem 1: same strict core.
+}
+
+TEST_F(KPCoreFigure2Test, NearNegativesComeFromDeleteQueue) {
+  const KPCoreCommunity result = KPCoreSearch(g_.graph, pap_, g_.papers[3], 3);
+  // p4 went through D but was re-admitted by the extension, so the near
+  // negative pool must not contain it (nor any core/extension member).
+  for (NodeId v : result.near_negatives) {
+    EXPECT_FALSE(result.CoreContains(v));
+    EXPECT_FALSE(std::binary_search(result.extension.begin(),
+                                    result.extension.end(), v));
+  }
+}
+
+TEST_F(KPCoreFigure2Test, SeedBelowKGivesEmptyCore) {
+  // p4 has degree 2 < 3: strict core empty; extension = its P-neighbors.
+  const KPCoreCommunity result = KPCoreSearch(g_.graph, pap_, g_.papers[4], 3);
+  EXPECT_TRUE(result.core.empty());
+  EXPECT_EQ(result.extension,
+            (std::vector<NodeId>{g_.papers[3], g_.papers[5]}));
+}
+
+TEST_F(KPCoreFigure2Test, KZeroReturnsReachableComponent) {
+  const KPCoreCommunity result = KPCoreSearch(g_.graph, pap_, g_.papers[0], 0);
+  // All of p0..p8 are P-A-P-reachable from p0; p9 is isolated.
+  EXPECT_EQ(result.core.size(), 9u);
+  EXPECT_FALSE(result.CoreContains(g_.papers[9]));
+}
+
+TEST_F(KPCoreFigure2Test, CoreShrinksAsKGrows) {
+  size_t previous = g_.papers.size() + 1;
+  for (int32_t k = 0; k <= 5; ++k) {
+    const KPCoreCommunity result =
+        KPCoreSearch(g_.graph, pap_, g_.papers[0], k);
+    EXPECT_LE(result.core.size(), previous);
+    previous = result.core.size();
+  }
+}
+
+TEST_F(KPCoreFigure2Test, CoreMembersSatisfyDegreeConstraint) {
+  for (int32_t k = 1; k <= 4; ++k) {
+    const KPCoreCommunity result =
+        KPCoreSearch(g_.graph, pap_, g_.papers[0], k);
+    PNeighborFinder finder(g_.graph, pap_);
+    for (NodeId member : result.core) {
+      // Degree within the core must be >= k.
+      size_t in_core = 0;
+      for (NodeId u : finder.Neighbors(member)) {
+        in_core += result.CoreContains(u);
+      }
+      EXPECT_GE(in_core, static_cast<size_t>(k));
+    }
+  }
+}
+
+TEST_F(KPCoreFigure2Test, ExtensionCapRespected) {
+  KPCoreSearchOptions options;
+  options.max_extension = 0;
+  const KPCoreCommunity result =
+      KPCoreSearch(g_.graph, pap_, g_.papers[3], 3, options);
+  EXPECT_TRUE(result.extension.empty());
+  KPCoreSearchOptions no_ext;
+  no_ext.enable_extension = false;
+  EXPECT_TRUE(
+      KPCoreSearch(g_.graph, pap_, g_.papers[3], 3, no_ext).extension.empty());
+}
+
+TEST_F(KPCoreFigure2Test, FastBCoreMatchesOnFigure2) {
+  for (NodeId seed : g_.papers) {
+    for (int32_t k = 0; k <= 4; ++k) {
+      const KPCoreCommunity fast = FastBCoreSearch(g_.graph, pap_, seed, k);
+      const KPCoreCommunity ours = KPCoreSearch(g_.graph, pap_, seed, k);
+      EXPECT_EQ(fast.core, ours.core) << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST_F(KPCoreFigure2Test, MultiPathIntersectionIsSubset) {
+  auto ptp = *MetaPath::Parse(g_.ids.schema, "P-T-P");
+  const KPCoreCommunity a = KPCoreSearch(g_.graph, pap_, g_.papers[3], 3);
+  const KPCoreCommunity t = KPCoreSearch(g_.graph, ptp, g_.papers[3], 3);
+  const KPCoreCommunity both =
+      MultiPathKPCoreSearch(g_.graph, {pap_, ptp}, g_.papers[3], 3);
+  for (NodeId v : both.core) {
+    EXPECT_TRUE(a.CoreContains(v));
+    EXPECT_TRUE(t.CoreContains(v));
+  }
+  // Figure 2: topic t0 covers p0..p4 so the AT intersection at k=3 is the
+  // co-author clique {p0..p3}.
+  EXPECT_EQ(both.core, a.core);
+}
+
+// --- Theorem 1 property test over generated datasets: the strict cores of
+// the naive decomposition, FastBCore, and Algorithm 1 coincide for every
+// (seed, k, meta-path).
+struct TheoremCase {
+  const char* path;
+  int32_t k;
+};
+
+class Theorem1Test : public ::testing::TestWithParam<TheoremCase> {
+ protected:
+  static const Dataset& dataset() {
+    static const Dataset* d = new Dataset(GenerateDataset(TinyProfile()));
+    return *d;
+  }
+};
+
+TEST_P(Theorem1Test, AllThreeAlgorithmsAgree) {
+  const Dataset& data = dataset();
+  const TheoremCase param = GetParam();
+  auto path = MetaPath::Parse(data.graph.schema(), param.path);
+  ASSERT_TRUE(path.ok());
+  const HomogeneousProjection projection =
+      ProjectHomogeneous(data.graph, *path);
+  // A deterministic spread of seeds.
+  const auto& papers = data.Papers();
+  for (size_t i = 0; i < papers.size(); i += 17) {
+    const NodeId seed = papers[i];
+    const KPCoreCommunity naive =
+        NaiveKPCoreSearchOnProjection(data.graph, projection, seed, param.k);
+    const KPCoreCommunity fast =
+        FastBCoreSearch(data.graph, *path, seed, param.k);
+    const KPCoreCommunity ours = KPCoreSearch(data.graph, *path, seed, param.k);
+    EXPECT_EQ(naive.core, fast.core) << "seed " << seed;
+    EXPECT_EQ(fast.core, ours.core) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepsPathsAndK, Theorem1Test,
+    ::testing::Values(TheoremCase{"P-A-P", 2}, TheoremCase{"P-A-P", 3},
+                      TheoremCase{"P-A-P", 4}, TheoremCase{"P-A-P", 6},
+                      TheoremCase{"P-P", 1}, TheoremCase{"P-P", 2},
+                      TheoremCase{"P-P", 3}, TheoremCase{"P-T-P", 4},
+                      TheoremCase{"P-T-P", 8}),
+    [](const ::testing::TestParamInfo<TheoremCase>& info) {
+      std::string name = info.param.path;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_k" + std::to_string(info.param.k);
+    });
+
+TEST(KPCorePruningEfficiencyTest, PruningNeverExpandsMore) {
+  const Dataset data = GenerateDataset(TinyProfile());
+  auto path = MetaPath::Parse(data.graph.schema(), "P-A-P");
+  ASSERT_TRUE(path.ok());
+  KPCoreSearchOptions no_prune;
+  no_prune.enable_pruning = false;
+  const auto& papers = data.Papers();
+  for (size_t i = 0; i < papers.size(); i += 29) {
+    const KPCoreCommunity pruned = KPCoreSearch(data.graph, *path, papers[i], 4);
+    const KPCoreCommunity full =
+        KPCoreSearch(data.graph, *path, papers[i], 4, no_prune);
+    EXPECT_LE(pruned.papers_expanded, full.papers_expanded);
+    EXPECT_EQ(pruned.core, full.core);
+  }
+}
+
+TEST(MultiPathTest, IntersectionWithSelfIsIdentity) {
+  const Figure2Graph g = Figure2Graph::Make();
+  auto pap = *MetaPath::Parse(g.ids.schema, "P-A-P");
+  const KPCoreCommunity once = KPCoreSearch(g.graph, pap, g.papers[3], 3);
+  const KPCoreCommunity twice =
+      MultiPathKPCoreSearch(g.graph, {pap, pap}, g.papers[3], 3);
+  EXPECT_EQ(once.core, twice.core);
+  EXPECT_EQ(once.Members(), twice.Members());
+}
+
+TEST(MultiPathTest, CostCountersAccumulate) {
+  const Figure2Graph g = Figure2Graph::Make();
+  auto pap = *MetaPath::Parse(g.ids.schema, "P-A-P");
+  auto ptp = *MetaPath::Parse(g.ids.schema, "P-T-P");
+  const KPCoreCommunity a = KPCoreSearch(g.graph, pap, g.papers[3], 3);
+  const KPCoreCommunity b = KPCoreSearch(g.graph, ptp, g.papers[3], 3);
+  const KPCoreCommunity both =
+      MultiPathKPCoreSearch(g.graph, {pap, ptp}, g.papers[3], 3);
+  EXPECT_EQ(both.edges_scanned, a.edges_scanned + b.edges_scanned);
+  EXPECT_EQ(both.papers_expanded, a.papers_expanded + b.papers_expanded);
+}
+
+TEST(CommunityTest, MembersMergesCoreAndExtension) {
+  KPCoreCommunity c;
+  c.core = {2, 5, 9};
+  c.extension = {3, 7};
+  EXPECT_EQ(c.Members(), (std::vector<NodeId>{2, 3, 5, 7, 9}));
+  EXPECT_TRUE(c.CoreContains(5));
+  EXPECT_FALSE(c.CoreContains(3));
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,188 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ann/brute_force.h"
+#include "ann/pg_index.h"
+#include "common/rng.h"
+#include "embed/model_io.h"
+#include "text/corpus.h"
+
+namespace kpef {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng.Normal());
+  return m;
+}
+
+TEST(MatrixIoTest, RoundTrips) {
+  const Matrix original = RandomMatrix(17, 9, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMatrix(original, buffer).ok());
+  auto loaded = LoadMatrix(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rows(), 17u);
+  EXPECT_EQ(loaded->cols(), 9u);
+  EXPECT_EQ(loaded->data(), original.data());
+}
+
+TEST(MatrixIoTest, RoundTripsEmpty) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMatrix(Matrix(), buffer).ok());
+  auto loaded = LoadMatrix(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0u);
+}
+
+TEST(MatrixIoTest, RejectsGarbage) {
+  std::stringstream buffer("this is not a matrix");
+  auto loaded = LoadMatrix(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixIoTest, RejectsTruncated) {
+  const Matrix original = RandomMatrix(20, 8, 2);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMatrix(original, buffer).ok());
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(LoadMatrix(truncated).ok());
+}
+
+TEST(MatrixIoTest, MissingFileIsIOError) {
+  auto loaded = LoadMatrix("/nonexistent/matrix.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+class EncoderIoTest : public ::testing::Test {
+ protected:
+  EncoderIoTest() {
+    corpus_.AddDocument("alpha beta gamma delta");
+    corpus_.AddDocument("beta epsilon");
+    EncoderConfig config;
+    config.dim = 12;
+    config.pooling = Pooling::kWeightedMean;
+    encoder_ = std::make_unique<DocumentEncoder>(corpus_.vocabulary().size(),
+                                                 config);
+    Rng rng(7);
+    encoder_->InitializeRandomTokens(rng, 0.4f);
+    std::vector<float> weights(corpus_.vocabulary().size(), 1.0f);
+    weights[0] = 0.25f;
+    encoder_->SetTokenWeights(weights);
+    for (float& v : encoder_->projection().data()) {
+      v += static_cast<float>(rng.Normal(0, 0.1));
+    }
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<DocumentEncoder> encoder_;
+};
+
+TEST_F(EncoderIoTest, RoundTripPreservesEncodings) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEncoder(*encoder_, buffer).ok());
+  auto loaded = LoadEncoder(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->vocab_size(), encoder_->vocab_size());
+  EXPECT_EQ(loaded->dim(), encoder_->dim());
+  EXPECT_EQ(loaded->config().pooling, Pooling::kWeightedMean);
+  for (size_t doc = 0; doc < corpus_.NumDocuments(); ++doc) {
+    EXPECT_EQ(loaded->Encode(corpus_.Document(doc)),
+              encoder_->Encode(corpus_.Document(doc)));
+  }
+}
+
+TEST_F(EncoderIoTest, RoundTripsMeanPoolingWithoutWeights) {
+  DocumentEncoder plain(5, EncoderConfig{});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEncoder(plain, buffer).ok());
+  auto loaded = LoadEncoder(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->token_weights().empty());
+}
+
+TEST_F(EncoderIoTest, RejectsWrongMagic) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMatrix(Matrix(2, 2), buffer).ok());  // matrix magic
+  EXPECT_FALSE(LoadEncoder(buffer).ok());
+}
+
+class PGIndexIoTest : public ::testing::Test {
+ protected:
+  PGIndexIoTest() : points_(RandomMatrix(300, 16, 11)) {
+    PGIndexConfig config;
+    config.knn_k = 8;
+    index_ = std::make_unique<PGIndex>(PGIndex::Build(points_, config));
+  }
+
+  Matrix points_;
+  std::unique_ptr<PGIndex> index_;
+};
+
+TEST_F(PGIndexIoTest, RoundTripPreservesStructureAndSearch) {
+  std::stringstream buffer;
+  ASSERT_TRUE(index_->Save(buffer).ok());
+  auto loaded = PGIndex::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumPoints(), index_->NumPoints());
+  EXPECT_EQ(loaded->NumEdges(), index_->NumEdges());
+  EXPECT_EQ(loaded->navigating_node(), index_->navigating_node());
+  for (size_t v = 0; v < index_->NumPoints(); ++v) {
+    EXPECT_EQ(loaded->NeighborsOf(static_cast<int32_t>(v)),
+              index_->NeighborsOf(static_cast<int32_t>(v)));
+  }
+  // Search results are identical.
+  Rng rng(3);
+  for (int q = 0; q < 5; ++q) {
+    std::vector<float> query(16);
+    for (float& v : query) v = static_cast<float>(rng.Normal());
+    const auto a = index_->Search(query, 10, 30);
+    const auto b = loaded->Search(query, 10, 30);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST_F(PGIndexIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/kpef_pgindex_test.bin";
+  ASSERT_TRUE(index_->Save(path).ok());
+  auto loaded = PGIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumEdges(), index_->NumEdges());
+}
+
+TEST_F(PGIndexIoTest, RejectsCorruption) {
+  std::stringstream buffer;
+  ASSERT_TRUE(index_->Save(buffer).ok());
+  std::string data = buffer.str();
+  // Flip the navigating node to an absurd value.
+  data[8] = '\xff';
+  data[9] = '\xff';
+  data[10] = '\xff';
+  data[11] = '\x7f';
+  std::stringstream corrupted(data);
+  // Either the header check or a later validation must fire.
+  auto loaded = PGIndex::Load(corrupted);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(PGIndexIoTest, RejectsTruncation) {
+  std::stringstream buffer;
+  ASSERT_TRUE(index_->Save(buffer).ok());
+  const std::string full = buffer.str();
+  for (size_t fraction : {5u, 50u, 90u}) {
+    std::stringstream truncated(full.substr(0, full.size() * fraction / 100));
+    EXPECT_FALSE(PGIndex::Load(truncated).ok()) << fraction << "%";
+  }
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,69 @@
+// Hand-built graphs shared by the meta-path and (k, P)-core tests.
+
+#ifndef KPEF_TESTS_TEST_GRAPHS_H_
+#define KPEF_TESTS_TEST_GRAPHS_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "graph/schema.h"
+
+namespace kpef {
+
+/// A small academic graph reproducing the structure of the paper's
+/// Figure 2 / Example 4 for P = P-A-P, k = 3:
+///  - papers p[0..3] all share author a0 (a 3-core clique of 4 papers);
+///  - p[4] co-authored with p[3] via a1 and with p[5] via a2
+///    (so deg(p4) = 2: neighbors p3 and p5);
+///  - papers p[5..8] all share author a3 (a second 3-core clique);
+///  - p[9] is isolated.
+/// Topics: t0 covers p0..p4, t1 covers p5..p9. Citations: p1 -> p0,
+/// p2 -> p0 (p0 has citation degree 2).
+struct Figure2Graph {
+  AcademicSchema ids;
+  HeteroGraph graph;
+  std::vector<NodeId> papers;   // p0..p9
+  std::vector<NodeId> authors;  // a0..a3
+  std::vector<NodeId> topics;   // t0, t1
+
+  static Figure2Graph Make() {
+    Figure2Graph g;
+    g.ids = AcademicSchema::Make();
+    HeteroGraphBuilder builder(g.ids.schema);
+    for (int i = 0; i < 4; ++i) {
+      g.authors.push_back(builder.AddNode(g.ids.author));
+    }
+    for (int i = 0; i < 10; ++i) {
+      g.papers.push_back(
+          builder.AddNode(g.ids.paper, "paper " + std::to_string(i)));
+    }
+    for (int i = 0; i < 2; ++i) {
+      g.topics.push_back(builder.AddNode(g.ids.topic));
+    }
+    auto edge = [&](EdgeTypeId type, NodeId src, NodeId dst) {
+      const Status s = builder.AddEdge(type, src, dst);
+      if (!s.ok()) std::abort();
+    };
+    // Clique 1: a0 writes p0..p3.
+    for (int i = 0; i < 4; ++i) edge(g.ids.write, g.authors[0], g.papers[i]);
+    // Bridge: a1 writes p3, p4; a2 writes p4, p5.
+    edge(g.ids.write, g.authors[1], g.papers[3]);
+    edge(g.ids.write, g.authors[1], g.papers[4]);
+    edge(g.ids.write, g.authors[2], g.papers[4]);
+    edge(g.ids.write, g.authors[2], g.papers[5]);
+    // Clique 2: a3 writes p5..p8.
+    for (int i = 5; i < 9; ++i) edge(g.ids.write, g.authors[3], g.papers[i]);
+    // Topics.
+    for (int i = 0; i < 5; ++i) edge(g.ids.mention, g.papers[i], g.topics[0]);
+    for (int i = 5; i < 10; ++i) edge(g.ids.mention, g.papers[i], g.topics[1]);
+    // Citations.
+    edge(g.ids.cite, g.papers[1], g.papers[0]);
+    edge(g.ids.cite, g.papers[2], g.papers[0]);
+    g.graph = std::move(builder).Build();
+    return g;
+  }
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_TESTS_TEST_GRAPHS_H_

@@ -1,0 +1,172 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace kpef {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("Hello, World! Graph-based ANN");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"hello", "world", "graph",
+                                              "based", "ann"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("top2vec k9"),
+            (std::vector<std::string>{"top2vec", "k9"}));
+}
+
+TEST(TokenizerTest, RespectsMaxTokens) {
+  TokenizerOptions options;
+  options.max_tokens = 3;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("a b c d e").size(), 3u);
+}
+
+TEST(TokenizerTest, MinTokenLengthFilters) {
+  TokenizerOptions options;
+  options.min_token_length = 2;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("a bc d efg"),
+            (std::vector<std::string>{"bc", "efg"}));
+}
+
+TEST(TokenizerTest, CaseSensitiveOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("Hello"),
+            (std::vector<std::string>{"Hello"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  ,,, ").empty());
+}
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary vocab;
+  const TokenId a = vocab.GetOrAdd("alpha");
+  const TokenId b = vocab.GetOrAdd("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), a);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.TokenOf(a), "alpha");
+}
+
+TEST(VocabularyTest, LookupMissingReturnsUnknown) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Lookup("nope"), kUnknownToken);
+}
+
+TEST(VocabularyTest, EncodeDropsOov) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("a");
+  const auto ids = vocab.Encode({"a", "b", "a"});
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(CorpusTest, AddDocumentTracksFrequencies) {
+  Corpus corpus;
+  corpus.AddDocument("graph core graph");
+  corpus.AddDocument("core embedding");
+  EXPECT_EQ(corpus.NumDocuments(), 2u);
+  const Vocabulary& vocab = corpus.vocabulary();
+  // "graph" appears in 1 document, "core" in 2.
+  EXPECT_EQ(vocab.DocumentFrequency(vocab.Lookup("graph")), 1);
+  EXPECT_EQ(vocab.DocumentFrequency(vocab.Lookup("core")), 2);
+  EXPECT_EQ(corpus.TotalTokens(), 5u);
+}
+
+TEST(CorpusTest, DocumentTokensPreserved) {
+  Corpus corpus;
+  const size_t doc = corpus.AddDocument("alpha beta alpha");
+  const auto& tokens = corpus.Document(doc);
+  EXPECT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], tokens[2]);
+  EXPECT_NE(tokens[0], tokens[1]);
+}
+
+TEST(CorpusTest, EncodeQueryUsesFrozenVocabulary) {
+  Corpus corpus;
+  corpus.AddDocument("alpha beta");
+  const auto ids = corpus.EncodeQuery("alpha gamma");
+  EXPECT_EQ(ids.size(), 1u);  // gamma is OOV
+  EXPECT_EQ(corpus.vocabulary().size(), 2u);  // query must not grow vocab
+}
+
+class TfIdfTest : public ::testing::Test {
+ protected:
+  TfIdfTest() {
+    corpus_.AddDocument("apple banana apple");
+    corpus_.AddDocument("banana cherry");
+    corpus_.AddDocument("cherry durian cherry durian");
+    model_ = std::make_unique<TfIdfModel>(corpus_);
+  }
+  Corpus corpus_;
+  std::unique_ptr<TfIdfModel> model_;
+};
+
+TEST_F(TfIdfTest, VectorsAreL2Normalized) {
+  for (size_t d = 0; d < corpus_.NumDocuments(); ++d) {
+    const SparseVector& v = model_->DocumentVector(d);
+    double norm = 0.0;
+    for (const auto& e : v) norm += static_cast<double>(e.weight) * e.weight;
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+TEST_F(TfIdfTest, SelfSimilarityIsOne) {
+  for (size_t d = 0; d < corpus_.NumDocuments(); ++d) {
+    EXPECT_NEAR(TfIdfModel::Cosine(model_->DocumentVector(d),
+                                   model_->DocumentVector(d)),
+                1.0, 1e-5);
+  }
+}
+
+TEST_F(TfIdfTest, DisjointDocumentsScoreZero) {
+  // Doc 0 (apple banana) vs doc 2 (cherry durian) share no terms.
+  EXPECT_FLOAT_EQ(
+      TfIdfModel::Cosine(model_->DocumentVector(0), model_->DocumentVector(2)),
+      0.0f);
+}
+
+TEST_F(TfIdfTest, ScoreAllRanksLexicalOverlap) {
+  const SparseVector q = model_->Vectorize(corpus_.EncodeQuery("apple apple"));
+  const std::vector<float> scores = model_->ScoreAll(q);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[0], scores[2]);
+  EXPECT_FLOAT_EQ(scores[2], 0.0f);
+}
+
+TEST_F(TfIdfTest, VectorizeEmptyTokensIsEmpty) {
+  EXPECT_TRUE(model_->Vectorize({}).empty());
+}
+
+TEST_F(TfIdfTest, RareTermsWeighMore) {
+  // "banana" appears in 2 docs, "durian" in 1: same tf in a query, the
+  // rarer term should dominate the vector weight.
+  const SparseVector q =
+      model_->Vectorize(corpus_.EncodeQuery("banana durian"));
+  ASSERT_EQ(q.size(), 2u);
+  const Vocabulary& vocab = corpus_.vocabulary();
+  float banana = 0, durian = 0;
+  for (const auto& e : q) {
+    if (e.token == vocab.Lookup("banana")) banana = e.weight;
+    if (e.token == vocab.Lookup("durian")) durian = e.weight;
+  }
+  EXPECT_GT(durian, banana);
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,78 @@
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace kpef {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t count : {0u, 1u, 3u, 7u, 100u, 1000u}) {
+    std::vector<std::atomic<int>> hits(count);
+    ParallelFor(pool, count, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, SingleThreadedPoolDegeneratesToLoop) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  ParallelFor(pool, 10, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // in-order execution on one thread
+}
+
+TEST(ParallelForTest, ResultsMatchSerialComputation) {
+  ThreadPool pool(4);
+  const size_t n = 5000;
+  std::vector<double> parallel_out(n), serial_out(n);
+  auto f = [](size_t i) {
+    return static_cast<double>(i) * 0.5 + static_cast<double>(i % 7);
+  };
+  ParallelFor(pool, n, [&](size_t i) { parallel_out[i] = f(i); });
+  for (size_t i = 0; i < n; ++i) serial_out[i] = f(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelForTest, DefaultPoolWorks) {
+  std::atomic<size_t> total{0};
+  ParallelFor(100, [&](size_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 4950u);
+}
+
+}  // namespace
+}  // namespace kpef

@@ -1,0 +1,101 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/queries.h"
+#include "eval/evaluation.h"
+#include "topicquery/language_model.h"
+
+namespace kpef {
+namespace {
+
+class LanguageModelTest : public ::testing::Test {
+ protected:
+  LanguageModelTest()
+      : dataset_(GenerateDataset(TinyProfile())),
+        corpus_(BuildPaperCorpus(dataset_)),
+        finder_(&dataset_, &corpus_) {}
+
+  Dataset dataset_;
+  Corpus corpus_;
+  LanguageModelExpertFinder finder_;
+};
+
+TEST_F(LanguageModelTest, QueryLikelihoodPrefersMatchingDocument) {
+  // A document's own text must be (at least weakly) more likely under its
+  // own language model than under a random other document's.
+  size_t better = 0;
+  const size_t trials = 20;
+  for (size_t doc = 0; doc < trials; ++doc) {
+    const auto& query = corpus_.Document(doc);
+    const double own = finder_.LogQueryLikelihood(query, doc);
+    const double other =
+        finder_.LogQueryLikelihood(query, (doc + 50) % corpus_.NumDocuments());
+    better += own > other;
+  }
+  EXPECT_GT(better, trials * 8 / 10);
+}
+
+TEST_F(LanguageModelTest, LikelihoodIsFinite) {
+  const auto query = corpus_.EncodeQuery("w1 w2 c3");
+  for (size_t doc = 0; doc < 5; ++doc) {
+    const double log_p = finder_.LogQueryLikelihood(query, doc);
+    EXPECT_TRUE(std::isfinite(log_p));
+    EXPECT_LT(log_p, 0.0);  // probabilities < 1
+  }
+}
+
+TEST_F(LanguageModelTest, ReturnsRankedExperts) {
+  const QuerySet queries = GenerateQueries(dataset_, 3, 77);
+  const auto experts = finder_.FindExperts(queries.queries[0].text, 10);
+  EXPECT_GT(experts.size(), 0u);
+  EXPECT_LE(experts.size(), 10u);
+  double prev = 1e300;
+  for (const ExpertScore& e : experts) {
+    EXPECT_EQ(dataset_.graph.TypeOf(e.author), dataset_.ids.author);
+    EXPECT_LE(e.score, prev);
+    prev = e.score;
+  }
+}
+
+TEST_F(LanguageModelTest, EmptyQueryYieldsNothing) {
+  EXPECT_TRUE(finder_.FindExperts("zzz unknown tokens", 5).empty());
+  EXPECT_TRUE(finder_.FindExperts("", 5).empty());
+}
+
+TEST_F(LanguageModelTest, SelfQueryFindsOwnAuthors) {
+  // Querying with a paper's text should surface that paper's authors.
+  const QuerySet queries = GenerateQueries(dataset_, 5, 99);
+  size_t hits = 0;
+  for (const Query& q : queries.queries) {
+    const auto experts = finder_.FindExperts(q.text, 20);
+    const auto authors =
+        dataset_.graph.Neighbors(q.query_paper, dataset_.ids.write);
+    for (const ExpertScore& e : experts) {
+      for (NodeId a : authors) hits += (e.author == a);
+    }
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+TEST_F(LanguageModelTest, BeatsJunkOnPlantedData) {
+  const QuerySet queries = GenerateQueries(dataset_, 10, 13);
+  const TfIdfModel tfidf(corpus_);
+  const Evaluator evaluator(&dataset_, &queries, &corpus_, &tfidf);
+  const EvaluationResult r = evaluator.Evaluate(finder_, 10);
+  EXPECT_GT(r.p_at_5, 0.2);
+  EXPECT_GT(r.map, 0.05);
+}
+
+TEST_F(LanguageModelTest, LambdaExtremesStillWork) {
+  LanguageModelConfig config;
+  config.lambda = 0.95;  // heavy smoothing
+  LanguageModelExpertFinder smoothed(&dataset_, &corpus_, config);
+  const QuerySet queries = GenerateQueries(dataset_, 2, 5);
+  EXPECT_GT(smoothed.FindExperts(queries.queries[0].text, 5).size(), 0u);
+}
+
+}  // namespace
+}  // namespace kpef

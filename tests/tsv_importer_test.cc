@@ -1,0 +1,90 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/tsv_importer.h"
+
+namespace kpef {
+namespace {
+
+constexpr char kSample[] =
+    "# paper_id\tauthors\tvenue\ttopics\tcitations\ttext\n"
+    "p1\talice|bob\ticde\tgraphs\t\tcommunity search over graphs\n"
+    "p2\tbob\tvldb\tgraphs|ml\tp1\tlearned indexes on graphs\n"
+    "p3\tcarol\ticde\tml\tp1|p2\tdeep models for text\n";
+
+TEST(TsvImporterTest, ImportsSampleGraph) {
+  std::stringstream in(kSample);
+  TsvImportReport report;
+  auto dataset = ImportTsvDataset(in, "sample", &report);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(report.papers, 3u);
+  EXPECT_EQ(report.authors, 3u);
+  EXPECT_EQ(report.venues, 2u);
+  EXPECT_EQ(report.topics, 2u);
+  EXPECT_EQ(report.dangling_citations, 0u);
+  EXPECT_EQ(report.malformed_lines, 0u);
+
+  const auto& graph = dataset->graph;
+  EXPECT_EQ(graph.NumNodesOfType(dataset->ids.paper), 3u);
+  EXPECT_EQ(graph.NumEdgesOfType(dataset->ids.cite), 3u);
+
+  // Author rank order preserved: p1's first author is alice.
+  const NodeId p1 = dataset->Papers()[0];
+  const auto p1_authors = graph.Neighbors(p1, dataset->ids.write);
+  ASSERT_EQ(p1_authors.size(), 2u);
+  EXPECT_EQ(graph.Label(p1_authors[0]), "alice");
+  EXPECT_EQ(graph.Label(p1_authors[1]), "bob");
+  EXPECT_EQ(graph.Label(p1), "community search over graphs");
+}
+
+TEST(TsvImporterTest, SkipsMalformedLinesAndDanglingCitations) {
+  std::stringstream in(
+      "p1\talice\ticde\tml\tp9|p1\tself and dangling cites\n"
+      "not a valid line\n"
+      "\tno_id\ticde\tml\t\tmissing id\n"
+      "p2\t\ticde\tml\t\tno authors\n");
+  TsvImportReport report;
+  auto dataset = ImportTsvDataset(in, "messy", &report);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(report.papers, 1u);
+  EXPECT_EQ(report.malformed_lines, 3u);
+  // p9 is unknown and p1 self-cite is skipped.
+  EXPECT_EQ(report.dangling_citations, 2u);
+  EXPECT_EQ(dataset->graph.NumEdgesOfType(dataset->ids.cite), 0u);
+}
+
+TEST(TsvImporterTest, RejectsEmptyInput) {
+  std::stringstream in("# only comments\n");
+  EXPECT_FALSE(ImportTsvDataset(in, "empty").ok());
+}
+
+TEST(TsvImporterTest, RejectsDuplicatePaperIds) {
+  std::stringstream in(
+      "p1\ta\tv\tt\t\tfirst\n"
+      "p1\tb\tv\tt\t\tsecond\n");
+  auto dataset = ImportTsvDataset(in, "dup");
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TsvImporterTest, MissingFileIsIOError) {
+  auto dataset = ImportTsvDataset("/nonexistent/papers.tsv");
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kIOError);
+}
+
+TEST(TsvImporterTest, PrimaryTopicsDerivedFromFirstMention) {
+  std::stringstream in(kSample);
+  auto dataset = ImportTsvDataset(in, "sample");
+  ASSERT_TRUE(dataset.ok());
+  // p2 mentions graphs first -> primary topic is "graphs"'s local index.
+  const auto& topics = dataset->graph.NodesOfType(dataset->ids.topic);
+  const NodeId p2 = dataset->Papers()[1];
+  const int32_t primary =
+      dataset->paper_primary_topic[dataset->graph.LocalIndex(p2)];
+  EXPECT_EQ(dataset->graph.Label(topics[primary]), "graphs");
+}
+
+}  // namespace
+}  // namespace kpef
