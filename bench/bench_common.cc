@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "metapath/meta_path.h"
+#include "obs/export.h"
+#include "obs/pipeline_metrics.h"
 
 namespace kpef::bench {
 
@@ -33,25 +35,21 @@ BenchDataset::BenchDataset(DatasetConfig config, size_t embedding_dim)
       corpus(BuildPaperCorpus(dataset)),
       tfidf(corpus),
       tokens([&] {
-        Timer timer;
+        ScopedTimer timer(&pretrain_seconds);
         PretrainConfig pretrain;
         pretrain.dim = embedding_dim;
         pretrain.seed = dataset.config.seed + 17;
-        Matrix m = PretrainTokenEmbeddings(corpus, pretrain).token_embeddings;
-        pretrain_seconds = timer.ElapsedSeconds();
-        return m;
+        return PretrainTokenEmbeddings(corpus, pretrain).token_embeddings;
       }()),
       merged([&] {
-        Timer timer;
+        ScopedTimer timer(&projection_seconds);
         std::vector<HomogeneousProjection> projections;
         for (const char* p : {"P-A-P", "P-T-P", "P-P", "P-V-P"}) {
           auto path = MetaPath::Parse(dataset.graph.schema(), p);
           KPEF_CHECK(path.ok());
           projections.push_back(ProjectHomogeneous(dataset.graph, *path));
         }
-        HomogeneousProjection u = UnionProjections(projections);
-        projection_seconds = timer.ElapsedSeconds();
-        return u;
+        return UnionProjections(projections);
       }()),
       queries(GenerateQueries(dataset, NumQueries(),
                               dataset.config.seed + 4711)) {}
@@ -111,7 +109,21 @@ std::vector<std::unique_ptr<RetrievalModel>> BuildBaselines(
   return models;
 }
 
+void InstallMetricsDumpAtExit() {
+  static const bool installed = [] {
+    obs::WarmPipelineMetrics();
+    std::atexit([] {
+      std::printf("\n### metrics (JSON)\n\n%s",
+                  obs::ExportMetricsJson().c_str());
+      std::fflush(stdout);
+    });
+    return true;
+  }();
+  (void)installed;
+}
+
 void PrintHeader(const std::string& title) {
+  InstallMetricsDumpAtExit();
   std::printf("\n### %s (KPEF_SCALE=%.2f)\n\n", title.c_str(), Scale());
 }
 

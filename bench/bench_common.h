@@ -36,6 +36,13 @@ size_t NumQueries();
 
 /// Everything the experiment harnesses need about one dataset, built once.
 struct BenchDataset {
+  /// Phase timings. Declared (and thus initialized) BEFORE the members
+  /// whose initializers accumulate into them — the reverse order would
+  /// zero them after the fact (members initialize in declaration order,
+  /// not initializer-list order).
+  double pretrain_seconds = 0.0;
+  double projection_seconds = 0.0;
+
   Dataset dataset;
   Corpus corpus;
   TfIdfModel tfidf;
@@ -45,8 +52,6 @@ struct BenchDataset {
   /// the homogeneous-embedding baselines.
   HomogeneousProjection merged;
   QuerySet queries;
-  double pretrain_seconds = 0.0;
-  double projection_seconds = 0.0;
 
   explicit BenchDataset(DatasetConfig config, size_t embedding_dim = 64);
 };
@@ -69,8 +74,14 @@ std::unique_ptr<ExpertFindingEngine> BuildEngine(
 std::vector<std::unique_ptr<RetrievalModel>> BuildBaselines(
     const BenchDataset& data, size_t top_m);
 
-/// Prints a "### <title>" section header.
+/// Prints a "### <title>" section header. The first call also installs
+/// an atexit hook that dumps the metrics registry (JSON) to stdout, so
+/// every harness's transcript ends with per-stage counter columns.
 void PrintHeader(const std::string& title);
+
+/// Installs the atexit metrics dump (idempotent). Harnesses that never
+/// call PrintHeader can call this directly.
+void InstallMetricsDumpAtExit();
 
 }  // namespace kpef::bench
 

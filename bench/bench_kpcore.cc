@@ -7,6 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/pipeline_metrics.h"
+
 #include "common/logging.h"
 #include "data/dataset.h"
 #include "kpcore/fastbcore.h"
@@ -111,4 +116,15 @@ BENCHMARK_CAPTURE(BM_FastBCore, Cite, "P-P")->Arg(2)->Arg(4);
 BENCHMARK_CAPTURE(BM_ProjectHomogeneous, PAP, "P-A-P");
 BENCHMARK_CAPTURE(BM_ProjectHomogeneous, PTP, "P-T-P");
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run ends with a dump
+// of the pipeline metrics accumulated across all benchmark iterations.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  kpef::obs::WarmPipelineMetrics();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::printf("\n### metrics (JSON)\n\n%s",
+              kpef::obs::ExportMetricsJson().c_str());
+  return 0;
+}

@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/pipeline_metrics.h"
+
 #include "ann/brute_force.h"
 #include "ann/hnsw.h"
 #include "ann/pg_index.h"
@@ -152,4 +157,15 @@ BENCHMARK_CAPTURE(BM_IndexBuild, knn_only, 0)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_IndexBuild, full_refined, 2)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run ends with a dump
+// of the pipeline metrics accumulated across all benchmark iterations.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  kpef::obs::WarmPipelineMetrics();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::printf("\n### metrics (JSON)\n\n%s",
+              kpef::obs::ExportMetricsJson().c_str());
+  return 0;
+}

@@ -67,7 +67,7 @@ void SweepTopM(const BenchDataset& data, const Evaluator& evaluator) {
   }
 }
 
-void SweepTopN(const BenchDataset& data, const Evaluator& evaluator) {
+void SweepTopN(const BenchDataset& data) {
   std::printf("\n(d) top-n experts\n");
   std::printf("%6s %7s %7s %10s\n", "n", "P@n", "MAP", "ms/query");
   EngineConfig config = DefaultEngineConfig(data);
@@ -104,6 +104,6 @@ int main() {
   SweepSampleRatio(data, evaluator);
   SweepK(data, evaluator);
   SweepTopM(data, evaluator);
-  SweepTopN(data, evaluator);
+  SweepTopN(data);
   return 0;
 }

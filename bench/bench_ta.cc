@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/pipeline_metrics.h"
+
 #include "common/rng.h"
 #include "ranking/expert_score.h"
 #include "ranking/top_n_finder.h"
@@ -96,4 +101,15 @@ BENCHMARK(BM_FullScanTopN)
     ->Args({1000, 5})
     ->Args({1000, 100});
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run ends with a dump
+// of the pipeline metrics accumulated across all benchmark iterations.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  kpef::obs::WarmPipelineMetrics();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::printf("\n### metrics (JSON)\n\n%s",
+              kpef::obs::ExportMetricsJson().c_str());
+  return 0;
+}

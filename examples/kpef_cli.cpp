@@ -10,9 +10,15 @@
 //
 // `build` persists the fine-tuned encoder, the paper embeddings, and the
 // PG-Index; `query` reloads them and serves queries without retraining.
+//
+// Global flags (any command):
+//   --metrics-out <path>   dump the metrics registry after the command
+//                          (.prom/.txt -> Prometheus text, else JSON)
+//   --trace-out <path>     enable span tracing, dump flame-style JSON
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -24,6 +30,9 @@
 #include "data/dataset.h"
 #include "embed/model_io.h"
 #include "graph/graph_io.h"
+#include "obs/export.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 #include "ranking/top_n_finder.h"
 
 namespace {
@@ -172,10 +181,43 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv);
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "build") return CmdBuild(flags);
-  if (command == "query") return CmdQuery(flags);
-  std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
-  return 1;
+  const std::string metrics_out = FlagOr(flags, "metrics-out", "");
+  const std::string trace_out = FlagOr(flags, "trace-out", "");
+  if (!metrics_out.empty()) {
+    // Pre-register the canonical schema so the export always carries the
+    // full set of pipeline keys, even for commands that exercise only a
+    // few stages.
+    kpef::obs::WarmPipelineMetrics();
+  }
+  if (!trace_out.empty()) kpef::obs::Tracer::Global().SetEnabled(true);
+
+  int rc = 1;
+  if (command == "generate") {
+    rc = CmdGenerate(flags);
+  } else if (command == "stats") {
+    rc = CmdStats(flags);
+  } else if (command == "build") {
+    rc = CmdBuild(flags);
+  } else if (command == "query") {
+    rc = CmdQuery(flags);
+  } else {
+    std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
+    return 1;
+  }
+  if (rc == 0 && !metrics_out.empty()) {
+    const kpef::Status s = kpef::obs::WriteMetricsFile(metrics_out);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (rc == 0 && !trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << kpef::obs::Tracer::Global().DumpJson();
+    std::printf("wrote %zu trace spans to %s\n",
+                kpef::obs::Tracer::Global().NumSpans(), trace_out.c_str());
+  }
+  return rc;
 }

@@ -10,11 +10,15 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "embed/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 
 namespace kpef {
 
 PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
                        PGIndexBuildStats* stats) {
+  KPEF_TRACE_SPAN("pgindex.build");
   Timer total_timer;
   PGIndex index;
   index.points_ = points;
@@ -55,6 +59,7 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
                        }());
   local_stats.knn_seconds = knn_timer.ElapsedSeconds();
   local_stats.distance_computations += knn.distance_computations;
+  KPEF_COUNTER_ADD(obs::kPgindexNndescentIterations, knn.iterations_run);
   for (const auto& nbrs : knn.neighbors) {
     local_stats.edges_after_knn += nbrs.size();
   }
@@ -184,12 +189,16 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
 
   local_stats.edges_final = index.NumEdges();
   local_stats.build_seconds = total_timer.ElapsedSeconds();
+  KPEF_COUNTER_ADD(obs::kPgindexBuildsTotal, 1);
+  KPEF_COUNTER_ADD(obs::kPgindexBuildDistanceComputations,
+                   local_stats.distance_computations);
   if (stats) *stats = local_stats;
   return index;
 }
 
 std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
                                       size_t ef, SearchStats* stats) const {
+  KPEF_TRACE_SPAN("pgindex.search");
   const size_t n = points_.rows();
   std::vector<Neighbor> result;
   if (n == 0 || m == 0) return result;
@@ -231,6 +240,9 @@ std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
       }
     }
   }
+  // The greedy loop above accumulated into stack-local stats only;
+  // concurrent searches over a shared (const) index merge here, once.
+  const size_t pool_occupancy = pool.size();
   result.reserve(pool.size());
   while (!pool.empty()) {
     result.push_back(pool.top());
@@ -238,6 +250,11 @@ std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
   }
   std::reverse(result.begin(), result.end());
   if (result.size() > m) result.resize(m);
+  KPEF_COUNTER_ADD(obs::kPgindexSearchesTotal, 1);
+  KPEF_COUNTER_ADD(obs::kPgindexDistanceComputations,
+                   local_stats.distance_computations);
+  KPEF_HISTOGRAM_OBSERVE(obs::kPgindexSearchHops, local_stats.hops);
+  KPEF_HISTOGRAM_OBSERVE(obs::kPgindexCandidatePoolOccupancy, pool_occupancy);
   if (stats) *stats = local_stats;
   return result;
 }

@@ -50,29 +50,30 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-/// Swallows the streamed expression when the level is filtered out.
-class NullStream {
+/// Lets a LogMessage expression terminate the false branch of the
+/// level-filter conditional: `&` binds looser than `<<`, so the whole
+/// streamed chain is built (and the message flushed) only when the level
+/// passed the filter.
+class Voidify {
  public:
-  template <typename T>
-  NullStream& operator<<(const T&) {
-    return *this;
-  }
+  void operator&(const LogMessage&) {}
 };
 
 }  // namespace internal_logging
 }  // namespace kpef
 
-#define KPEF_LOG_INTERNAL_(level)                                 \
-  (static_cast<int>(level) < static_cast<int>(::kpef::GetLogLevel())) \
-      ? void(0)                                                   \
-      : void(0),                                                  \
-      ::kpef::internal_logging::LogMessage(level, __FILE__, __LINE__)
+#define KPEF_LOG_INTERNAL_(level)                                      \
+  (static_cast<int>(level) < static_cast<int>(::kpef::GetLogLevel()))  \
+      ? void(0)                                                        \
+      : ::kpef::internal_logging::Voidify() &                          \
+            ::kpef::internal_logging::LogMessage(level, __FILE__, __LINE__)
 
 /// Streams a log line at the given severity, e.g.
 /// KPEF_LOG(INFO) << "built index in " << secs << "s";
+/// Filtered-out severities short-circuit: the streamed operands are
+/// never evaluated and no LogMessage is constructed.
 #define KPEF_LOG(severity) \
-  ::kpef::internal_logging::LogMessage(::kpef::LogLevel::k##severity, \
-                                       __FILE__, __LINE__)
+  KPEF_LOG_INTERNAL_(::kpef::LogLevel::k##severity)
 
 /// Aborts with a message if `cond` is false. Active in all build types:
 /// these guard internal invariants whose violation would corrupt results.

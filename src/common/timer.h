@@ -26,9 +26,36 @@ class Timer {
   /// Elapsed time in microseconds.
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  /// Elapsed time in integer nanoseconds (no floating-point rounding;
+  /// suitable for trace timestamps and accumulating tiny intervals).
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII phase timer: adds the scope's elapsed seconds to `*accumulator`
+/// on destruction. Replaces hand-rolled Timer start/stop pairs:
+///
+///   { ScopedTimer t(&report.pretrain_seconds); Pretrain(); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator) : accumulator_(accumulator) {}
+  ~ScopedTimer() {
+    if (accumulator_ != nullptr) *accumulator_ += timer_.ElapsedSeconds();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_;
+  Timer timer_;
 };
 
 }  // namespace kpef

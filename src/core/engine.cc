@@ -7,6 +7,9 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "metapath/meta_path.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 #include "ranking/top_n_finder.h"
 
 namespace kpef {
@@ -14,6 +17,7 @@ namespace kpef {
 StatusOr<std::unique_ptr<ExpertFindingEngine>> ExpertFindingEngine::Build(
     const Dataset* dataset, const Corpus* corpus, const EngineConfig& config,
     const Matrix* pretrained_tokens, EngineBuildReport* report) {
+  KPEF_TRACE_SPAN("engine.build");
   Timer total_timer;
   EngineBuildReport local_report;
   if (config.meta_paths.empty()) {
@@ -35,18 +39,20 @@ StatusOr<std::unique_ptr<ExpertFindingEngine>> ExpertFindingEngine::Build(
       new ExpertFindingEngine(dataset, corpus, config));
 
   // --- Pre-trained encoder (Θ_B).
-  Timer phase_timer;
   EncoderConfig encoder_config = config.encoder;
   Matrix tokens;
-  if (pretrained_tokens != nullptr) {
-    tokens = *pretrained_tokens;
-    encoder_config.dim = tokens.cols();
-  } else {
-    PretrainConfig pretrain = config.pretrain;
-    pretrain.dim = encoder_config.dim;
-    tokens = PretrainTokenEmbeddings(*corpus, pretrain).token_embeddings;
+  {
+    KPEF_TRACE_SPAN("engine.pretrain");
+    ScopedTimer pretrain_timer(&local_report.pretrain_seconds);
+    if (pretrained_tokens != nullptr) {
+      tokens = *pretrained_tokens;
+      encoder_config.dim = tokens.cols();
+    } else {
+      PretrainConfig pretrain = config.pretrain;
+      pretrain.dim = encoder_config.dim;
+      tokens = PretrainTokenEmbeddings(*corpus, pretrain).token_embeddings;
+    }
   }
-  local_report.pretrain_seconds = phase_timer.ElapsedSeconds();
   if (config.use_weighted_pooling) {
     encoder_config.pooling = Pooling::kWeightedMean;
   }
@@ -78,19 +84,27 @@ StatusOr<std::unique_ptr<ExpertFindingEngine>> ExpertFindingEngine::Build(
   sampling.max_positives_per_seed = config.max_positives_per_seed;
   sampling.core_options = config.core_options;
   sampling.rng_seed = config.seed;
-  local_report.sampling = generator.Generate(sampling);
+  {
+    KPEF_TRACE_SPAN("engine.sampling");
+    local_report.sampling = generator.Generate(sampling);
+  }
 
   // --- Triplet fine-tuning (§III-C).
   TrainerConfig trainer_config = config.trainer;
   trainer_config.seed = config.seed + 1;
   TripletTrainer trainer(engine->encoder_.get(), corpus);
-  local_report.training =
-      trainer.Train(local_report.sampling.triples, trainer_config);
+  {
+    KPEF_TRACE_SPAN("engine.training");
+    local_report.training =
+        trainer.Train(local_report.sampling.triples, trainer_config);
+  }
 
   // --- Paper embeddings E.
-  phase_timer.Restart();
-  engine->embeddings_ = engine->encoder_->EncodeCorpus(*corpus);
-  local_report.embed_seconds = phase_timer.ElapsedSeconds();
+  {
+    KPEF_TRACE_SPAN("engine.encode_corpus");
+    ScopedTimer embed_timer(&local_report.embed_seconds);
+    engine->embeddings_ = engine->encoder_->EncodeCorpus(*corpus);
+  }
 
   // --- PG-Index (§IV-A).
   if (config.use_pg_index) {
@@ -98,6 +112,7 @@ StatusOr<std::unique_ptr<ExpertFindingEngine>> ExpertFindingEngine::Build(
         engine->embeddings_, config.pg_index, &local_report.index));
   }
   local_report.total_seconds = total_timer.ElapsedSeconds();
+  KPEF_COUNTER_ADD(obs::kEngineBuildsTotal, 1);
   if (report) *report = local_report;
   return engine;
 }
@@ -144,6 +159,7 @@ ExpertFindingEngine::LoadFromArtifacts(const Dataset* dataset,
 
 std::vector<NodeId> ExpertFindingEngine::RetrievePapers(
     const std::string& query_text, size_t m, QueryStats* stats) {
+  KPEF_TRACE_SPAN("engine.retrieve_papers");
   Timer timer;
   const std::vector<float> query =
       encoder_->Encode(corpus_->EncodeQuery(query_text));
@@ -171,6 +187,8 @@ std::vector<NodeId> ExpertFindingEngine::RetrievePapers(
 
 std::vector<ExpertScore> ExpertFindingEngine::FindExpertsWithStats(
     const std::string& query_text, size_t n, QueryStats* stats) {
+  KPEF_TRACE_SPAN("engine.find_experts");
+  Timer query_timer;
   const std::vector<NodeId> top_papers =
       RetrievePapers(query_text, config_.top_m, stats);
   Timer timer;
@@ -181,11 +199,17 @@ std::vector<ExpertScore> ExpertFindingEngine::FindExpertsWithStats(
   std::vector<ExpertScore> experts =
       config_.use_ta ? ThresholdTopN(lists, n, &top_stats)
                      : FullScanTopN(lists, n, &top_stats);
+  // Stats flow from per-call locals into both the caller's QueryStats
+  // and the registry, so the two views agree and concurrent queries
+  // never share a mutable counter.
   if (stats) {
     stats->ranking_ms = timer.ElapsedMillis();
     stats->ranking_entries_accessed = top_stats.entries_accessed;
     stats->ta_early_terminated = top_stats.early_terminated;
   }
+  KPEF_COUNTER_ADD(obs::kEngineQueriesTotal, 1);
+  KPEF_HISTOGRAM_OBSERVE(obs::kEngineQueryLatencyMs,
+                         query_timer.ElapsedMillis());
   return experts;
 }
 

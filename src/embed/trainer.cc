@@ -5,11 +5,15 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 
 namespace kpef {
 
 TrainStats TripletTrainer::Train(const std::vector<Triple>& triples,
                                  const TrainerConfig& config) {
+  KPEF_TRACE_SPAN("trainer.train");
   Timer timer;
   TrainStats stats;
   stats.num_triples = triples.size();
@@ -77,11 +81,18 @@ TrainStats TripletTrainer::Train(const std::vector<Triple>& triples,
                                static_cast<double>(shuffled.size()));
     stats.final_active_fraction =
         static_cast<double>(active) / static_cast<double>(shuffled.size());
+    KPEF_COUNTER_ADD(obs::kTrainerEpochsTotal, 1);
+    KPEF_GAUGE_SET(obs::kTrainerLastEpochLoss, stats.epoch_loss.back());
     KPEF_LOG(Info) << "epoch " << epoch + 1 << "/" << config.epochs
                    << " loss=" << stats.epoch_loss.back()
                    << " active=" << stats.final_active_fraction;
   }
   stats.train_seconds = timer.ElapsedSeconds();
+  if (stats.train_seconds > 0.0) {
+    KPEF_GAUGE_SET(obs::kTrainerTriplesPerSec,
+                   static_cast<double>(stats.num_triples * config.epochs) /
+                       stats.train_seconds);
+  }
   return stats;
 }
 

@@ -6,12 +6,16 @@
 
 #include "common/logging.h"
 #include "metapath/p_neighbor.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 
 namespace kpef {
 
 KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
                              NodeId seed, int32_t k,
                              const KPCoreSearchOptions& options) {
+  KPEF_TRACE_SPAN("kpcore.search");
   KPEF_CHECK(graph.TypeOf(seed) == path.SourceType());
   PNeighborFinder finder(graph, path);
   KPCoreCommunity result;
@@ -38,6 +42,7 @@ KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
   std::deque<int32_t> delete_queue;  // D
   std::vector<char> in_delete(1, 0);
   size_t polled = 0;
+  size_t pruned = 0;  // sub-k papers whose expansion Theorem 1 skipped
   while (!queue.empty()) {
     const int32_t v = queue.front();
     queue.pop_front();
@@ -46,6 +51,7 @@ KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
     psi[v] = nbrs;
     const bool qualified =
         static_cast<int32_t>(nbrs.size()) >= k || !options.enable_pruning;
+    if (!qualified) ++pruned;
     if (qualified) {
       expanded_from[v] = 1;
       for (NodeId u : nbrs) {
@@ -64,6 +70,14 @@ KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
   }
   result.papers_expanded = polled;
   result.edges_scanned = finder.edges_scanned();
+  // Merge one search's local tallies into the global registry at once;
+  // searches run concurrently in callers, so the loop above must not
+  // touch shared counters per node.
+  KPEF_COUNTER_ADD(obs::kKpcoreSearchesTotal, 1);
+  KPEF_COUNTER_ADD(obs::kKpcoreNodesVisited, polled);
+  KPEF_COUNTER_ADD(obs::kKpcoreNodesPruned, pruned);
+  KPEF_COUNTER_ADD(obs::kKpcoreEdgesScanned, result.edges_scanned);
+  KPEF_HISTOGRAM_OBSERVE(obs::kKpcoreDeleteQueueSize, delete_queue.size());
 
   // --- Unpromising nodes prune (lines 12-18). ---
   // Degree of each candidate counted within the candidate set.

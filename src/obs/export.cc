@@ -1,0 +1,127 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace kpef::obs {
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
+      c = '_';
+    }
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string FormatU64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string id = Sanitize(name);
+    out += "# TYPE " + id + " counter\n";
+    out += id + " " + FormatU64(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string id = Sanitize(name);
+    out += "# TYPE " + id + " gauge\n";
+    out += id + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string id = Sanitize(name);
+    out += "# TYPE " + id + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
+      cumulative += data.bucket_counts[i];
+      const std::string le = i < data.upper_bounds.size()
+                                 ? FormatDouble(data.upper_bounds[i])
+                                 : "+Inf";
+      out += id + "_bucket{le=\"" + le + "\"} " + FormatU64(cumulative) + "\n";
+    }
+    out += id + "_sum " + FormatDouble(data.sum) + "\n";
+    out += id + "_count " + FormatU64(data.total_count) + "\n";
+  }
+  return out;
+}
+
+std::string ExportPrometheusText() {
+  return ExportPrometheusText(MetricsRegistry::Global().Snapshot());
+}
+
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + FormatU64(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + FormatDouble(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + FormatU64(data.total_count) +
+           ", \"sum\": " + FormatDouble(data.sum) + ", \"buckets\": [";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
+      cumulative += data.bucket_counts[i];
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < data.upper_bounds.size()
+                 ? FormatDouble(data.upper_bounds[i])
+                 : std::string("\"+Inf\"");
+      out += ", \"count\": " + FormatU64(cumulative) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ExportMetricsJson() {
+  return ExportMetricsJson(MetricsRegistry::Global().Snapshot());
+}
+
+Status WriteMetricsFile(const std::string& path) {
+  const bool prometheus = path.size() >= 5 && (path.ends_with(".prom") ||
+                                               path.ends_with(".txt"));
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << (prometheus ? ExportPrometheusText() : ExportMetricsJson());
+  out.close();
+  if (!out) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace kpef::obs

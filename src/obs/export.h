@@ -1,0 +1,37 @@
+// Metric exporters: Prometheus text exposition and a JSON dump, both
+// rendered from a MetricsSnapshot so one export is internally
+// consistent.
+
+#ifndef KPEF_OBS_EXPORT_H_
+#define KPEF_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace kpef::obs {
+
+/// Prometheus text format. Metric names are sanitized ('.' and other
+/// non-[a-zA-Z0-9_:] characters become '_'); histograms expand into the
+/// conventional cumulative _bucket{le=...}/_sum/_count series.
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot);
+std::string ExportPrometheusText();  // Global registry.
+
+/// JSON document:
+///   {"counters": {name: integer, ...},
+///    "gauges": {name: number, ...},
+///    "histograms": {name: {"count": n, "sum": s,
+///                          "buckets": [{"le": bound|"+Inf",
+///                                       "count": n}, ...]}, ...}}
+/// Bucket counts are cumulative, mirroring the Prometheus exposition.
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot);
+std::string ExportMetricsJson();  // Global registry.
+
+/// Writes the global registry to `path`: Prometheus text when the path
+/// ends in ".prom" or ".txt", JSON otherwise.
+Status WriteMetricsFile(const std::string& path);
+
+}  // namespace kpef::obs
+
+#endif  // KPEF_OBS_EXPORT_H_

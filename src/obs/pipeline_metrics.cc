@@ -1,0 +1,31 @@
+#include "obs/pipeline_metrics.h"
+
+#include "obs/metrics.h"
+
+namespace kpef::obs {
+
+void WarmPipelineMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const char* name :
+       {kKpcoreSearchesTotal, kKpcoreNodesVisited, kKpcoreNodesPruned,
+        kKpcoreEdgesScanned, kSamplingSeedsTotal, kSamplingTriplesTotal,
+        kSamplingNearNegativesTotal, kSamplingRandomNegativesTotal,
+        kTrainerEpochsTotal, kPgindexBuildsTotal, kPgindexNndescentIterations,
+        kPgindexBuildDistanceComputations, kPgindexSearchesTotal,
+        kPgindexDistanceComputations, kTaQueriesTotal, kTaEntriesAccessed,
+        kTaEarlyTerminationTotal, kRankingFullScansTotal,
+        kRankingFullScanEntriesAccessed, kEngineBuildsTotal,
+        kEngineQueriesTotal}) {
+    registry.GetCounter(name);
+  }
+  for (const char* name : {kTrainerLastEpochLoss, kTrainerTriplesPerSec}) {
+    registry.GetGauge(name);
+  }
+  for (const char* name :
+       {kKpcoreDeleteQueueSize, kPgindexSearchHops,
+        kPgindexCandidatePoolOccupancy, kTaRounds, kEngineQueryLatencyMs}) {
+    registry.GetHistogram(name);
+  }
+}
+
+}  // namespace kpef::obs

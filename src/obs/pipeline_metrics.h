@@ -1,0 +1,77 @@
+// Canonical metric names emitted by the pipeline, in one place so
+// producers (src/*), consumers (CLI, benches), and tests agree, plus a
+// warm-up that pre-registers them all — a run that exercised only part
+// of the pipeline still exports the full schema (untouched instruments
+// read zero).
+
+#ifndef KPEF_OBS_PIPELINE_METRICS_H_
+#define KPEF_OBS_PIPELINE_METRICS_H_
+
+namespace kpef::obs {
+
+// --- (k, P)-core search (Algorithm 1, §III-A).
+inline constexpr char kKpcoreSearchesTotal[] = "kpcore.searches_total";
+/// Candidate papers polled from the expansion queue.
+inline constexpr char kKpcoreNodesVisited[] = "kpcore.nodes_visited";
+/// Sub-k papers whose expansion Theorem 1 skipped.
+inline constexpr char kKpcoreNodesPruned[] = "kpcore.nodes_pruned";
+inline constexpr char kKpcoreEdgesScanned[] = "kpcore.edges_scanned";
+/// Histogram: size of the delete queue D when peeling starts.
+inline constexpr char kKpcoreDeleteQueueSize[] = "kpcore.delete_queue_size";
+
+// --- Training-data sampling (§III-B).
+inline constexpr char kSamplingSeedsTotal[] = "sampling.seeds_total";
+inline constexpr char kSamplingTriplesTotal[] = "sampling.triples_total";
+inline constexpr char kSamplingNearNegativesTotal[] =
+    "sampling.near_negatives_total";
+inline constexpr char kSamplingRandomNegativesTotal[] =
+    "sampling.random_negatives_total";
+
+// --- Triplet fine-tuning (§III-C).
+inline constexpr char kTrainerEpochsTotal[] = "trainer.epochs_total";
+/// Gauge: mean triplet loss of the most recent epoch.
+inline constexpr char kTrainerLastEpochLoss[] = "trainer.last_epoch_loss";
+/// Gauge: training throughput of the most recent Train() call.
+inline constexpr char kTrainerTriplesPerSec[] = "trainer.triples_per_sec";
+
+// --- PG-Index build (Algorithm 2, §IV-A).
+inline constexpr char kPgindexBuildsTotal[] = "pgindex.builds_total";
+inline constexpr char kPgindexNndescentIterations[] =
+    "pgindex.nndescent_iterations";
+inline constexpr char kPgindexBuildDistanceComputations[] =
+    "pgindex.build_distance_computations";
+
+// --- PG-Index greedy search (§IV-B).
+inline constexpr char kPgindexSearchesTotal[] = "pgindex.searches_total";
+inline constexpr char kPgindexDistanceComputations[] =
+    "pgindex.distance_computations";
+/// Histogram: adjacency expansions per search.
+inline constexpr char kPgindexSearchHops[] = "pgindex.search_hops";
+/// Histogram: result-pool occupancy when the search terminated.
+inline constexpr char kPgindexCandidatePoolOccupancy[] =
+    "pgindex.candidate_pool_occupancy";
+
+// --- TA top-n ranking (§IV-C).
+inline constexpr char kTaQueriesTotal[] = "ta.queries_total";
+inline constexpr char kTaEntriesAccessed[] = "ta.entries_accessed";
+inline constexpr char kTaEarlyTerminationTotal[] =
+    "ta.early_termination_total";
+/// Histogram: sorted-access rounds (depth reached) per TA run.
+inline constexpr char kTaRounds[] = "ta.rounds";
+inline constexpr char kRankingFullScansTotal[] = "ranking.full_scans_total";
+inline constexpr char kRankingFullScanEntriesAccessed[] =
+    "ranking.full_scan_entries_accessed";
+
+// --- Engine facade.
+inline constexpr char kEngineBuildsTotal[] = "engine.builds_total";
+inline constexpr char kEngineQueriesTotal[] = "engine.queries_total";
+/// Histogram: end-to-end FindExperts latency, milliseconds.
+inline constexpr char kEngineQueryLatencyMs[] = "engine.query_latency_ms";
+
+/// Registers every canonical metric above (no-op values). Call before
+/// exporting so dumps always contain the full schema.
+void WarmPipelineMetrics();
+
+}  // namespace kpef::obs
+
+#endif  // KPEF_OBS_PIPELINE_METRICS_H_

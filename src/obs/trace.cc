@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace kpef::obs {
+namespace {
+
+// Dense thread numbering for trace records.
+uint32_t CurrentThreadNumber() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+// Per-thread nesting depth of currently-open spans.
+thread_local uint32_t tls_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked: ScopedSpan destructors may run during static teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(span);
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t Tracer::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::DumpJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+  std::string out = "{\"spans\": [";
+  char buf[256];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"thread\": %" PRIu32
+                  ", \"depth\": %" PRIu32
+                  ", \"start_us\": %.3f, \"dur_us\": %.3f}",
+                  i == 0 ? "" : ",", s.name, s.thread_id, s.depth,
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.duration_ns) / 1e3);
+    out += buf;
+  }
+  out += "\n], \"dropped\": ";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 "}", NumDropped());
+  out += buf;
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  depth_ = tls_span_depth++;
+  start_ns_ = tracer.NowNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.duration_ns = tracer.NowNanos() - start_ns_;
+  record.thread_id = CurrentThreadNumber();
+  record.depth = depth_;
+  --tls_span_depth;
+  tracer.Record(record);
+}
+
+}  // namespace kpef::obs

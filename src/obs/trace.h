@@ -1,0 +1,113 @@
+// Lightweight scoped-span tracer.
+//
+// KPEF_TRACE_SPAN("pgindex.search") opens a span that closes at scope
+// exit; spans nest per thread (a thread-local depth counter), so a dump
+// reconstructs the flame shape of one run. Tracing is off by default:
+// a disabled span costs one relaxed atomic load. Enabled spans record
+// two steady_clock reads and, on close, one mutex-guarded append to the
+// global span buffer — fine for the pipeline's per-phase / per-query
+// granularity, too coarse for inner loops (don't put spans there).
+//
+// Span names must be string literals (records keep the pointer).
+
+#ifndef KPEF_OBS_TRACE_H_
+#define KPEF_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kpef::obs {
+
+/// One completed span. Times are nanoseconds since the tracer's epoch
+/// (process-local, monotonic).
+struct SpanRecord {
+  const char* name = "";
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  /// Dense per-process thread number (0, 1, ...), not the OS tid.
+  uint32_t thread_id = 0;
+  /// Nesting depth within the thread at the time the span opened.
+  uint32_t depth = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Turns span recording on/off. Clearing and dumping work either way.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span; drops it (counting the drop) once the
+  /// buffer holds kMaxSpans records.
+  void Record(const SpanRecord& span);
+
+  std::vector<SpanRecord> Snapshot() const;
+  size_t NumSpans() const;
+  uint64_t NumDropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Flame-style JSON: {"spans": [{"name", "thread", "depth",
+  /// "start_us", "dur_us"}, ...]} ordered by (thread, start). A span's
+  /// children are exactly the later spans with depth+1 nested inside its
+  /// [start, start+dur) window on the same thread.
+  std::string DumpJson() const;
+
+  /// Nanoseconds since the tracer epoch (first use in the process).
+  uint64_t NowNanos() const;
+
+  static constexpr size_t kMaxSpans = 1 << 20;
+
+ private:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records itself on destruction when tracing was enabled at
+/// construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace kpef::obs
+
+#define KPEF_TRACE_CONCAT_INNER_(a, b) a##b
+#define KPEF_TRACE_CONCAT_(a, b) KPEF_TRACE_CONCAT_INNER_(a, b)
+
+#ifndef KPEF_METRICS_DISABLED
+/// Opens a span covering the rest of the enclosing scope.
+#define KPEF_TRACE_SPAN(name)                                     \
+  ::kpef::obs::ScopedSpan KPEF_TRACE_CONCAT_(kpef_trace_span_,    \
+                                             __LINE__)(name)
+#else
+#define KPEF_TRACE_SPAN(name) \
+  do {                        \
+    (void)sizeof((name));     \
+  } while (0)
+#endif
+
+#endif  // KPEF_OBS_TRACE_H_

@@ -4,6 +4,9 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 
 namespace kpef {
 namespace {
@@ -17,6 +20,7 @@ bool BetterExpert(const ExpertScore& a, const ExpertScore& b) {
 
 std::vector<ExpertScore> FullScanTopN(const RankedLists& lists, size_t n,
                                       TopNStats* stats) {
+  KPEF_TRACE_SPAN("ranking.full_scan");
   TopNStats local;
   std::unordered_map<NodeId, double> totals;
   for (const auto& list : lists.lists) {
@@ -32,12 +36,16 @@ std::vector<ExpertScore> FullScanTopN(const RankedLists& lists, size_t n,
   for (const auto& [author, score] : totals) all.push_back({author, score});
   std::sort(all.begin(), all.end(), BetterExpert);
   if (all.size() > n) all.resize(n);
+  KPEF_COUNTER_ADD(obs::kRankingFullScansTotal, 1);
+  KPEF_COUNTER_ADD(obs::kRankingFullScanEntriesAccessed,
+                   local.entries_accessed);
   if (stats) *stats = local;
   return all;
 }
 
 std::vector<ExpertScore> ThresholdTopN(const RankedLists& lists, size_t n,
                                        TopNStats* stats) {
+  KPEF_TRACE_SPAN("ranking.threshold_topn");
   TopNStats local;
   const size_t m = lists.lists.size();
   if (m == 0 || n == 0) {
@@ -171,6 +179,12 @@ std::vector<ExpertScore> ThresholdTopN(const RankedLists& lists, size_t n,
     for (const auto& [author, score] : exact) result.push_back({author, score});
     std::sort(result.begin(), result.end(), BetterExpert);
   }
+  KPEF_COUNTER_ADD(obs::kTaQueriesTotal, 1);
+  KPEF_COUNTER_ADD(obs::kTaEntriesAccessed, local.entries_accessed);
+  if (local.early_terminated) {
+    KPEF_COUNTER_ADD(obs::kTaEarlyTerminationTotal, 1);
+  }
+  KPEF_HISTOGRAM_OBSERVE(obs::kTaRounds, local.rounds);
   if (stats) *stats = local;
   return result;
 }

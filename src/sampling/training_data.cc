@@ -7,6 +7,9 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "metapath/p_neighbor.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 
 namespace kpef {
 
@@ -23,7 +26,10 @@ TrainingDataGenerator::TrainingDataGenerator(const HeteroGraph& graph,
 
 SamplingResult TrainingDataGenerator::Generate(
     const SamplingConfig& config) const {
+  KPEF_TRACE_SPAN("sampling.generate");
   SamplingResult result;
+  size_t near_negatives = 0;    // triples whose negative came from D
+  size_t random_negatives = 0;  // triples with a random negative
   Rng rng(config.rng_seed);
   const std::vector<NodeId>& papers = graph_->NodesOfType(paper_type_);
   const size_t num_papers = papers.size();
@@ -130,6 +136,7 @@ SamplingResult TrainingDataGenerator::Generate(
     for (NodeId positive : positives) {
       for (size_t s = 0; s < config.negatives_per_positive; ++s) {
         NodeId negative = kInvalidNode;
+        bool from_near = false;
         const bool want_near =
             static_cast<double>(s + 1) <=
             config.near_fraction *
@@ -140,6 +147,7 @@ SamplingResult TrainingDataGenerator::Generate(
           negative = near_pool[near_cursor];
           near_cursor = (near_cursor + 1) % near_pool.size();
           ++near_used;
+          from_near = true;
         } else {
           if (config.strategy == NegativeStrategy::kNear) {
             ++result.near_fallbacks;
@@ -147,11 +155,16 @@ SamplingResult TrainingDataGenerator::Generate(
           negative = sample_random_negative();
         }
         if (negative == kInvalidNode) continue;
+        ++(from_near ? near_negatives : random_negatives);
         result.triples.push_back(
             {as_doc(positive), as_doc(seed), as_doc(negative)});
       }
     }
   }
+  KPEF_COUNTER_ADD(obs::kSamplingSeedsTotal, result.num_seeds);
+  KPEF_COUNTER_ADD(obs::kSamplingTriplesTotal, result.triples.size());
+  KPEF_COUNTER_ADD(obs::kSamplingNearNegativesTotal, near_negatives);
+  KPEF_COUNTER_ADD(obs::kSamplingRandomNegativesTotal, random_negatives);
   KPEF_LOG(Info) << "sampled " << result.triples.size() << " triples from "
                  << result.num_productive_seeds << "/" << result.num_seeds
                  << " productive seeds";

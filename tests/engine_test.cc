@@ -1,14 +1,18 @@
 #include <memory>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/explain.h"
 #include "data/corpus_builder.h"
 #include "data/dataset.h"
 #include "data/queries.h"
 #include "eval/evaluation.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
 #include "text/tfidf.h"
 
 namespace kpef {
@@ -196,6 +200,92 @@ TEST_F(EngineTest, QueryStatsReported) {
   EXPECT_GT(stats.ranking_ms, 0.0);
   EXPECT_GT(stats.ranking_entries_accessed, 0u);
 }
+
+#ifndef KPEF_METRICS_DISABLED
+TEST_F(EngineTest, PipelineMetricsPopulatedAfterBuildAndQuery) {
+  Shared& s = shared();  // Build ran in the fixture.
+  s.engine->FindExperts(s.queries.queries[0].text, 5);
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(snapshot.counters.at(obs::kKpcoreSearchesTotal), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kKpcoreNodesVisited), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kSamplingTriplesTotal), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kTrainerEpochsTotal), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kPgindexBuildsTotal), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kPgindexSearchesTotal), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kPgindexDistanceComputations), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kTaQueriesTotal), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kTaEntriesAccessed), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kEngineBuildsTotal), 0u);
+  EXPECT_GT(snapshot.counters.at(obs::kEngineQueriesTotal), 0u);
+  EXPECT_GT(snapshot.histograms.at(obs::kPgindexSearchHops).total_count, 0u);
+  EXPECT_GT(snapshot.histograms.at(obs::kEngineQueryLatencyMs).total_count,
+            0u);
+}
+
+TEST_F(EngineTest, RegistryDeltasMatchQueryStats) {
+  Shared& s = shared();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  // Pre-register the schema: the query-stage counters may not exist yet
+  // when this test runs before any query.
+  obs::WarmPipelineMetrics();
+  auto counters = [&registry] {
+    return registry.Snapshot().counters;
+  };
+  const auto before = counters();
+  QueryStats stats;
+  s.engine->FindExpertsWithStats(s.queries.queries[4].text, 10, &stats);
+  const auto after = counters();
+  auto delta = [&](const char* name) {
+    return after.at(name) - before.at(name);
+  };
+  // The registry is fed from the same per-query locals as QueryStats, so
+  // for a single serial query the deltas must agree exactly.
+  EXPECT_EQ(delta(obs::kPgindexDistanceComputations),
+            stats.distance_computations);
+  EXPECT_EQ(delta(obs::kTaEntriesAccessed), stats.ranking_entries_accessed);
+  EXPECT_EQ(delta(obs::kTaQueriesTotal), 1u);
+  EXPECT_EQ(delta(obs::kEngineQueriesTotal), 1u);
+  EXPECT_EQ(delta(obs::kTaEarlyTerminationTotal),
+            stats.ta_early_terminated ? 1u : 0u);
+}
+
+TEST_F(EngineTest, ConcurrentQueriesMergeStatsExactly) {
+  Shared& s = shared();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t dist_before =
+      registry.GetCounter(obs::kPgindexDistanceComputations).Value();
+  const uint64_t entries_before =
+      registry.GetCounter(obs::kTaEntriesAccessed).Value();
+  constexpr size_t kRounds = 4;
+  const size_t num_queries = s.queries.queries.size() * kRounds;
+  std::vector<QueryStats> stats(num_queries);
+  ThreadPool pool(4);
+  for (size_t i = 0; i < num_queries; ++i) {
+    pool.Submit([&s, &stats, i] {
+      const Query& q = s.queries.queries[i % s.queries.queries.size()];
+      s.engine->FindExpertsWithStats(q.text, 10, &stats[i]);
+    });
+  }
+  pool.Wait();
+  // Per-query tallies are accumulated in locals and merged once at the
+  // end, so concurrent queries must neither lose nor double-count: the
+  // registry delta equals the sum over all per-query stats.
+  uint64_t dist_sum = 0, entries_sum = 0;
+  for (const QueryStats& st : stats) {
+    EXPECT_GT(st.ranking_entries_accessed, 0u);
+    dist_sum += st.distance_computations;
+    entries_sum += st.ranking_entries_accessed;
+  }
+  EXPECT_EQ(
+      registry.GetCounter(obs::kPgindexDistanceComputations).Value() -
+          dist_before,
+      dist_sum);
+  EXPECT_EQ(
+      registry.GetCounter(obs::kTaEntriesAccessed).Value() - entries_before,
+      entries_sum);
+}
+#endif  // KPEF_METRICS_DISABLED
 
 TEST_F(EngineTest, EngineBeatsTextOnlyBaselineOnPlantedData) {
   // The central claim at miniature scale: core-based fine-tuning should

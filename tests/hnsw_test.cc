@@ -104,7 +104,9 @@ TEST_F(HnswTest, LayersShrinkGoingUp) {
     for (size_t v = 0; v < index_->NumPoints(); ++v) {
       populated += !index_->NeighborsOf(layer, static_cast<int32_t>(v)).empty();
     }
-    if (layer > 0) EXPECT_LE(populated, prev);
+    if (layer > 0) {
+      EXPECT_LE(populated, prev);
+    }
     prev = populated;
   }
 }

@@ -1,0 +1,396 @@
+// Tests for the observability subsystem: instrument correctness under
+// concurrency, span nesting, and exporter round-trips.
+//
+// Value assertions are skipped under KPEF_METRICS_DISABLED (instruments
+// compile to no-ops there); the construction/export paths still run so
+// the disabled build keeps link- and crash-coverage.
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
+
+namespace kpef {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+#ifdef KPEF_METRICS_DISABLED
+#define KPEF_SKIP_IF_METRICS_DISABLED() \
+  GTEST_SKIP() << "metrics compiled out (KPEF_METRICS_DISABLED)"
+#else
+#define KPEF_SKIP_IF_METRICS_DISABLED() \
+  do {                                  \
+  } while (0)
+#endif
+
+// --- Minimal JSON reader for exporter round-trip checks. Supports the
+// subset the exporters emit: objects, arrays, strings, numbers.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string str;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+  bool Has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    return ParseValue(out) && (SkipSpace(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out->push_back(text_[pos_++]);
+    }
+    return Consume('"');
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+JsonValue ParseJsonOrDie(const std::string& text) {
+  JsonValue value;
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.Parse(&value)) << "unparseable JSON: " << text;
+  return value;
+}
+
+TEST(CounterTest, AddAndReset) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+#ifndef KPEF_METRICS_DISABLED
+  EXPECT_EQ(counter.Value(), 42u);
+#endif
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  obs::Gauge gauge;
+  gauge.Set(1.5);
+  gauge.Set(-3.25);
+#ifndef KPEF_METRICS_DISABLED
+  EXPECT_DOUBLE_EQ(gauge.Value(), -3.25);
+#endif
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Histogram hist({1.0, 10.0, 100.0});
+  ASSERT_EQ(hist.NumBuckets(), 4u);
+  hist.Observe(0.5);    // bucket 0 (<= 1)
+  hist.Observe(1.0);    // bucket 0 (boundary is inclusive)
+  hist.Observe(5.0);    // bucket 1
+  hist.Observe(100.0);  // bucket 2
+  hist.Observe(1e6);    // overflow bucket
+  EXPECT_EQ(hist.BucketCount(0), 2u);
+  EXPECT_EQ(hist.BucketCount(1), 1u);
+  EXPECT_EQ(hist.BucketCount(2), 1u);
+  EXPECT_EQ(hist.BucketCount(3), 1u);
+  EXPECT_EQ(hist.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  hist.Reset();
+  EXPECT_EQ(hist.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Counter& a = registry.GetCounter("obs_test.same_name");
+  obs::Counter& b = registry.GetCounter("obs_test.same_name");
+  EXPECT_EQ(&a, &b);
+  // Histogram bounds are honoured only at creation.
+  obs::Histogram& h1 = registry.GetHistogram("obs_test.hist", {1.0, 2.0});
+  obs::Histogram& h2 = registry.GetHistogram("obs_test.hist", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, MacrosFeedGlobalRegistry) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.macro_counter").Reset();
+  registry.GetGauge("obs_test.macro_gauge").Reset();
+  registry.GetHistogram("obs_test.macro_hist").Reset();
+  for (int i = 0; i < 3; ++i) KPEF_COUNTER_ADD("obs_test.macro_counter", 2);
+  KPEF_GAUGE_SET("obs_test.macro_gauge", 2.5);
+  KPEF_HISTOGRAM_OBSERVE("obs_test.macro_hist", 7);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("obs_test.macro_counter"), 6u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("obs_test.macro_gauge"), 2.5);
+  EXPECT_EQ(snapshot.histograms.at("obs_test.macro_hist").total_count, 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Counter& counter = registry.GetCounter("obs_test.concurrent");
+  obs::Histogram& hist = registry.GetHistogram("obs_test.concurrent_hist");
+  counter.Reset();
+  hist.Reset();
+  constexpr size_t kTasks = 64;
+  constexpr size_t kIncrementsPerTask = 1000;
+  ThreadPool pool(8);
+  for (size_t t = 0; t < kTasks; ++t) {
+    pool.Submit([&counter, &hist] {
+      for (size_t i = 0; i < kIncrementsPerTask; ++i) {
+        counter.Add(1);
+        hist.Observe(3.0);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.Value(), kTasks * kIncrementsPerTask);
+  EXPECT_EQ(hist.TotalCount(), kTasks * kIncrementsPerTask);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 3.0 * kTasks * kIncrementsPerTask);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Counter& counter = registry.GetCounter("obs_test.reset_me");
+  counter.Add(5);
+  registry.ResetValues();
+  EXPECT_EQ(counter.Value(), 0u);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.counters.count("obs_test.reset_me"));
+}
+
+TEST(PipelineMetricsTest, WarmRegistersCanonicalSchema) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::WarmPipelineMetrics();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_TRUE(snapshot.counters.count(obs::kKpcoreNodesPruned));
+  EXPECT_TRUE(snapshot.counters.count(obs::kPgindexDistanceComputations));
+  EXPECT_TRUE(snapshot.counters.count(obs::kTaEntriesAccessed));
+  EXPECT_TRUE(snapshot.counters.count(obs::kTaEarlyTerminationTotal));
+  EXPECT_TRUE(snapshot.histograms.count(obs::kPgindexSearchHops));
+  EXPECT_TRUE(snapshot.gauges.count(obs::kTrainerLastEpochLoss));
+}
+
+TEST(TracerTest, SpansNestPerThread) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  {
+    KPEF_TRACE_SPAN("obs_test.outer");
+    {
+      KPEF_TRACE_SPAN("obs_test.inner");
+    }
+  }
+  tracer.SetEnabled(false);
+#ifndef KPEF_METRICS_DISABLED
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first.
+  EXPECT_STREQ(spans[0].name, "obs_test.inner");
+  EXPECT_STREQ(spans[1].name, "obs_test.outer");
+  EXPECT_EQ(spans[0].depth, spans[1].depth + 1);
+  EXPECT_EQ(spans[0].thread_id, spans[1].thread_id);
+  // The inner span is contained in the outer's window.
+  EXPECT_GE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[0].start_ns + spans[0].duration_ns,
+            spans[1].start_ns + spans[1].duration_ns);
+#else
+  EXPECT_EQ(tracer.NumSpans(), 0u);
+#endif
+  tracer.Clear();
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(false);
+  {
+    KPEF_TRACE_SPAN("obs_test.should_not_appear");
+  }
+  EXPECT_EQ(tracer.NumSpans(), 0u);
+}
+
+TEST(TracerTest, DumpJsonParses) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  {
+    KPEF_TRACE_SPAN("obs_test.dump");
+  }
+  tracer.SetEnabled(false);
+  const JsonValue doc = ParseJsonOrDie(tracer.DumpJson());
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(doc.Has("spans"));
+  EXPECT_EQ(doc["dropped"].number, 0.0);
+#ifndef KPEF_METRICS_DISABLED
+  ASSERT_EQ(doc["spans"].array.size(), 1u);
+  const JsonValue& span = doc["spans"].array[0];
+  EXPECT_EQ(span["name"].str, "obs_test.dump");
+  EXPECT_GE(span["dur_us"].number, 0.0);
+#endif
+  tracer.Clear();
+}
+
+TEST(ExportTest, JsonRoundTrip) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.export_counter").Reset();
+  registry.GetCounter("obs_test.export_counter").Add(12);
+  registry.GetGauge("obs_test.export_gauge").Set(0.75);
+  obs::Histogram& hist =
+      registry.GetHistogram("obs_test.export_hist", {2.0, 8.0});
+  hist.Reset();
+  hist.Observe(1.0);
+  hist.Observe(4.0);
+  hist.Observe(100.0);
+
+  const JsonValue doc = ParseJsonOrDie(obs::ExportMetricsJson());
+  EXPECT_EQ(doc["counters"]["obs_test.export_counter"].number, 12.0);
+  EXPECT_DOUBLE_EQ(doc["gauges"]["obs_test.export_gauge"].number, 0.75);
+  const JsonValue& h = doc["histograms"]["obs_test.export_hist"];
+  EXPECT_EQ(h["count"].number, 3.0);
+  EXPECT_DOUBLE_EQ(h["sum"].number, 105.0);
+  // Buckets are cumulative; the last ("+Inf") equals the total count.
+  ASSERT_EQ(h["buckets"].array.size(), 3u);
+  EXPECT_EQ(h["buckets"].array[0]["count"].number, 1.0);
+  EXPECT_EQ(h["buckets"].array[1]["count"].number, 2.0);
+  EXPECT_EQ(h["buckets"].array[2]["le"].str, "+Inf");
+  EXPECT_EQ(h["buckets"].array[2]["count"].number, 3.0);
+}
+
+TEST(ExportTest, PrometheusTextShape) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.prom_counter").Reset();
+  registry.GetCounter("obs_test.prom_counter").Add(7);
+  obs::Histogram& hist = registry.GetHistogram("obs_test.prom_hist", {5.0});
+  hist.Reset();
+  hist.Observe(3.0);
+  const std::string text = obs::ExportPrometheusText();
+  // '.' is sanitized to '_'.
+  EXPECT_NE(text.find("obs_test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"5\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_count 1"), std::string::npos);
+}
+
+TEST(ExportTest, DisabledBuildExportsEmptyDocuments) {
+#ifndef KPEF_METRICS_DISABLED
+  GTEST_SKIP() << "only meaningful when metrics are compiled out";
+#else
+  KPEF_COUNTER_ADD("obs_test.disabled_counter", 3);
+  const JsonValue doc = ParseJsonOrDie(obs::ExportMetricsJson());
+  EXPECT_TRUE(doc["counters"].object.empty());
+  EXPECT_TRUE(doc["histograms"].object.empty());
+#endif
+}
+
+}  // namespace
+}  // namespace kpef

@@ -131,7 +131,9 @@ TEST_F(SamplingTest, NearNegativesDrawFromDeleteQueuesFirst) {
     EXPECT_GT(seed_from_d, 0u) << "seed " << seed_doc;
     from_d += seed_from_d;
   }
-  if (checked_seeds > 0) EXPECT_GT(from_d, 0u);
+  if (checked_seeds > 0) {
+    EXPECT_GT(from_d, 0u);
+  }
 }
 
 TEST_F(SamplingTest, MaxPositivesCapBounds) {
