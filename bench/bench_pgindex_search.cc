@@ -33,7 +33,9 @@ const Matrix& Points() {
     Rng rng(5150);
     // Clustered points resembling paper embeddings.
     Matrix centers(40, kDim);
-    for (float& v : centers.data()) v = static_cast<float>(rng.Normal(0, 3));
+    for (size_t r = 0; r < centers.rows(); ++r) {
+      for (float& v : centers.Row(r)) v = static_cast<float>(rng.Normal(0, 3));
+    }
     auto* m = new Matrix(kNumPoints, kDim);
     for (size_t i = 0; i < kNumPoints; ++i) {
       const size_t c = rng.Uniform(40);
@@ -125,6 +127,22 @@ void BM_HnswSearch(benchmark::State& state) {
   state.counters["dist_comp"] = dists / static_cast<double>(samples);
 }
 
+void BM_PGSearchBatch(benchmark::State& state) {
+  const PGIndex& index = IndexVariant(2);
+  constexpr size_t kBatch = 32;
+  Matrix queries(kBatch, kDim);
+  for (size_t q = 0; q < kBatch; ++q) {
+    const std::vector<float> v = QueryFor(q);
+    std::copy(v.begin(), v.end(), queries.Row(q).begin());
+  }
+  const size_t ef = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto results = index.SearchBatch(queries, kTopK, ef);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+
 void BM_BruteForce(benchmark::State& state) {
   size_t query_id = 0;
   for (auto _ : state) {
@@ -151,6 +169,7 @@ void BM_IndexBuild(benchmark::State& state, int variant) {
 BENCHMARK_CAPTURE(BM_PGSearch, knn_only, 0)->Arg(10)->Arg(40)->Arg(100);
 BENCHMARK_CAPTURE(BM_PGSearch, with_extension, 1)->Arg(10)->Arg(40)->Arg(100);
 BENCHMARK_CAPTURE(BM_PGSearch, full_refined, 2)->Arg(10)->Arg(40)->Arg(100);
+BENCHMARK(BM_PGSearchBatch)->Arg(40)->Arg(100);
 BENCHMARK(BM_HnswSearch)->Arg(10)->Arg(40)->Arg(100);
 BENCHMARK(BM_BruteForce);
 BENCHMARK_CAPTURE(BM_IndexBuild, knn_only, 0)->Unit(benchmark::kMillisecond);

@@ -1,8 +1,10 @@
 #include "ann/brute_force.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
+#include "common/aligned_buffer.h"
 #include "embed/vector_ops.h"
 
 namespace kpef {
@@ -10,11 +12,16 @@ namespace kpef {
 std::vector<Neighbor> BruteForceSearch(const Matrix& points,
                                        std::span<const float> query,
                                        size_t k) {
+  // Pad the query once so every row comparison runs the tail-free kernel
+  // path; the scan compares squared distances and takes sqrt only on the
+  // k survivors.
+  const AlignedVector padded = PadToAligned(query);
+  const std::span<const float> q(padded.data(), padded.size());
   std::vector<Neighbor> heap;  // max-heap on distance, size <= k
   heap.reserve(k + 1);
   auto cmp = [](const Neighbor& a, const Neighbor& b) { return a < b; };
   for (size_t i = 0; i < points.rows(); ++i) {
-    const float dist = L2Distance(points.Row(i), query);
+    const float dist = SquaredL2Distance(points.PaddedRow(i), q);
     if (heap.size() < k) {
       heap.push_back({static_cast<int32_t>(i), dist});
       std::push_heap(heap.begin(), heap.end(), cmp);
@@ -25,6 +32,7 @@ std::vector<Neighbor> BruteForceSearch(const Matrix& points,
     }
   }
   std::sort_heap(heap.begin(), heap.end(), cmp);
+  for (Neighbor& nb : heap) nb.distance = std::sqrt(nb.distance);
   return heap;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/aligned_buffer.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -11,16 +12,20 @@
 
 namespace kpef {
 
+// The internal search/selection helpers all work in squared L2 over
+// padded spans (monotone in the true distance, so every comparison is
+// unchanged); Hnsw::Search converts to true L2 at the API boundary.
+
 int32_t Hnsw::GreedyClosest(std::span<const float> query, int32_t start,
                             size_t layer, uint64_t& dist_count) const {
   int32_t current = start;
   ++dist_count;
-  float current_dist = L2Distance(points_.Row(current), query);
+  float current_dist = SquaredL2Distance(points_.PaddedRow(current), query);
   for (;;) {
     bool improved = false;
     for (int32_t u : layers_[layer][current]) {
       ++dist_count;
-      const float d = L2Distance(points_.Row(u), query);
+      const float d = SquaredL2Distance(points_.PaddedRow(u), query);
       if (d < current_dist) {
         current = u;
         current_dist = d;
@@ -40,7 +45,8 @@ std::vector<Neighbor> Hnsw::SearchLayer(std::span<const float> query,
   std::priority_queue<Neighbor> pool;  // worst on top
   std::vector<char> visited(points_.rows(), 0);
   ++dist_count;
-  const Neighbor entry{start, L2Distance(points_.Row(start), query)};
+  const Neighbor entry{start,
+                       SquaredL2Distance(points_.PaddedRow(start), query)};
   candidates.push(entry);
   pool.push(entry);
   visited[start] = 1;
@@ -53,7 +59,7 @@ std::vector<Neighbor> Hnsw::SearchLayer(std::span<const float> query,
       if (visited[u]) continue;
       visited[u] = 1;
       ++dist_count;
-      const Neighbor next{u, L2Distance(points_.Row(u), query)};
+      const Neighbor next{u, SquaredL2Distance(points_.PaddedRow(u), query)};
       if (pool.size() < ef || next.distance < pool.top().distance) {
         candidates.push(next);
         pool.push(next);
@@ -83,7 +89,8 @@ std::vector<int32_t> Hnsw::SelectNeighbors(int32_t node,
     bool occluded = false;
     for (const Neighbor& x : kept) {
       ++dist_count;
-      if (L2Distance(points_.Row(x.id), points_.Row(y.id)) <= y.distance) {
+      if (SquaredL2Distance(points_.PaddedRow(x.id), points_.PaddedRow(y.id)) <=
+          y.distance) {
         occluded = true;
         break;
       }
@@ -129,7 +136,7 @@ Hnsw Hnsw::Build(const Matrix& points, const HnswConfig& config,
   index.entry_point_ = 0;
   int32_t current_top = index.node_level_[0];
   for (size_t v = 1; v < n; ++v) {
-    const auto query = points.Row(v);
+    const auto query = points.PaddedRow(v);
     const int32_t level = index.node_level_[v];
     int32_t entry = index.entry_point_;
     // Descend through layers above the node's level greedily.
@@ -157,7 +164,8 @@ Hnsw Hnsw::Build(const Matrix& points, const HnswConfig& config,
           for (int32_t w : back) {
             ++dist_count;
             candidates.push_back(
-                {w, L2Distance(points.Row(u), points.Row(w))});
+                {w, SquaredL2Distance(points.PaddedRow(u),
+                                      points.PaddedRow(w))});
           }
           back = index.SelectNeighbors(u, std::move(candidates), max_degree,
                                        dist_count);
@@ -186,14 +194,17 @@ std::vector<Neighbor> Hnsw::Search(std::span<const float> query, size_t k,
                                    size_t ef, SearchStats* stats) const {
   std::vector<Neighbor> result;
   if (points_.rows() == 0 || k == 0) return result;
+  const AlignedVector padded = PadToAligned(query);
+  const std::span<const float> q(padded.data(), padded.size());
   SearchStats local_stats;
   int32_t entry = entry_point_;
   for (size_t l = layers_.size(); l-- > 1;) {
-    entry = GreedyClosest(query, entry, l, local_stats.distance_computations);
+    entry = GreedyClosest(q, entry, l, local_stats.distance_computations);
   }
-  result = SearchLayer(query, entry, 0, std::max(ef, k),
+  result = SearchLayer(q, entry, 0, std::max(ef, k),
                        local_stats.distance_computations, &local_stats.hops);
   if (result.size() > k) result.resize(k);
+  for (Neighbor& nb : result) nb.distance = std::sqrt(nb.distance);
   if (stats) *stats = local_stats;
   return result;
 }
@@ -207,7 +218,7 @@ size_t Hnsw::NumEdges() const {
 }
 
 size_t Hnsw::MemoryUsageBytes() const {
-  size_t bytes = points_.data().size() * sizeof(float) +
+  size_t bytes = points_.PaddedSize() * sizeof(float) +
                  node_level_.size() * sizeof(int32_t);
   for (const auto& layer : layers_) {
     for (const auto& nbrs : layer) {

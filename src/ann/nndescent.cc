@@ -1,16 +1,59 @@
 #include "ann/nndescent.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "ann/brute_force.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "embed/vector_ops.h"
 
 namespace kpef {
 namespace {
 
+// SplitMix64-style finalizer used to derive independent per-(phase, node)
+// RNG streams from the one user-visible seed.
+uint64_t MixSeed(uint64_t seed, uint64_t phase, uint64_t node) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (phase + 1) +
+               0xBF58476D1CE4E5B9ULL * (node + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Epoch-stamped membership set over node ids. Begin() starts a fresh
+// (empty) set in O(1); TestAndSet is O(1). One instance lives per worker
+// thread, so the per-insert duplicate check costs one array probe
+// instead of the former O(k) linear scan of the heap.
+class StampSet {
+ public:
+  void Begin(size_t n) {
+    if (stamps_.size() < n) stamps_.assign(n, 0);
+    ++epoch_;
+  }
+  /// Returns true if `id` was already present; marks it present.
+  bool TestAndSet(int32_t id) {
+    if (stamps_[id] == epoch_) return true;
+    stamps_[id] = epoch_;
+    return false;
+  }
+
+ private:
+  std::vector<uint64_t> stamps_;
+  uint64_t epoch_ = 0;
+};
+
+StampSet& LocalStamps() {
+  static thread_local StampSet stamps;
+  return stamps;
+}
+
 // Bounded neighbor heap with "new" flags, as in the NNDescent paper.
+// Distances are squared L2 throughout the build (monotone in the true
+// distance, so comparisons agree); BuildKnnGraph takes sqrt on output.
 struct HeapEntry {
   Neighbor neighbor;
   bool is_new = true;
@@ -20,11 +63,19 @@ class NeighborHeap {
  public:
   explicit NeighborHeap(size_t capacity) : capacity_(capacity) {}
 
-  // Inserts if closer than the current worst; returns true on change.
+  /// Worst (largest) kept distance, or +inf while below capacity: any
+  /// candidate strictly closer than this would change the heap.
+  float WorstOrInf() const {
+    return entries_.size() < capacity_
+               ? std::numeric_limits<float>::infinity()
+               : entries_.front().neighbor.distance;
+  }
+
+  /// Inserts if closer than the current worst; returns true on change.
+  /// The caller must have deduplicated `id` against current entries
+  /// (StampSet); re-offering an evicted id is safe because its distance
+  /// can never beat the then-current worst.
   bool Insert(int32_t id, float distance) {
-    for (const HeapEntry& e : entries_) {
-      if (e.neighbor.id == id) return false;
-    }
     if (entries_.size() < capacity_) {
       entries_.push_back({{id, distance}, true});
       std::push_heap(entries_.begin(), entries_.end(), Cmp);
@@ -49,6 +100,14 @@ class NeighborHeap {
   std::vector<HeapEntry> entries_;
 };
 
+// One candidate produced by a local join: "offer `id` at `distance` to
+// node `target`'s heap".
+struct Update {
+  int32_t target;
+  int32_t id;
+  float distance;
+};
+
 }  // namespace
 
 KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config) {
@@ -58,29 +117,45 @@ KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config) {
   if (n == 0) return result;
   const size_t k = std::min(config.k, n - 1);
   if (k == 0) return result;
+  ThreadPool& pool = config.pool != nullptr ? *config.pool
+                                            : ThreadPool::Default();
 
-  Rng rng(config.seed);
-  uint64_t dist_count = 0;
-  auto distance = [&](int32_t a, int32_t b) {
-    ++dist_count;
-    return L2Distance(points.Row(a), points.Row(b));
+  auto squared = [&](int32_t a, int32_t b) {
+    return SquaredL2Distance(points.PaddedRow(a), points.PaddedRow(b));
   };
 
-  // Random initialization.
+  // Per-node distance-computation tallies: each parallel stage writes
+  // only its own slot, and the serial sum at the end is independent of
+  // how work was scheduled.
+  std::vector<uint64_t> dist_by_node(n, 0);
+
+  // --- Random initialization: each node fills its own heap from its own
+  // RNG stream, so nodes are independent and order-free.
   std::vector<NeighborHeap> heaps(n, NeighborHeap(k));
-  for (size_t v = 0; v < n; ++v) {
+  ParallelFor(pool, n, [&](size_t v) {
+    Rng rng(MixSeed(config.seed, 0, v));
+    StampSet& stamps = LocalStamps();
+    stamps.Begin(n);
+    stamps.TestAndSet(static_cast<int32_t>(v));
+    uint64_t dists = 0;
     for (size_t attempts = 0; heaps[v].entries().size() < k && attempts < 4 * k;
          ++attempts) {
       const int32_t u = static_cast<int32_t>(rng.Uniform(n));
-      if (u == static_cast<int32_t>(v)) continue;
-      heaps[v].Insert(u, distance(static_cast<int32_t>(v), u));
+      if (stamps.TestAndSet(u)) continue;
+      ++dists;
+      heaps[v].Insert(u, squared(static_cast<int32_t>(v), u));
     }
-  }
+    dist_by_node[v] = dists;
+  });
 
   std::vector<std::vector<int32_t>> new_cands(n), old_cands(n);
+  std::vector<std::vector<Update>> emitted(n);
+  std::vector<uint32_t> changed_by_node(n, 0);
+  std::vector<size_t> bucket_start;
+  std::vector<Update> buckets;
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations_run = iter + 1;
-    // Collect forward candidates and clear "new" flags.
+    // Collect forward candidates and clear "new" flags (serial: O(n k)).
     for (auto& c : new_cands) c.clear();
     for (auto& c : old_cands) c.clear();
     for (size_t v = 0; v < n; ++v) {
@@ -90,7 +165,7 @@ KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config) {
         e.is_new = false;
       }
     }
-    // Add reverse candidates.
+    // Add reverse candidates (serial: O(edges), no distance work).
     for (size_t v = 0; v < n; ++v) {
       for (int32_t u : std::vector<int32_t>(new_cands[v])) {
         new_cands[u].push_back(static_cast<int32_t>(v));
@@ -99,37 +174,93 @@ KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config) {
         old_cands[u].push_back(static_cast<int32_t>(v));
       }
     }
-    size_t updates = 0;
-    for (size_t v = 0; v < n; ++v) {
+    // Local join, parallel over nodes. Each node only reads the shared
+    // heaps (for the pruning bound) and writes its own candidate lists
+    // and `emitted` slot, so chunking cannot change the output.
+    ParallelFor(pool, n, [&](size_t v) {
       auto& nc = new_cands[v];
       auto& oc = old_cands[v];
       std::sort(nc.begin(), nc.end());
       nc.erase(std::unique(nc.begin(), nc.end()), nc.end());
       std::sort(oc.begin(), oc.end());
       oc.erase(std::unique(oc.begin(), oc.end()), oc.end());
-      if (nc.size() > config.max_candidates) {
-        rng.Shuffle(nc);
-        nc.resize(config.max_candidates);
+      if (nc.size() > config.max_candidates ||
+          oc.size() > config.max_candidates) {
+        Rng rng(MixSeed(config.seed, 2 * iter + 1, v));
+        if (nc.size() > config.max_candidates) {
+          rng.Shuffle(nc);
+          nc.resize(config.max_candidates);
+        }
+        if (oc.size() > config.max_candidates) {
+          rng.Shuffle(oc);
+          oc.resize(config.max_candidates);
+        }
       }
-      if (oc.size() > config.max_candidates) {
-        rng.Shuffle(oc);
-        oc.resize(config.max_candidates);
-      }
+      auto& out = emitted[v];
+      out.clear();
+      uint64_t dists = 0;
+      auto offer = [&](int32_t target, int32_t id, float d) {
+        // Prune against the target heap's pre-iteration bound; the
+        // authoritative check happens at apply time.
+        if (d < heaps[target].WorstOrInf()) out.push_back({target, id, d});
+      };
       // Local join: new x new and new x old.
       for (size_t i = 0; i < nc.size(); ++i) {
         for (size_t j = i + 1; j < nc.size(); ++j) {
-          const float d = distance(nc[i], nc[j]);
-          updates += heaps[nc[i]].Insert(nc[j], d);
-          updates += heaps[nc[j]].Insert(nc[i], d);
+          ++dists;
+          const float d = squared(nc[i], nc[j]);
+          offer(nc[i], nc[j], d);
+          offer(nc[j], nc[i], d);
         }
         for (int32_t u : oc) {
           if (u == nc[i]) continue;
-          const float d = distance(nc[i], u);
-          updates += heaps[nc[i]].Insert(u, d);
-          updates += heaps[u].Insert(nc[i], d);
+          ++dists;
+          const float d = squared(nc[i], u);
+          offer(nc[i], u, d);
+          offer(u, nc[i], d);
         }
       }
+      dist_by_node[v] += dists;
+    });
+    // Bucket updates by target heap, preserving emitting-node order
+    // (serial counting sort: O(updates) moves, no distance work).
+    bucket_start.assign(n + 1, 0);
+    for (const auto& from_v : emitted) {
+      for (const Update& u : from_v) ++bucket_start[u.target + 1];
     }
+    std::partial_sum(bucket_start.begin(), bucket_start.end(),
+                     bucket_start.begin());
+    buckets.resize(bucket_start[n]);
+    {
+      std::vector<size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+      for (const auto& from_v : emitted) {
+        for (const Update& u : from_v) buckets[cursor[u.target]++] = u;
+      }
+    }
+    // Apply, parallel over target heaps: each task owns one heap and
+    // applies its bucket in deterministic order.
+    ParallelFor(pool, n, [&](size_t u) {
+      const size_t begin = bucket_start[u];
+      const size_t end = bucket_start[u + 1];
+      if (begin == end) {
+        changed_by_node[u] = 0;
+        return;
+      }
+      StampSet& stamps = LocalStamps();
+      stamps.Begin(n);
+      for (const HeapEntry& e : heaps[u].entries()) {
+        stamps.TestAndSet(e.neighbor.id);
+      }
+      uint32_t changed = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const Update& upd = buckets[i];
+        if (stamps.TestAndSet(upd.id)) continue;
+        changed += heaps[u].Insert(upd.id, upd.distance);
+      }
+      changed_by_node[u] = changed;
+    });
+    uint64_t updates = 0;
+    for (uint32_t c : changed_by_node) updates += c;
     if (static_cast<double>(updates) <
         config.delta * static_cast<double>(n) * static_cast<double>(k)) {
       break;
@@ -138,10 +269,13 @@ KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config) {
 
   for (size_t v = 0; v < n; ++v) {
     auto& out = result.neighbors[v];
-    for (const HeapEntry& e : heaps[v].entries()) out.push_back(e.neighbor);
+    out.reserve(heaps[v].entries().size());
+    for (const HeapEntry& e : heaps[v].entries()) {
+      out.push_back({e.neighbor.id, std::sqrt(e.neighbor.distance)});
+    }
     std::sort(out.begin(), out.end());
   }
-  result.distance_computations = dist_count;
+  for (uint64_t d : dist_by_node) result.distance_computations += d;
   return result;
 }
 
@@ -172,7 +306,6 @@ double KnnGraphRecall(const Matrix& points, const KnnGraph& graph) {
       total += 1.0;
       continue;
     }
-    KnnGraph exact;  // only need row v; reuse helper lazily
     std::vector<Neighbor> truth =
         BruteForceSearch(points, points.Row(v), k + 1);
     std::vector<Neighbor> filtered;

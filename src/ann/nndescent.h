@@ -1,6 +1,12 @@
 // NNDescent [36]: approximate kNN-graph construction by iterative
 // neighbor-of-neighbor refinement. Initializes the PG-Index (Algorithm 2,
 // lines 3-6).
+//
+// The build is parallel and deterministic: every stochastic choice draws
+// from a per-node RNG seeded by (config.seed, iteration, node), local
+// joins emit candidate updates into per-node buffers, and updates are
+// applied per target heap in a fixed order — so the resulting graph is
+// bit-identical for any thread-pool size, including 1.
 
 #ifndef KPEF_ANN_NNDESCENT_H_
 #define KPEF_ANN_NNDESCENT_H_
@@ -13,6 +19,8 @@
 
 namespace kpef {
 
+class ThreadPool;
+
 struct NNDescentConfig {
   /// Neighbors kept per point (the kNN graph's k).
   size_t k = 10;
@@ -23,6 +31,9 @@ struct NNDescentConfig {
   /// Cap on candidates considered per point per iteration.
   size_t max_candidates = 50;
   uint64_t seed = 17;
+  /// Pool the build fans out over; nullptr = ThreadPool::Default().
+  /// The output does not depend on the pool's size.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result: per-point nearest-neighbor lists sorted ascending by distance,

@@ -1,11 +1,12 @@
 #include "ann/pg_index.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cmath>
 #include <fstream>
 #include <queue>
 #include <unordered_set>
 
+#include "common/aligned_buffer.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -30,31 +31,60 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
     if (stats) *stats = local_stats;
     return index;
   }
+  ThreadPool& pool = config.nndescent.pool != nullptr
+                         ? *config.nndescent.pool
+                         : ThreadPool::Default();
+  // All hot-loop distances below are squared L2 over padded rows: the
+  // square root is monotone, so every comparison (argmin, sort, occlusion
+  // check) is unchanged, and padded rows let the kernel run tail-free.
+  auto squared = [&](int32_t a, int32_t b) {
+    return SquaredL2Distance(points.PaddedRow(a), points.PaddedRow(b));
+  };
 
   // --- Navigating node selection (lines 1-2): nearest to the centroid.
-  std::vector<float> centroid(d, 0.0f);
+  // The centroid sum stays serial (row order matters for float rounding);
+  // the argmin fans out over fixed-size chunks whose per-chunk winners
+  // merge serially, so the choice is independent of the pool size.
+  AlignedVector centroid(points.stride(), 0.0f);
   for (size_t i = 0; i < n; ++i) {
     auto row = points.Row(i);
     for (size_t k = 0; k < d; ++k) centroid[k] += row[k];
   }
-  for (float& c : centroid) c /= static_cast<float>(n);
-  float best = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float dist = L2Distance(points.Row(i), centroid);
-    ++local_stats.distance_computations;
-    if (index.navigating_node_ < 0 || dist < best) {
-      index.navigating_node_ = static_cast<int32_t>(i);
-      best = dist;
+  for (size_t k = 0; k < d; ++k) centroid[k] /= static_cast<float>(n);
+  {
+    const std::span<const float> centroid_span(centroid.data(),
+                                               centroid.size());
+    constexpr size_t kArgminChunk = 2048;
+    const size_t num_chunks = (n + kArgminChunk - 1) / kArgminChunk;
+    std::vector<Neighbor> chunk_best(num_chunks, Neighbor{-1, 0.0f});
+    ParallelFor(pool, num_chunks, [&](size_t c) {
+      const size_t begin = c * kArgminChunk;
+      const size_t end = std::min(n, begin + kArgminChunk);
+      Neighbor best{-1, 0.0f};
+      for (size_t i = begin; i < end; ++i) {
+        const Neighbor cand{static_cast<int32_t>(i),
+                            SquaredL2Distance(points.PaddedRow(i),
+                                              centroid_span)};
+        if (best.id < 0 || cand < best) best = cand;
+      }
+      chunk_best[c] = best;
+    });
+    Neighbor best{-1, 0.0f};
+    for (const Neighbor& cand : chunk_best) {
+      if (cand.id >= 0 && (best.id < 0 || cand < best)) best = cand;
     }
+    index.navigating_node_ = best.id;
+    local_stats.distance_computations += n;
   }
 
-  // --- Initialize kNN graph (lines 3-6).
+  // --- Initialize kNN graph (lines 3-6); NNDescent shares the pool.
   Timer knn_timer;
   KnnGraph knn = config.exact_knn
                      ? BuildExactKnnGraph(points, config.knn_k)
                      : BuildKnnGraph(points, [&] {
                          NNDescentConfig c = config.nndescent;
                          c.k = config.knn_k;
+                         c.pool = &pool;
                          return c;
                        }());
   local_stats.knn_seconds = knn_timer.ElapsedSeconds();
@@ -64,18 +94,26 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
     local_stats.edges_after_knn += nbrs.size();
   }
 
-  // --- Refine neighbors (per-node independent; parallel over chunks).
+  // --- Refine neighbors: long-distance extension + occlusion pruning,
+  // parallel over nodes (each node reads the shared kNN graph and writes
+  // only its own adjacency list and tally slots).
   Timer refine_timer;
-  std::atomic<uint64_t> refine_distances{0};
-  auto refine_node = [&](size_t p, uint64_t& dist_count) {
+  std::vector<uint64_t> refine_dists(n, 0);
+  std::vector<uint32_t> extension_edges(n, 0);
+  ParallelFor(pool, n, [&](size_t p) {
+    uint64_t dist_count = 0;
     auto distance = [&](int32_t a, int32_t b) {
       ++dist_count;
-      return L2Distance(points.Row(a), points.Row(b));
+      return squared(a, b);
     };
     // Long-distance neighbors extension (lines 7-8): N(p) plus N(x) for
-    // every x in N(p).
-    std::vector<Neighbor> candidates = knn.neighbors[p];
-    size_t extension_edges = 0;
+    // every x in N(p). Seed distances come from the kNN graph (true L2),
+    // so square them to stay comparable.
+    std::vector<Neighbor> candidates;
+    candidates.reserve(knn.neighbors[p].size());
+    for (const Neighbor& nb : knn.neighbors[p]) {
+      candidates.push_back({nb.id, nb.distance * nb.distance});
+    }
     if (config.extend_neighbors) {
       std::unordered_set<int32_t> seen;
       seen.insert(static_cast<int32_t>(p));
@@ -90,7 +128,7 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
       }
     }
     std::sort(candidates.begin(), candidates.end());
-    extension_edges = candidates.size();
+    extension_edges[p] = static_cast<uint32_t>(candidates.size());
 
     // Redundant neighbors removal (lines 9-12): scanning nearest-first,
     // drop y when some kept x satisfies δ(x, y) <= δ(y, p).
@@ -116,31 +154,11 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
       out.reserve(limit);
       for (size_t i = 0; i < limit; ++i) out.push_back(candidates[i].id);
     }
-    return extension_edges;
-  };
-  {
-    ThreadPool& pool = ThreadPool::Default();
-    const size_t workers = std::max<size_t>(1, pool.num_threads());
-    std::atomic<uint64_t> extension_total{0};
-    auto refine_range = [&](size_t begin, size_t end) {
-      uint64_t dists = 0;
-      uint64_t ext = 0;
-      for (size_t p = begin; p < end; ++p) ext += refine_node(p, dists);
-      refine_distances.fetch_add(dists, std::memory_order_relaxed);
-      extension_total.fetch_add(ext, std::memory_order_relaxed);
-    };
-    if (workers <= 1 || n < 2 * workers) {
-      refine_range(0, n);
-    } else {
-      const size_t chunk = (n + workers - 1) / workers;
-      for (size_t start = 0; start < n; start += chunk) {
-        const size_t end = std::min(n, start + chunk);
-        pool.Submit([&, start, end] { refine_range(start, end); });
-      }
-      pool.Wait();
-    }
-    local_stats.edges_after_extension = extension_total.load();
-    local_stats.distance_computations += refine_distances.load();
+    refine_dists[p] = dist_count;
+  });
+  for (size_t p = 0; p < n; ++p) {
+    local_stats.edges_after_extension += extension_edges[p];
+    local_stats.distance_computations += refine_dists[p];
   }
   local_stats.refine_seconds = refine_timer.ElapsedSeconds();
 
@@ -173,8 +191,8 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
       for (size_t u = 0; u < n; ++u) {
         if (reachable[u]) continue;
         ++local_stats.distance_computations;
-        const float dist = L2Distance(points.Row(index.navigating_node_),
-                                      points.Row(u));
+        const float dist =
+            squared(index.navigating_node_, static_cast<int32_t>(u));
         if (nearest < 0 || dist < nearest_dist) {
           nearest = static_cast<int32_t>(u);
           nearest_dist = dist;
@@ -196,17 +214,19 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
   return index;
 }
 
-std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
-                                      size_t ef, SearchStats* stats) const {
-  KPEF_TRACE_SPAN("pgindex.search");
+std::vector<Neighbor> PGIndex::SearchImpl(std::span<const float> padded_query,
+                                          size_t m, size_t ef,
+                                          SearchStats& local_stats,
+                                          size_t& pool_occupancy) const {
   const size_t n = points_.rows();
   std::vector<Neighbor> result;
   if (n == 0 || m == 0) return result;
   const size_t pool_size = std::max(ef, m);
-  SearchStats local_stats;
+  // Squared distance throughout the greedy loop; sqrt once on the
+  // surviving pool at the end.
   auto distance = [&](int32_t id) {
     ++local_stats.distance_computations;
-    return L2Distance(points_.Row(id), query);
+    return SquaredL2Distance(points_.PaddedRow(id), padded_query);
   };
 
   // Best-first search from the navigating node with a bounded result pool
@@ -240,9 +260,7 @@ std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
       }
     }
   }
-  // The greedy loop above accumulated into stack-local stats only;
-  // concurrent searches over a shared (const) index merge here, once.
-  const size_t pool_occupancy = pool.size();
+  pool_occupancy = pool.size();
   result.reserve(pool.size());
   while (!pool.empty()) {
     result.push_back(pool.top());
@@ -250,6 +268,21 @@ std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
   }
   std::reverse(result.begin(), result.end());
   if (result.size() > m) result.resize(m);
+  for (Neighbor& nb : result) nb.distance = std::sqrt(nb.distance);
+  return result;
+}
+
+std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
+                                      size_t ef, SearchStats* stats) const {
+  KPEF_TRACE_SPAN("pgindex.search");
+  const AlignedVector padded = PadToAligned(query);
+  SearchStats local_stats;
+  size_t pool_occupancy = 0;
+  std::vector<Neighbor> result =
+      SearchImpl({padded.data(), padded.size()}, m, ef, local_stats,
+                 pool_occupancy);
+  // The greedy loop above accumulated into stack-local stats only;
+  // concurrent searches over a shared (const) index merge here, once.
   KPEF_COUNTER_ADD(obs::kPgindexSearchesTotal, 1);
   KPEF_COUNTER_ADD(obs::kPgindexDistanceComputations,
                    local_stats.distance_computations);
@@ -259,6 +292,44 @@ std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
   return result;
 }
 
+std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
+    const Matrix& queries, size_t m, size_t ef,
+    std::vector<SearchStats>* stats, ThreadPool* pool) const {
+  KPEF_TRACE_SPAN("pgindex.search_batch");
+  const size_t batch = queries.rows();
+  std::vector<std::vector<Neighbor>> results(batch);
+  std::vector<SearchStats> local_stats(batch);
+  if (batch == 0) {
+    if (stats) stats->clear();
+    return results;
+  }
+  KPEF_CHECK(points_.rows() == 0 || queries.cols() == points_.cols())
+      << "query dimensionality does not match the index";
+  std::vector<size_t> occupancy(batch, 0);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Default();
+  // Query rows are already padded/aligned by Matrix, so each task reads
+  // its row in place; every output slot is per-query, so the batch is
+  // trivially deterministic.
+  ParallelFor(p, batch, [&](size_t q) {
+    results[q] = SearchImpl(queries.PaddedRow(q), m, ef, local_stats[q],
+                            occupancy[q]);
+  });
+  // Merge per-query stats through the registry once for the whole batch.
+  uint64_t total_distances = 0;
+  for (const SearchStats& s : local_stats) {
+    total_distances += s.distance_computations;
+  }
+  KPEF_COUNTER_ADD(obs::kPgindexSearchesTotal, batch);
+  KPEF_COUNTER_ADD(obs::kPgindexBatchSearchesTotal, 1);
+  KPEF_COUNTER_ADD(obs::kPgindexDistanceComputations, total_distances);
+  for (size_t q = 0; q < batch; ++q) {
+    KPEF_HISTOGRAM_OBSERVE(obs::kPgindexSearchHops, local_stats[q].hops);
+    KPEF_HISTOGRAM_OBSERVE(obs::kPgindexCandidatePoolOccupancy, occupancy[q]);
+  }
+  if (stats) *stats = std::move(local_stats);
+  return results;
+}
+
 size_t PGIndex::NumEdges() const {
   size_t total = 0;
   for (const auto& nbrs : adjacency_) total += nbrs.size();
@@ -266,7 +337,7 @@ size_t PGIndex::NumEdges() const {
 }
 
 size_t PGIndex::MemoryUsageBytes() const {
-  size_t bytes = points_.data().size() * sizeof(float);
+  size_t bytes = points_.PaddedSize() * sizeof(float);
   for (const auto& nbrs : adjacency_) {
     bytes += nbrs.size() * sizeof(int32_t) + sizeof(std::vector<int32_t>);
   }
@@ -297,9 +368,12 @@ Status PGIndex::Save(std::ostream& out) const {
   WritePod(out, static_cast<uint64_t>(points_.rows()));
   WritePod(out, static_cast<uint64_t>(points_.cols()));
   WritePod(out, navigating_node_);
-  out.write(reinterpret_cast<const char*>(points_.data().data()),
-            static_cast<std::streamsize>(points_.data().size() *
-                                         sizeof(float)));
+  // Row-wise so the on-disk layout stays dense (padding never persists).
+  for (size_t r = 0; r < points_.rows(); ++r) {
+    auto row = points_.Row(r);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
   for (const auto& nbrs : adjacency_) {
     WritePod(out, static_cast<uint32_t>(nbrs.size()));
     out.write(reinterpret_cast<const char*>(nbrs.data()),
@@ -342,8 +416,11 @@ StatusOr<PGIndex> PGIndex::Load(std::istream& in) {
   PGIndex index;
   index.navigating_node_ = navigating;
   index.points_ = Matrix(rows, cols);
-  in.read(reinterpret_cast<char*>(index.points_.data().data()),
-          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  for (uint64_t r = 0; r < rows; ++r) {
+    auto row = index.points_.Row(r);
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
   if (!in) return Status::InvalidArgument("truncated PG-Index embeddings");
   index.adjacency_.resize(rows);
   for (uint64_t v = 0; v < rows; ++v) {

@@ -63,6 +63,16 @@ class PGIndex {
   std::vector<Neighbor> Search(std::span<const float> query, size_t m,
                                size_t ef = 0, SearchStats* stats = nullptr) const;
 
+  /// Searches every row of `queries` (one query per row, same
+  /// dimensionality as the indexed points), fanning the batch across
+  /// `pool` (nullptr = ThreadPool::Default()). Results are identical to
+  /// calling Search per row; per-query stats land in `*stats` (resized to
+  /// the batch) and the metrics registry is updated once per batch.
+  std::vector<std::vector<Neighbor>> SearchBatch(
+      const Matrix& queries, size_t m, size_t ef = 0,
+      std::vector<SearchStats>* stats = nullptr,
+      ThreadPool* pool = nullptr) const;
+
   int32_t navigating_node() const { return navigating_node_; }
   size_t NumPoints() const { return points_.rows(); }
   const std::vector<int32_t>& NeighborsOf(int32_t node) const {
@@ -87,6 +97,12 @@ class PGIndex {
 
  private:
   PGIndex() = default;
+
+  /// Greedy best-first search working in squared distance over a padded
+  /// query span (length points_.stride()); returns true-L2 results.
+  std::vector<Neighbor> SearchImpl(std::span<const float> padded_query,
+                                   size_t m, size_t ef, SearchStats& stats,
+                                   size_t& pool_occupancy) const;
 
   Matrix points_;
   std::vector<std::vector<int32_t>> adjacency_;

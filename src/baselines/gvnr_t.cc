@@ -97,11 +97,15 @@ GvnrTModel::GvnrTModel(const Dataset* dataset, const Corpus* corpus,
   Matrix context(n, d);
   std::vector<float> bias(n, 0.0f);
   const float init = 0.5f / static_cast<float>(d);
-  for (float& v : word_vectors_.data()) {
-    v = static_cast<float>(rng.UniformDouble(-init, init));
+  for (size_t r = 0; r < word_vectors_.rows(); ++r) {
+    for (float& v : word_vectors_.Row(r)) {
+      v = static_cast<float>(rng.UniformDouble(-init, init));
+    }
   }
-  for (float& v : context.data()) {
-    v = static_cast<float>(rng.UniformDouble(-init, init));
+  for (size_t r = 0; r < context.rows(); ++r) {
+    for (float& v : context.Row(r)) {
+      v = static_cast<float>(rng.UniformDouble(-init, init));
+    }
   }
   Matrix grad_word(vocab, d, 1.0f), grad_ctx(n, d, 1.0f);
   std::vector<float> grad_bias(n, 1.0f);

@@ -5,6 +5,7 @@
 #include "ann/brute_force.h"
 #include "embed/model_io.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "metapath/meta_path.h"
 #include "obs/metrics.h"
@@ -216,6 +217,77 @@ std::vector<ExpertScore> ExpertFindingEngine::FindExpertsWithStats(
 std::vector<ExpertScore> ExpertFindingEngine::FindExperts(
     const std::string& query_text, size_t n) {
   return FindExpertsWithStats(query_text, n, nullptr);
+}
+
+std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
+    const std::vector<std::string>& query_texts, size_t n,
+    std::vector<QueryStats>* stats, ThreadPool* pool) {
+  KPEF_TRACE_SPAN("engine.find_experts_batch");
+  Timer batch_timer;
+  const size_t batch = query_texts.size();
+  std::vector<std::vector<ExpertScore>> results(batch);
+  std::vector<QueryStats> local(batch);
+  if (batch == 0) {
+    if (stats) stats->clear();
+    return results;
+  }
+  ThreadPool& workers = pool != nullptr ? *pool : ThreadPool::Default();
+
+  // Encode all queries into one padded matrix (PG-Index consumes the
+  // rows in place, no per-query copies).
+  Matrix queries(batch, encoder_->dim());
+  ParallelFor(workers, batch, [&](size_t q) {
+    const std::vector<float> v =
+        encoder_->Encode(corpus_->EncodeQuery(query_texts[q]));
+    std::copy(v.begin(), v.end(), queries.Row(q).begin());
+  });
+
+  // Retrieval: one batched index search (or a brute-force fan-out).
+  const size_t m = config_.top_m;
+  Timer retrieval_timer;
+  std::vector<std::vector<Neighbor>> neighbors(batch);
+  if (index_) {
+    const size_t ef = config_.search_ef == 0 ? m : config_.search_ef;
+    std::vector<PGIndex::SearchStats> search_stats;
+    neighbors = index_->SearchBatch(queries, m, ef, &search_stats, &workers);
+    for (size_t q = 0; q < batch; ++q) {
+      local[q].distance_computations = search_stats[q].distance_computations;
+    }
+  } else {
+    ParallelFor(workers, batch, [&](size_t q) {
+      neighbors[q] = BruteForceSearch(embeddings_, queries.Row(q), m);
+      local[q].distance_computations = embeddings_.rows();
+    });
+  }
+  const double retrieval_ms_per_query =
+      retrieval_timer.ElapsedMillis() / static_cast<double>(batch);
+
+  // Ranking: independent per query over the shared (read-only) graph.
+  const std::vector<NodeId>& papers = dataset_->Papers();
+  ParallelFor(workers, batch, [&](size_t q) {
+    Timer ranking_timer;
+    std::vector<NodeId> top_papers;
+    top_papers.reserve(neighbors[q].size());
+    for (const Neighbor& nb : neighbors[q]) top_papers.push_back(papers[nb.id]);
+    const RankedLists lists =
+        BuildRankedLists(dataset_->graph, dataset_->ids.write, top_papers,
+                         config_.contribution_weighting);
+    TopNStats top_stats;
+    results[q] = config_.use_ta ? ThresholdTopN(lists, n, &top_stats)
+                                : FullScanTopN(lists, n, &top_stats);
+    local[q].retrieval_ms = retrieval_ms_per_query;
+    local[q].ranking_ms = ranking_timer.ElapsedMillis();
+    local[q].ranking_entries_accessed = top_stats.entries_accessed;
+    local[q].ta_early_terminated = top_stats.early_terminated;
+  });
+
+  KPEF_COUNTER_ADD(obs::kEngineQueriesTotal, batch);
+  KPEF_COUNTER_ADD(obs::kEngineBatchQueriesTotal, 1);
+  KPEF_HISTOGRAM_OBSERVE(obs::kEngineBatchSize, batch);
+  KPEF_HISTOGRAM_OBSERVE(obs::kEngineBatchLatencyMs,
+                         batch_timer.ElapsedMillis());
+  if (stats) *stats = std::move(local);
+  return results;
 }
 
 }  // namespace kpef

@@ -125,6 +125,16 @@ class ExpertFindingEngine : public RetrievalModel {
   std::vector<ExpertScore> FindExpertsWithStats(const std::string& query_text,
                                                 size_t n, QueryStats* stats);
 
+  /// Answers every query in one call, fanning encoding, retrieval, and
+  /// ranking across the thread pool (nullptr = ThreadPool::Default()).
+  /// result[q] matches FindExperts(query_texts[q], n); per-query stats
+  /// land in `*stats` (resized to the batch). For the batch path,
+  /// QueryStats::retrieval_ms reports the batch retrieval phase averaged
+  /// over the queries (the per-query searches overlap in time).
+  std::vector<std::vector<ExpertScore>> FindExpertsBatch(
+      const std::vector<std::string>& query_texts, size_t n,
+      std::vector<QueryStats>* stats = nullptr, ThreadPool* pool = nullptr);
+
   /// Top-m semantically similar papers for a query (§IV-B), best first.
   std::vector<NodeId> RetrievePapers(const std::string& query_text, size_t m,
                                      QueryStats* stats = nullptr);

@@ -39,8 +39,10 @@ void DocumentEncoder::SetTokenEmbeddings(const Matrix& pretrained) {
 }
 
 void DocumentEncoder::InitializeRandomTokens(Rng& rng, float scale) {
-  for (float& v : token_embeddings_.data()) {
-    v = static_cast<float>(rng.Normal(0.0, scale));
+  for (size_t r = 0; r < token_embeddings_.rows(); ++r) {
+    for (float& v : token_embeddings_.Row(r)) {
+      v = static_cast<float>(rng.Normal(0.0, scale));
+    }
   }
 }
 

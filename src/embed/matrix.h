@@ -1,13 +1,23 @@
-// Dense row-major float matrix used for embedding tables and projection
-// weights.
+// Dense row-major float matrix used for embedding tables, projection
+// weights, and ANN point sets.
+//
+// Storage contract (relied on by the kernels in embed/vector_ops.h):
+//  - the buffer is 32-byte aligned and every row starts at a 32-byte
+//    boundary (the row stride is padded to a multiple of 8 floats), and
+//  - the padding tail of every row is always exactly 0.0f.
+// Row() exposes only the logical `cols` values, so ordinary mutation
+// cannot break the invariant; PaddedRow() exposes the stride-wide span
+// for kernel calls that want a tail-free 8-wide hot loop (the zero
+// padding contributes exact zero terms, so results are identical to the
+// logical-width call).
 
 #ifndef KPEF_EMBED_MATRIX_H_
 #define KPEF_EMBED_MATRIX_H_
 
 #include <cstddef>
 #include <span>
-#include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/logging.h"
 
 namespace kpef {
@@ -18,32 +28,69 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(size_t rows, size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows),
+        cols_(cols),
+        stride_(PadToKernelWidth(cols)),
+        data_(rows * stride_, 0.0f) {
+    if (fill != 0.0f) Fill(fill);
+  }
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
+  /// Allocated floats per row (cols rounded up to a multiple of 8).
+  size_t stride() const { return stride_; }
 
   std::span<float> Row(size_t r) {
     KPEF_CHECK(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
   }
   std::span<const float> Row(size_t r) const {
     KPEF_CHECK(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
   }
 
-  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  /// The full stride-wide row: `cols` values followed by zero padding.
+  /// 32-byte aligned; pair with another PaddedRow (or a PadToAligned
+  /// buffer) so distance kernels run without a tail loop.
+  std::span<const float> PaddedRow(size_t r) const {
+    KPEF_CHECK(r < rows_);
+    return {data_.data() + r * stride_, stride_};
+  }
 
-  std::vector<float>& data() { return data_; }
-  const std::vector<float>& data() const { return data_; }
+  float& At(size_t r, size_t c) { return data_[r * stride_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * stride_ + c]; }
 
-  void Fill(float value) { data_.assign(data_.size(), value); }
+  /// Sets every logical value (padding stays zero).
+  void Fill(float value) {
+    for (size_t r = 0; r < rows_; ++r) {
+      float* row = data_.data() + r * stride_;
+      for (size_t c = 0; c < cols_; ++c) row[c] = value;
+      for (size_t c = cols_; c < stride_; ++c) row[c] = 0.0f;
+    }
+  }
+
+  /// Total allocated floats (rows * stride), e.g. for memory accounting.
+  size_t PaddedSize() const { return rows_ * stride_; }
+
+  /// Logical element-wise equality (padding excluded).
+  bool operator==(const Matrix& other) const {
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    for (size_t r = 0; r < rows_; ++r) {
+      const auto a = Row(r);
+      const auto b = other.Row(r);
+      for (size_t c = 0; c < cols_; ++c) {
+        if (a[c] != b[c]) return false;
+      }
+    }
+    return true;
+  }
+  bool operator!=(const Matrix& other) const { return !(*this == other); }
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  size_t stride_ = 0;
+  AlignedVector data_;
 };
 
 }  // namespace kpef

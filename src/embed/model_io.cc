@@ -43,6 +43,39 @@ StatusOr<std::vector<float>> ReadFloats(std::istream& in,
   return data;
 }
 
+// Writes a matrix's logical values as one flat float array (rows * cols;
+// the in-memory row padding is not serialized, keeping the on-disk
+// format identical to pre-padding builds).
+Status WriteMatrixValues(std::ostream& out, const Matrix& matrix) {
+  const uint64_t count =
+      static_cast<uint64_t>(matrix.rows()) * matrix.cols();
+  WritePod(out, count);
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    const auto row = matrix.Row(r);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+// Reads a flat float array written by WriteMatrixValues into `matrix`
+// (whose dimensions must already match the serialized count).
+Status ReadMatrixValues(std::istream& in, Matrix& matrix) {
+  uint64_t count = 0;
+  if (!ReadPod(in, count) ||
+      count != static_cast<uint64_t>(matrix.rows()) * matrix.cols()) {
+    return Status::InvalidArgument("matrix size mismatch");
+  }
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.Row(r);
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  if (!in) return Status::InvalidArgument("truncated float array");
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveMatrix(const Matrix& matrix, std::ostream& out) {
@@ -50,7 +83,7 @@ Status SaveMatrix(const Matrix& matrix, std::ostream& out) {
   WritePod(out, kVersion);
   WritePod(out, static_cast<uint64_t>(matrix.rows()));
   WritePod(out, static_cast<uint64_t>(matrix.cols()));
-  return WriteFloats(out, matrix.data());
+  return WriteMatrixValues(out, matrix);
 }
 
 Status SaveMatrix(const Matrix& matrix, const std::string& path) {
@@ -75,12 +108,8 @@ StatusOr<Matrix> LoadMatrix(std::istream& in) {
       rows * cols > (1ull << 31)) {
     return Status::InvalidArgument("corrupt matrix header");
   }
-  KPEF_ASSIGN_OR_RETURN(std::vector<float> data, ReadFloats(in));
-  if (data.size() != rows * cols) {
-    return Status::InvalidArgument("matrix size mismatch");
-  }
   Matrix matrix(rows, cols);
-  matrix.data() = std::move(data);
+  KPEF_RETURN_IF_ERROR(ReadMatrixValues(in, matrix));
   return matrix;
 }
 
@@ -97,8 +126,8 @@ Status SaveEncoder(const DocumentEncoder& encoder, std::ostream& out) {
   WritePod(out, static_cast<uint64_t>(encoder.dim()));
   WritePod(out, static_cast<int32_t>(encoder.config().pooling));
   WritePod(out, static_cast<uint8_t>(encoder.config().normalize_output));
-  KPEF_RETURN_IF_ERROR(WriteFloats(out, encoder.token_embeddings().data()));
-  KPEF_RETURN_IF_ERROR(WriteFloats(out, encoder.projection().data()));
+  KPEF_RETURN_IF_ERROR(WriteMatrixValues(out, encoder.token_embeddings()));
+  KPEF_RETURN_IF_ERROR(WriteMatrixValues(out, encoder.projection()));
   KPEF_RETURN_IF_ERROR(WriteFloats(out, encoder.bias()));
   return WriteFloats(out, encoder.token_weights());
 }
@@ -139,16 +168,8 @@ StatusOr<DocumentEncoder> LoadEncoder(std::istream& in) {
   config.normalize_output = normalize != 0;
   DocumentEncoder encoder(vocab, config);
 
-  KPEF_ASSIGN_OR_RETURN(std::vector<float> tokens, ReadFloats(in));
-  if (tokens.size() != vocab * dim) {
-    return Status::InvalidArgument("token table size mismatch");
-  }
-  encoder.token_embeddings().data() = std::move(tokens);
-  KPEF_ASSIGN_OR_RETURN(std::vector<float> projection, ReadFloats(in));
-  if (projection.size() != dim * dim) {
-    return Status::InvalidArgument("projection size mismatch");
-  }
-  encoder.projection().data() = std::move(projection);
+  KPEF_RETURN_IF_ERROR(ReadMatrixValues(in, encoder.token_embeddings()));
+  KPEF_RETURN_IF_ERROR(ReadMatrixValues(in, encoder.projection()));
   KPEF_ASSIGN_OR_RETURN(std::vector<float> bias, ReadFloats(in));
   if (bias.size() != dim) {
     return Status::InvalidArgument("bias size mismatch");

@@ -62,8 +62,16 @@ PretrainResult PretrainTokenEmbeddings(const Corpus& corpus,
   Matrix w(vocab, dim), wt(vocab, dim);
   std::vector<float> bias(vocab, 0.0f), bias_t(vocab, 0.0f);
   const float init_scale = 0.5f / static_cast<float>(dim);
-  for (float& v : w.data()) v = static_cast<float>(rng.UniformDouble(-init_scale, init_scale));
-  for (float& v : wt.data()) v = static_cast<float>(rng.UniformDouble(-init_scale, init_scale));
+  for (size_t r = 0; r < w.rows(); ++r) {
+    for (float& v : w.Row(r)) {
+      v = static_cast<float>(rng.UniformDouble(-init_scale, init_scale));
+    }
+  }
+  for (size_t r = 0; r < wt.rows(); ++r) {
+    for (float& v : wt.Row(r)) {
+      v = static_cast<float>(rng.UniformDouble(-init_scale, init_scale));
+    }
+  }
   Matrix gw(vocab, dim, 1.0f), gwt(vocab, dim, 1.0f);
   std::vector<float> gbias(vocab, 1.0f), gbias_t(vocab, 1.0f);
 

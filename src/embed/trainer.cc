@@ -70,10 +70,16 @@ TrainStats TripletTrainer::Train(const std::vector<Triple>& triples,
                          static_cast<size_t>(token), grad, /*block_offset=*/0);
         }
       }
-      for (float& g : grads.d_projection.data()) g *= inv;
+      for (size_t r = 0; r < grads.d_projection.rows(); ++r) {
+        for (float& g : grads.d_projection.Row(r)) g *= inv;
+      }
       for (float& g : grads.d_bias) g *= inv;
-      adam.UpdateDense(std::span<float>(encoder_->projection().data()),
-                       grads.d_projection.data(), proj_offset);
+      // Projection rows share one dense Adam block starting at
+      // proj_offset; row r's state lives at proj_offset + r * d.
+      for (size_t r = 0; r < d; ++r) {
+        adam.UpdateRow(encoder_->projection(), r, grads.d_projection.Row(r),
+                       proj_offset);
+      }
       adam.UpdateDense(std::span<float>(encoder_->bias()), grads.d_bias,
                        bias_offset);
     }

@@ -2,26 +2,105 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 namespace kpef {
+namespace {
+
+// --- Scalar baseline: 8 independent lanes, fixed reduction order (see
+// the contract in vector_ops.h). The lane-parallel body auto-vectorizes
+// to SSE on the x86-64 baseline without changing results, because every
+// lane is an independent float accumulator.
+
+inline float ReduceLanes(const float* l) {
+  // Mirrors the AVX2 horizontal reduction: lo+hi halves, movehl, add.
+  const float m0 = l[0] + l[4];
+  const float m1 = l[1] + l[5];
+  const float m2 = l[2] + l[6];
+  const float m3 = l[3] + l[7];
+  return (m0 + m2) + (m1 + m3);
+}
+
+float DotScalar(const float* a, const float* b, size_t n) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const size_t n8 = n - n % 8;
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t j = 0; j < 8; ++j) lanes[j] += a[i + j] * b[i + j];
+  }
+  for (size_t i = n8; i < n; ++i) lanes[i - n8] += a[i] * b[i];
+  return ReduceLanes(lanes);
+}
+
+float SquaredL2Scalar(const float* a, const float* b, size_t n) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const size_t n8 = n - n % 8;
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const float d = a[i + j] - b[i + j];
+      lanes[j] += d * d;
+    }
+  }
+  for (size_t i = n8; i < n; ++i) {
+    const float d = a[i] - b[i];
+    lanes[i - n8] += d * d;
+  }
+  return ReduceLanes(lanes);
+}
+
+void AxpyScalar(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleScalar(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+constexpr DistanceKernel kScalarKernel = {
+    "scalar", DotScalar, SquaredL2Scalar, AxpyScalar, ScaleScalar};
+
+}  // namespace
+
+const DistanceKernel& ScalarKernel() { return kScalarKernel; }
+
+#if defined(KPEF_HAVE_AVX2)
+// Implemented in vector_ops_avx2.cc (compiled with -mavx2).
+namespace internal {
+const DistanceKernel& Avx2Kernel();
+}
+
+const DistanceKernel* Avx2KernelOrNull() {
+#if defined(__GNUC__) || defined(__clang__)
+  static const bool supported = __builtin_cpu_supports("avx2");
+#else
+  static const bool supported = false;
+#endif
+  return supported ? &internal::Avx2Kernel() : nullptr;
+}
+#else
+const DistanceKernel* Avx2KernelOrNull() { return nullptr; }
+#endif
+
+const DistanceKernel& ActiveKernel() {
+  static const DistanceKernel* const kernel = [] {
+    const char* env = std::getenv("KPEF_SIMD");
+    if (env != nullptr && std::string_view(env) == "scalar") {
+      return &ScalarKernel();
+    }
+    if (const DistanceKernel* avx2 = Avx2KernelOrNull()) return avx2;
+    return &ScalarKernel();
+  }();
+  return *kernel;
+}
 
 float Dot(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += static_cast<double>(a[i]) * b[i];
-  }
-  return static_cast<float>(sum);
+  return ActiveKernel().dot(a.data(), b.data(), a.size());
 }
 
 float SquaredL2Distance(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    sum += d * d;
-  }
-  return static_cast<float>(sum);
+  return ActiveKernel().squared_l2(a.data(), b.data(), a.size());
 }
 
 float L2Distance(std::span<const float> a, std::span<const float> b) {
@@ -29,18 +108,16 @@ float L2Distance(std::span<const float> a, std::span<const float> b) {
 }
 
 float L2Norm(std::span<const float> a) {
-  double sum = 0.0;
-  for (float v : a) sum += static_cast<double>(v) * v;
-  return static_cast<float>(std::sqrt(sum));
+  return std::sqrt(ActiveKernel().dot(a.data(), a.data(), a.size()));
 }
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  ActiveKernel().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(float alpha, std::span<float> x) {
-  for (float& v : x) v *= alpha;
+  ActiveKernel().scale(alpha, x.data(), x.size());
 }
 
 void NormalizeL2(std::span<float> x) {

@@ -1,5 +1,39 @@
-// Small dense float-vector kernels shared by the embedding models and the
-// ANN index.
+// Dense float-vector kernels shared by the embedding models and the ANN
+// stack, behind a runtime-dispatched DistanceKernel.
+//
+// ## Accumulation contract
+//
+// Every reducing kernel (dot, squared L2) accumulates in eight
+// independent float lanes: element i is added into lane i % 8, and the
+// lanes are reduced in the fixed order
+//
+//   result = ((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7))
+//
+// which is exactly the horizontal reduction of one AVX2 register
+// (low/high halves, then movehl, then scalar add). The scalar baseline
+// implements the same lane assignment and reduction order, and the AVX2
+// translation unit is compiled with floating-point contraction disabled,
+// so the two paths are **bit-identical** on identical inputs — selecting
+// a different kernel at runtime can never change a result. Tests assert
+// exact equality between paths (tests/kernel_test.cc).
+//
+// Against an infinitely precise reference, the lane scheme behaves like
+// pairwise summation over n/8 chunks: the absolute error of dot(a, b) is
+// bounded by ~(n/8 + 3) * eps * sum_i |a_i * b_i| with float eps
+// (2^-24). For the library's operating range (n <= 4096, unit-ish
+// vectors) results agree with a double-precision reference to within
+// 1e-4 relative error; kernel_test checks that tolerance on random and
+// adversarial inputs.
+//
+// ## Alignment
+//
+// Kernels accept any pointers/lengths (there is an in-loop scalar tail
+// for n % 8 != 0), but the fast path is full 8-float groups. Matrix
+// (embed/matrix.h) stores rows 32-byte aligned and zero-padded to a
+// multiple of 8 floats, so row-vs-row and row-vs-padded-query calls run
+// the hot loop with no tail at all: zero padding contributes exact zero
+// terms to every lane. Pad free-standing queries with PadToAligned()
+// (common/aligned_buffer.h) to get the same guarantee.
 
 #ifndef KPEF_EMBED_VECTOR_OPS_H_
 #define KPEF_EMBED_VECTOR_OPS_H_
@@ -8,6 +42,30 @@
 #include <span>
 
 namespace kpef {
+
+/// One implementation of the hot vector kernels. All function pointers
+/// are non-null. Implementations obey the accumulation contract above.
+struct DistanceKernel {
+  const char* name;
+  float (*dot)(const float* a, const float* b, size_t n);
+  float (*squared_l2)(const float* a, const float* b, size_t n);
+  /// y += alpha * x
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+  /// x *= alpha
+  void (*scale)(float alpha, float* x, size_t n);
+};
+
+/// The portable 8-lane-unrolled baseline. Always available.
+const DistanceKernel& ScalarKernel();
+
+/// The AVX2 kernel, or nullptr when the binary was built without AVX2
+/// support (KPEF_ENABLE_AVX2=OFF) or the CPU lacks it.
+const DistanceKernel* Avx2KernelOrNull();
+
+/// The kernel every vector op below routes through. Chosen once, at
+/// first use: AVX2 when compiled in and supported by the CPU, unless the
+/// environment variable KPEF_SIMD=scalar forces the baseline.
+const DistanceKernel& ActiveKernel();
 
 /// Dot product. Spans must have equal size.
 float Dot(std::span<const float> a, std::span<const float> b);

@@ -1,0 +1,92 @@
+// AVX2 implementations of the DistanceKernel. This translation unit is
+// the only one compiled with -mavx2; callers must go through
+// Avx2KernelOrNull(), which checks CPUID before handing the pointers
+// out. Compiled with -ffp-contract=off so mul+add never fuses into FMA:
+// per the contract in vector_ops.h, each lane here performs the same
+// float operations as the scalar baseline's lane, keeping the two paths
+// bit-identical.
+
+#if defined(KPEF_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "embed/vector_ops.h"
+
+namespace kpef {
+namespace {
+
+inline float ReduceAvx2(__m256 acc) {
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  const __m128 m = _mm_add_ps(lo, hi);                 // lanes j + j+4
+  const __m128 t = _mm_add_ps(m, _mm_movehl_ps(m, m)); // (0+4)+(2+6), (1+5)+(3+7)
+  return _mm_cvtss_f32(_mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55)));
+}
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const size_t n8 = n - n % 8;
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+  }
+  if (n8 == n) return ReduceAvx2(acc);
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (size_t i = n8; i < n; ++i) lanes[i - n8] += a[i] * b[i];
+  return ReduceAvx2(_mm256_load_ps(lanes));
+}
+
+float SquaredL2Avx2(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const size_t n8 = n - n % 8;
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                   _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+  }
+  if (n8 == n) return ReduceAvx2(acc);
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (size_t i = n8; i < n; ++i) {
+    const float d = a[i] - b[i];
+    lanes[i - n8] += d * d;
+  }
+  return ReduceAvx2(_mm256_load_ps(lanes));
+}
+
+void AxpyAvx2(float alpha, const float* x, float* y, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const size_t n8 = n - n % 8;
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 vy = _mm256_add_ps(
+        _mm256_loadu_ps(y + i), _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (size_t i = n8; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx2(float alpha, float* x, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const size_t n8 = n - n % 8;
+  for (size_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (size_t i = n8; i < n; ++i) x[i] *= alpha;
+}
+
+constexpr DistanceKernel kAvx2Kernel = {
+    "avx2", DotAvx2, SquaredL2Avx2, AxpyAvx2, ScaleAvx2};
+
+}  // namespace
+
+namespace internal {
+const DistanceKernel& Avx2Kernel() { return kAvx2Kernel; }
+}  // namespace internal
+
+}  // namespace kpef
+
+#endif  // KPEF_HAVE_AVX2

@@ -12,10 +12,10 @@ void WarmPipelineMetrics() {
         kSamplingNearNegativesTotal, kSamplingRandomNegativesTotal,
         kTrainerEpochsTotal, kPgindexBuildsTotal, kPgindexNndescentIterations,
         kPgindexBuildDistanceComputations, kPgindexSearchesTotal,
-        kPgindexDistanceComputations, kTaQueriesTotal, kTaEntriesAccessed,
-        kTaEarlyTerminationTotal, kRankingFullScansTotal,
-        kRankingFullScanEntriesAccessed, kEngineBuildsTotal,
-        kEngineQueriesTotal}) {
+        kPgindexBatchSearchesTotal, kPgindexDistanceComputations,
+        kTaQueriesTotal, kTaEntriesAccessed, kTaEarlyTerminationTotal,
+        kRankingFullScansTotal, kRankingFullScanEntriesAccessed,
+        kEngineBuildsTotal, kEngineQueriesTotal, kEngineBatchQueriesTotal}) {
     registry.GetCounter(name);
   }
   for (const char* name : {kTrainerLastEpochLoss, kTrainerTriplesPerSec}) {
@@ -23,7 +23,8 @@ void WarmPipelineMetrics() {
   }
   for (const char* name :
        {kKpcoreDeleteQueueSize, kPgindexSearchHops,
-        kPgindexCandidatePoolOccupancy, kTaRounds, kEngineQueryLatencyMs}) {
+        kPgindexCandidatePoolOccupancy, kTaRounds, kEngineQueryLatencyMs,
+        kEngineBatchSize, kEngineBatchLatencyMs}) {
     registry.GetHistogram(name);
   }
 }

@@ -43,6 +43,9 @@ inline constexpr char kPgindexBuildDistanceComputations[] =
 
 // --- PG-Index greedy search (§IV-B).
 inline constexpr char kPgindexSearchesTotal[] = "pgindex.searches_total";
+/// SearchBatch calls (each also counts its queries in searches_total).
+inline constexpr char kPgindexBatchSearchesTotal[] =
+    "pgindex.batch_searches_total";
 inline constexpr char kPgindexDistanceComputations[] =
     "pgindex.distance_computations";
 /// Histogram: adjacency expansions per search.
@@ -67,6 +70,13 @@ inline constexpr char kEngineBuildsTotal[] = "engine.builds_total";
 inline constexpr char kEngineQueriesTotal[] = "engine.queries_total";
 /// Histogram: end-to-end FindExperts latency, milliseconds.
 inline constexpr char kEngineQueryLatencyMs[] = "engine.query_latency_ms";
+/// FindExpertsBatch calls (queries also count in queries_total).
+inline constexpr char kEngineBatchQueriesTotal[] =
+    "engine.batch_queries_total";
+/// Histogram: queries per FindExpertsBatch call.
+inline constexpr char kEngineBatchSize[] = "engine.batch_size";
+/// Histogram: end-to-end FindExpertsBatch latency, milliseconds.
+inline constexpr char kEngineBatchLatencyMs[] = "engine.batch_latency_ms";
 
 /// Registers every canonical metric above (no-op values). Call before
 /// exporting so dumps always contain the full schema.

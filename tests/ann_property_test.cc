@@ -12,6 +12,7 @@
 #include "ann/hnsw.h"
 #include "ann/pg_index.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace kpef {
 namespace {
@@ -26,7 +27,9 @@ struct Shape {
 Matrix MakePoints(const Shape& shape) {
   Rng rng(shape.seed);
   Matrix centers(shape.clusters, shape.dim);
-  for (float& v : centers.data()) v = static_cast<float>(rng.Normal(0, 4));
+  for (size_t r = 0; r < centers.rows(); ++r) {
+    for (float& v : centers.Row(r)) v = static_cast<float>(rng.Normal(0, 4));
+  }
   Matrix points(shape.n, shape.dim);
   for (size_t i = 0; i < shape.n; ++i) {
     const size_t c = rng.Uniform(shape.clusters);
@@ -110,6 +113,50 @@ TEST_P(AnnRecallSweep, GraphSearchBeatsBruteForceWork) {
   PGIndex::SearchStats stats;
   index.Search(query, 10, 40, &stats);
   EXPECT_LT(stats.distance_computations, points.rows());
+}
+
+// The parallel NNDescent build promises bit-identical output for any
+// pool size (nndescent.h): every stochastic choice is per-node seeded and
+// updates apply in a fixed order, so graphs — including float distances,
+// iteration counts, and distance tallies — must match exactly.
+TEST(NNDescentDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  const Matrix& points = PointsFor(Shape{600, 24, 8, 77});
+  NNDescentConfig config;
+  config.k = 10;
+  ThreadPool pool1(1), pool2(2), pool8(8);
+  config.pool = &pool1;
+  const KnnGraph g1 = BuildKnnGraph(points, config);
+  config.pool = &pool2;
+  const KnnGraph g2 = BuildKnnGraph(points, config);
+  config.pool = &pool8;
+  const KnnGraph g8 = BuildKnnGraph(points, config);
+  EXPECT_EQ(g1.iterations_run, g2.iterations_run);
+  EXPECT_EQ(g1.iterations_run, g8.iterations_run);
+  EXPECT_EQ(g1.distance_computations, g2.distance_computations);
+  EXPECT_EQ(g1.distance_computations, g8.distance_computations);
+  EXPECT_EQ(g1.neighbors, g2.neighbors);  // Neighbor == is exact (id+float)
+  EXPECT_EQ(g1.neighbors, g8.neighbors);
+}
+
+// The full PG-Index build rides on the same guarantee: same graph, same
+// navigating node, same adjacency regardless of the pool.
+TEST(NNDescentDeterminismTest, PGIndexBuildDeterministicAcrossThreadCounts) {
+  const Matrix& points = PointsFor(Shape{500, 16, 8, 2});
+  PGIndexConfig config;
+  config.knn_k = 10;
+  ThreadPool pool1(1), pool8(8);
+  config.nndescent.pool = &pool1;
+  const PGIndex a = PGIndex::Build(points, config);
+  config.nndescent.pool = &pool8;
+  const PGIndex b = PGIndex::Build(points, config);
+  ASSERT_EQ(a.NumPoints(), b.NumPoints());
+  EXPECT_EQ(a.navigating_node(), b.navigating_node());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  for (size_t v = 0; v < a.NumPoints(); ++v) {
+    EXPECT_EQ(a.NeighborsOf(static_cast<int32_t>(v)),
+              b.NeighborsOf(static_cast<int32_t>(v)))
+        << "node " << v;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,6 +8,7 @@
 #include "ann/nndescent.h"
 #include "ann/pg_index.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "embed/vector_ops.h"
 
 namespace kpef {
@@ -19,7 +20,9 @@ Matrix RandomPoints(size_t n, size_t d, uint64_t seed,
   // data (embeddings are clustered by construction).
   Rng rng(seed);
   Matrix centers(num_clusters, d);
-  for (float& v : centers.data()) v = static_cast<float>(rng.Normal(0, 5));
+  for (size_t r = 0; r < centers.rows(); ++r) {
+    for (float& v : centers.Row(r)) v = static_cast<float>(rng.Normal(0, 5));
+  }
   Matrix points(n, d);
   for (size_t i = 0; i < n; ++i) {
     const size_t c = rng.Uniform(num_clusters);
@@ -199,6 +202,40 @@ TEST_F(PGIndexTest, ResultsSortedAndBounded) {
   }
 }
 
+TEST_F(PGIndexTest, SearchBatchMatchesSearch) {
+  Rng rng(23);
+  const size_t batch = 9;
+  Matrix queries(batch, points_.cols());
+  for (size_t q = 0; q < batch; ++q) {
+    const size_t anchor = rng.Uniform(points_.rows());
+    for (size_t k = 0; k < points_.cols(); ++k) {
+      queries.At(q, k) =
+          points_.At(anchor, k) + static_cast<float>(rng.Normal(0, 0.5));
+    }
+  }
+  ThreadPool pool(4);
+  std::vector<PGIndex::SearchStats> batch_stats;
+  const auto batched =
+      index_->SearchBatch(queries, 10, 40, &batch_stats, &pool);
+  ASSERT_EQ(batched.size(), batch);
+  ASSERT_EQ(batch_stats.size(), batch);
+  for (size_t q = 0; q < batch; ++q) {
+    PGIndex::SearchStats single_stats;
+    const auto single = index_->Search(queries.Row(q), 10, 40, &single_stats);
+    EXPECT_EQ(batched[q], single) << "query " << q;  // exact, incl. floats
+    EXPECT_EQ(batch_stats[q].distance_computations,
+              single_stats.distance_computations);
+    EXPECT_EQ(batch_stats[q].hops, single_stats.hops);
+  }
+}
+
+TEST_F(PGIndexTest, SearchBatchEmptyBatch) {
+  const Matrix no_queries(0, points_.cols());
+  std::vector<PGIndex::SearchStats> stats(3);
+  EXPECT_TRUE(index_->SearchBatch(no_queries, 10, 40, &stats).empty());
+  EXPECT_TRUE(stats.empty());
+}
+
 TEST_F(PGIndexTest, BuildStatsPopulated) {
   EXPECT_GT(stats_.build_seconds, 0.0);
   EXPECT_GT(stats_.distance_computations, 0u);
@@ -206,8 +243,7 @@ TEST_F(PGIndexTest, BuildStatsPopulated) {
   EXPECT_GE(stats_.edges_after_extension, stats_.edges_after_knn);
   EXPECT_LE(stats_.edges_final, stats_.edges_after_extension);
   EXPECT_EQ(stats_.edges_final, index_->NumEdges());
-  EXPECT_GT(index_->MemoryUsageBytes(),
-            points_.data().size() * sizeof(float));
+  EXPECT_GT(index_->MemoryUsageBytes(), points_.PaddedSize() * sizeof(float));
 }
 
 TEST(PGIndexRefinementTest, RedundantRemovalPrunesEdges) {

@@ -161,8 +161,11 @@ class EncoderTest : public ::testing::TestWithParam<Pooling> {
     Rng rng(3);
     encoder_->InitializeRandomTokens(rng, 0.5f);
     // Perturb the projection so it is not exactly identity.
-    for (float& v : encoder_->projection().data()) {
-      v += static_cast<float>(rng.Normal(0.0, 0.05));
+    Matrix& proj = encoder_->projection();
+    for (size_t r = 0; r < proj.rows(); ++r) {
+      for (float& v : proj.Row(r)) {
+        v += static_cast<float>(rng.Normal(0.0, 0.05));
+      }
     }
     for (float& v : encoder_->bias()) {
       v = static_cast<float>(rng.Normal(0.0, 0.05));
@@ -216,16 +219,18 @@ TEST_P(EncoderTest, BackwardMatchesFiniteDifferences) {
 
   const float eps = 1e-2f;
   // Projection gradient check (sample a few entries).
+  const size_t dim = encoder_->dim();
   for (size_t idx : {0u, 7u, 13u, 35u}) {
-    float& param = encoder_->projection().data()[idx];
+    const size_t r = idx / dim;
+    const size_t c = idx % dim;
+    float& param = encoder_->projection().At(r, c);
     const float saved = param;
     param = saved + eps;
     const float up = loss();
     param = saved - eps;
     const float down = loss();
     param = saved;
-    EXPECT_NEAR(grads.d_projection.data()[idx], (up - down) / (2 * eps),
-                2e-2f);
+    EXPECT_NEAR(grads.d_projection.At(r, c), (up - down) / (2 * eps), 2e-2f);
   }
   // Bias gradient (numeric: normalization makes it differ from w).
   for (size_t i = 0; i < encoder_->dim(); ++i) {
@@ -348,7 +353,7 @@ TEST(TrainerTest, EmptyTriplesIsNoOp) {
   TripletTrainer trainer(&encoder, &corpus);
   const TrainStats stats = trainer.Train({}, {});
   EXPECT_EQ(stats.num_triples, 0u);
-  EXPECT_EQ(encoder.token_embeddings().data(), before.data());
+  EXPECT_EQ(encoder.token_embeddings(), before);
 }
 
 TEST(KMeansTest, RecoversSeparatedClusters) {

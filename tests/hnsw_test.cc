@@ -14,7 +14,9 @@ Matrix ClusteredPoints(size_t n, size_t d, uint64_t seed,
                        size_t num_clusters = 8) {
   Rng rng(seed);
   Matrix centers(num_clusters, d);
-  for (float& v : centers.data()) v = static_cast<float>(rng.Normal(0, 5));
+  for (size_t r = 0; r < centers.rows(); ++r) {
+    for (float& v : centers.Row(r)) v = static_cast<float>(rng.Normal(0, 5));
+  }
   Matrix points(n, d);
   for (size_t i = 0; i < n; ++i) {
     const size_t c = rng.Uniform(num_clusters);
@@ -43,8 +45,7 @@ TEST_F(HnswTest, BuildStatsPopulated) {
   EXPECT_GT(stats_.distance_computations, 0u);
   EXPECT_GE(stats_.num_layers, 1u);
   EXPECT_EQ(stats_.edges_total, index_->NumEdges());
-  EXPECT_GT(index_->MemoryUsageBytes(),
-            points_.data().size() * sizeof(float));
+  EXPECT_GT(index_->MemoryUsageBytes(), points_.PaddedSize() * sizeof(float));
 }
 
 TEST_F(HnswTest, SearchRecallAboveNinety) {

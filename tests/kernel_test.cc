@@ -1,0 +1,209 @@
+// Property tests for the dispatched distance kernels (embed/vector_ops.h):
+// the scalar baseline and the AVX2 path must agree bit-for-bit on every
+// input (the accumulation contract), and both must track a double-precision
+// reference within the documented tolerance — on random and adversarial
+// lengths, including unpadded spans and misaligned (offset) pointers.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "embed/matrix.h"
+#include "embed/vector_ops.h"
+
+namespace kpef {
+namespace {
+
+// Lengths chosen to hit every dispatch shape: sub-width, exact multiples
+// of the 8-float kernel width, every tail residue, and large.
+const size_t kLengths[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  15,
+                           16, 17, 23, 24, 31, 32, 33, 63, 64, 100, 127,
+                           128, 255, 256, 1000, 1024, 4096};
+
+std::vector<float> RandomVec(Rng& rng, size_t n, double scale = 1.0) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, scale));
+  return v;
+}
+
+double ReferenceDot(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double ReferenceSquaredL2(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+TEST(KernelDispatchTest, ScalarKernelAlwaysPresent) {
+  const DistanceKernel& k = ScalarKernel();
+  EXPECT_STREQ(k.name, "scalar");
+  ASSERT_NE(k.dot, nullptr);
+  ASSERT_NE(k.squared_l2, nullptr);
+  ASSERT_NE(k.axpy, nullptr);
+  ASSERT_NE(k.scale, nullptr);
+}
+
+TEST(KernelDispatchTest, ActiveKernelIsScalarOrAvx2) {
+  const DistanceKernel& active = ActiveKernel();
+  const DistanceKernel* avx2 = Avx2KernelOrNull();
+  if (avx2 != nullptr) {
+    EXPECT_TRUE(&active == &ScalarKernel() || &active == avx2);
+  } else {
+    EXPECT_EQ(&active, &ScalarKernel());
+  }
+}
+
+// The core contract: runtime dispatch can never change a result, so the
+// AVX2 path must match the scalar baseline EXACTLY (no tolerance).
+TEST(KernelAgreementTest, Avx2MatchesScalarBitForBit) {
+  const DistanceKernel* avx2 = Avx2KernelOrNull();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable";
+  const DistanceKernel& scalar = ScalarKernel();
+  Rng rng(42);
+  for (size_t n : kLengths) {
+    for (int rep = 0; rep < 8; ++rep) {
+      // Mix magnitudes so lane sums are not trivially symmetric.
+      const std::vector<float> a = RandomVec(rng, n, rep % 2 ? 1.0 : 100.0);
+      const std::vector<float> b = RandomVec(rng, n, rep % 3 ? 1.0 : 0.01);
+      const float dot_s = scalar.dot(a.data(), b.data(), n);
+      const float dot_v = avx2->dot(a.data(), b.data(), n);
+      EXPECT_EQ(dot_s, dot_v) << "dot n=" << n << " rep=" << rep;
+      const float l2_s = scalar.squared_l2(a.data(), b.data(), n);
+      const float l2_v = avx2->squared_l2(a.data(), b.data(), n);
+      EXPECT_EQ(l2_s, l2_v) << "squared_l2 n=" << n << " rep=" << rep;
+
+      std::vector<float> ys = a, yv = a;
+      scalar.axpy(0.37f, b.data(), ys.data(), n);
+      avx2->axpy(0.37f, b.data(), yv.data(), n);
+      EXPECT_EQ(ys, yv) << "axpy n=" << n;
+      std::vector<float> xs = a, xv = a;
+      scalar.scale(-1.75f, xs.data(), n);
+      avx2->scale(-1.75f, xv.data(), n);
+      EXPECT_EQ(xs, xv) << "scale n=" << n;
+    }
+  }
+}
+
+// Unaligned/offset operands: kernels take raw pointers and must not
+// assume 32-byte alignment (only Matrix rows guarantee that).
+TEST(KernelAgreementTest, OffsetPointersAgree) {
+  const DistanceKernel* avx2 = Avx2KernelOrNull();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable";
+  const DistanceKernel& scalar = ScalarKernel();
+  Rng rng(7);
+  const std::vector<float> a = RandomVec(rng, 256 + 8);
+  const std::vector<float> b = RandomVec(rng, 256 + 8);
+  for (size_t offset = 0; offset < 8; ++offset) {
+    for (size_t n : {29u, 64u, 113u, 256u}) {
+      const float* pa = a.data() + offset;
+      const float* pb = b.data() + (7 - offset);
+      EXPECT_EQ(scalar.dot(pa, pb, n), avx2->dot(pa, pb, n))
+          << "offset=" << offset << " n=" << n;
+      EXPECT_EQ(scalar.squared_l2(pa, pb, n), avx2->squared_l2(pa, pb, n))
+          << "offset=" << offset << " n=" << n;
+    }
+  }
+}
+
+// Adversarial accumulation orders: values spanning many magnitudes, sign
+// cancellation, and constant vectors.
+TEST(KernelAgreementTest, AdversarialValuesAgree) {
+  const DistanceKernel* avx2 = Avx2KernelOrNull();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable";
+  const DistanceKernel& scalar = ScalarKernel();
+  for (size_t n : {17u, 40u, 129u}) {
+    std::vector<float> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Alternating huge/tiny with sign flips stresses the lane sums.
+      a[i] = (i % 2 ? 1.0f : -1.0f) * std::pow(10.0f, float(i % 9) - 4.0f);
+      b[i] = (i % 3 ? -1.0f : 1.0f) * std::pow(10.0f, 4.0f - float(i % 7));
+    }
+    EXPECT_EQ(scalar.dot(a.data(), b.data(), n), avx2->dot(a.data(), b.data(), n));
+    EXPECT_EQ(scalar.squared_l2(a.data(), b.data(), n),
+              avx2->squared_l2(a.data(), b.data(), n));
+  }
+}
+
+TEST(KernelAccuracyTest, TracksDoubleReference) {
+  Rng rng(99);
+  for (size_t n : kLengths) {
+    if (n == 0) continue;
+    const std::vector<float> a = RandomVec(rng, n);
+    const std::vector<float> b = RandomVec(rng, n);
+    const double ref_dot = ReferenceDot(a, b);
+    const double ref_l2 = ReferenceSquaredL2(a, b);
+    // Documented contract: <= 1e-4 relative error (plus a small absolute
+    // floor for near-cancelling dots).
+    const double dot_tol = 1e-4 * std::abs(ref_dot) + 1e-3;
+    const double l2_tol = 1e-4 * ref_l2 + 1e-5;
+    EXPECT_NEAR(Dot(a, b), ref_dot, dot_tol) << "n=" << n;
+    EXPECT_NEAR(SquaredL2Distance(a, b), ref_l2, l2_tol) << "n=" << n;
+  }
+}
+
+// Zero padding must be a no-op: a padded-span call returns exactly the
+// logical-width result (this is what lets Matrix rows skip the tail).
+TEST(KernelPaddingTest, PaddedCallMatchesLogicalCall) {
+  Rng rng(5);
+  for (size_t cols : {1u, 3u, 7u, 12u, 20u, 65u}) {
+    Matrix m(2, cols);
+    for (size_t r = 0; r < 2; ++r) {
+      for (float& v : m.Row(r)) v = static_cast<float>(rng.Normal());
+    }
+    EXPECT_EQ(SquaredL2Distance(m.Row(0), m.Row(1)),
+              SquaredL2Distance(m.PaddedRow(0), m.PaddedRow(1)))
+        << "cols=" << cols;
+    EXPECT_EQ(Dot(m.Row(0), m.Row(1)), Dot(m.PaddedRow(0), m.PaddedRow(1)))
+        << "cols=" << cols;
+    // And a free-standing query padded with PadToAligned agrees too.
+    const AlignedVector q = PadToAligned(m.Row(1));
+    EXPECT_EQ(SquaredL2Distance(m.Row(0), m.Row(1)),
+              SquaredL2Distance(m.PaddedRow(0),
+                                std::span<const float>(q.data(), q.size())))
+        << "cols=" << cols;
+  }
+}
+
+TEST(KernelPaddingTest, MatrixRowsAreAlignedAndZeroPadded) {
+  Matrix m(5, 13, 2.5f);
+  EXPECT_EQ(m.stride(), 16u);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const auto padded = m.PaddedRow(r);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(padded.data()) % kKernelAlignment,
+              0u)
+        << "row " << r;
+    for (size_t c = m.cols(); c < m.stride(); ++c) {
+      EXPECT_EQ(padded[c], 0.0f) << "row " << r << " pad col " << c;
+    }
+  }
+}
+
+TEST(VectorOpsTest, FreeFunctionsRouteThroughActiveKernel) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b), 12.0f);
+  EXPECT_FLOAT_EQ(SquaredL2Distance(a, b), 9.0f + 49.0f + 9.0f);
+  EXPECT_FLOAT_EQ(L2Distance(a, b), std::sqrt(67.0f));
+  EXPECT_FLOAT_EQ(L2Norm(a), std::sqrt(14.0f));
+  std::vector<float> y = {1.0f, 1.0f, 1.0f};
+  Axpy(2.0f, a, y);
+  EXPECT_EQ(y, (std::vector<float>{3.0f, 5.0f, 7.0f}));
+  Scale(0.5f, y);
+  EXPECT_EQ(y, (std::vector<float>{1.5f, 2.5f, 3.5f}));
+}
+
+}  // namespace
+}  // namespace kpef

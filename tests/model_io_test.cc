@@ -14,7 +14,9 @@ namespace {
 Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
   Rng rng(seed);
   Matrix m(rows, cols);
-  for (float& v : m.data()) v = static_cast<float>(rng.Normal());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (float& v : m.Row(r)) v = static_cast<float>(rng.Normal());
+  }
   return m;
 }
 
@@ -26,7 +28,7 @@ TEST(MatrixIoTest, RoundTrips) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->rows(), 17u);
   EXPECT_EQ(loaded->cols(), 9u);
-  EXPECT_EQ(loaded->data(), original.data());
+  EXPECT_EQ(*loaded, original);
 }
 
 TEST(MatrixIoTest, RoundTripsEmpty) {
@@ -74,8 +76,11 @@ class EncoderIoTest : public ::testing::Test {
     std::vector<float> weights(corpus_.vocabulary().size(), 1.0f);
     weights[0] = 0.25f;
     encoder_->SetTokenWeights(weights);
-    for (float& v : encoder_->projection().data()) {
-      v += static_cast<float>(rng.Normal(0, 0.1));
+    Matrix& proj = encoder_->projection();
+    for (size_t r = 0; r < proj.rows(); ++r) {
+      for (float& v : proj.Row(r)) {
+        v += static_cast<float>(rng.Normal(0, 0.1));
+      }
     }
   }
 
