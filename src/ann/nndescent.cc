@@ -117,6 +117,10 @@ KnnGraph BuildKnnGraph(const Matrix& points, const NNDescentConfig& config) {
   if (n == 0) return result;
   const size_t k = std::min(config.k, n - 1);
   if (k == 0) return result;
+  // The pool may be shared with concurrent callers (e.g. serving
+  // traffic): every ParallelFor below joins its own TaskGroup, so this
+  // build neither waits on foreign tasks nor blocks them, and it is
+  // safe even when invoked from inside another pool task.
   ThreadPool& pool = config.pool != nullptr ? *config.pool
                                             : ThreadPool::Default();
 

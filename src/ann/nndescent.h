@@ -32,7 +32,8 @@ struct NNDescentConfig {
   size_t max_candidates = 50;
   uint64_t seed = 17;
   /// Pool the build fans out over; nullptr = ThreadPool::Default().
-  /// The output does not depend on the pool's size.
+  /// The output does not depend on the pool's size, and the pool may be
+  /// shared with concurrent work (each loop joins its own TaskGroup).
   ThreadPool* pool = nullptr;
 };
 

@@ -278,9 +278,11 @@ std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
   const AlignedVector padded = PadToAligned(query);
   SearchStats local_stats;
   size_t pool_occupancy = 0;
+  Timer search_timer;
   std::vector<Neighbor> result =
       SearchImpl({padded.data(), padded.size()}, m, ef, local_stats,
                  pool_occupancy);
+  local_stats.search_ms = search_timer.ElapsedMillis();
   // The greedy loop above accumulated into stack-local stats only;
   // concurrent searches over a shared (const) index merge here, once.
   KPEF_COUNTER_ADD(obs::kPgindexSearchesTotal, 1);
@@ -294,7 +296,8 @@ std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
 
 std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
     const Matrix& queries, size_t m, size_t ef,
-    std::vector<SearchStats>* stats, ThreadPool* pool) const {
+    std::vector<SearchStats>* stats, ThreadPool* pool,
+    const CancelToken& cancel) const {
   KPEF_TRACE_SPAN("pgindex.search_batch");
   const size_t batch = queries.rows();
   std::vector<std::vector<Neighbor>> results(batch);
@@ -307,12 +310,20 @@ std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
       << "query dimensionality does not match the index";
   std::vector<size_t> occupancy(batch, 0);
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Default();
+  const bool cancellable = cancel.CanBeCancelled();
   // Query rows are already padded/aligned by Matrix, so each task reads
   // its row in place; every output slot is per-query, so the batch is
-  // trivially deterministic.
+  // trivially deterministic. Cancellation is checked once per query:
+  // a query either runs to completion or is skipped whole.
   ParallelFor(p, batch, [&](size_t q) {
+    if (cancellable && cancel.IsCancelled()) {
+      local_stats[q].cancelled = true;
+      return;
+    }
+    Timer search_timer;
     results[q] = SearchImpl(queries.PaddedRow(q), m, ef, local_stats[q],
                             occupancy[q]);
+    local_stats[q].search_ms = search_timer.ElapsedMillis();
   });
   // Merge per-query stats through the registry once for the whole batch.
   uint64_t total_distances = 0;

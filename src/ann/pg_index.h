@@ -12,6 +12,7 @@
 
 #include "ann/neighbor.h"
 #include "ann/nndescent.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "embed/matrix.h"
 
@@ -56,6 +57,12 @@ class PGIndex {
     uint64_t distance_computations = 0;
     /// Nodes whose adjacency lists were expanded.
     uint64_t hops = 0;
+    /// Wall-clock time of this query's own greedy search (batch queries
+    /// overlap in time, so this is the honest per-query retrieval cost).
+    double search_ms = 0.0;
+    /// True when SearchBatch skipped this query because the cancel token
+    /// had fired; its result list is empty.
+    bool cancelled = false;
   };
 
   /// Returns the approximate `m` nearest points to `query`, ascending by
@@ -67,11 +74,15 @@ class PGIndex {
   /// dimensionality as the indexed points), fanning the batch across
   /// `pool` (nullptr = ThreadPool::Default()). Results are identical to
   /// calling Search per row; per-query stats land in `*stats` (resized to
-  /// the batch) and the metrics registry is updated once per batch.
+  /// the batch) and the metrics registry is updated once per batch. A
+  /// non-null `cancel` token is checked at per-query boundaries: queries
+  /// whose task starts after the token fired are skipped (empty result,
+  /// SearchStats::cancelled set), so an expired deadline yields partial
+  /// batch results instead of a wedged call.
   std::vector<std::vector<Neighbor>> SearchBatch(
       const Matrix& queries, size_t m, size_t ef = 0,
-      std::vector<SearchStats>* stats = nullptr,
-      ThreadPool* pool = nullptr) const;
+      std::vector<SearchStats>* stats = nullptr, ThreadPool* pool = nullptr,
+      const CancelToken& cancel = CancelToken()) const;
 
   int32_t navigating_node() const { return navigating_node_; }
   size_t NumPoints() const { return points_.rows(); }

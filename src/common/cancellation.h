@@ -1,0 +1,96 @@
+// Cooperative cancellation for parallel work: a copyable token backed by
+// shared state that flips exactly once, optionally driven by a
+// steady-clock deadline. Tokens are checked at chunk boundaries by
+// ParallelFor and at per-query boundaries by the batch search/query
+// paths, so cancellation yields *partial* results rather than aborts.
+
+#ifndef KPEF_COMMON_CANCELLATION_H_
+#define KPEF_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace kpef {
+
+/// Copyable cancellation handle. A default-constructed token is "null":
+/// it can never fire and IsCancelled() costs one pointer test. Tokens
+/// with state share it across copies; RequestCancel() on any copy is
+/// observed by all. A deadline token additionally fires once
+/// steady_clock passes the deadline (the flag latches, so later checks
+/// are a single relaxed load even after the clock read).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// A token that only fires via RequestCancel().
+  static CancelToken Cancellable() {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  /// A token that fires at `deadline` (or earlier via RequestCancel()).
+  /// When `parent` is non-null, the token also fires whenever the parent
+  /// does — used to combine a caller-supplied token with a per-call
+  /// deadline.
+  static CancelToken WithDeadline(Clock::time_point deadline,
+                                  CancelToken parent = CancelToken()) {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    token.state_->has_deadline = true;
+    token.state_->deadline = deadline;
+    token.state_->parent = std::move(parent.state_);
+    return token;
+  }
+
+  /// A token that fires `ms` milliseconds from now.
+  static CancelToken AfterMillis(double ms,
+                                 CancelToken parent = CancelToken()) {
+    return WithDeadline(
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(ms)),
+        std::move(parent));
+  }
+
+  /// True when this token can ever fire (i.e. it is not the null token).
+  bool CanBeCancelled() const { return state_ != nullptr; }
+
+  /// Requests cancellation; idempotent, safe from any thread. No-op on a
+  /// null token.
+  void RequestCancel() const {
+    if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once cancellation was requested or the deadline passed (on
+  /// this token or any ancestor).
+  bool IsCancelled() const {
+    return state_ != nullptr && state_->Fired();
+  }
+
+ private:
+  struct State {
+    bool Fired() const {
+      if (cancelled.load(std::memory_order_relaxed)) return true;
+      if ((parent && parent->Fired()) ||
+          (has_deadline && Clock::now() >= deadline)) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
+
+    mutable std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    std::shared_ptr<State> parent;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_COMMON_CANCELLATION_H_

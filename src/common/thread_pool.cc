@@ -1,8 +1,49 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 namespace kpef {
+
+namespace {
+
+std::atomic<ThreadPool::MetricsHook> g_metrics_hook{nullptr};
+
+}  // namespace
+
+void ThreadPool::SetMetricsHook(MetricsHook hook) {
+  g_metrics_hook.store(hook, std::memory_order_release);
+}
+
+void ThreadPool::EmitMetric(const char* counter, uint64_t delta) {
+  if (MetricsHook hook = g_metrics_hook.load(std::memory_order_acquire)) {
+    hook(counter, delta);
+  }
+}
+
+// --- TaskGroup.
+
+TaskGroup::~TaskGroup() { pool_.WaitForGroup(*this); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  pool_.SubmitToGroup(*this, std::move(task));
+}
+
+void TaskGroup::Wait() {
+  pool_.WaitForGroup(*this);
+  std::exception_ptr first;
+  {
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    first = std::exchange(first_exception_, nullptr);
+  }
+  // Every task has settled, so the group can be re-armed for reuse
+  // whether the join is clean or exceptional.
+  cancelled_.store(false, std::memory_order_relaxed);
+  if (first) std::rethrow_exception(first);
+}
+
+// --- ThreadPool.
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -24,39 +65,93 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  default_group_.Submit(std::move(task));
+}
+
+void ThreadPool::Wait() { default_group_.Wait(); }
+
+void ThreadPool::SubmitToGroup(TaskGroup& group, std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    ++group.pending_;
+    tasks_.push_back({&group, std::move(task)});
   }
   task_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+void ThreadPool::RunTask(QueuedTask task) {
+  TaskGroup* group = task.group;
+  if (group->cancelled()) {
+    // Skip the body but still settle the latch below, so joiners see the
+    // task accounted for.
+    EmitMetric("pool.tasks_cancelled", 1);
+  } else {
+    try {
+      task.fn();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(group->exception_mutex_);
+        if (!group->first_exception_) {
+          group->first_exception_ = std::current_exception();
+        }
+      }
+      // First failure cancels the rest of the group; the exception
+      // surfaces at the join point instead of escaping the worker.
+      group->Cancel();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (--group->pending_ == 0) group_settled_.notify_all();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(
           lock, [this] { return shutting_down_ || !tasks_.empty(); });
       if (tasks_.empty()) {
         if (shutting_down_) return;
-        continue;
+        continue;  // Woken but a helping waiter claimed the task.
       }
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+    RunTask(std::move(task));
+  }
+}
+
+void ThreadPool::WaitForGroup(TaskGroup& group) {
+  uint64_t help_runs = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (group.pending_ == 0) break;
+      // Help: claim a queued task of *this* group and run it here. This
+      // is what makes nested ParallelFor deadlock-free — a worker
+      // waiting on its sub-group drains that sub-group itself instead of
+      // parking while the sub-group's tasks sit behind it in the queue.
+      auto it = std::find_if(
+          tasks_.begin(), tasks_.end(),
+          [&group](const QueuedTask& t) { return t.group == &group; });
+      if (it != tasks_.end()) {
+        QueuedTask task = std::move(*it);
+        tasks_.erase(it);
+        lock.unlock();
+        RunTask(std::move(task));
+        ++help_runs;
+        lock.lock();
+        continue;
+      }
+      // Nothing left to help with: every remaining task of the group is
+      // running on some other thread, which will settle the latch.
+      group_settled_.wait(lock);
     }
   }
+  if (help_runs > 0) EmitMetric("pool.wait_help_runs", help_runs);
 }
 
 ThreadPool& ThreadPool::Default() {
@@ -65,26 +160,36 @@ ThreadPool& ThreadPool::Default() {
 }
 
 void ParallelFor(ThreadPool& pool, size_t count,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn,
+                 const CancelToken& cancel) {
   if (count == 0) return;
+  const bool cancellable = cancel.CanBeCancelled();
   const size_t workers = pool.num_threads();
   if (workers <= 1 || count == 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) {
+      // Poll every 64 iterations: deadline tokens read the clock on
+      // each check, which would dominate cheap loop bodies.
+      if (cancellable && (i & 63) == 0 && cancel.IsCancelled()) return;
+      fn(i);
+    }
     return;
   }
   const size_t num_chunks = std::min(count, workers * 4);
   const size_t chunk = (count + num_chunks - 1) / num_chunks;
+  TaskGroup group(pool);
   for (size_t start = 0; start < count; start += chunk) {
     const size_t end = std::min(count, start + chunk);
-    pool.Submit([&fn, start, end] {
+    group.Submit([&fn, &cancel, cancellable, start, end] {
+      if (cancellable && cancel.IsCancelled()) return;
       for (size_t i = start; i < end; ++i) fn(i);
     });
   }
-  pool.Wait();
+  group.Wait();
 }
 
-void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
-  ParallelFor(ThreadPool::Default(), count, fn);
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 const CancelToken& cancel) {
+  ParallelFor(ThreadPool::Default(), count, fn, cancel);
 }
 
 }  // namespace kpef

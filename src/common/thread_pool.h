@@ -1,22 +1,83 @@
-// Fixed-size thread pool with a ParallelFor helper.
+// Fixed-size thread pool with TaskGroup-scoped joining and a ParallelFor
+// helper.
 //
 // The paper's experiments ran on a 24-core server; the library's offline
 // phases (homogeneous projection, corpus encoding, PG-Index refinement)
 // are embarrassingly parallel and use ParallelFor. Every parallel loop is
 // deterministic: work is partitioned into contiguous chunks, not stolen.
+//
+// Execution model (DESIGN.md §9): each Submit/ParallelFor batch joins a
+// TaskGroup with its own completion latch, so concurrent callers sharing
+// one pool wait only for their own work. TaskGroup::Wait() *helps* — it
+// pops and runs this group's queued tasks on the waiting thread instead
+// of blocking — which makes ParallelFor nested inside a pool task
+// deadlock-free (the worker drains its own sub-group). The first
+// exception thrown by a group task is captured, the group's remaining
+// queued tasks are cancelled (skipped, not run), and the exception is
+// rethrown from Wait(); the pool itself survives and stays reusable.
 
 #ifndef KPEF_COMMON_THREAD_POOL_H_
 #define KPEF_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace kpef {
+
+class ThreadPool;
+
+/// One joinable batch of tasks on a ThreadPool. Submit from any thread;
+/// Wait() from any thread (including a pool worker running a task of an
+/// *enclosing* group). A group is reusable after Wait() returns or
+/// throws. Groups must not outlive their pool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// Blocks destruction until every submitted task finished (exceptions,
+  /// if any, are swallowed here — join explicitly to observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues a task on the pool under this group; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Joins the group: helps run this group's queued tasks on the calling
+  /// thread, then blocks until stragglers running elsewhere finish. If
+  /// any task threw, rethrows the first captured exception (after every
+  /// task finished or was cancelled) and resets the group for reuse.
+  void Wait();
+
+  /// Marks the group cancelled: queued-but-unstarted tasks are skipped
+  /// (already-running tasks complete). Wait() still joins normally.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ThreadPool;
+
+  ThreadPool& pool_;
+  /// Tasks submitted but not yet finished/skipped; guarded by the pool
+  /// mutex (the completion latch).
+  size_t pending_ = 0;
+  std::atomic<bool> cancelled_{false};
+  std::mutex exception_mutex_;
+  std::exception_ptr first_exception_;
+};
 
 /// A fixed pool of worker threads executing submitted tasks FIFO.
 class ThreadPool {
@@ -28,10 +89,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns immediately.
+  /// Enqueues a task under the pool's shared default group; returns
+  /// immediately. Prefer a dedicated TaskGroup when the caller needs an
+  /// isolated join (concurrent callers of this legacy API share one
+  /// latch, as before).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Joins the default group (all tasks submitted via Submit above);
+  /// helps while waiting and rethrows the first task exception.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -40,29 +105,61 @@ class ThreadPool {
   /// use and intentionally leaked (threads run for the process lifetime).
   static ThreadPool& Default();
 
+  /// Optional process-wide bridge into the metrics registry: called as
+  /// hook(counter_name, delta) for "pool.tasks_cancelled" and
+  /// "pool.wait_help_runs". Installed by kpef_obs (pipeline_metrics.cc);
+  /// the pool itself stays free of the obs dependency. Must be
+  /// data-race-free; installed once at startup.
+  using MetricsHook = void (*)(const char* counter, uint64_t delta);
+  static void SetMetricsHook(MetricsHook hook);
+
  private:
+  friend class TaskGroup;
+
+  struct QueuedTask {
+    TaskGroup* group;
+    std::function<void()> fn;
+  };
+
   void WorkerLoop();
+  /// Runs (or, for a cancelled group, skips) one dequeued task, captures
+  /// exceptions into the group, and settles the group's latch.
+  void RunTask(QueuedTask task);
+  void SubmitToGroup(TaskGroup& group, std::function<void()> task);
+  /// The helping join: runs queued tasks of `group` on this thread until
+  /// none remain, then blocks for tasks running on other threads.
+  void WaitForGroup(TaskGroup& group);
+
+  static void EmitMetric(const char* counter, uint64_t delta);
 
   std::mutex mutex_;
   std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;
+  std::condition_variable group_settled_;
+  std::deque<QueuedTask> tasks_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+  /// Latch for the legacy Submit()/Wait() API.
+  TaskGroup default_group_{*this};
 };
 
 /// Runs fn(i) for every i in [0, count), split into contiguous chunks
-/// across the pool. Blocks until complete. With a single-threaded pool
+/// across the pool; blocks until complete. With a single-threaded pool
 /// (or count small) it degenerates to a plain loop. `fn` must be safe to
-/// call concurrently for distinct i. Not reentrant on a shared pool: one
-/// ParallelFor at a time per pool (nested calls would deadlock-wait on
-/// each other's tasks).
+/// call concurrently for distinct i. Safe to nest: a ParallelFor issued
+/// from inside a pool task joins its own TaskGroup and helps instead of
+/// blocking a worker. If fn throws, the first exception is rethrown here
+/// after the loop's remaining chunks are cancelled; which indices ran is
+/// then unspecified. A non-null `cancel` token is checked at chunk
+/// boundaries: once it fires, remaining chunks are skipped and
+/// ParallelFor returns normally — the caller decides how to surface the
+/// partial coverage.
 void ParallelFor(ThreadPool& pool, size_t count,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn,
+                 const CancelToken& cancel = CancelToken());
 
 /// ParallelFor over the default pool.
-void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 const CancelToken& cancel = CancelToken());
 
 }  // namespace kpef
 

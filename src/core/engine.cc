@@ -147,11 +147,22 @@ ExpertFindingEngine::LoadFromArtifacts(const Dataset* dataset,
     return Status::FailedPrecondition(
         "embedding count does not match the corpus");
   }
+  // Cross-check every artifact's dimensionality: a mismatched set (e.g.
+  // an encoder.bin from a different build next to stale embeddings)
+  // would otherwise load fine and serve garbage distances.
+  if (engine->encoder_->dim() != engine->embeddings_.cols()) {
+    return Status::FailedPrecondition(
+        "encoder dimension does not match the embeddings");
+  }
   if (config.use_pg_index) {
     KPEF_ASSIGN_OR_RETURN(PGIndex index, PGIndex::Load(dir + "/pgindex.bin"));
     if (index.NumPoints() != engine->embeddings_.rows()) {
       return Status::FailedPrecondition(
           "index size does not match the embeddings");
+    }
+    if (index.points().cols() != engine->embeddings_.cols()) {
+      return Status::FailedPrecondition(
+          "index dimension does not match the embeddings");
     }
     engine->index_ = std::make_unique<PGIndex>(std::move(index));
   }
@@ -222,6 +233,14 @@ std::vector<ExpertScore> ExpertFindingEngine::FindExperts(
 std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
     const std::vector<std::string>& query_texts, size_t n,
     std::vector<QueryStats>* stats, ThreadPool* pool) {
+  BatchQueryOptions options;
+  options.pool = pool;
+  return FindExpertsBatch(query_texts, n, options, stats);
+}
+
+std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
+    const std::vector<std::string>& query_texts, size_t n,
+    const BatchQueryOptions& options, std::vector<QueryStats>* stats) {
   KPEF_TRACE_SPAN("engine.find_experts_batch");
   Timer batch_timer;
   const size_t batch = query_texts.size();
@@ -231,56 +250,101 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
     if (stats) stats->clear();
     return results;
   }
-  ThreadPool& workers = pool != nullptr ? *pool : ThreadPool::Default();
+  ThreadPool& workers =
+      options.pool != nullptr ? *options.pool : ThreadPool::Default();
+  CancelToken cancel = options.cancel;
+  if (options.deadline_ms > 0.0) {
+    cancel = CancelToken::AfterMillis(options.deadline_ms, options.cancel);
+  }
+  const bool cancellable = cancel.CanBeCancelled();
 
   // Encode all queries into one padded matrix (PG-Index consumes the
-  // rows in place, no per-query copies).
+  // rows in place, no per-query copies). Each phase below records which
+  // queries it completed; the cancel token latches, so a query whose
+  // phase ran is known to have run on real inputs.
   Matrix queries(batch, encoder_->dim());
-  ParallelFor(workers, batch, [&](size_t q) {
-    const std::vector<float> v =
-        encoder_->Encode(corpus_->EncodeQuery(query_texts[q]));
-    std::copy(v.begin(), v.end(), queries.Row(q).begin());
-  });
+  std::vector<char> encoded(batch, 0);
+  ParallelFor(
+      workers, batch,
+      [&](size_t q) {
+        Timer encode_timer;
+        const std::vector<float> v =
+            encoder_->Encode(corpus_->EncodeQuery(query_texts[q]));
+        std::copy(v.begin(), v.end(), queries.Row(q).begin());
+        // Encoding counts toward retrieval time, matching the serial
+        // path where RetrievePapers times encode + search together.
+        local[q].retrieval_ms = encode_timer.ElapsedMillis();
+        encoded[q] = 1;
+      },
+      cancel);
 
   // Retrieval: one batched index search (or a brute-force fan-out).
+  // Per-query retrieval time comes from the per-query SearchStats, so
+  // it is a real wall-clock figure comparable to ranking_ms (the batch
+  // searches overlap, so a batch-average would smear them).
   const size_t m = config_.top_m;
-  Timer retrieval_timer;
   std::vector<std::vector<Neighbor>> neighbors(batch);
+  std::vector<char> retrieved(batch, 0);
   if (index_) {
     const size_t ef = config_.search_ef == 0 ? m : config_.search_ef;
     std::vector<PGIndex::SearchStats> search_stats;
-    neighbors = index_->SearchBatch(queries, m, ef, &search_stats, &workers);
+    neighbors =
+        index_->SearchBatch(queries, m, ef, &search_stats, &workers, cancel);
     for (size_t q = 0; q < batch; ++q) {
       local[q].distance_computations = search_stats[q].distance_computations;
+      local[q].retrieval_ms += search_stats[q].search_ms;
+      retrieved[q] = encoded[q] && !search_stats[q].cancelled;
     }
   } else {
-    ParallelFor(workers, batch, [&](size_t q) {
-      neighbors[q] = BruteForceSearch(embeddings_, queries.Row(q), m);
-      local[q].distance_computations = embeddings_.rows();
-    });
+    ParallelFor(
+        workers, batch,
+        [&](size_t q) {
+          if (!encoded[q] || (cancellable && cancel.IsCancelled())) return;
+          Timer search_timer;
+          neighbors[q] = BruteForceSearch(embeddings_, queries.Row(q), m);
+          local[q].distance_computations = embeddings_.rows();
+          local[q].retrieval_ms += search_timer.ElapsedMillis();
+          retrieved[q] = 1;
+        },
+        cancel);
   }
-  const double retrieval_ms_per_query =
-      retrieval_timer.ElapsedMillis() / static_cast<double>(batch);
 
   // Ranking: independent per query over the shared (read-only) graph.
   const std::vector<NodeId>& papers = dataset_->Papers();
-  ParallelFor(workers, batch, [&](size_t q) {
-    Timer ranking_timer;
-    std::vector<NodeId> top_papers;
-    top_papers.reserve(neighbors[q].size());
-    for (const Neighbor& nb : neighbors[q]) top_papers.push_back(papers[nb.id]);
-    const RankedLists lists =
-        BuildRankedLists(dataset_->graph, dataset_->ids.write, top_papers,
-                         config_.contribution_weighting);
-    TopNStats top_stats;
-    results[q] = config_.use_ta ? ThresholdTopN(lists, n, &top_stats)
-                                : FullScanTopN(lists, n, &top_stats);
-    local[q].retrieval_ms = retrieval_ms_per_query;
-    local[q].ranking_ms = ranking_timer.ElapsedMillis();
-    local[q].ranking_entries_accessed = top_stats.entries_accessed;
-    local[q].ta_early_terminated = top_stats.early_terminated;
-  });
+  std::vector<char> ranked(batch, 0);
+  ParallelFor(
+      workers, batch,
+      [&](size_t q) {
+        if (!retrieved[q] || (cancellable && cancel.IsCancelled())) return;
+        Timer ranking_timer;
+        std::vector<NodeId> top_papers;
+        top_papers.reserve(neighbors[q].size());
+        for (const Neighbor& nb : neighbors[q]) {
+          top_papers.push_back(papers[nb.id]);
+        }
+        const RankedLists lists =
+            BuildRankedLists(dataset_->graph, dataset_->ids.write, top_papers,
+                             config_.contribution_weighting);
+        TopNStats top_stats;
+        results[q] = config_.use_ta ? ThresholdTopN(lists, n, &top_stats)
+                                    : FullScanTopN(lists, n, &top_stats);
+        local[q].ranking_ms = ranking_timer.ElapsedMillis();
+        local[q].ranking_entries_accessed = top_stats.entries_accessed;
+        local[q].ta_early_terminated = top_stats.early_terminated;
+        ranked[q] = 1;
+      },
+      cancel);
 
+  uint64_t exceeded = 0;
+  for (size_t q = 0; q < batch; ++q) {
+    if (!ranked[q]) {
+      local[q].deadline_exceeded = true;
+      ++exceeded;
+    }
+  }
+  if (exceeded > 0) {
+    KPEF_COUNTER_ADD(obs::kEngineQueriesDeadlineExceeded, exceeded);
+  }
   KPEF_COUNTER_ADD(obs::kEngineQueriesTotal, batch);
   KPEF_COUNTER_ADD(obs::kEngineBatchQueriesTotal, 1);
   KPEF_HISTOGRAM_OBSERVE(obs::kEngineBatchSize, batch);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ann/pg_index.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "embed/document_encoder.h"
@@ -86,13 +87,33 @@ struct EngineBuildReport {
   double total_seconds = 0.0;
 };
 
-/// Per-query online statistics.
+/// Per-query online statistics. In the batch path both timing fields are
+/// real per-query wall-clock times (the retrieval time comes from the
+/// per-query SearchStats inside SearchBatch), so they are comparable.
 struct QueryStats {
   double retrieval_ms = 0.0;
   double ranking_ms = 0.0;
   uint64_t distance_computations = 0;
   size_t ranking_entries_accessed = 0;
   bool ta_early_terminated = false;
+  /// True when the batch deadline (or external cancel token) fired
+  /// before this query completed; its result list is empty and the
+  /// timing fields cover only the phases that ran.
+  bool deadline_exceeded = false;
+};
+
+/// Per-call knobs for FindExpertsBatch beyond the query list itself.
+struct BatchQueryOptions {
+  /// Pool the batch fans out over (nullptr = ThreadPool::Default()).
+  ThreadPool* pool = nullptr;
+  /// Soft wall-clock budget for the whole call, in milliseconds
+  /// (<= 0 = none). Checked at per-query phase boundaries: queries
+  /// finished before expiry return normally, the rest come back empty
+  /// with QueryStats::deadline_exceeded set. The call never wedges.
+  double deadline_ms = 0.0;
+  /// External cancellation, combined with the deadline (whichever fires
+  /// first wins). A null token never fires.
+  CancelToken cancel;
 };
 
 class ExpertFindingEngine : public RetrievalModel {
@@ -128,12 +149,19 @@ class ExpertFindingEngine : public RetrievalModel {
   /// Answers every query in one call, fanning encoding, retrieval, and
   /// ranking across the thread pool (nullptr = ThreadPool::Default()).
   /// result[q] matches FindExperts(query_texts[q], n); per-query stats
-  /// land in `*stats` (resized to the batch). For the batch path,
-  /// QueryStats::retrieval_ms reports the batch retrieval phase averaged
-  /// over the queries (the per-query searches overlap in time).
+  /// land in `*stats` (resized to the batch).
   std::vector<std::vector<ExpertScore>> FindExpertsBatch(
       const std::vector<std::string>& query_texts, size_t n,
       std::vector<QueryStats>* stats = nullptr, ThreadPool* pool = nullptr);
+
+  /// FindExpertsBatch with a per-call deadline and/or cancellation (see
+  /// BatchQueryOptions). Queries the deadline overtakes return empty
+  /// with QueryStats::deadline_exceeded set; the rest are identical to
+  /// the serial path.
+  std::vector<std::vector<ExpertScore>> FindExpertsBatch(
+      const std::vector<std::string>& query_texts, size_t n,
+      const BatchQueryOptions& options,
+      std::vector<QueryStats>* stats = nullptr);
 
   /// Top-m semantically similar papers for a query (§IV-B), best first.
   std::vector<NodeId> RetrievePapers(const std::string& query_text, size_t m,

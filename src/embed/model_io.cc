@@ -21,6 +21,19 @@ bool ReadPod(std::istream& in, T& value) {
   return static_cast<bool>(in);
 }
 
+// Overflow-safe plausibility check for serialized matrix dimensions.
+// Bounds rows and cols individually *before* touching the product: a
+// hostile header like rows = 2^33, cols = 2^31 wraps rows * cols to a
+// small uint64_t, so a product-only check would pass and the subsequent
+// Matrix(rows, cols) would attempt an enormous allocation.
+bool PlausibleMatrixDims(uint64_t rows, uint64_t cols) {
+  constexpr uint64_t kMaxRows = 1ull << 32;
+  constexpr uint64_t kMaxCols = 1ull << 20;
+  constexpr uint64_t kMaxElements = 1ull << 31;
+  if (rows > kMaxRows || cols > kMaxCols) return false;
+  return cols == 0 || rows <= kMaxElements / cols;
+}
+
 Status WriteFloats(std::ostream& out, const std::vector<float>& data) {
   const uint64_t count = data.size();
   WritePod(out, count);
@@ -105,7 +118,7 @@ StatusOr<Matrix> LoadMatrix(std::istream& in) {
     return Status::InvalidArgument("unsupported matrix version");
   }
   if (!ReadPod(in, rows) || !ReadPod(in, cols) ||
-      rows * cols > (1ull << 31)) {
+      !PlausibleMatrixDims(rows, cols)) {
     return Status::InvalidArgument("corrupt matrix header");
   }
   Matrix matrix(rows, cols);
@@ -159,7 +172,7 @@ StatusOr<DocumentEncoder> LoadEncoder(std::istream& in) {
   if (pooling < 0 || pooling > static_cast<int32_t>(Pooling::kWeightedMean)) {
     return Status::InvalidArgument("unknown pooling mode");
   }
-  if (vocab * dim > (1ull << 31) || dim > (1ull << 20)) {
+  if (!PlausibleMatrixDims(vocab, dim)) {
     return Status::InvalidArgument("implausible encoder dimensions");
   }
   EncoderConfig config;
@@ -170,12 +183,14 @@ StatusOr<DocumentEncoder> LoadEncoder(std::istream& in) {
 
   KPEF_RETURN_IF_ERROR(ReadMatrixValues(in, encoder.token_embeddings()));
   KPEF_RETURN_IF_ERROR(ReadMatrixValues(in, encoder.projection()));
-  KPEF_ASSIGN_OR_RETURN(std::vector<float> bias, ReadFloats(in));
+  // Cap the declared array sizes by what the header implies, so a
+  // corrupt count is rejected before the vector allocation, not after.
+  KPEF_ASSIGN_OR_RETURN(std::vector<float> bias, ReadFloats(in, dim));
   if (bias.size() != dim) {
     return Status::InvalidArgument("bias size mismatch");
   }
   encoder.bias() = std::move(bias);
-  KPEF_ASSIGN_OR_RETURN(std::vector<float> weights, ReadFloats(in));
+  KPEF_ASSIGN_OR_RETURN(std::vector<float> weights, ReadFloats(in, vocab));
   if (!weights.empty()) {
     if (weights.size() != vocab) {
       return Status::InvalidArgument("token weight size mismatch");

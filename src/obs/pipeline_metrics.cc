@@ -1,8 +1,26 @@
 #include "obs/pipeline_metrics.h"
 
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace kpef::obs {
+
+namespace {
+
+// Bridges ThreadPool's layering-free metric callouts into the registry.
+// common/ cannot depend on obs/, so the pool exposes a hook and any
+// binary that links kpef_obs gets the counters wired at static-init
+// time (hook invocations only happen at runtime, after init completes).
+void PoolMetricsHook(const char* counter, uint64_t delta) {
+  MetricsRegistry::Global().GetCounter(counter).Add(delta);
+}
+
+const bool g_pool_hook_installed = [] {
+  ThreadPool::SetMetricsHook(&PoolMetricsHook);
+  return true;
+}();
+
+}  // namespace
 
 void WarmPipelineMetrics() {
   MetricsRegistry& registry = MetricsRegistry::Global();
@@ -15,7 +33,9 @@ void WarmPipelineMetrics() {
         kPgindexBatchSearchesTotal, kPgindexDistanceComputations,
         kTaQueriesTotal, kTaEntriesAccessed, kTaEarlyTerminationTotal,
         kRankingFullScansTotal, kRankingFullScanEntriesAccessed,
-        kEngineBuildsTotal, kEngineQueriesTotal, kEngineBatchQueriesTotal}) {
+        kPoolTasksCancelled, kPoolWaitHelpRuns, kEngineBuildsTotal,
+        kEngineQueriesTotal, kEngineBatchQueriesTotal,
+        kEngineQueriesDeadlineExceeded}) {
     registry.GetCounter(name);
   }
   for (const char* name : {kTrainerLastEpochLoss, kTrainerTriplesPerSec}) {

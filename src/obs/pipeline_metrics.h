@@ -65,6 +65,14 @@ inline constexpr char kRankingFullScansTotal[] = "ranking.full_scans_total";
 inline constexpr char kRankingFullScanEntriesAccessed[] =
     "ranking.full_scan_entries_accessed";
 
+// --- Shared executor (common/thread_pool.h).
+/// Tasks skipped because their TaskGroup was cancelled (first task
+/// exception, or an explicit Cancel()).
+inline constexpr char kPoolTasksCancelled[] = "pool.tasks_cancelled";
+/// Queued tasks a TaskGroup::Wait() ran on the waiting thread instead of
+/// blocking (the "helping" joins that make nested ParallelFor safe).
+inline constexpr char kPoolWaitHelpRuns[] = "pool.wait_help_runs";
+
 // --- Engine facade.
 inline constexpr char kEngineBuildsTotal[] = "engine.builds_total";
 inline constexpr char kEngineQueriesTotal[] = "engine.queries_total";
@@ -77,6 +85,10 @@ inline constexpr char kEngineBatchQueriesTotal[] =
 inline constexpr char kEngineBatchSize[] = "engine.batch_size";
 /// Histogram: end-to-end FindExpertsBatch latency, milliseconds.
 inline constexpr char kEngineBatchLatencyMs[] = "engine.batch_latency_ms";
+/// Queries whose batch deadline fired before they completed (their
+/// QueryStats carry deadline_exceeded = true and empty results).
+inline constexpr char kEngineQueriesDeadlineExceeded[] =
+    "engine.queries_deadline_exceeded";
 
 /// Registers every canonical metric above (no-op values). Call before
 /// exporting so dumps always contain the full schema.

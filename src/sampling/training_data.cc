@@ -35,10 +35,17 @@ SamplingResult TrainingDataGenerator::Generate(
   const size_t num_papers = papers.size();
   if (num_papers == 0) return result;
 
-  // (1) Seed papers selection: simple random sample of fraction f.
-  const size_t num_seeds = std::max<size_t>(
-      1, static_cast<size_t>(config.seed_fraction *
-                             static_cast<double>(num_papers)));
+  // (1) Seed papers selection: simple random sample of fraction f. The
+  // fraction is clamped to [0, 1] and the count to the population, so
+  // seed_fraction >= 1.0 means "every paper seeds" instead of asking
+  // SampleWithoutReplacement for more samples than exist.
+  const double seed_fraction =
+      std::clamp(config.seed_fraction, 0.0, 1.0);
+  const size_t num_seeds = std::min<size_t>(
+      num_papers,
+      std::max<size_t>(1, static_cast<size_t>(
+                              seed_fraction *
+                              static_cast<double>(num_papers))));
   const std::vector<size_t> seed_indices =
       rng.SampleWithoutReplacement(num_papers, num_seeds);
   result.num_seeds = num_seeds;

@@ -1,3 +1,4 @@
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "data/corpus_builder.h"
 #include "data/dataset.h"
 #include "data/queries.h"
+#include "embed/model_io.h"
 #include "eval/evaluation.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
@@ -136,6 +138,91 @@ TEST_F(EngineTest, FindExpertsBatchEmpty) {
   EXPECT_TRUE(s.engine->FindExpertsBatch({}, 5, &stats).empty());
   EXPECT_TRUE(stats.empty());
 }
+
+// Regression for the smeared batch average: retrieval_ms must be this
+// query's own wall-clock time (encode + search), not the batch phase
+// time divided by the batch size, so it is comparable to ranking_ms.
+TEST_F(EngineTest, FindExpertsBatchReportsPerQueryRetrievalTime) {
+  Shared& s = shared();
+  std::vector<std::string> texts;
+  for (const Query& q : s.queries.queries) texts.push_back(q.text);
+  ThreadPool pool(4);
+  std::vector<QueryStats> stats;
+  s.engine->FindExpertsBatch(texts, 8, &stats, &pool);
+  ASSERT_EQ(stats.size(), texts.size());
+  for (size_t q = 0; q < stats.size(); ++q) {
+    EXPECT_GT(stats[q].retrieval_ms, 0.0) << "query " << q;
+    EXPECT_FALSE(stats[q].deadline_exceeded) << "query " << q;
+  }
+}
+
+TEST_F(EngineTest, ExpiredDeadlineReturnsFlaggedPartialBatch) {
+  Shared& s = shared();
+  std::vector<std::string> texts;
+  for (const Query& q : s.queries.queries) texts.push_back(q.text);
+  ThreadPool pool(4);
+  BatchQueryOptions options;
+  options.pool = &pool;
+  CancelToken expired = CancelToken::Cancellable();
+  expired.RequestCancel();
+  options.cancel = expired;
+  std::vector<QueryStats> stats;
+  // Must return promptly with every query flagged, not wedge.
+  const auto results = s.engine->FindExpertsBatch(texts, 8, options, &stats);
+  ASSERT_EQ(results.size(), texts.size());
+  ASSERT_EQ(stats.size(), texts.size());
+  for (size_t q = 0; q < texts.size(); ++q) {
+    EXPECT_TRUE(stats[q].deadline_exceeded) << "query " << q;
+    EXPECT_TRUE(results[q].empty()) << "query " << q;
+  }
+}
+
+TEST_F(EngineTest, TinyDeadlineFlagsOvertakenQueriesOnly) {
+  Shared& s = shared();
+  std::vector<std::string> texts;
+  for (const Query& q : s.queries.queries) texts.push_back(q.text);
+  ThreadPool pool(4);
+  BatchQueryOptions options;
+  options.pool = &pool;
+  options.deadline_ms = 1e-6;  // fires before the first phase boundary
+  std::vector<QueryStats> stats;
+  const auto results = s.engine->FindExpertsBatch(texts, 8, options, &stats);
+  ASSERT_EQ(results.size(), texts.size());
+  // The contract: flagged queries are empty, unflagged queries carry the
+  // same answer the serial path gives.
+  for (size_t q = 0; q < texts.size(); ++q) {
+    if (stats[q].deadline_exceeded) {
+      EXPECT_TRUE(results[q].empty()) << "query " << q;
+    } else {
+      const auto serial = s.engine->FindExperts(texts[q], 8);
+      ASSERT_EQ(results[q].size(), serial.size()) << "query " << q;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(results[q][i].author, serial[i].author);
+      }
+    }
+  }
+}
+
+#ifndef KPEF_METRICS_DISABLED
+TEST_F(EngineTest, DeadlineExceededQueriesCounted) {
+  Shared& s = shared();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t before =
+      registry.GetCounter(obs::kEngineQueriesDeadlineExceeded).Value();
+  std::vector<std::string> texts;
+  for (const Query& q : s.queries.queries) texts.push_back(q.text);
+  ThreadPool pool(2);
+  BatchQueryOptions options;
+  options.pool = &pool;
+  CancelToken expired = CancelToken::Cancellable();
+  expired.RequestCancel();
+  options.cancel = expired;
+  s.engine->FindExpertsBatch(texts, 8, options);
+  const uint64_t after =
+      registry.GetCounter(obs::kEngineQueriesDeadlineExceeded).Value();
+  EXPECT_EQ(after - before, texts.size());
+}
+#endif  // KPEF_METRICS_DISABLED
 
 TEST_F(EngineTest, RetrievePapersReturnsPapers) {
   Shared& s = shared();
@@ -359,6 +446,38 @@ TEST_F(EngineTest, LoadFromArtifactsRejectsMissingFiles) {
   auto loaded = ExpertFindingEngine::LoadFromArtifacts(
       &s.dataset, &s.corpus, Shared::SmallConfig(), "/nonexistent/dir");
   EXPECT_FALSE(loaded.ok());
+}
+
+// A mismatched artifact set (e.g. an encoder from a different build next
+// to stale embeddings) must be rejected at load time, not discovered as
+// garbage distances at query time.
+TEST_F(EngineTest, LoadFromArtifactsRejectsDimensionMismatch) {
+  Shared& s = shared();
+  const std::string dir =
+      ::testing::TempDir() + "kpef_dim_mismatch_artifacts";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(s.engine->SaveArtifacts(dir).ok());
+
+  // Encoder whose output dimension disagrees with the embeddings.
+  EncoderConfig narrow;
+  narrow.dim = 16;
+  DocumentEncoder wrong_encoder(s.corpus.vocabulary().size(), narrow);
+  ASSERT_TRUE(SaveEncoder(wrong_encoder, dir + "/encoder.bin").ok());
+  auto encoder_mismatch = ExpertFindingEngine::LoadFromArtifacts(
+      &s.dataset, &s.corpus, Shared::SmallConfig(), dir);
+  ASSERT_FALSE(encoder_mismatch.ok());
+  EXPECT_EQ(encoder_mismatch.status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Encoder and embeddings agree with each other (16-d) but not with
+  // the PG-Index still on disk (32-d): the index cross-check must trip.
+  ASSERT_TRUE(SaveMatrix(Matrix(s.corpus.NumDocuments(), 16),
+                         dir + "/embeddings.bin")
+                  .ok());
+  auto index_mismatch = ExpertFindingEngine::LoadFromArtifacts(
+      &s.dataset, &s.corpus, Shared::SmallConfig(), dir);
+  ASSERT_FALSE(index_mismatch.ok());
+  EXPECT_EQ(index_mismatch.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST_F(EngineTest, UniformWeightingChangesScoresNotValidity) {

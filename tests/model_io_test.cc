@@ -55,6 +55,74 @@ TEST(MatrixIoTest, RejectsTruncated) {
   EXPECT_FALSE(LoadMatrix(truncated).ok());
 }
 
+template <typename T>
+void PutPod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// Hand-crafts a matrix file header with the given dimensions.
+std::stringstream HostileMatrixHeader(uint64_t rows, uint64_t cols) {
+  std::stringstream buffer;
+  PutPod<uint32_t>(buffer, 0x4B50464D);  // "KPFM"
+  PutPod<uint32_t>(buffer, 1);           // version
+  PutPod<uint64_t>(buffer, rows);
+  PutPod<uint64_t>(buffer, cols);
+  return buffer;
+}
+
+// Regression for the rows * cols overflow: hostile headers whose product
+// wraps uint64_t back under the element cap must be rejected *before*
+// the Matrix(rows, cols) allocation, on individual bounds.
+TEST(MatrixIoTest, RejectsOverflowWrappingHeaderDims) {
+  const std::pair<uint64_t, uint64_t> hostile[] = {
+      {1ull << 33, 1ull << 31},  // product wraps to 0
+      {1ull << 62, 1ull << 2},   // product wraps to 0
+      {(1ull << 63) + 1, 2},     // product wraps to 2
+      {0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull},
+      {0xFFFFFFFFFFFFFFFFull, 1},
+      {1, 0xFFFFFFFFFFFFFFFFull},
+      {1ull << 40, 0},           // zero cols must not bypass the row bound
+      {1ull << 33, 1},           // honest oversize rows
+      {1, 1ull << 21},           // honest oversize cols
+      {1ull << 20, 1ull << 20},  // individually fine, product too large
+  };
+  for (const auto& [rows, cols] : hostile) {
+    std::stringstream buffer = HostileMatrixHeader(rows, cols);
+    auto loaded = LoadMatrix(buffer);
+    ASSERT_FALSE(loaded.ok()) << "rows=" << rows << " cols=" << cols;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(MatrixIoTest, PlausibleHeaderStillRejectedWhenTruncated) {
+  // A header that passes the bounds check but has no payload must fail
+  // on truncation, not crash or hand back uninitialized data.
+  std::stringstream buffer = HostileMatrixHeader(8, 8);
+  auto loaded = LoadMatrix(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EncoderIoHeaderTest, RejectsOverflowWrappingHeaderDims) {
+  const std::pair<uint64_t, uint64_t> hostile[] = {
+      {1ull << 33, 1ull << 31},  // vocab * dim wraps to 0
+      {0xFFFFFFFFFFFFFFFFull, 2},
+      {1ull << 20, 1ull << 20},  // product over the element cap
+  };
+  for (const auto& [vocab, dim] : hostile) {
+    std::stringstream buffer;
+    PutPod<uint32_t>(buffer, 0x4B504645);  // "KPFE"
+    PutPod<uint32_t>(buffer, 1);           // version
+    PutPod<uint64_t>(buffer, vocab);
+    PutPod<uint64_t>(buffer, dim);
+    PutPod<int32_t>(buffer, 0);            // pooling
+    PutPod<uint8_t>(buffer, 1);            // normalize_output
+    auto loaded = LoadEncoder(buffer);
+    ASSERT_FALSE(loaded.ok()) << "vocab=" << vocab << " dim=" << dim;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(MatrixIoTest, MissingFileIsIOError) {
   auto loaded = LoadMatrix("/nonexistent/matrix.bin");
   ASSERT_FALSE(loaded.ok());

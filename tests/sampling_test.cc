@@ -36,6 +36,20 @@ TEST_F(SamplingTest, SeedCountFollowsFraction) {
   EXPECT_LE(result.num_productive_seeds, result.num_seeds);
 }
 
+TEST_F(SamplingTest, SeedCountClampedToPaperCount) {
+  // Regression: seed_fraction > 1 used to request more seeds than there
+  // are papers, sampling phantom indices. Now it clamps.
+  TrainingDataGenerator generator(dataset_.graph, paths_, dataset_.ids.paper);
+  for (double fraction : {1.0, 1.5, 100.0}) {
+    SamplingConfig config;
+    config.seed_fraction = fraction;
+    config.k = 2;
+    const SamplingResult result = generator.Generate(config);
+    EXPECT_EQ(result.num_seeds, dataset_.Papers().size())
+        << "fraction " << fraction;
+  }
+}
+
 TEST_F(SamplingTest, TriplesReferenceValidDocuments) {
   TrainingDataGenerator generator(dataset_.graph, paths_, dataset_.ids.paper);
   SamplingConfig config;

@@ -1,9 +1,13 @@
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 
 namespace kpef {
@@ -72,6 +76,170 @@ TEST(ParallelForTest, DefaultPoolWorks) {
   std::atomic<size_t> total{0};
   ParallelFor(100, [&](size_t i) { total.fetch_add(i); });
   EXPECT_EQ(total.load(), 4950u);
+}
+
+// The acceptance case for the TaskGroup executor: a ParallelFor issued
+// from inside a pool task must complete instead of deadlocking the
+// worker on its own pool's queue.
+TEST(ParallelForTest, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  const size_t outer = 8, inner = 64;
+  std::vector<std::vector<std::atomic<int>>> hits(outer);
+  for (auto& row : hits) {
+    row = std::vector<std::atomic<int>>(inner);
+  }
+  ParallelFor(pool, outer, [&](size_t o) {
+    ParallelFor(pool, inner, [&](size_t i) { hits[o][i].fetch_add(1); });
+  });
+  for (size_t o = 0; o < outer; ++o) {
+    for (size_t i = 0; i < inner; ++i) {
+      ASSERT_EQ(hits[o][i].load(), 1) << o << "," << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, DeeplyNestedOnTinyPool) {
+  // Two workers, three levels of nesting: only helping joins can finish
+  // this — there are never enough workers to park one per level.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  ParallelFor(pool, 4, [&](size_t) {
+    ParallelFor(pool, 4, [&](size_t) {
+      ParallelFor(pool, 4, [&](size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(pool, 256,
+                  [&](size_t i) {
+                    if (i == 97) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must stay usable: the exception cancelled the group, not
+  // the workers.
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 100, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmittedTaskExceptionRethrownAtWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::logic_error);
+  // The group resets after the throwing join; later batches are clean.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskGroupTest, FirstExceptionCancelsRemainingGroupTasks) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  group.Submit([] { throw std::runtime_error("first"); });
+  // Give the throwing task a head start so most of the rest are still
+  // queued when the group flips to cancelled.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 1000; ++i) {
+    group.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(TaskGroupTest, ConcurrentCallersWaitOnlyForTheirOwnGroup) {
+  ThreadPool pool(4);
+  std::atomic<bool> release_slow{false};
+  TaskGroup slow(pool);
+  slow.Submit([&release_slow] {
+    while (!release_slow.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // A fast group joined while the slow group still runs: its Wait()
+  // must return without waiting on the foreign task.
+  std::atomic<int> fast_done{0};
+  TaskGroup fast(pool);
+  for (int i = 0; i < 16; ++i) {
+    fast.Submit([&fast_done] { fast_done.fetch_add(1); });
+  }
+  fast.Wait();
+  EXPECT_EQ(fast_done.load(), 16);
+  release_slow.store(true);
+  slow.Wait();
+}
+
+TEST(ParallelForTest, TwoThreadsDriveOnePoolConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total_a{0}, total_b{0};
+  std::thread a([&] {
+    for (int round = 0; round < 20; ++round) {
+      ParallelFor(pool, 200, [&](size_t i) { total_a.fetch_add(i); });
+    }
+  });
+  std::thread b([&] {
+    for (int round = 0; round < 20; ++round) {
+      ParallelFor(pool, 200, [&](size_t i) { total_b.fetch_add(i); });
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(total_a.load(), 20u * 19900u);
+  EXPECT_EQ(total_b.load(), 20u * 19900u);
+}
+
+TEST(ParallelForTest, PreCancelledTokenSkipsAllWork) {
+  ThreadPool pool(4);
+  CancelToken token = CancelToken::Cancellable();
+  token.RequestCancel();
+  std::atomic<int> ran{0};
+  ParallelFor(pool, 1000, [&](size_t) { ran.fetch_add(1); }, token);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelForTest, MidFlightCancelStopsUnstartedChunks) {
+  ThreadPool pool(2);
+  CancelToken token = CancelToken::Cancellable();
+  std::atomic<int> ran{0};
+  ParallelFor(
+      pool, 10000,
+      [&](size_t i) {
+        if (i == 0) token.RequestCancel();
+        ran.fetch_add(1);
+      },
+      token);
+  // Chunks already started finish; chunks checked after the request are
+  // skipped, so at least one chunk's worth of work never ran.
+  EXPECT_LT(ran.load(), 10000);
+}
+
+TEST(CancelTokenTest, NullTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.CanBeCancelled());
+  EXPECT_FALSE(token.IsCancelled());
+  token.RequestCancel();  // no-op, must not crash
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+TEST(CancelTokenTest, DeadlineFiresAndLatches) {
+  CancelToken token = CancelToken::AfterMillis(5.0);
+  EXPECT_FALSE(token.IsCancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_TRUE(token.IsCancelled());  // latched
+}
+
+TEST(CancelTokenTest, ParentCancellationPropagates) {
+  CancelToken parent = CancelToken::Cancellable();
+  CancelToken child = CancelToken::AfterMillis(60000.0, parent);
+  EXPECT_FALSE(child.IsCancelled());
+  parent.RequestCancel();
+  EXPECT_TRUE(child.IsCancelled());
 }
 
 }  // namespace
