@@ -49,7 +49,7 @@ BenchDataset::BenchDataset(DatasetConfig config, size_t embedding_dim)
           KPEF_CHECK(path.ok());
           projections.push_back(ProjectHomogeneous(dataset.graph, *path));
         }
-        return UnionProjections(projections);
+        return UnionProjections(std::move(projections));
       }()),
       queries(GenerateQueries(dataset, NumQueries(),
                               dataset.config.seed + 4711)) {}

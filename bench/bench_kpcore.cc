@@ -99,7 +99,7 @@ void BM_ProjectHomogeneous(benchmark::State& state, const char* path_text) {
   const MetaPath& path = PathFor(path_text);
   for (auto _ : state) {
     const HomogeneousProjection proj = ProjectHomogeneous(data.graph, path);
-    benchmark::DoNotOptimize(proj.adjacency.data());
+    benchmark::DoNotOptimize(proj.NumEntries());
   }
 }
 

@@ -14,16 +14,6 @@
 namespace kpef {
 namespace {
 
-// SplitMix64-style finalizer used to derive independent per-(phase, node)
-// RNG streams from the one user-visible seed.
-uint64_t MixSeed(uint64_t seed, uint64_t phase, uint64_t node) {
-  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (phase + 1) +
-               0xBF58476D1CE4E5B9ULL * (node + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 // Epoch-stamped membership set over node ids. Begin() starts a fresh
 // (empty) set in O(1); TestAndSet is O(1). One instance lives per worker
 // thread, so the per-insert duplicate check costs one array probe

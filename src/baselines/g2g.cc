@@ -25,7 +25,7 @@ G2GModel::G2GModel(const Dataset* dataset, const Corpus* corpus,
   std::vector<Triple> triples;
   triples.reserve(n * config.triples_per_node);
   for (size_t i = 0; i < n; ++i) {
-    const auto& nbrs = projection->adjacency[i];
+    const auto nbrs = projection->Neighbors(static_cast<int32_t>(i));
     if (nbrs.empty()) continue;
     for (size_t t = 0; t < config.triples_per_node; ++t) {
       const int32_t pos = nbrs[rng.Uniform(nbrs.size())];

@@ -65,7 +65,7 @@ GvnrTModel::GvnrTModel(const Dataset* dataset, const Corpus* corpus,
       int32_t current = static_cast<int32_t>(start);
       walk.push_back(current);
       for (size_t step = 1; step < config_.walk_length; ++step) {
-        const auto& nbrs = projection->adjacency[current];
+        const auto nbrs = projection->Neighbors(current);
         if (nbrs.empty()) break;
         current = nbrs[rng.Uniform(nbrs.size())];
         walk.push_back(current);

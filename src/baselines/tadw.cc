@@ -28,7 +28,7 @@ TadwModel::TadwModel(const Dataset* dataset, const Corpus* corpus,
     // Second half: mean of the neighbors' text features (structure-
     // propagated text); falls back to own text for isolated papers.
     auto prop = out.subspan(d, d);
-    const auto& nbrs = projection->adjacency[i];
+    const auto nbrs = projection->Neighbors(static_cast<int32_t>(i));
     if (nbrs.empty()) {
       std::copy(out.begin(), out.begin() + d, prop.begin());
     } else {

@@ -15,6 +15,19 @@
 
 namespace kpef {
 
+/// SplitMix64-style finalizer deriving an independent RNG seed for one
+/// (stream, index) pair from a single user-visible seed. Parallel phases
+/// give every work item (NNDescent node, sampling seed paper) its own
+/// Rng(MixSeed(seed, stream, index)) stream, which makes their combined
+/// output independent of scheduling and thread count.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t index) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1) +
+               0xBF58476D1CE4E5B9ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** PRNG seeded via SplitMix64.
 ///
 /// Fast, high-quality, and deterministic across platforms (unlike

@@ -192,4 +192,28 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
   ParallelFor(ThreadPool::Default(), count, fn, cancel);
 }
 
+void ParallelForChunks(ThreadPool& pool, size_t count,
+                       const std::function<void(size_t, size_t)>& fn,
+                       size_t max_workers) {
+  if (count == 0) return;
+  size_t workers = pool.num_threads();
+  if (max_workers > 0) workers = std::min(workers, max_workers);
+  if (workers <= 1 || count == 1) {
+    fn(0, count);
+    return;
+  }
+  // An explicit worker cap means the caller is bounding concurrency, so
+  // issue exactly that many chunks; otherwise over-decompose 4x for load
+  // balance (per-chunk state amortizes either way).
+  const size_t num_chunks =
+      std::min(count, max_workers > 0 ? workers : workers * 4);
+  const size_t chunk = (count + num_chunks - 1) / num_chunks;
+  TaskGroup group(pool);
+  for (size_t start = 0; start < count; start += chunk) {
+    const size_t end = std::min(count, start + chunk);
+    group.Submit([&fn, start, end] { fn(start, end); });
+  }
+  group.Wait();
+}
+
 }  // namespace kpef

@@ -161,6 +161,18 @@ void ParallelFor(ThreadPool& pool, size_t count,
 void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
                  const CancelToken& cancel = CancelToken());
 
+/// Runs fn(begin, end) over contiguous chunks covering [0, count), split
+/// across the pool (≈4 chunks per worker). Unlike ParallelFor's per-index
+/// callback, the chunk callback lets callers build per-chunk state once
+/// (scratch buffers, PNeighborFinder instances) and amortize it over the
+/// whole range. `max_workers` caps the number of chunks in flight
+/// (0 = pool width; 1 degenerates to one inline fn(0, count) call).
+/// Chunk boundaries must not affect the result — callers write disjoint
+/// output slots — so the outcome is identical for every pool size.
+void ParallelForChunks(ThreadPool& pool, size_t count,
+                       const std::function<void(size_t, size_t)>& fn,
+                       size_t max_workers = 0);
+
 }  // namespace kpef
 
 #endif  // KPEF_COMMON_THREAD_POOL_H_

@@ -11,7 +11,7 @@ std::vector<int32_t> CoreDecomposition(const HomogeneousProjection& graph) {
   std::vector<int32_t> degree(n);
   int32_t max_degree = 0;
   for (size_t v = 0; v < n; ++v) {
-    degree[v] = static_cast<int32_t>(graph.adjacency[v].size());
+    degree[v] = graph.Degree(static_cast<int32_t>(v));
     max_degree = std::max(max_degree, degree[v]);
   }
 
@@ -32,7 +32,7 @@ std::vector<int32_t> CoreDecomposition(const HomogeneousProjection& graph) {
   // Peel in nondecreasing degree order; degree[] becomes the core number.
   for (size_t i = 0; i < n; ++i) {
     const int32_t v = order[i];
-    for (int32_t u : graph.adjacency[v]) {
+    for (int32_t u : graph.Neighbors(v)) {
       if (degree[u] > degree[v]) {
         // Swap u with the first node of its degree bucket, then shrink u's
         // degree by one.
@@ -67,7 +67,7 @@ std::vector<int32_t> KCoreComponentOf(const HomogeneousProjection& graph,
     const int32_t v = stack.back();
     stack.pop_back();
     component.push_back(v);
-    for (int32_t u : graph.adjacency[v]) {
+    for (int32_t u : graph.Neighbors(v)) {
       if (!visited[u] && core_numbers[u] >= k) {
         visited[u] = 1;
         stack.push_back(u);

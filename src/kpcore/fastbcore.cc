@@ -5,14 +5,15 @@
 #include <unordered_map>
 
 #include "common/logging.h"
-#include "metapath/p_neighbor.h"
+#include "kpcore/neighbor_source.h"
 
 namespace kpef {
+namespace {
 
-KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
-                                NodeId seed, int32_t k) {
-  KPEF_CHECK(graph.TypeOf(seed) == path.SourceType());
-  PNeighborFinder finder(graph, path);
+// FastBCore over any neighbor source; see neighbor_source.h for the
+// bit-identical-output contract between the two instantiations.
+template <typename NeighborSource>
+KPCoreCommunity FastBCoreImpl(NeighborSource& source, NodeId seed, int32_t k) {
   KPCoreCommunity result;
   result.seed = seed;
 
@@ -22,7 +23,8 @@ KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
   std::vector<NodeId> nodes;                      // dense index -> node
   std::vector<std::vector<int32_t>> adjacency;    // dense adjacency
   auto intern = [&](NodeId v) {
-    auto [it, inserted] = local_of.emplace(v, static_cast<int32_t>(nodes.size()));
+    auto [it, inserted] =
+        local_of.emplace(v, static_cast<int32_t>(nodes.size()));
     if (inserted) {
       nodes.push_back(v);
       adjacency.emplace_back();
@@ -32,11 +34,12 @@ KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
   intern(seed);
   std::deque<int32_t> queue = {0};
   size_t expanded = 0;
+  std::vector<NodeId> nbrs;  // reused per-poll scratch
   while (!queue.empty()) {
     const int32_t v = queue.front();
     queue.pop_front();
     ++expanded;
-    const std::vector<NodeId> nbrs = finder.Neighbors(nodes[v]);
+    source.Collect(nodes[v], nbrs);
     std::vector<int32_t> adj;
     adj.reserve(nbrs.size());
     for (NodeId u : nbrs) {
@@ -48,7 +51,7 @@ KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
     adjacency[v] = std::move(adj);
   }
   result.papers_expanded = expanded;
-  result.edges_scanned = finder.edges_scanned();
+  result.edges_scanned = source.edges_scanned();
 
   // Step 2: clean up nodes. Iteratively remove papers whose degree within
   // the surviving set is below k.
@@ -107,6 +110,23 @@ KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
       std::unique(result.near_negatives.begin(), result.near_negatives.end()),
       result.near_negatives.end());
   return result;
+}
+
+}  // namespace
+
+KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                                NodeId seed, int32_t k) {
+  KPEF_CHECK(graph.TypeOf(seed) == path.SourceType());
+  FinderNeighborSource source(graph, path);
+  return FastBCoreImpl(source, seed, k);
+}
+
+KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph,
+                                const HomogeneousProjection& projection,
+                                NodeId seed, int32_t k) {
+  KPEF_CHECK(graph.TypeOf(seed) == projection.node_type());
+  ProjectionNeighborSource source(graph, projection);
+  return FastBCoreImpl(source, seed, k);
 }
 
 }  // namespace kpef

@@ -11,11 +11,19 @@
 #include "graph/hetero_graph.h"
 #include "kpcore/community.h"
 #include "metapath/meta_path.h"
+#include "metapath/projection.h"
 
 namespace kpef {
 
 /// Runs FastBCore for one seed paper.
 KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                                NodeId seed, int32_t k);
+
+/// Same search reading a materialized CSR projection instead of running a
+/// per-node meta-path BFS. Output is bit-identical to the finder-backed
+/// overload (both deliver neighbors in ascending NodeId order).
+KPCoreCommunity FastBCoreSearch(const HeteroGraph& graph,
+                                const HomogeneousProjection& projection,
                                 NodeId seed, int32_t k);
 
 }  // namespace kpef

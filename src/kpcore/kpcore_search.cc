@@ -5,19 +5,21 @@
 #include <unordered_map>
 
 #include "common/logging.h"
-#include "metapath/p_neighbor.h"
+#include "kpcore/neighbor_source.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
 #include "obs/trace.h"
 
 namespace kpef {
+namespace {
 
-KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
-                             NodeId seed, int32_t k,
-                             const KPCoreSearchOptions& options) {
-  KPEF_TRACE_SPAN("kpcore.search");
-  KPEF_CHECK(graph.TypeOf(seed) == path.SourceType());
-  PNeighborFinder finder(graph, path);
+// Algorithm 1 over any neighbor source (on-the-fly BFS or CSR
+// projection). Both sources deliver each node's P-neighbors sorted
+// ascending, so every instantiation produces bit-identical communities.
+template <typename NeighborSource>
+KPCoreCommunity KPCoreSearchImpl(NeighborSource& source, NodeId seed,
+                                 int32_t k,
+                                 const KPCoreSearchOptions& options) {
   KPCoreCommunity result;
   result.seed = seed;
 
@@ -41,13 +43,14 @@ KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
   std::deque<int32_t> queue = {0};
   std::deque<int32_t> delete_queue;  // D
   std::vector<char> in_delete(1, 0);
+  std::vector<NodeId> nbrs;  // reused per-poll scratch
   size_t polled = 0;
   size_t pruned = 0;  // sub-k papers whose expansion Theorem 1 skipped
   while (!queue.empty()) {
     const int32_t v = queue.front();
     queue.pop_front();
     ++polled;
-    const std::vector<NodeId> nbrs = finder.Neighbors(nodes[v]);
+    source.Collect(nodes[v], nbrs);
     psi[v] = nbrs;
     const bool qualified =
         static_cast<int32_t>(nbrs.size()) >= k || !options.enable_pruning;
@@ -69,7 +72,7 @@ KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
     }
   }
   result.papers_expanded = polled;
-  result.edges_scanned = finder.edges_scanned();
+  result.edges_scanned = source.edges_scanned();
   // Merge one search's local tallies into the global registry at once;
   // searches run concurrently in callers, so the loop above must not
   // touch shared counters per node.
@@ -170,6 +173,178 @@ KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
   }
   result.near_negatives = std::move(filtered);
   return result;
+}
+
+// Projection-specialized Algorithm 1. The generic template above pays a
+// hash lookup per edge (NodeId -> dense slot) and copies every neighbor
+// list; with a CSR covering all papers we can run the whole search in
+// projection-local index space — neighbor lists are zero-copy spans and
+// the candidate-set membership test is one flat-array read. Every phase
+// visits nodes/edges in exactly the order of the template instantiated
+// over ProjectionNeighborSource (CSR rows are sorted, and local order
+// equals NodeId order within one type), so the output is bit-identical;
+// BackendEquivalenceTest enforces this.
+KPCoreCommunity ProjectionKPCoreSearch(const HeteroGraph& graph,
+                                       const HomogeneousProjection& projection,
+                                       NodeId seed, int32_t k,
+                                       const KPCoreSearchOptions& options) {
+  KPCoreCommunity result;
+  result.seed = seed;
+  const size_t n = projection.NumNodes();
+  const int32_t seed_local = static_cast<int32_t>(graph.LocalIndex(seed));
+
+  // --- Candidate nodes selection (Algorithm 1 lines 2-11). ---
+  std::vector<int32_t> slot_of(n, -1);  // projection local -> candidate slot
+  std::vector<int32_t> nodes;           // candidate slot -> projection local
+  nodes.push_back(seed_local);
+  slot_of[seed_local] = 0;
+  std::deque<int32_t> queue = {0};
+  std::deque<int32_t> delete_queue;  // D, candidate slots
+  std::vector<char> in_delete(1, 0);
+  size_t polled = 0;
+  size_t pruned = 0;
+  uint64_t edges_scanned = 0;
+  while (!queue.empty()) {
+    const int32_t v = queue.front();
+    queue.pop_front();
+    ++polled;
+    const auto nbrs = projection.Neighbors(nodes[v]);
+    edges_scanned += nbrs.size();
+    const int32_t deg = static_cast<int32_t>(nbrs.size());
+    const bool qualified = deg >= k || !options.enable_pruning;
+    if (!qualified) ++pruned;
+    if (qualified) {
+      for (int32_t u : nbrs) {
+        if (slot_of[u] < 0) {
+          slot_of[u] = static_cast<int32_t>(nodes.size());
+          nodes.push_back(u);
+          in_delete.push_back(0);
+          queue.push_back(slot_of[u]);
+        }
+      }
+    }
+    if (deg < k) {
+      delete_queue.push_back(v);
+      in_delete[v] = 1;
+    }
+  }
+  result.papers_expanded = polled;
+  result.edges_scanned = edges_scanned;
+  KPEF_COUNTER_ADD(obs::kKpcoreSearchesTotal, 1);
+  KPEF_COUNTER_ADD(obs::kKpcoreNodesVisited, polled);
+  KPEF_COUNTER_ADD(obs::kKpcoreNodesPruned, pruned);
+  KPEF_COUNTER_ADD(obs::kKpcoreEdgesScanned, edges_scanned);
+  KPEF_HISTOGRAM_OBSERVE(obs::kKpcoreDeleteQueueSize, delete_queue.size());
+
+  // --- Unpromising nodes prune (lines 12-18). ---
+  const size_t m = nodes.size();
+  std::vector<int32_t> count(m, 0);
+  std::vector<char> removed(m, 0);
+  for (size_t v = 0; v < m; ++v) {
+    int32_t c = 0;
+    for (int32_t u : projection.Neighbors(nodes[v])) c += slot_of[u] >= 0;
+    count[v] = c;
+  }
+  std::vector<int32_t> deleted_order;  // peel order, candidate slots
+  while (!delete_queue.empty()) {
+    const int32_t v = delete_queue.front();
+    delete_queue.pop_front();
+    if (removed[v]) continue;
+    removed[v] = 1;
+    deleted_order.push_back(v);
+    for (int32_t u : projection.Neighbors(nodes[v])) {
+      const int32_t lu = slot_of[u];
+      if (lu < 0 || removed[lu] || in_delete[lu]) continue;
+      if (--count[lu] < k) {
+        in_delete[lu] = 1;
+        delete_queue.push_back(lu);
+      }
+    }
+  }
+
+  // Connected community-search semantics: the seed's component among the
+  // survivors.
+  std::vector<char> in_core(m, 0);
+  if (!removed[0]) {
+    std::vector<int32_t> stack = {0};
+    in_core[0] = 1;
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      result.core.push_back(projection.GlobalId(nodes[v]));
+      for (int32_t u : projection.Neighbors(nodes[v])) {
+        const int32_t lu = slot_of[u];
+        if (lu >= 0 && !removed[lu] && !in_core[lu]) {
+          in_core[lu] = 1;
+          stack.push_back(lu);
+        }
+      }
+    }
+  }
+  std::sort(result.core.begin(), result.core.end());
+  // Discovery order: slots were interned in BFS order from the seed, and
+  // in_core marks exactly the members of result.core.
+  result.core_by_discovery.reserve(result.core.size());
+  for (size_t v = 0; v < m; ++v) {
+    if (in_core[v] && !removed[v]) {
+      result.core_by_discovery.push_back(projection.GlobalId(nodes[v]));
+    }
+  }
+
+  // --- (k, P)-core extension (lines 19-20). ---
+  if (options.enable_extension) {
+    for (int32_t u : projection.Neighbors(seed_local)) {
+      if (result.extension.size() >= options.max_extension) break;
+      const int32_t lu = slot_of[u];
+      if (lu < 0 || removed[lu] || !in_core[lu]) {
+        result.extension.push_back(projection.GlobalId(u));
+      }
+    }
+    std::sort(result.extension.begin(), result.extension.end());
+  }
+
+  // Near negatives: D members that are neither the seed nor re-admitted by
+  // the extension.
+  result.near_negatives.reserve(deleted_order.size());
+  for (int32_t v : deleted_order) {
+    result.near_negatives.push_back(projection.GlobalId(nodes[v]));
+  }
+  std::sort(result.near_negatives.begin(), result.near_negatives.end());
+  result.near_negatives.erase(
+      std::unique(result.near_negatives.begin(), result.near_negatives.end()),
+      result.near_negatives.end());
+  std::vector<NodeId> filtered;
+  filtered.reserve(result.near_negatives.size());
+  for (NodeId v : result.near_negatives) {
+    if (v == seed) continue;
+    if (std::binary_search(result.extension.begin(), result.extension.end(),
+                           v)) {
+      continue;
+    }
+    filtered.push_back(v);
+  }
+  result.near_negatives = std::move(filtered);
+  return result;
+}
+
+}  // namespace
+
+KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                             NodeId seed, int32_t k,
+                             const KPCoreSearchOptions& options) {
+  KPEF_TRACE_SPAN("kpcore.search");
+  KPEF_CHECK(graph.TypeOf(seed) == path.SourceType());
+  FinderNeighborSource source(graph, path);
+  return KPCoreSearchImpl(source, seed, k, options);
+}
+
+KPCoreCommunity KPCoreSearch(const HeteroGraph& graph,
+                             const HomogeneousProjection& projection,
+                             NodeId seed, int32_t k,
+                             const KPCoreSearchOptions& options) {
+  KPEF_TRACE_SPAN("kpcore.search");
+  KPEF_CHECK(graph.TypeOf(seed) == projection.node_type());
+  return ProjectionKPCoreSearch(graph, projection, seed, k, options);
 }
 
 }  // namespace kpef

@@ -15,6 +15,7 @@
 #include "graph/hetero_graph.h"
 #include "kpcore/community.h"
 #include "metapath/meta_path.h"
+#include "metapath/projection.h"
 
 namespace kpef {
 
@@ -35,6 +36,16 @@ struct KPCoreSearchOptions {
 /// The strict core (`result.core`) equals FastBCoreSearch's core for every
 /// input (Theorem 1); `result.extension` holds the relaxation papers.
 KPCoreCommunity KPCoreSearch(const HeteroGraph& graph, const MetaPath& path,
+                             NodeId seed, int32_t k,
+                             const KPCoreSearchOptions& options = {});
+
+/// Same search over a materialized CSR projection of the meta-path:
+/// neighbor lists become O(1) span reads instead of per-node BFS, so
+/// `Degree` checks and expansions touch no heterogeneous edges. Produces
+/// bit-identical output to the finder-backed overload (both read
+/// neighbors in ascending NodeId order).
+KPCoreCommunity KPCoreSearch(const HeteroGraph& graph,
+                             const HomogeneousProjection& projection,
                              NodeId seed, int32_t k,
                              const KPCoreSearchOptions& options = {});
 

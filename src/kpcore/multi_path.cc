@@ -81,4 +81,17 @@ KPCoreCommunity MultiPathKPCoreSearch(const HeteroGraph& graph,
   return IntersectCommunities(communities);
 }
 
+KPCoreCommunity MultiPathKPCoreSearch(
+    const HeteroGraph& graph,
+    const std::vector<HomogeneousProjection>& projections, NodeId seed,
+    int32_t k, const KPCoreSearchOptions& options) {
+  KPEF_CHECK(!projections.empty());
+  std::vector<KPCoreCommunity> communities;
+  communities.reserve(projections.size());
+  for (const HomogeneousProjection& projection : projections) {
+    communities.push_back(KPCoreSearch(graph, projection, seed, k, options));
+  }
+  return IntersectCommunities(communities);
+}
+
 }  // namespace kpef

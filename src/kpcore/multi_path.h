@@ -10,6 +10,7 @@
 #include "kpcore/community.h"
 #include "kpcore/kpcore_search.h"
 #include "metapath/meta_path.h"
+#include "metapath/projection.h"
 
 namespace kpef {
 
@@ -31,6 +32,14 @@ KPCoreCommunity MultiPathKPCoreSearch(const HeteroGraph& graph,
                                       const std::vector<MetaPath>& paths,
                                       NodeId seed, int32_t k,
                                       const KPCoreSearchOptions& options = {});
+
+/// Projection-backed variant: one prebuilt CSR projection per meta-path.
+/// Bit-identical to the finder-backed overload run on the corresponding
+/// paths. `projections` must be non-empty.
+KPCoreCommunity MultiPathKPCoreSearch(
+    const HeteroGraph& graph,
+    const std::vector<HomogeneousProjection>& projections, NodeId seed,
+    int32_t k, const KPCoreSearchOptions& options = {});
 
 }  // namespace kpef
 

@@ -21,7 +21,7 @@ KPCoreCommunity NaiveKPCoreSearch(const HeteroGraph& graph,
 KPCoreCommunity NaiveKPCoreSearchOnProjection(
     const HeteroGraph& graph, const HomogeneousProjection& projection,
     NodeId seed, int32_t k) {
-  KPEF_CHECK(graph.TypeOf(seed) == projection.node_type);
+  KPEF_CHECK(graph.TypeOf(seed) == projection.node_type());
   KPCoreCommunity result;
   result.seed = seed;
   const int32_t seed_local = static_cast<int32_t>(graph.LocalIndex(seed));
@@ -31,7 +31,7 @@ KPCoreCommunity NaiveKPCoreSearchOnProjection(
       KCoreComponentOf(projection, core_numbers, seed_local, k);
   result.core.reserve(component.size());
   for (int32_t local : component) {
-    result.core.push_back(projection.nodes[local]);
+    result.core.push_back(projection.GlobalId(local));
   }
   std::sort(result.core.begin(), result.core.end());
   return result;

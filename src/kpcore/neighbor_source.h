@@ -1,0 +1,73 @@
+// Internal to kpcore/: uniform access to sorted P-neighbor lists for the
+// community-search algorithms. Two sources exist — an on-the-fly
+// meta-path BFS (PNeighborFinder) and a materialized CSR projection —
+// and both yield the same neighbor sets in the same ascending-NodeId
+// order, so a search template instantiated over either source produces
+// bit-identical communities (core, extension, near_negatives, AND
+// core_by_discovery). The sampling determinism contract of DESIGN.md §10
+// rests on that equivalence.
+
+#ifndef KPEF_KPCORE_NEIGHBOR_SOURCE_H_
+#define KPEF_KPCORE_NEIGHBOR_SOURCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "metapath/meta_path.h"
+#include "metapath/p_neighbor.h"
+#include "metapath/projection.h"
+
+namespace kpef {
+
+/// Derives each neighbor list with a fresh meta-path BFS. The BFS emits
+/// in discovery order, so Collect sorts to reach the canonical order.
+class FinderNeighborSource {
+ public:
+  FinderNeighborSource(const HeteroGraph& graph, const MetaPath& path)
+      : finder_(graph, path) {}
+
+  void Collect(NodeId v, std::vector<NodeId>& out) {
+    out = finder_.Neighbors(v);
+    std::sort(out.begin(), out.end());
+  }
+
+  /// Heterogeneous adjacency entries scanned by the BFS expansions.
+  uint64_t edges_scanned() const { return finder_.edges_scanned(); }
+
+ private:
+  PNeighborFinder finder_;
+};
+
+/// Reads neighbor lists out of a prebuilt CSR projection. Rows store
+/// sorted local indices; local-index order equals NodeId order within
+/// one type, so the translated list is already canonically sorted.
+class ProjectionNeighborSource {
+ public:
+  ProjectionNeighborSource(const HeteroGraph& graph,
+                           const HomogeneousProjection& projection)
+      : graph_(&graph), projection_(&projection) {}
+
+  void Collect(NodeId v, std::vector<NodeId>& out) {
+    out.clear();
+    const auto row =
+        projection_->Neighbors(static_cast<int32_t>(graph_->LocalIndex(v)));
+    out.reserve(row.size());
+    for (int32_t local : row) out.push_back(projection_->GlobalId(local));
+    edges_scanned_ += row.size();
+  }
+
+  /// Projection entries read — the machine-independent analogue of the
+  /// finder's counter (the hetero edges were scanned once at build time).
+  uint64_t edges_scanned() const { return edges_scanned_; }
+
+ private:
+  const HeteroGraph* graph_;
+  const HomogeneousProjection* projection_;
+  uint64_t edges_scanned_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_NEIGHBOR_SOURCE_H_

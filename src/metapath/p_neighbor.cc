@@ -53,6 +53,15 @@ std::vector<NodeId> PNeighborFinder::Neighbors(NodeId v) {
   return out;
 }
 
+size_t PNeighborFinder::NeighborLocalIndices(NodeId v, int32_t* out) {
+  size_t count = 0;
+  Expand(v, [&](NodeId u) {
+    out[count++] = static_cast<int32_t>(graph_->LocalIndex(u));
+    return true;
+  });
+  return count;
+}
+
 size_t PNeighborFinder::Degree(NodeId v) {
   size_t count = 0;
   Expand(v, [&](NodeId) {

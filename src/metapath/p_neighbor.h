@@ -27,6 +27,12 @@ class PNeighborFinder {
   /// All distinct P-neighbors of `v`, in discovery (BFS layer) order.
   std::vector<NodeId> Neighbors(NodeId v);
 
+  /// Writes the LocalIndex of every distinct P-neighbor of `v` into
+  /// `out`, which must have room for Degree(v) entries; returns the
+  /// count. Allocation-free — the CSR projection build fills each row
+  /// in place with this.
+  size_t NeighborLocalIndices(NodeId v, int32_t* out);
+
   /// Number of distinct P-neighbors of `v` (= deg(v) in Definition 5).
   size_t Degree(NodeId v);
 

@@ -26,8 +26,10 @@ void WarmPipelineMetrics() {
   MetricsRegistry& registry = MetricsRegistry::Global();
   for (const char* name :
        {kKpcoreSearchesTotal, kKpcoreNodesVisited, kKpcoreNodesPruned,
-        kKpcoreEdgesScanned, kSamplingSeedsTotal, kSamplingTriplesTotal,
-        kSamplingNearNegativesTotal, kSamplingRandomNegativesTotal,
+        kKpcoreEdgesScanned, kProjectionBuildsTotal, kProjectionEdges,
+        kProjectionBudgetRejections, kSamplingSeedsTotal,
+        kSamplingTriplesTotal, kSamplingNearNegativesTotal,
+        kSamplingRandomNegativesTotal, kSamplingSeedsParallel,
         kTrainerEpochsTotal, kPgindexBuildsTotal, kPgindexNndescentIterations,
         kPgindexBuildDistanceComputations, kPgindexSearchesTotal,
         kPgindexBatchSearchesTotal, kPgindexDistanceComputations,
@@ -42,7 +44,7 @@ void WarmPipelineMetrics() {
     registry.GetGauge(name);
   }
   for (const char* name :
-       {kKpcoreDeleteQueueSize, kPgindexSearchHops,
+       {kKpcoreDeleteQueueSize, kProjectionBuildMs, kPgindexSearchHops,
         kPgindexCandidatePoolOccupancy, kTaRounds, kEngineQueryLatencyMs,
         kEngineBatchSize, kEngineBatchLatencyMs}) {
     registry.GetHistogram(name);

@@ -19,6 +19,16 @@ inline constexpr char kKpcoreEdgesScanned[] = "kpcore.edges_scanned";
 /// Histogram: size of the delete queue D when peeling starts.
 inline constexpr char kKpcoreDeleteQueueSize[] = "kpcore.delete_queue_size";
 
+// --- Meta-path CSR projections (§III-A materialization).
+inline constexpr char kProjectionBuildsTotal[] = "projection.builds_total";
+/// Directed adjacency entries materialized across all builds.
+inline constexpr char kProjectionEdges[] = "projection.edges";
+/// Builds rejected by ProjectionOptions::max_bytes after the count pass.
+inline constexpr char kProjectionBudgetRejections[] =
+    "projection.budget_rejections_total";
+/// Histogram: wall-clock per projection build (count + fill), ms.
+inline constexpr char kProjectionBuildMs[] = "projection.build_ms";
+
 // --- Training-data sampling (§III-B).
 inline constexpr char kSamplingSeedsTotal[] = "sampling.seeds_total";
 inline constexpr char kSamplingTriplesTotal[] = "sampling.triples_total";
@@ -26,6 +36,9 @@ inline constexpr char kSamplingNearNegativesTotal[] =
     "sampling.near_negatives_total";
 inline constexpr char kSamplingRandomNegativesTotal[] =
     "sampling.random_negatives_total";
+/// Seed papers processed by the parallel seed loop (0 when Generate ran
+/// sequentially — single-thread pool or explicit num_threads = 1).
+inline constexpr char kSamplingSeedsParallel[] = "sampling.seeds_parallel";
 
 // --- Triplet fine-tuning (§III-C).
 inline constexpr char kTrainerEpochsTotal[] = "trainer.epochs_total";

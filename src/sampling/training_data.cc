@@ -12,6 +12,24 @@
 #include "obs/trace.h"
 
 namespace kpef {
+namespace {
+
+// Everything one seed contributes, accumulated thread-locally and merged
+// in seed order so Generate's output is bit-identical for any worker
+// count (same contract as the PG-Index build: per-item RNG streams via
+// MixSeed plus an ordered merge).
+struct SeedOutput {
+  std::vector<Triple> triples;
+  uint64_t edges_scanned = 0;
+  double core_search_seconds = 0.0;
+  size_t positives = 0;
+  size_t near_fallbacks = 0;
+  size_t near_negatives = 0;
+  size_t random_negatives = 0;
+  bool productive = false;
+};
+
+}  // namespace
 
 TrainingDataGenerator::TrainingDataGenerator(const HeteroGraph& graph,
                                              std::vector<MetaPath> paths,
@@ -28,8 +46,6 @@ SamplingResult TrainingDataGenerator::Generate(
     const SamplingConfig& config) const {
   KPEF_TRACE_SPAN("sampling.generate");
   SamplingResult result;
-  size_t near_negatives = 0;    // triples whose negative came from D
-  size_t random_negatives = 0;  // triples with a random negative
   Rng rng(config.rng_seed);
   const std::vector<NodeId>& papers = graph_->NodesOfType(paper_type_);
   const size_t num_papers = papers.size();
@@ -39,52 +55,113 @@ SamplingResult TrainingDataGenerator::Generate(
   // fraction is clamped to [0, 1] and the count to the population, so
   // seed_fraction >= 1.0 means "every paper seeds" instead of asking
   // SampleWithoutReplacement for more samples than exist.
-  const double seed_fraction =
-      std::clamp(config.seed_fraction, 0.0, 1.0);
+  const double seed_fraction = std::clamp(config.seed_fraction, 0.0, 1.0);
   const size_t num_seeds = std::min<size_t>(
       num_papers,
-      std::max<size_t>(1, static_cast<size_t>(
-                              seed_fraction *
-                              static_cast<double>(num_papers))));
+      std::max<size_t>(
+          1, static_cast<size_t>(seed_fraction *
+                                 static_cast<double>(num_papers))));
   const std::vector<size_t> seed_indices =
       rng.SampleWithoutReplacement(num_papers, num_seeds);
   result.num_seeds = num_seeds;
+
+  ThreadPool& pool = config.pool != nullptr ? *config.pool
+                                            : ThreadPool::Default();
+
+  // Materialize one CSR projection per meta-path so the per-seed searches
+  // read flat rows instead of re-walking the heterogeneous graph. One
+  // cumulative byte budget covers all paths; blowing it abandons
+  // materialization entirely — the finder path produces the same triples,
+  // just slower.
+  std::vector<HomogeneousProjection> projections;
+  bool use_projection = config.use_projection;
+  if (use_projection) {
+    Timer build_timer;
+    size_t used_bytes = 0;
+    for (const MetaPath& path : paths_) {
+      ProjectionOptions options;
+      options.pool = &pool;
+      if (config.projection_budget_bytes > 0) {
+        if (used_bytes >= config.projection_budget_bytes) {
+          use_projection = false;
+          break;
+        }
+        options.max_bytes = config.projection_budget_bytes - used_bytes;
+      }
+      std::optional<HomogeneousProjection> projection =
+          TryProjectHomogeneous(*graph_, path, options);
+      if (!projection.has_value()) {
+        use_projection = false;
+        break;
+      }
+      used_bytes += projection->MemoryUsageBytes();
+      projections.push_back(*std::move(projection));
+    }
+    result.projection_build_seconds = build_timer.ElapsedSeconds();
+    if (use_projection) {
+      result.projection_bytes = used_bytes;
+    } else {
+      projections.clear();
+      KPEF_LOG(Info) << "projection budget exceeded; falling back to "
+                        "finder-backed sampling";
+    }
+  }
+  result.used_projection = use_projection;
 
   auto as_doc = [&](NodeId paper) {
     return static_cast<int32_t>(graph_->LocalIndex(paper));
   };
 
-  // P-neighbor finders for the no-core configuration (lazily constructed
-  // once, reused across seeds).
-  std::vector<PNeighborFinder> finders;
-  if (!config.use_core) {
-    finders.reserve(paths_.size());
-    for (const MetaPath& path : paths_) finders.emplace_back(*graph_, path);
-  }
+  // The no-core finder configuration needs per-worker PNeighborFinders
+  // (their BFS stamps are not thread-safe); core-mode finder searches
+  // construct their own finders per call.
+  const bool needs_finders = !use_projection && !config.use_core;
 
-  Timer core_timer;
-  for (size_t seed_index : seed_indices) {
-    const NodeId seed = papers[seed_index];
-    core_timer.Restart();
+  // One seed end to end. All randomness comes from a stream derived from
+  // (rng_seed, position): draw order inside a seed is fixed, and streams
+  // never interact, so scheduling cannot change the output.
+  auto process_seed = [&](size_t position,
+                          std::vector<PNeighborFinder>* finders,
+                          SeedOutput& out) {
+    const NodeId seed = papers[seed_indices[position]];
+    Rng seed_rng(MixSeed(config.rng_seed, 1, position));
+    Timer core_timer;
     KPCoreCommunity community;
     if (config.use_core) {
-      community = MultiPathKPCoreSearch(*graph_, paths_, seed, config.k,
-                                        config.core_options);
+      community =
+          use_projection
+              ? MultiPathKPCoreSearch(*graph_, projections, seed, config.k,
+                                      config.core_options)
+              : MultiPathKPCoreSearch(*graph_, paths_, seed, config.k,
+                                      config.core_options);
     } else {
       // w/o (k, P)-core: the "community" is just the union of the seed's
       // direct P-neighbors, cohesive or not.
       community.seed = seed;
       std::vector<NodeId> nbrs;
-      for (PNeighborFinder& finder : finders) {
-        const std::vector<NodeId> found = finder.Neighbors(seed);
-        nbrs.insert(nbrs.end(), found.begin(), found.end());
+      if (use_projection) {
+        const int32_t local = static_cast<int32_t>(graph_->LocalIndex(seed));
+        for (const HomogeneousProjection& projection : projections) {
+          for (int32_t u : projection.Neighbors(local)) {
+            nbrs.push_back(projection.GlobalId(u));
+          }
+          community.edges_scanned +=
+              static_cast<uint64_t>(projection.Degree(local));
+        }
+      } else {
+        for (PNeighborFinder& finder : *finders) {
+          const uint64_t before = finder.edges_scanned();
+          const std::vector<NodeId> found = finder.Neighbors(seed);
+          nbrs.insert(nbrs.end(), found.begin(), found.end());
+          community.edges_scanned += finder.edges_scanned() - before;
+        }
       }
       std::sort(nbrs.begin(), nbrs.end());
       nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
       community.core = std::move(nbrs);
     }
-    result.core_search_seconds += core_timer.ElapsedSeconds();
-    result.edges_scanned += community.edges_scanned;
+    out.core_search_seconds = core_timer.ElapsedSeconds();
+    out.edges_scanned = community.edges_scanned;
 
     // (2) Positive samples: community members other than the seed. When
     // the community dwarfs the positive budget (e.g. P-T-P cores on
@@ -105,12 +182,12 @@ SamplingResult TrainingDataGenerator::Generate(
         if (member != seed) positives.push_back(member);
       }
     }
-    if (positives.empty()) continue;
+    if (positives.empty()) return;
     if (positives.size() > config.max_positives_per_seed) {
       positives.resize(config.max_positives_per_seed);
     }
-    ++result.num_productive_seeds;
-    result.total_positives += positives.size();
+    out.productive = true;
+    out.positives = positives.size();
 
     // Membership set for rejection when sampling random negatives: the
     // full community (Definition 7 draws negatives from outside G^k_P,
@@ -124,7 +201,7 @@ SamplingResult TrainingDataGenerator::Generate(
       // Rejection sampling over all papers; communities are small relative
       // to the corpus so this terminates quickly.
       for (int attempt = 0; attempt < 64; ++attempt) {
-        const NodeId candidate = papers[rng.Uniform(num_papers)];
+        const NodeId candidate = papers[seed_rng.Uniform(num_papers)];
         if (!member_set.count(candidate)) return candidate;
       }
       return kInvalidNode;
@@ -133,7 +210,7 @@ SamplingResult TrainingDataGenerator::Generate(
     // (3) Triples: s negatives per positive. Near draws rotate through a
     // shuffled copy of D so no single near negative is overused.
     std::vector<NodeId> near_pool(community.near_negatives);
-    rng.Shuffle(near_pool);
+    seed_rng.Shuffle(near_pool);
     size_t near_cursor = 0;
     const size_t near_budget =
         config.max_near_reuse == 0
@@ -145,28 +222,78 @@ SamplingResult TrainingDataGenerator::Generate(
         NodeId negative = kInvalidNode;
         bool from_near = false;
         const bool want_near =
+            config.strategy == NegativeStrategy::kNear &&
             static_cast<double>(s + 1) <=
-            config.near_fraction *
-                    static_cast<double>(config.negatives_per_positive) +
-                1e-9;
-        if (config.strategy == NegativeStrategy::kNear && want_near &&
-            !near_pool.empty() && near_used < near_budget) {
+                config.near_fraction *
+                        static_cast<double>(config.negatives_per_positive) +
+                    1e-9;
+        if (want_near && !near_pool.empty() && near_used < near_budget) {
           negative = near_pool[near_cursor];
           near_cursor = (near_cursor + 1) % near_pool.size();
           ++near_used;
           from_near = true;
         } else {
-          if (config.strategy == NegativeStrategy::kNear) {
-            ++result.near_fallbacks;
-          }
+          // Only a draw that asked for a near negative and couldn't get
+          // one is a fallback; draws random by plan (near_fraction) or by
+          // strategy are not.
+          if (want_near) ++out.near_fallbacks;
           negative = sample_random_negative();
         }
         if (negative == kInvalidNode) continue;
-        ++(from_near ? near_negatives : random_negatives);
-        result.triples.push_back(
+        ++(from_near ? out.near_negatives : out.random_negatives);
+        out.triples.push_back(
             {as_doc(positive), as_doc(seed), as_doc(negative)});
       }
     }
+  };
+
+  auto make_finders = [&] {
+    std::vector<PNeighborFinder> finders;
+    if (needs_finders) {
+      finders.reserve(paths_.size());
+      for (const MetaPath& path : paths_) finders.emplace_back(*graph_, path);
+    }
+    return finders;
+  };
+
+  size_t workers = pool.num_threads();
+  if (config.num_threads > 0) workers = std::min(workers, config.num_threads);
+  std::vector<SeedOutput> outputs(num_seeds);
+  if (workers <= 1 || num_seeds <= 1) {
+    std::vector<PNeighborFinder> finders = make_finders();
+    for (size_t i = 0; i < num_seeds; ++i) {
+      process_seed(i, &finders, outputs[i]);
+    }
+  } else {
+    ParallelForChunks(
+        pool, num_seeds,
+        [&](size_t begin, size_t end) {
+          std::vector<PNeighborFinder> finders = make_finders();
+          for (size_t i = begin; i < end; ++i) {
+            process_seed(i, &finders, outputs[i]);
+          }
+        },
+        workers);
+    KPEF_COUNTER_ADD(obs::kSamplingSeedsParallel, num_seeds);
+  }
+
+  // Seed-ordered merge: concatenation order is the seed-draw order, never
+  // the completion order.
+  size_t near_negatives = 0;    // triples whose negative came from D
+  size_t random_negatives = 0;  // triples with a random negative
+  size_t total_triples = 0;
+  for (const SeedOutput& out : outputs) total_triples += out.triples.size();
+  result.triples.reserve(total_triples);
+  for (SeedOutput& out : outputs) {
+    result.num_productive_seeds += out.productive ? 1 : 0;
+    result.total_positives += out.positives;
+    result.near_fallbacks += out.near_fallbacks;
+    result.edges_scanned += out.edges_scanned;
+    result.core_search_seconds += out.core_search_seconds;
+    near_negatives += out.near_negatives;
+    random_negatives += out.random_negatives;
+    result.triples.insert(result.triples.end(), out.triples.begin(),
+                          out.triples.end());
   }
   KPEF_COUNTER_ADD(obs::kSamplingSeedsTotal, result.num_seeds);
   KPEF_COUNTER_ADD(obs::kSamplingTriplesTotal, result.triples.size());

@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "embed/triplet.h"
 #include "graph/hetero_graph.h"
 #include "kpcore/kpcore_search.h"
 #include "kpcore/multi_path.h"
 #include "metapath/meta_path.h"
+#include "metapath/projection.h"
 
 namespace kpef {
 
@@ -55,6 +57,22 @@ struct SamplingConfig {
   size_t max_positives_per_seed = 128;
   uint64_t rng_seed = 123;
   KPCoreSearchOptions core_options;
+  /// Materialize one CSR projection per meta-path up front and run every
+  /// community search over them instead of per-seed meta-path BFS. The
+  /// searches are bit-identical either way (see kpcore/neighbor_source.h),
+  /// so this is purely a time/space trade.
+  bool use_projection = true;
+  /// Cumulative cap on the bytes all per-path projections may occupy;
+  /// exceeding it abandons materialization and falls back to the
+  /// finder-backed path. 0 = unlimited.
+  size_t projection_budget_bytes = 0;
+  /// Pool for projection builds and the parallel seed loop; nullptr uses
+  /// ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+  /// Caps workers for the seed loop: 0 = full pool width, 1 = sequential.
+  /// Triples are bit-identical for every value (per-seed RNG streams +
+  /// seed-ordered merge).
+  size_t num_threads = 0;
 };
 
 /// Generated triples plus bookkeeping for the sensitivity benchmarks.
@@ -64,11 +82,18 @@ struct SamplingResult {
   /// Seeds whose community contained at least one usable positive.
   size_t num_productive_seeds = 0;
   size_t total_positives = 0;
-  /// Near-negative requests that fell back to random sampling because the
-  /// delete queue was empty.
+  /// Draws that wanted a near negative (per near_fraction) but fell back
+  /// to random because the delete queue was empty or its reuse budget was
+  /// exhausted. Draws that were random by plan do not count.
   size_t near_fallbacks = 0;
   uint64_t edges_scanned = 0;
   double core_search_seconds = 0.0;
+  /// Whether the run searched materialized projections (false: the
+  /// config disabled them or the byte budget rejected a build).
+  bool used_projection = false;
+  /// Total bytes held by the per-path projections (0 when not used).
+  size_t projection_bytes = 0;
+  double projection_build_seconds = 0.0;
 };
 
 /// Generates triplet training data from (k, P)-core communities.

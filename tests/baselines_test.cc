@@ -47,7 +47,7 @@ class BaselinesTest : public ::testing::Test {
               auto path = MetaPath::Parse(dataset.graph.schema(), p);
               projections.push_back(ProjectHomogeneous(dataset.graph, *path));
             }
-            return UnionProjections(projections);
+            return UnionProjections(std::move(projections));
           }()),
           queries(GenerateQueries(dataset, 8, 17)) {}
   };

@@ -17,34 +17,32 @@
 namespace kpef {
 namespace {
 
+HomogeneousProjection FromRows(std::vector<std::vector<int32_t>> rows) {
+  std::vector<NodeId> nodes(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) nodes[i] = static_cast<NodeId>(i);
+  return HomogeneousProjection::FromAdjacency(0, std::move(nodes),
+                                              std::move(rows));
+}
+
 HomogeneousProjection LineGraph(size_t n) {
   // Simple path graph 0-1-2-...-n-1 as a projection (for decomposition
   // tests without heterogeneous scaffolding).
-  HomogeneousProjection g;
-  g.node_type = 0;
-  g.nodes.resize(n);
-  g.adjacency.resize(n);
-  for (size_t i = 0; i < n; ++i) g.nodes[i] = static_cast<NodeId>(i);
+  std::vector<std::vector<int32_t>> rows(n);
   for (size_t i = 0; i + 1 < n; ++i) {
-    g.adjacency[i].push_back(static_cast<int32_t>(i + 1));
-    g.adjacency[i + 1].push_back(static_cast<int32_t>(i));
+    rows[i].push_back(static_cast<int32_t>(i + 1));
+    rows[i + 1].push_back(static_cast<int32_t>(i));
   }
-  for (auto& adj : g.adjacency) std::sort(adj.begin(), adj.end());
-  return g;
+  return FromRows(std::move(rows));
 }
 
 HomogeneousProjection Clique(size_t n) {
-  HomogeneousProjection g;
-  g.node_type = 0;
-  g.nodes.resize(n);
-  g.adjacency.resize(n);
-  for (size_t i = 0; i < n; ++i) g.nodes[i] = static_cast<NodeId>(i);
+  std::vector<std::vector<int32_t>> rows(n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
-      if (i != j) g.adjacency[i].push_back(static_cast<int32_t>(j));
+      if (i != j) rows[i].push_back(static_cast<int32_t>(j));
     }
   }
-  return g;
+  return FromRows(std::move(rows));
 }
 
 TEST(CoreDecompositionTest, LineGraphHasCoreNumberOne) {
@@ -66,14 +64,9 @@ TEST(CoreDecompositionTest, SingletonAndEmpty) {
 
 TEST(CoreDecompositionTest, CliqueWithTail) {
   // 4-clique {0,1,2,3} plus tail 3-4-5.
-  HomogeneousProjection g = Clique(4);
-  g.nodes.push_back(4);
-  g.nodes.push_back(5);
-  g.adjacency.push_back({3});
-  g.adjacency.push_back({4});
-  g.adjacency[3].push_back(4);
-  g.adjacency[4] = {3, 5};
-  g.adjacency[5] = {4};
+  std::vector<std::vector<int32_t>> rows = {
+      {1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2, 4}, {3, 5}, {4}};
+  const HomogeneousProjection g = FromRows(std::move(rows));
   const auto cores = CoreDecomposition(g);
   EXPECT_EQ(cores[0], 3);
   EXPECT_EQ(cores[1], 3);
@@ -262,6 +255,85 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name + "_k" + std::to_string(info.param.k);
     });
+
+// --- Backend equivalence: searches over a materialized CSR projection
+// must be bit-identical to the finder-backed path — core, extension,
+// near negatives, AND discovery order. Generate's determinism contract
+// (DESIGN.md §10) rests on this; edges_scanned intentionally differs
+// (hetero edges walked vs projection entries read).
+class BackendEquivalenceTest : public ::testing::TestWithParam<TheoremCase> {
+ protected:
+  static const Dataset& dataset() {
+    static const Dataset* d = new Dataset(GenerateDataset(TinyProfile()));
+    return *d;
+  }
+};
+
+TEST_P(BackendEquivalenceTest, ProjectionMatchesFinder) {
+  const Dataset& data = dataset();
+  const TheoremCase param = GetParam();
+  auto path = MetaPath::Parse(data.graph.schema(), param.path);
+  ASSERT_TRUE(path.ok());
+  const HomogeneousProjection projection =
+      ProjectHomogeneous(data.graph, *path);
+  const auto& papers = data.Papers();
+  for (size_t i = 0; i < papers.size(); i += 13) {
+    const NodeId seed = papers[i];
+    const KPCoreCommunity finder_fast =
+        FastBCoreSearch(data.graph, *path, seed, param.k);
+    const KPCoreCommunity proj_fast =
+        FastBCoreSearch(data.graph, projection, seed, param.k);
+    EXPECT_EQ(finder_fast.core, proj_fast.core) << "seed " << seed;
+    EXPECT_EQ(finder_fast.near_negatives, proj_fast.near_negatives)
+        << "seed " << seed;
+    EXPECT_EQ(finder_fast.core_by_discovery, proj_fast.core_by_discovery)
+        << "seed " << seed;
+    EXPECT_EQ(finder_fast.papers_expanded, proj_fast.papers_expanded);
+
+    const KPCoreCommunity finder_ours =
+        KPCoreSearch(data.graph, *path, seed, param.k);
+    const KPCoreCommunity proj_ours =
+        KPCoreSearch(data.graph, projection, seed, param.k);
+    EXPECT_EQ(finder_ours.core, proj_ours.core) << "seed " << seed;
+    EXPECT_EQ(finder_ours.extension, proj_ours.extension) << "seed " << seed;
+    EXPECT_EQ(finder_ours.near_negatives, proj_ours.near_negatives)
+        << "seed " << seed;
+    EXPECT_EQ(finder_ours.core_by_discovery, proj_ours.core_by_discovery)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepsPathsAndK, BackendEquivalenceTest,
+    ::testing::Values(TheoremCase{"P-A-P", 2}, TheoremCase{"P-A-P", 4},
+                      TheoremCase{"P-P", 2}, TheoremCase{"P-T-P", 4},
+                      TheoremCase{"P-V-P", 3}),
+    [](const ::testing::TestParamInfo<TheoremCase>& info) {
+      std::string name = info.param.path;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_k" + std::to_string(info.param.k);
+    });
+
+TEST(BackendEquivalenceMultiPathTest, ProjectionOverloadMatchesFinder) {
+  const Figure2Graph g = Figure2Graph::Make();
+  auto pap = *MetaPath::Parse(g.ids.schema, "P-A-P");
+  auto ptp = *MetaPath::Parse(g.ids.schema, "P-T-P");
+  std::vector<HomogeneousProjection> projections;
+  projections.push_back(ProjectHomogeneous(g.graph, pap));
+  projections.push_back(ProjectHomogeneous(g.graph, ptp));
+  for (NodeId seed : g.papers) {
+    const KPCoreCommunity finder_backed =
+        MultiPathKPCoreSearch(g.graph, {pap, ptp}, seed, 3);
+    const KPCoreCommunity proj_backed =
+        MultiPathKPCoreSearch(g.graph, projections, seed, 3);
+    EXPECT_EQ(finder_backed.core, proj_backed.core) << "seed " << seed;
+    EXPECT_EQ(finder_backed.extension, proj_backed.extension);
+    EXPECT_EQ(finder_backed.near_negatives, proj_backed.near_negatives);
+    EXPECT_EQ(finder_backed.core_by_discovery, proj_backed.core_by_discovery);
+  }
+}
 
 TEST(KPCorePruningEfficiencyTest, PruningNeverExpandsMore) {
   const Dataset data = GenerateDataset(TinyProfile());

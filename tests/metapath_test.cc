@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "metapath/meta_path.h"
 #include "metapath/p_neighbor.h"
@@ -160,13 +161,16 @@ TEST_F(PNeighborTest, ProjectionMatchesPerNodeNeighbors) {
   ASSERT_EQ(proj.NumNodes(), g_.papers.size());
   PNeighborFinder finder(g_.graph, *path);
   for (size_t i = 0; i < proj.NumNodes(); ++i) {
+    const int32_t local = static_cast<int32_t>(i);
     std::set<int32_t> expected;
-    for (NodeId u : finder.Neighbors(proj.nodes[i])) {
+    for (NodeId u : finder.Neighbors(proj.GlobalId(local))) {
       expected.insert(static_cast<int32_t>(g_.graph.LocalIndex(u)));
     }
-    const std::set<int32_t> got(proj.adjacency[i].begin(),
-                                proj.adjacency[i].end());
+    const auto row = proj.Neighbors(local);
+    const std::set<int32_t> got(row.begin(), row.end());
     EXPECT_EQ(got, expected);
+    EXPECT_EQ(proj.Degree(local), static_cast<int32_t>(expected.size()));
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
   }
 }
 
@@ -174,9 +178,9 @@ TEST_F(PNeighborTest, ProjectionIsSymmetric) {
   auto path = MetaPath::Parse(g_.ids.schema, "P-T-P");
   const HomogeneousProjection proj = ProjectHomogeneous(g_.graph, *path);
   for (size_t i = 0; i < proj.NumNodes(); ++i) {
-    for (int32_t j : proj.adjacency[i]) {
-      EXPECT_TRUE(std::binary_search(proj.adjacency[j].begin(),
-                                     proj.adjacency[j].end(),
+    for (int32_t j : proj.Neighbors(static_cast<int32_t>(i))) {
+      const auto back = proj.Neighbors(j);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(),
                                      static_cast<int32_t>(i)));
     }
   }
@@ -185,16 +189,71 @@ TEST_F(PNeighborTest, ProjectionIsSymmetric) {
 TEST_F(PNeighborTest, UnionProjectionMergesRelations) {
   auto pap = MetaPath::Parse(g_.ids.schema, "P-A-P");
   auto pp = MetaPath::Parse(g_.ids.schema, "P-P");
-  const auto proj_a = ProjectHomogeneous(g_.graph, *pap);
-  const auto proj_c = ProjectHomogeneous(g_.graph, *pp);
-  const auto merged = UnionProjections({proj_a, proj_c});
+  std::vector<HomogeneousProjection> projections;
+  projections.push_back(ProjectHomogeneous(g_.graph, *pap));
+  projections.push_back(ProjectHomogeneous(g_.graph, *pp));
+  const auto merged = UnionProjections(std::move(projections));
   // p0's union neighbors: co-author {p1,p2,p3} plus citation {p1,p2}.
-  const size_t p0 = g_.graph.LocalIndex(g_.papers[0]);
-  EXPECT_EQ(merged.adjacency[p0].size(), 3u);
-  // No duplicates anywhere.
-  for (const auto& nbrs : merged.adjacency) {
-    std::set<int32_t> unique(nbrs.begin(), nbrs.end());
+  const int32_t p0 = static_cast<int32_t>(g_.graph.LocalIndex(g_.papers[0]));
+  EXPECT_EQ(merged.Degree(p0), 3);
+  // Rows stay sorted and duplicate-free.
+  for (size_t i = 0; i < merged.NumNodes(); ++i) {
+    const auto nbrs = merged.Neighbors(static_cast<int32_t>(i));
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    const std::set<int32_t> unique(nbrs.begin(), nbrs.end());
     EXPECT_EQ(unique.size(), nbrs.size());
+  }
+}
+
+TEST_F(PNeighborTest, UnionOfSingleProjectionIsIdentity) {
+  auto pap = MetaPath::Parse(g_.ids.schema, "P-A-P");
+  const auto proj = ProjectHomogeneous(g_.graph, *pap);
+  std::vector<HomogeneousProjection> one;
+  one.push_back(ProjectHomogeneous(g_.graph, *pap));
+  const auto merged = UnionProjections(std::move(one));
+  ASSERT_EQ(merged.NumNodes(), proj.NumNodes());
+  for (size_t i = 0; i < proj.NumNodes(); ++i) {
+    const auto a = proj.Neighbors(static_cast<int32_t>(i));
+    const auto b = merged.Neighbors(static_cast<int32_t>(i));
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(ProjectionBuildTest, BudgetRejectionFallsBackToNullopt) {
+  const Figure2Graph g = Figure2Graph::Make();
+  auto path = MetaPath::Parse(g.ids.schema, "P-A-P");
+  ProjectionOptions tiny;
+  tiny.max_bytes = 1;  // nothing fits
+  EXPECT_FALSE(TryProjectHomogeneous(g.graph, *path, tiny).has_value());
+  ProjectionOptions roomy;
+  roomy.max_bytes = 64u << 20;
+  const auto proj = TryProjectHomogeneous(g.graph, *path, roomy);
+  ASSERT_TRUE(proj.has_value());
+  EXPECT_LE(proj->MemoryUsageBytes(), roomy.max_bytes);
+  EXPECT_EQ(proj->MemoryUsageBytes(),
+            HomogeneousProjection::EstimateBytes(proj->NumNodes(),
+                                                 proj->NumEntries()));
+}
+
+TEST(ProjectionBuildTest, DeterministicAcrossThreadCounts) {
+  const Dataset dataset = GenerateDataset(TinyProfile());
+  auto path = MetaPath::Parse(dataset.graph.schema(), "P-A-P");
+  ASSERT_TRUE(path.ok());
+  ThreadPool sequential(1);
+  ThreadPool wide(8);
+  ProjectionOptions seq_opts;
+  seq_opts.pool = &sequential;
+  ProjectionOptions wide_opts;
+  wide_opts.pool = &wide;
+  const auto a = ProjectHomogeneous(dataset.graph, *path, seq_opts);
+  const auto b = ProjectHomogeneous(dataset.graph, *path, wide_opts);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEntries(), b.NumEntries());
+  for (size_t i = 0; i < a.NumNodes(); ++i) {
+    const auto ra = a.Neighbors(static_cast<int32_t>(i));
+    const auto rb = b.Neighbors(static_cast<int32_t>(i));
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()))
+        << "row " << i;
   }
 }
 

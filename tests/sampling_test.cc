@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "kpcore/multi_path.h"
 #include "metapath/meta_path.h"
@@ -190,6 +191,94 @@ TEST_F(SamplingTest, NoCoreModeUsesDirectNeighbors) {
     EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), papers[t.positive]),
               nbrs.end());
   }
+}
+
+TEST_F(SamplingTest, ByteIdenticalAcrossThreadCounts) {
+  // The determinism contract: per-seed MixSeed RNG streams plus the
+  // seed-ordered merge make Generate's output independent of worker
+  // count and chunking.
+  TrainingDataGenerator generator(dataset_.graph, paths_, dataset_.ids.paper);
+  ThreadPool wide(8);
+  SamplingConfig sequential;
+  sequential.k = 2;
+  sequential.seed_fraction = 0.3;
+  sequential.num_threads = 1;
+  SamplingConfig parallel = sequential;
+  parallel.pool = &wide;
+  parallel.num_threads = 0;
+  const SamplingResult a = generator.Generate(sequential);
+  const SamplingResult b = generator.Generate(parallel);
+  EXPECT_EQ(a.triples, b.triples);
+  EXPECT_EQ(a.num_productive_seeds, b.num_productive_seeds);
+  EXPECT_EQ(a.total_positives, b.total_positives);
+  EXPECT_EQ(a.near_fallbacks, b.near_fallbacks);
+  ThreadPool three(3);
+  SamplingConfig odd = sequential;
+  odd.pool = &three;
+  odd.num_threads = 0;
+  EXPECT_EQ(a.triples, generator.Generate(odd).triples);
+}
+
+TEST_F(SamplingTest, ProjectionAndFinderBackendsAgree) {
+  // Both backends read neighbors in the same canonical order, so the
+  // sampled triples must match exactly — including the no-core mode.
+  TrainingDataGenerator generator(dataset_.graph, paths_, dataset_.ids.paper);
+  for (bool use_core : {true, false}) {
+    SamplingConfig with_projection;
+    with_projection.k = 2;
+    with_projection.seed_fraction = 0.3;
+    with_projection.use_core = use_core;
+    SamplingConfig with_finder = with_projection;
+    with_finder.use_projection = false;
+    const SamplingResult a = generator.Generate(with_projection);
+    const SamplingResult b = generator.Generate(with_finder);
+    EXPECT_TRUE(a.used_projection);
+    EXPECT_GT(a.projection_bytes, 0u);
+    EXPECT_FALSE(b.used_projection);
+    EXPECT_EQ(b.projection_bytes, 0u);
+    EXPECT_EQ(a.triples, b.triples) << "use_core " << use_core;
+  }
+}
+
+TEST_F(SamplingTest, BudgetRejectionFallsBackToFinder) {
+  TrainingDataGenerator generator(dataset_.graph, paths_, dataset_.ids.paper);
+  SamplingConfig tiny_budget;
+  tiny_budget.k = 2;
+  tiny_budget.seed_fraction = 0.2;
+  tiny_budget.projection_budget_bytes = 1;  // nothing fits
+  const SamplingResult constrained = generator.Generate(tiny_budget);
+  EXPECT_FALSE(constrained.used_projection);
+  EXPECT_EQ(constrained.projection_bytes, 0u);
+  SamplingConfig unlimited = tiny_budget;
+  unlimited.projection_budget_bytes = 0;
+  const SamplingResult free_run = generator.Generate(unlimited);
+  EXPECT_TRUE(free_run.used_projection);
+  EXPECT_EQ(constrained.triples, free_run.triples);
+}
+
+TEST_F(SamplingTest, NearFallbacksCountOnlyGenuineFallbacks) {
+  TrainingDataGenerator generator(dataset_.graph, paths_, dataset_.ids.paper);
+  // Regression: draws that were random by plan (near_fraction) used to
+  // count as fallbacks. With near_fraction = 0 every draw is random by
+  // plan, so the count must be exactly zero.
+  SamplingConfig no_near;
+  no_near.k = 2;
+  no_near.seed_fraction = 0.2;
+  no_near.strategy = NegativeStrategy::kNear;
+  no_near.near_fraction = 0.0;
+  EXPECT_EQ(generator.Generate(no_near).near_fallbacks, 0u);
+  // Random strategy never wants near draws either.
+  SamplingConfig random_strategy = no_near;
+  random_strategy.near_fraction = 1.0;
+  random_strategy.strategy = NegativeStrategy::kRandom;
+  EXPECT_EQ(generator.Generate(random_strategy).near_fallbacks, 0u);
+  // Sanity: genuine fallbacks (empty delete queues at high k with full
+  // near_fraction) are still counted.
+  SamplingConfig full_near = no_near;
+  full_near.near_fraction = 1.0;
+  const SamplingResult result = generator.Generate(full_near);
+  EXPECT_LE(result.near_fallbacks,
+            result.total_positives * full_near.negatives_per_positive);
 }
 
 TEST_F(SamplingTest, MultiPathSamplingWorks) {
