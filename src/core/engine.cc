@@ -169,6 +169,18 @@ ExpertFindingEngine::LoadFromArtifacts(const Dataset* dataset,
   return engine;
 }
 
+EngineInfo ExpertFindingEngine::Info() const {
+  EngineInfo info;
+  info.display_name = config_.display_name;
+  info.num_papers = dataset_->Papers().size();
+  info.num_experts = dataset_->Authors().size();
+  info.embedding_dim = embeddings_.cols();
+  info.has_index = index_ != nullptr;
+  info.use_ta = config_.use_ta;
+  info.top_m = config_.top_m;
+  return info;
+}
+
 std::vector<NodeId> ExpertFindingEngine::RetrievePapers(
     const std::string& query_text, size_t m, QueryStats* stats) {
   KPEF_TRACE_SPAN("engine.retrieve_papers");

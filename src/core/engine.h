@@ -87,6 +87,19 @@ struct EngineBuildReport {
   double total_seconds = 0.0;
 };
 
+/// Lightweight serving-time summary of a built/loaded engine — what a
+/// health endpoint or a serving binary's startup banner needs, without
+/// exposing the artifact objects themselves.
+struct EngineInfo {
+  std::string display_name;
+  size_t num_papers = 0;
+  size_t num_experts = 0;
+  size_t embedding_dim = 0;
+  bool has_index = false;
+  bool use_ta = false;
+  size_t top_m = 0;
+};
+
 /// Per-query online statistics. In the batch path both timing fields are
 /// real per-query wall-clock times (the retrieval time comes from the
 /// per-query SearchStats inside SearchBatch), so they are comparable.
@@ -171,6 +184,10 @@ class ExpertFindingEngine : public RetrievalModel {
   void set_top_m(size_t m) { config_.top_m = m; }
   /// Toggles the TA path without rebuilding (Figure 7 variants).
   void set_use_ta(bool use_ta) { config_.use_ta = use_ta; }
+
+  /// Serving-time summary (dimensions, corpus sizes, active retrieval
+  /// paths) for health endpoints and startup logs.
+  EngineInfo Info() const;
 
   const Dataset& dataset() const { return *dataset_; }
   const Matrix& embeddings() const { return embeddings_; }

@@ -37,7 +37,8 @@ void WarmPipelineMetrics() {
         kRankingFullScansTotal, kRankingFullScanEntriesAccessed,
         kPoolTasksCancelled, kPoolWaitHelpRuns, kEngineBuildsTotal,
         kEngineQueriesTotal, kEngineBatchQueriesTotal,
-        kEngineQueriesDeadlineExceeded}) {
+        kEngineQueriesDeadlineExceeded, kServeRequests, kServeShed,
+        kServeDeadlineExceeded, kServeBadRequests, kServeBatches}) {
     registry.GetCounter(name);
   }
   for (const char* name : {kTrainerLastEpochLoss, kTrainerTriplesPerSec}) {
@@ -46,7 +47,8 @@ void WarmPipelineMetrics() {
   for (const char* name :
        {kKpcoreDeleteQueueSize, kProjectionBuildMs, kPgindexSearchHops,
         kPgindexCandidatePoolOccupancy, kTaRounds, kEngineQueryLatencyMs,
-        kEngineBatchSize, kEngineBatchLatencyMs}) {
+        kEngineBatchSize, kEngineBatchLatencyMs, kServeBatchSize,
+        kServeQueueWaitMs, kServeE2eMs}) {
     registry.GetHistogram(name);
   }
 }

@@ -103,6 +103,24 @@ inline constexpr char kEngineBatchLatencyMs[] = "engine.batch_latency_ms";
 inline constexpr char kEngineQueriesDeadlineExceeded[] =
     "engine.queries_deadline_exceeded";
 
+// --- Online serving (src/serve/).
+/// HTTP requests accepted by the service router (all endpoints).
+inline constexpr char kServeRequests[] = "serve.requests";
+/// Requests shed by admission control (bounded queue full -> 429).
+inline constexpr char kServeShed[] = "serve.shed";
+/// Requests that missed their per-request deadline (-> 504).
+inline constexpr char kServeDeadlineExceeded[] = "serve.deadline_exceeded";
+/// Malformed requests rejected by the HTTP or JSON layer (-> 400).
+inline constexpr char kServeBadRequests[] = "serve.bad_requests";
+/// Micro-batches dispatched to the engine.
+inline constexpr char kServeBatches[] = "serve.batches";
+/// Histogram: queries coalesced per dispatched micro-batch.
+inline constexpr char kServeBatchSize[] = "serve.batch_size";
+/// Histogram: time a query waited in the batcher queue, milliseconds.
+inline constexpr char kServeQueueWaitMs[] = "serve.queue_wait_ms";
+/// Histogram: end-to-end service latency (parse -> response), ms.
+inline constexpr char kServeE2eMs[] = "serve.e2e_ms";
+
 /// Registers every canonical metric above (no-op values). Call before
 /// exporting so dumps always contain the full schema.
 void WarmPipelineMetrics();

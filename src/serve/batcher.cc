@@ -1,0 +1,175 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+
+namespace kpef::serve {
+
+namespace {
+
+double MillisBetween(CancelToken::Clock::time_point from,
+                     CancelToken::Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(BatcherConfig config, BatchExecuteFn execute)
+    : config_(config), execute_(std::move(execute)) {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+bool MicroBatcher::Submit(BatchRequest request, CompletionFn done) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || queue_.size() >= config_.max_pending) {
+      if (!draining_) KPEF_COUNTER_ADD(obs::kServeShed, 1);
+      return false;
+    }
+    queue_.push_back(Pending{std::move(request), std::move(done),
+                             CancelToken::Clock::now()});
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  // Serialize concurrent Shutdown() callers on the join itself;
+  // joinable() flips false after the first join completes.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+size_t MicroBatcher::PendingForTest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void MicroBatcher::DispatchLoop() {
+  const auto max_age =
+      std::chrono::duration_cast<CancelToken::Clock::duration>(
+          std::chrono::duration<double, std::milli>(config_.max_queue_age_ms));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (queue_.empty()) {
+      if (draining_) return;
+      cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      continue;
+    }
+    // Flush when full, stale, or draining; otherwise sleep until the
+    // oldest request ages out (new arrivals re-examine the predicate).
+    const auto flush_at = queue_.front().enqueue_time + max_age;
+    const bool full = queue_.size() >= config_.max_batch_size;
+    if (!full && !draining_ && CancelToken::Clock::now() < flush_at) {
+      cv_.wait_until(lock, flush_at, [this, flush_at] {
+        return draining_ || queue_.size() >= config_.max_batch_size ||
+               CancelToken::Clock::now() >= flush_at;
+      });
+      continue;
+    }
+    const size_t take = std::min(queue_.size(), config_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void MicroBatcher::RunBatch(std::vector<Pending> batch) {
+  const auto dispatch_time = CancelToken::Clock::now();
+
+  // Requests whose deadline already passed never reach the engine: they
+  // complete immediately as expired, and do not shrink the batch others
+  // ride in (they were admitted, so their slot was real).
+  std::vector<size_t> live;  // indices into batch
+  live.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Pending& p = batch[i];
+    if (p.request.has_deadline && dispatch_time >= p.request.deadline) {
+      BatchResponse response;
+      response.deadline_exceeded = true;
+      response.queue_wait_ms = MillisBetween(p.enqueue_time, dispatch_time);
+      KPEF_COUNTER_ADD(obs::kServeDeadlineExceeded, 1);
+      KPEF_HISTOGRAM_OBSERVE(obs::kServeQueueWaitMs, response.queue_wait_ms);
+      if (p.done) p.done(std::move(response));
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return;
+
+  // One engine call for the whole batch. top_n is the max over the
+  // batch; per-request lists are truncated afterwards (TA ranking is
+  // exact, so the top-n' of a top-n list with n' <= n is the same list).
+  // The batch deadline is the LATEST live per-request deadline — the
+  // call never outlives every request's budget, while requests with an
+  // earlier deadline are checked individually on completion.
+  size_t top_n = 0;
+  bool all_have_deadlines = true;
+  CancelToken::Clock::time_point latest_deadline =
+      CancelToken::Clock::time_point::min();
+  std::vector<std::string> texts;
+  texts.reserve(live.size());
+  for (const size_t i : live) {
+    const BatchRequest& r = batch[i].request;
+    top_n = std::max(top_n, r.top_n);
+    texts.push_back(r.query);
+    if (r.has_deadline) {
+      latest_deadline = std::max(latest_deadline, r.deadline);
+    } else {
+      all_have_deadlines = false;
+    }
+  }
+  BatchQueryOptions options;
+  options.pool = config_.pool;
+  if (all_have_deadlines) {
+    options.cancel = CancelToken::WithDeadline(latest_deadline);
+  }
+
+  KPEF_COUNTER_ADD(obs::kServeBatches, 1);
+  KPEF_HISTOGRAM_OBSERVE(obs::kServeBatchSize, live.size());
+
+  std::vector<QueryStats> stats;
+  std::vector<std::vector<ExpertScore>> results =
+      execute_(texts, top_n, options, &stats);
+  const auto completion_time = CancelToken::Clock::now();
+
+  for (size_t slot = 0; slot < live.size(); ++slot) {
+    Pending& p = batch[live[slot]];
+    BatchResponse response;
+    response.batch_size = live.size();
+    response.queue_wait_ms = MillisBetween(p.enqueue_time, dispatch_time);
+    if (slot < results.size()) {
+      response.experts = std::move(results[slot]);
+    }
+    if (slot < stats.size()) response.stats = stats[slot];
+    if (response.experts.size() > p.request.top_n) {
+      response.experts.resize(p.request.top_n);
+    }
+    response.deadline_exceeded =
+        response.stats.deadline_exceeded ||
+        (p.request.has_deadline && completion_time >= p.request.deadline);
+    if (response.deadline_exceeded) {
+      KPEF_COUNTER_ADD(obs::kServeDeadlineExceeded, 1);
+    }
+    KPEF_HISTOGRAM_OBSERVE(obs::kServeQueueWaitMs, response.queue_wait_ms);
+    if (p.done) p.done(std::move(response));
+  }
+}
+
+}  // namespace kpef::serve

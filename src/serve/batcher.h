@@ -1,0 +1,127 @@
+// Dynamic micro-batching scheduler: coalesces concurrent find_experts
+// requests into one FindExpertsBatch call (DESIGN.md §11).
+//
+// Requests enter a bounded queue; a dedicated dispatch thread flushes a
+// batch when either (a) max_batch_size requests are pending or (b) the
+// oldest pending request has waited max_queue_age_ms. Admission control
+// is synchronous: Submit() fails immediately when the queue is full, so
+// the caller can shed load (HTTP 429) without ever blocking the event
+// loop. Per-request deadlines propagate into the engine call as a
+// BatchQueryOptions cancel token; requests that miss their deadline come
+// back flagged (HTTP 504) instead of wedging the batch.
+//
+// The batcher is a pure unit: it executes batches through an injected
+// function, so tests drive it with a fake engine and no sockets.
+
+#ifndef KPEF_SERVE_BATCHER_H_
+#define KPEF_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "core/engine.h"
+#include "ranking/expert_score.h"
+
+namespace kpef::serve {
+
+struct BatcherConfig {
+  /// Flush as soon as this many requests are pending.
+  size_t max_batch_size = 16;
+  /// Flush once the oldest pending request is this old, even if the
+  /// batch is smaller (bounds queueing latency under light load).
+  double max_queue_age_ms = 4.0;
+  /// Admission bound: Submit() sheds once this many requests are queued
+  /// (requests already dispatched to the engine do not count).
+  size_t max_pending = 256;
+  /// Pool forwarded to BatchQueryOptions (nullptr = engine default).
+  ThreadPool* pool = nullptr;
+};
+
+/// One enqueued query.
+struct BatchRequest {
+  std::string query;
+  size_t top_n = 10;
+  /// Absolute per-request deadline; meaningful when has_deadline.
+  CancelToken::Clock::time_point deadline{};
+  bool has_deadline = false;
+};
+
+/// Delivered to the completion callback, on the dispatch thread.
+struct BatchResponse {
+  std::vector<ExpertScore> experts;
+  QueryStats stats;
+  /// True when the request missed its deadline (results may be empty or
+  /// partial — the partial flag for the HTTP 504 body).
+  bool deadline_exceeded = false;
+  /// Milliseconds the request sat queued before dispatch.
+  double queue_wait_ms = 0.0;
+  /// Size of the engine batch this request rode in (0 when the request
+  /// expired before dispatch or the batcher shut down mid-drain).
+  size_t batch_size = 0;
+};
+
+/// Signature of ExpertFindingEngine::FindExpertsBatch — injected so unit
+/// tests substitute a fake engine.
+using BatchExecuteFn = std::function<std::vector<std::vector<ExpertScore>>(
+    const std::vector<std::string>& texts, size_t top_n,
+    const BatchQueryOptions& options, std::vector<QueryStats>* stats)>;
+
+class MicroBatcher {
+ public:
+  using CompletionFn = std::function<void(BatchResponse)>;
+
+  MicroBatcher(BatcherConfig config, BatchExecuteFn execute);
+  /// Drains and joins (equivalent to Shutdown()).
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues a request; `done` is invoked exactly once, on the dispatch
+  /// thread. Returns false (without invoking `done`) when the queue is
+  /// full — the caller sheds the request. Returns false after Shutdown()
+  /// began.
+  bool Submit(BatchRequest request, CompletionFn done);
+
+  /// Stops admission, flushes every queued request (their callbacks
+  /// run), then joins the dispatch thread. Idempotent.
+  void Shutdown();
+
+  /// Requests queued but not yet dispatched (admission-control gauge).
+  size_t PendingForTest() const;
+
+ private:
+  struct Pending {
+    BatchRequest request;
+    CompletionFn done;
+    CancelToken::Clock::time_point enqueue_time;
+  };
+
+  void DispatchLoop();
+  /// Pops up to max_batch_size requests and runs them as one engine
+  /// call, invoking completions. Caller must NOT hold mutex_.
+  void RunBatch(std::vector<Pending> batch);
+
+  const BatcherConfig config_;
+  const BatchExecuteFn execute_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  /// Serializes Shutdown() callers around the thread join.
+  std::mutex join_mutex_;
+  std::thread dispatcher_;
+};
+
+}  // namespace kpef::serve
+
+#endif  // KPEF_SERVE_BATCHER_H_

@@ -1,0 +1,255 @@
+#include "serve/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace kpef::serve {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  // RFC 7230 token characters.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Strict non-negative decimal parse; rejects signs, whitespace, and
+/// anything that would overflow size_t (a hostile 10^30 Content-Length
+/// must not wrap into a small allocation).
+bool ParseContentLength(std::string_view s, size_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view HttpRequest::Path() const {
+  const std::string_view t(target);
+  const size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+HttpRequestParser::HttpRequestParser(HttpParserLimits limits)
+    : limits_(limits) {}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(const char* data,
+                                                 size_t len) {
+  if (state_ == State::kError) return state_;
+  if (state_ == State::kComplete) {
+    // Pipelined bytes arriving before the caller consumed the current
+    // request: buffer them, they are parsed by ConsumeRequest().
+    buffer_.append(data, len);
+    return state_;
+  }
+  buffer_.append(data, len);
+  TryParse();
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::ConsumeRequest() {
+  if (state_ != State::kComplete) return state_;
+  request_ = HttpRequest();
+  headers_done_ = false;
+  body_needed_ = 0;
+  state_ = State::kNeedMore;
+  TryParse();
+  return state_;
+}
+
+void HttpRequestParser::TryParse() {
+  if (!headers_done_) {
+    // Locate the end of the header block; accept CRLF and bare LF line
+    // endings (clients in the wild send both).
+    size_t header_end = std::string::npos;  // index one past the blank line
+    size_t body_start = 0;
+    const size_t crlf = buffer_.find("\r\n\r\n");
+    const size_t lf = buffer_.find("\n\n");
+    if (crlf != std::string::npos && (lf == std::string::npos || crlf <= lf)) {
+      header_end = crlf;
+      body_start = crlf + 4;
+    } else if (lf != std::string::npos) {
+      header_end = lf;
+      body_start = lf + 2;
+    }
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        Fail(400, "header block exceeds limit");
+      }
+      return;  // kNeedMore: truncated headers just wait for more bytes.
+    }
+    if (body_start > limits_.max_header_bytes) {
+      Fail(400, "header block exceeds limit");
+      return;
+    }
+
+    // Split the header block into lines (tolerating either ending) and
+    // parse request line + headers.
+    std::string_view block(buffer_.data(), header_end);
+    std::vector<std::string_view> lines;
+    while (!block.empty()) {
+      size_t eol = block.find('\n');
+      std::string_view line =
+          eol == std::string_view::npos ? block : block.substr(0, eol);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      lines.push_back(line);
+      if (eol == std::string_view::npos) break;
+      block.remove_prefix(eol + 1);
+    }
+    if (lines.empty() || lines[0].empty()) {
+      Fail(400, "empty request line");
+      return;
+    }
+
+    // Request line: METHOD SP TARGET SP HTTP/1.x
+    const std::string_view request_line = lines[0];
+    const size_t sp1 = request_line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+      Fail(400, "malformed request line");
+      return;
+    }
+    const std::string_view method = request_line.substr(0, sp1);
+    const std::string_view target =
+        request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = request_line.substr(sp2 + 1);
+    if (method.empty() ||
+        !std::all_of(method.begin(), method.end(), IsTokenChar)) {
+      Fail(400, "malformed method");
+      return;
+    }
+    if (target.empty() || target[0] != '/' ||
+        target.find_first_of(" \t") != std::string_view::npos) {
+      Fail(400, "malformed request target");
+      return;
+    }
+    if (version == "HTTP/1.1") {
+      request_.version_minor = 1;
+    } else if (version == "HTTP/1.0") {
+      request_.version_minor = 0;
+    } else {
+      Fail(400, "unsupported HTTP version");
+      return;
+    }
+    request_.method = std::string(method);
+    request_.target = std::string(target);
+
+    // Headers.
+    size_t content_length = 0;
+    bool have_content_length = false;
+    for (size_t i = 1; i < lines.size(); ++i) {
+      const std::string_view line = lines[i];
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        Fail(400, "malformed header line");
+        return;
+      }
+      const std::string_view raw_name = line.substr(0, colon);
+      if (!std::all_of(raw_name.begin(), raw_name.end(), IsTokenChar)) {
+        Fail(400, "malformed header name");
+        return;
+      }
+      std::string name = ToLower(raw_name);
+      const std::string_view value = Trim(line.substr(colon + 1));
+      if (name == "content-length") {
+        size_t parsed = 0;
+        if (!ParseContentLength(value, &parsed) ||
+            (have_content_length && parsed != content_length)) {
+          Fail(400, "malformed Content-Length");
+          return;
+        }
+        content_length = parsed;
+        have_content_length = true;
+      } else if (name == "transfer-encoding") {
+        // Chunked-free parser by design; refuse rather than misframe.
+        Fail(400, "Transfer-Encoding is not supported");
+        return;
+      }
+      request_.headers.emplace_back(std::move(name), std::string(value));
+    }
+    if (content_length > limits_.max_body_bytes) {
+      Fail(400, "declared body exceeds limit");
+      return;
+    }
+
+    // Connection semantics: header overrides the version default.
+    request_.keep_alive = request_.version_minor >= 1;
+    if (const std::string* conn = request_.FindHeader("connection")) {
+      if (EqualsIgnoreCase(*conn, "close")) {
+        request_.keep_alive = false;
+      } else if (EqualsIgnoreCase(*conn, "keep-alive")) {
+        request_.keep_alive = true;
+      }
+    }
+
+    buffer_.erase(0, body_start);
+    headers_done_ = true;
+    body_needed_ = content_length;
+  }
+
+  // Body: wait until the declared length is buffered.
+  if (buffer_.size() < body_needed_) return;  // kNeedMore
+  request_.body = buffer_.substr(0, body_needed_);
+  buffer_.erase(0, body_needed_);
+  state_ = State::kComplete;
+}
+
+}  // namespace kpef::serve

@@ -1,0 +1,95 @@
+// Incremental HTTP/1.1 request parser for the serving subsystem.
+//
+// Deliberately minimal (DESIGN.md §11): no chunked transfer encoding, no
+// multiline header folding, no trailers. Every limit is enforced while
+// bytes arrive, so a hostile peer can neither balloon memory (huge
+// Content-Length, endless headers) nor wedge a connection (truncated
+// input just stays kNeedMore until the caller times it out or the peer
+// closes). All malformed input degrades to kError with an HTTP status
+// the server echoes back — the parser itself never throws.
+
+#ifndef KPEF_SERVE_HTTP_PARSER_H_
+#define KPEF_SERVE_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kpef::serve {
+
+/// One parsed request. Header names are lowercased at parse time; values
+/// keep their original bytes with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;  // origin-form, e.g. "/v1/find_experts?verbose=1"
+  int version_minor = 1;  // HTTP/1.<minor>; only 0 and 1 are accepted
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request (Connection header applied
+  /// to the version default: 1.1 keeps alive, 1.0 closes).
+  bool keep_alive = true;
+
+  /// Case-insensitive lookup (`name` must be given lowercased).
+  const std::string* FindHeader(std::string_view name) const;
+  /// Path without the query string.
+  std::string_view Path() const;
+};
+
+struct HttpParserLimits {
+  /// Request line + headers, including terminators.
+  size_t max_header_bytes = 8 * 1024;
+  /// Declared Content-Length above this is rejected before any body
+  /// byte is buffered.
+  size_t max_body_bytes = 1 << 20;
+};
+
+/// Push parser: call Feed() with whatever the socket produced; the
+/// parser buffers across calls, so split reads of any granularity work.
+/// After kComplete, ConsumeRequest() releases the request's bytes and
+/// re-parses any leftover input (pipelined requests complete without
+/// further Feed() calls).
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  explicit HttpRequestParser(HttpParserLimits limits = HttpParserLimits());
+
+  State Feed(const char* data, size_t len);
+  State Feed(std::string_view data) { return Feed(data.data(), data.size()); }
+
+  State state() const { return state_; }
+  /// Valid only in kComplete.
+  const HttpRequest& request() const { return request_; }
+  /// Valid only in kError: the status the server should answer with
+  /// (always 4xx) and a short human-readable reason.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Discards the completed request and parses buffered leftover bytes.
+  /// Returns the parser state for the *next* request.
+  State ConsumeRequest();
+
+  /// Bytes buffered but not yet part of a completed request.
+  size_t BufferedBytes() const { return buffer_.size(); }
+
+ private:
+  State Fail(int status, std::string reason);
+  /// Attempts to advance using buffer_; sets state_.
+  void TryParse();
+
+  HttpParserLimits limits_;
+  std::string buffer_;
+  State state_ = State::kNeedMore;
+  HttpRequest request_;
+  /// Set once the header block is parsed; body_needed_ counts down.
+  bool headers_done_ = false;
+  size_t body_needed_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace kpef::serve
+
+#endif  // KPEF_SERVE_HTTP_PARSER_H_

@@ -1,0 +1,434 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+
+namespace kpef::serve {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() {
+  ShutdownGracefully(0.0);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+}
+
+Status HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + config_.address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    return Status::IOError("epoll_create1/eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = event_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  loop_thread_ = std::thread([this] { Loop(); });
+  KPEF_LOG(Info) << "http server listening on " << config_.address << ":"
+                 << port_;
+  return Status::OK();
+}
+
+void HttpServer::WakeLoop() {
+  if (event_fd_ < 0) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+}
+
+void HttpServer::ShutdownGracefully(double timeout_ms) {
+  if (loop_thread_.joinable()) {
+    draining_.store(true, std::memory_order_relaxed);
+    WakeLoop();
+    {
+      std::unique_lock<std::mutex> lock(shutdown_mutex_);
+      if (timeout_ms > 0.0) {
+        shutdown_cv_.wait_for(
+            lock, std::chrono::duration<double, std::milli>(timeout_ms),
+            [this] { return loop_done_; });
+      }
+    }
+    force_stop_.store(true, std::memory_order_relaxed);
+    WakeLoop();
+    loop_thread_.join();
+  }
+}
+
+size_t HttpServer::ActiveConnectionsForTest() const {
+  // Racy by nature (loop thread mutates the map); only used by tests
+  // and logs after the loop has quiesced.
+  return connections_.size();
+}
+
+void HttpServer::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  auto last_sweep = std::chrono::steady_clock::now();
+  bool listener_armed = true;
+
+  while (true) {
+    const bool draining = draining_.load(std::memory_order_relaxed);
+    if (draining && listener_armed) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      // Close (not just unregister) the listener: half-accepted sockets
+      // sitting in the kernel backlog would otherwise keep clients
+      // blocked forever on a connection nobody will ever serve.
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listener_armed = false;
+      // Keep-alive connections with nothing in flight will never get
+      // another request we want; close them so the drain converges.
+      std::vector<int> idle;
+      for (const auto& [fd, conn] : connections_) {
+        if (!conn.in_flight && conn.out_offset >= conn.out.size()) {
+          idle.push_back(fd);
+        }
+      }
+      for (int fd : idle) CloseConnection(fd);
+    }
+    if (draining && connections_.empty()) break;
+    if (force_stop_.load(std::memory_order_relaxed)) break;
+
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptNew();
+      } else if (fd == event_fd_) {
+        uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = ::read(event_fd_, &drain, sizeof(drain));
+        DrainRoutedResponses();
+      } else {
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          CloseConnection(fd);
+          continue;
+        }
+        if (events[i].events & EPOLLIN) HandleReadable(fd);
+        if (connections_.count(fd) && (events[i].events & EPOLLOUT)) {
+          HandleWritable(fd);
+        }
+      }
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    if (config_.idle_timeout_ms > 0.0 &&
+        now - last_sweep > std::chrono::seconds(1)) {
+      last_sweep = now;
+      CloseIdleConnections();
+    }
+  }
+
+  // Loop exit: close every remaining connection, then flag completion.
+  std::vector<int> remaining;
+  for (const auto& [fd, conn] : connections_) remaining.push_back(fd);
+  for (int fd : remaining) CloseConnection(fd);
+  {
+    std::lock_guard<std::mutex> lock(routed_mutex_);
+    loop_stopped_ = true;
+    routed_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    loop_done_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void HttpServer::AcceptNew() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: back to epoll
+    if (connections_.size() >= config_.max_connections ||
+        draining_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto [it, inserted] = connections_.emplace(fd, Connection(config_.limits));
+    it->second.gen = next_gen_++;
+    it->second.last_activity = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void HttpServer::HandleReadable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.last_activity = std::chrono::steady_clock::now();
+      if (conn.parser.state() != HttpRequestParser::State::kError) {
+        conn.parser.Feed(buf, static_cast<size_t>(n));
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. Anything short of a complete buffered request is
+      // abandoned (a truncated request never reaches the handler).
+      CloseConnection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(fd);
+    return;
+  }
+  if (conn.parser.state() == HttpRequestParser::State::kError) {
+    if (!conn.in_flight && !conn.close_after_write) {
+      KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+      HttpResponse response;
+      response.status = conn.parser.error_status();
+      response.body = "{\"error\":\"" + conn.parser.error_reason() + "\"}\n";
+      QueueResponse(fd, std::move(response), /*close_after=*/true);
+    } else {
+      // Error behind an in-flight request: answer the live one, then
+      // close (close_after is forced once the response goes out).
+      conn.close_after_write = true;
+    }
+    return;
+  }
+  MaybeDispatch(fd);
+}
+
+void HttpServer::MaybeDispatch(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  if (!conn.in_flight && conn.out.empty() && !conn.close_after_write &&
+      conn.parser.state() == HttpRequestParser::State::kError) {
+    // A malformed pipelined request surfaced once the previous response
+    // flushed: reject and close.
+    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+    HttpResponse response;
+    response.status = conn.parser.error_status();
+    response.body = "{\"error\":\"" + conn.parser.error_reason() + "\"}\n";
+    QueueResponse(fd, std::move(response), /*close_after=*/true);
+    return;
+  }
+  if (!conn.in_flight &&
+      conn.parser.state() == HttpRequestParser::State::kComplete) {
+    conn.in_flight = true;
+    const uint64_t gen = conn.gen;
+    Responder responder = [this, fd, gen](HttpResponse response) {
+      RouteResponse(fd, gen, std::move(response));
+    };
+    // The handler may respond synchronously (RouteResponse enqueues and
+    // wakes the loop we are on; the eventfd event delivers it in this
+    // same iteration batch) or from another thread later.
+    const HttpRequest& request = conn.parser.request();
+    const bool keep_alive = request.keep_alive;
+    handler_(request, std::move(responder));
+    // Release the request bytes; this may immediately complete the next
+    // pipelined request, which waits until the response is written.
+    auto again = connections_.find(fd);
+    if (again == connections_.end()) return;
+    again->second.close_after_write =
+        again->second.close_after_write || !keep_alive;
+    again->second.parser.ConsumeRequest();
+  }
+  UpdateInterest(fd);
+}
+
+void HttpServer::RouteResponse(int fd, uint64_t gen, HttpResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(routed_mutex_);
+    if (loop_stopped_) return;
+    routed_.push_back(RoutedResponse{fd, gen, std::move(response)});
+  }
+  WakeLoop();
+}
+
+void HttpServer::DrainRoutedResponses() {
+  std::vector<RoutedResponse> batch;
+  {
+    std::lock_guard<std::mutex> lock(routed_mutex_);
+    batch.swap(routed_);
+  }
+  for (RoutedResponse& routed : batch) {
+    auto it = connections_.find(routed.fd);
+    // Generation guards against fd reuse: a late response for a closed
+    // connection must not reach whoever owns the fd now.
+    if (it == connections_.end() || it->second.gen != routed.gen ||
+        !it->second.in_flight) {
+      continue;
+    }
+    it->second.in_flight = false;
+    QueueResponse(routed.fd, std::move(routed.response),
+                  it->second.close_after_write ||
+                      draining_.load(std::memory_order_relaxed));
+  }
+}
+
+void HttpServer::QueueResponse(int fd, HttpResponse response,
+                               bool close_after) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  conn.close_after_write = close_after;
+
+  std::string& out = conn.out;
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(ReasonPhrase(response.status));
+  out.append("\r\ncontent-type: ");
+  out.append(response.content_type);
+  out.append("\r\ncontent-length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\nconnection: ");
+  out.append(close_after ? "close" : "keep-alive");
+  out.append("\r\n");
+  for (const auto& [name, value] : response.extra_headers) {
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+    out.append("\r\n");
+  }
+  out.append("\r\n");
+  out.append(response.body);
+  TryWrite(fd);
+}
+
+void HttpServer::TryWrite(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
+                             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateInterest(fd);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(fd);
+    return;
+  }
+  // Fully flushed.
+  conn.out.clear();
+  conn.out_offset = 0;
+  if (conn.close_after_write) {
+    CloseConnection(fd);
+    return;
+  }
+  // The next pipelined request (if already parsed) can go out now.
+  MaybeDispatch(fd);
+}
+
+void HttpServer::HandleWritable(int fd) { TryWrite(fd); }
+
+void HttpServer::UpdateInterest(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  const Connection& conn = it->second;
+  uint32_t interest = 0;
+  // Parked while a request is in flight: backpressure lives in the
+  // kernel socket buffer instead of our heap.
+  if (!conn.in_flight) interest |= EPOLLIN;
+  if (conn.out_offset < conn.out.size()) interest |= EPOLLOUT;
+  epoll_event ev{};
+  ev.events = interest;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void HttpServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+void HttpServer::CloseIdleConnections() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::duration<double, std::milli>(
+      config_.idle_timeout_ms);
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (!conn.in_flight && conn.out_offset >= conn.out.size() &&
+        now - conn.last_activity > limit) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : idle) CloseConnection(fd);
+}
+
+}  // namespace kpef::serve

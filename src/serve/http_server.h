@@ -1,0 +1,158 @@
+// Dependency-free epoll HTTP/1.1 server (DESIGN.md §11).
+//
+// One event-loop thread owns every socket: accept, read, parse,
+// dispatch, write. Handlers run on the loop thread but respond through a
+// thread-safe Responder, so a handler may hand the request to another
+// thread (the micro-batcher) and answer later — the response is routed
+// back into the loop via an eventfd wakeup. One request is in flight per
+// connection at a time; pipelined bytes stay buffered (and the
+// connection's read interest is parked) until the response is written,
+// which bounds per-connection memory without breaking pipelining.
+//
+// Shutdown contract (SIGTERM path): ShutdownGracefully() closes the
+// listener, lets in-flight requests finish (their responses carry
+// "Connection: close"), closes idle keep-alive connections immediately,
+// and force-closes whatever remains at the timeout.
+
+#ifndef KPEF_SERVE_HTTP_SERVER_H_
+#define KPEF_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/http_parser.h"
+
+namespace kpef::serve {
+
+struct HttpServerConfig {
+  std::string address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available from port() after
+  /// Start().
+  uint16_t port = 0;
+  int backlog = 128;
+  size_t max_connections = 1024;
+  /// Keep-alive connections idle longer than this are closed (<= 0
+  /// disables the sweep).
+  double idle_timeout_ms = 60000.0;
+  HttpParserLimits limits;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers appended verbatim (e.g. {"retry-after", "1"}).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+class HttpServer {
+ public:
+  /// Thread-safe, call-at-most-once reply channel for one request.
+  /// Calling it after the connection died (or twice) is a safe no-op.
+  using Responder = std::function<void(HttpResponse)>;
+  /// Invoked on the event-loop thread once per parsed request. The
+  /// HttpRequest reference is valid only for the duration of the call —
+  /// copy what outlives it. MUST NOT block: hand slow work to another
+  /// thread and reply through the Responder.
+  using Handler = std::function<void(const HttpRequest&, Responder)>;
+
+  HttpServer(HttpServerConfig config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the event loop.
+  Status Start();
+
+  /// Port actually bound (after Start(); useful with config.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, finishes in-flight requests, then stops the loop.
+  /// Blocks up to `timeout_ms`, then force-closes stragglers. Safe to
+  /// call from any thread (including a signal-watcher); idempotent.
+  void ShutdownGracefully(double timeout_ms = 10000.0);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections currently tracked by the loop (tests/health only).
+  size_t ActiveConnectionsForTest() const;
+
+ private:
+  struct Connection {
+    uint64_t gen = 0;
+    HttpRequestParser parser;
+    /// A request was dispatched and its response is still pending.
+    bool in_flight = false;
+    /// Close once the write buffer drains.
+    bool close_after_write = false;
+    std::string out;
+    size_t out_offset = 0;
+    std::chrono::steady_clock::time_point last_activity;
+
+    explicit Connection(HttpParserLimits limits) : parser(limits) {}
+  };
+
+  struct RoutedResponse {
+    int fd = -1;
+    uint64_t gen = 0;
+    HttpResponse response;
+  };
+
+  void Loop();
+  void AcceptNew();
+  void HandleReadable(int fd);
+  void HandleWritable(int fd);
+  /// Dispatches the parser's completed request if the connection is
+  /// free; parks read interest while a request is in flight.
+  void MaybeDispatch(int fd);
+  /// Serializes `response` into the connection's write buffer and
+  /// starts writing.
+  void QueueResponse(int fd, HttpResponse response, bool close_after);
+  void DrainRoutedResponses();
+  void TryWrite(int fd);
+  void UpdateInterest(int fd);
+  void CloseConnection(int fd);
+  void CloseIdleConnections();
+  /// Cross-thread entry used by Responders.
+  void RouteResponse(int fd, uint64_t gen, HttpResponse response);
+  void WakeLoop();
+
+  const HttpServerConfig config_;
+  const Handler handler_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+
+  std::map<int, Connection> connections_;  // loop thread only
+  uint64_t next_gen_ = 1;                  // loop thread only
+
+  std::mutex routed_mutex_;
+  std::vector<RoutedResponse> routed_;
+  /// Set once the loop exited; RouteResponse drops instead of waking.
+  bool loop_stopped_ = false;  // guarded by routed_mutex_
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> force_stop_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool loop_done_ = false;  // guarded by shutdown_mutex_
+};
+
+}  // namespace kpef::serve
+
+#endif  // KPEF_SERVE_HTTP_SERVER_H_

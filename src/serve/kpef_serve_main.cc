@@ -1,0 +1,149 @@
+// kpef_serve: network-facing serving binary. Loads the artifacts that
+// `kpef_cli build` persisted and serves /v1/find_experts, /healthz, and
+// /metrics over HTTP with dynamic micro-batching (DESIGN.md §11).
+//
+//   kpef_serve --graph graph.kg --model-dir model [--address 127.0.0.1]
+//              [--port 8080] [--batch-size 16] [--batch-age-ms 4]
+//              [--max-pending 256] [--default-n 10]
+//              [--default-deadline-ms 0] [--metrics-out path]
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, flush queued batches,
+// answer in-flight requests, then exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "graph/graph_io.h"
+#include "obs/export.h"
+#include "obs/pipeline_metrics.h"
+#include "serve/http_server.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace kpef;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kInfo);
+  const auto flags = ParseFlags(argc, argv);
+  const std::string graph_path = FlagOr(flags, "graph", "graph.kg");
+  const std::string model_dir = FlagOr(flags, "model-dir", "model");
+
+  // Block the shutdown signals before any thread spawns, so they are
+  // delivered to the sigwait below, never to a worker.
+  sigset_t sigset;
+  sigemptyset(&sigset);
+  sigaddset(&sigset, SIGTERM);
+  sigaddset(&sigset, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigset, nullptr);
+
+  obs::WarmPipelineMetrics();
+
+  auto graph = LoadGraph(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  auto dataset = DatasetFromGraph(std::move(graph).value(), graph_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const Corpus corpus = BuildPaperCorpus(*dataset);
+
+  // Mirror kpef_cli's build-time retrieval depth so loaded artifacts
+  // serve with the configuration they were built for.
+  EngineConfig engine_config;
+  engine_config.top_m = std::max<size_t>(50, dataset->Papers().size() / 10);
+  auto engine = ExpertFindingEngine::LoadFromArtifacts(
+      &*dataset, &corpus, engine_config, model_dir);
+  if (!engine.ok()) return Fail(engine.status());
+  const EngineInfo info = (*engine)->Info();
+  std::printf("loaded %s: %zu papers, %zu experts, dim %zu, index=%s\n",
+              model_dir.c_str(), info.num_papers, info.num_experts,
+              info.embedding_dim, info.has_index ? "pg" : "brute");
+
+  serve::ServiceConfig service_config;
+  service_config.batcher.max_batch_size = static_cast<size_t>(
+      std::atoi(FlagOr(flags, "batch-size", "16").c_str()));
+  service_config.batcher.max_queue_age_ms =
+      std::atof(FlagOr(flags, "batch-age-ms", "4").c_str());
+  service_config.batcher.max_pending = static_cast<size_t>(
+      std::atoi(FlagOr(flags, "max-pending", "256").c_str()));
+  service_config.default_top_n = static_cast<size_t>(
+      std::atoi(FlagOr(flags, "default-n", "10").c_str()));
+  service_config.default_deadline_ms =
+      std::atof(FlagOr(flags, "default-deadline-ms", "0").c_str());
+
+  serve::HttpServerConfig server_config;
+  server_config.address = FlagOr(flags, "address", "127.0.0.1");
+  server_config.port =
+      static_cast<uint16_t>(std::atoi(FlagOr(flags, "port", "8080").c_str()));
+
+  // The server's handler references `service`, so `service` must be
+  // declared first (destroyed last). That is safe only because the
+  // explicit drain below runs server.ShutdownGracefully() and then
+  // service->Drain() before either destructor: by destruction time the
+  // batcher has no in-flight completions left to route.
+  auto service = serve::ExpertSearchService::ForEngine(engine->get(),
+                                                       service_config);
+  serve::HttpServer server(
+      server_config,
+      [&service](const serve::HttpRequest& request,
+                 serve::HttpServer::Responder respond) {
+        service->Handle(request, std::move(respond));
+      });
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("serving on http://%s:%u (batch<=%zu, age<=%.1fms, "
+              "queue<=%zu)\n",
+              server_config.address.c_str(), server.port(),
+              service_config.batcher.max_batch_size,
+              service_config.batcher.max_queue_age_ms,
+              service_config.batcher.max_pending);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigset, &sig);
+  std::printf("received %s, draining...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+
+  // Drain order: stop accepting and let in-flight requests finish (the
+  // batcher is still running and answers them), then stop the batcher.
+  server.ShutdownGracefully(/*timeout_ms=*/15000.0);
+  service->Drain();
+
+  const std::string metrics_out = FlagOr(flags, "metrics-out", "");
+  if (!metrics_out.empty()) {
+    const Status s = obs::WriteMetricsFile(metrics_out);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  std::printf("drained, bye\n");
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/timer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "serve/json_util.h"
+
+namespace kpef::serve {
+
+namespace {
+
+HttpResponse JsonError(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.body.append("{\"error\":");
+  AppendJsonString(message, &response.body);
+  response.body.append("}\n");
+  return response;
+}
+
+}  // namespace
+
+ExpertSearchService::ExpertSearchService(ServiceConfig config, EngineInfo info,
+                                         BatchExecuteFn execute, LabelFn label)
+    : config_(config),
+      info_(std::move(info)),
+      label_(std::move(label)),
+      batcher_(config.batcher, std::move(execute)) {}
+
+std::unique_ptr<ExpertSearchService> ExpertSearchService::ForEngine(
+    ExpertFindingEngine* engine, ServiceConfig config) {
+  BatchExecuteFn execute = [engine](const std::vector<std::string>& texts,
+                                    size_t top_n,
+                                    const BatchQueryOptions& options,
+                                    std::vector<QueryStats>* stats) {
+    return engine->FindExpertsBatch(texts, top_n, options, stats);
+  };
+  const HeteroGraph* graph = &engine->dataset().graph;
+  LabelFn label = [graph](NodeId id) { return graph->Label(id); };
+  return std::make_unique<ExpertSearchService>(
+      config, engine->Info(), std::move(execute), std::move(label));
+}
+
+void ExpertSearchService::Handle(const HttpRequest& request,
+                                 HttpServer::Responder respond) {
+  KPEF_COUNTER_ADD(obs::kServeRequests, 1);
+  const std::string_view path = request.Path();
+
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      respond(JsonError(405, "use GET"));
+      return;
+    }
+    HttpResponse response;
+    response.body.append("{\"status\":\"ok\",\"engine\":");
+    AppendJsonString(info_.display_name, &response.body);
+    response.body.append(",\"papers\":");
+    response.body.append(std::to_string(info_.num_papers));
+    response.body.append(",\"experts\":");
+    response.body.append(std::to_string(info_.num_experts));
+    response.body.append(",\"dim\":");
+    response.body.append(std::to_string(info_.embedding_dim));
+    response.body.append(",\"pg_index\":");
+    response.body.append(info_.has_index ? "true" : "false");
+    response.body.append(",\"draining\":false}\n");
+    respond(std::move(response));
+    return;
+  }
+
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      respond(JsonError(405, "use GET"));
+      return;
+    }
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = obs::ExportPrometheusText();
+    respond(std::move(response));
+    return;
+  }
+
+  if (path == "/v1/find_experts") {
+    if (request.method != "POST") {
+      respond(JsonError(405, "use POST"));
+      return;
+    }
+    HandleFindExperts(request, std::move(respond));
+    return;
+  }
+
+  respond(JsonError(404, "unknown endpoint"));
+}
+
+void ExpertSearchService::HandleFindExperts(const HttpRequest& request,
+                                            HttpServer::Responder respond) {
+  JsonValue doc;
+  std::string parse_error;
+  if (!ParseJson(request.body, &doc, &parse_error) || !doc.is_object()) {
+    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+    respond(JsonError(400, parse_error.empty() ? "body must be a JSON object"
+                                               : parse_error));
+    return;
+  }
+  const JsonValue* query = doc.Find("query");
+  if (query == nullptr || !query->is_string() ||
+      query->string_value.empty()) {
+    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+    respond(JsonError(400, "\"query\" must be a non-empty string"));
+    return;
+  }
+
+  BatchRequest batch_request;
+  batch_request.query = query->string_value;
+  batch_request.top_n = config_.default_top_n;
+  if (const JsonValue* n = doc.Find("n")) {
+    if (!n->is_number() || n->number_value < 1.0 ||
+        n->number_value != std::floor(n->number_value)) {
+      KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+      respond(JsonError(400, "\"n\" must be a positive integer"));
+      return;
+    }
+    batch_request.top_n = std::min<size_t>(
+        static_cast<size_t>(n->number_value), config_.max_top_n);
+  }
+  double deadline_ms = config_.default_deadline_ms;
+  if (const JsonValue* d = doc.Find("deadline_ms")) {
+    if (!d->is_number() || d->number_value <= 0.0) {
+      KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+      respond(JsonError(400, "\"deadline_ms\" must be a positive number"));
+      return;
+    }
+    deadline_ms = std::min(d->number_value, config_.max_deadline_ms);
+  }
+  if (deadline_ms > 0.0) {
+    batch_request.has_deadline = true;
+    batch_request.deadline =
+        CancelToken::Clock::now() +
+        std::chrono::duration_cast<CancelToken::Clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+
+  // Completion runs on the batcher's dispatch thread; the responder
+  // routes the rendered response back to the event loop. A copy stays
+  // behind for the shed path (Submit never invokes `done` on failure).
+  HttpServer::Responder respond_on_shed = respond;
+  auto started = std::make_shared<Timer>();
+  LabelFn label = label_;
+  auto done = [respond = std::move(respond), label = std::move(label),
+               started](BatchResponse result) {
+    HttpResponse response;
+    response.status = result.deadline_exceeded ? 504 : 200;
+    std::string& body = response.body;
+    body.push_back('{');
+    if (result.deadline_exceeded) {
+      body.append("\"error\":\"deadline exceeded\",\"partial\":true,");
+    }
+    body.append("\"experts\":[");
+    for (size_t i = 0; i < result.experts.size(); ++i) {
+      if (i > 0) body.push_back(',');
+      body.append("{\"id\":");
+      body.append(std::to_string(result.experts[i].author));
+      body.append(",\"name\":");
+      AppendJsonString(label ? label(result.experts[i].author) : "",
+                       &body);
+      body.append(",\"score\":");
+      body.append(JsonNumber(result.experts[i].score));
+      body.push_back('}');
+    }
+    body.append("],\"stats\":{\"retrieval_ms\":");
+    body.append(JsonNumber(result.stats.retrieval_ms));
+    body.append(",\"ranking_ms\":");
+    body.append(JsonNumber(result.stats.ranking_ms));
+    body.append(",\"distance_computations\":");
+    body.append(std::to_string(result.stats.distance_computations));
+    body.append(",\"ranking_entries_accessed\":");
+    body.append(std::to_string(result.stats.ranking_entries_accessed));
+    body.append(",\"ta_early_terminated\":");
+    body.append(result.stats.ta_early_terminated ? "true" : "false");
+    body.append(",\"deadline_exceeded\":");
+    body.append(result.deadline_exceeded ? "true" : "false");
+    body.append("},\"batch_size\":");
+    body.append(std::to_string(result.batch_size));
+    body.append(",\"queue_wait_ms\":");
+    body.append(JsonNumber(result.queue_wait_ms));
+    body.append("}\n");
+    KPEF_HISTOGRAM_OBSERVE(obs::kServeE2eMs, started->ElapsedMillis());
+    respond(std::move(response));
+  };
+
+  if (!batcher_.Submit(std::move(batch_request), std::move(done))) {
+    // Shed (or draining): tell the client when to come back.
+    HttpResponse response = JsonError(429, "server overloaded, retry later");
+    response.extra_headers.emplace_back(
+        "retry-after", std::to_string(config_.retry_after_seconds));
+    respond_on_shed(std::move(response));
+  }
+}
+
+}  // namespace kpef::serve

@@ -1,0 +1,80 @@
+// ExpertSearchService: HTTP endpoint contracts over the engine
+// (DESIGN.md §11).
+//
+//   POST /v1/find_experts   {"query": "...", "n": 10, "deadline_ms": 50}
+//     200 {"experts":[{"id":..,"name":"..","score":..},...],
+//          "stats":{...}, "batch_size":.., "queue_wait_ms":..}
+//     400 malformed HTTP/JSON (incl. non-UTF-8 bodies)
+//     429 admission queue full (Retry-After header)
+//     504 per-request deadline missed ("partial": true, any results the
+//         engine finished before the deadline are included)
+//   GET /healthz             200 {"status":"ok", ...engine summary}
+//   GET /metrics             200 Prometheus text exposition
+//
+// The service talks to the engine exclusively through a BatchExecuteFn,
+// so tests wire a fake engine; ForEngine() adapts a real
+// ExpertFindingEngine.
+
+#ifndef KPEF_SERVE_SERVICE_H_
+#define KPEF_SERVE_SERVICE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "serve/batcher.h"
+#include "serve/http_server.h"
+
+namespace kpef::serve {
+
+struct ServiceConfig {
+  BatcherConfig batcher;
+  /// "n" when the request omits it, and its hard cap.
+  size_t default_top_n = 10;
+  size_t max_top_n = 200;
+  /// Deadline applied when the request omits deadline_ms (<= 0: none).
+  double default_deadline_ms = 0.0;
+  /// Requested deadlines are clamped to this.
+  double max_deadline_ms = 60000.0;
+  /// Retry-After value on 429 responses, seconds.
+  int retry_after_seconds = 1;
+};
+
+class ExpertSearchService {
+ public:
+  /// Maps an expert NodeId to a display label for response rendering.
+  using LabelFn = std::function<std::string(NodeId)>;
+
+  ExpertSearchService(ServiceConfig config, EngineInfo info,
+                      BatchExecuteFn execute, LabelFn label);
+
+  /// Wires a real engine: execute = engine->FindExpertsBatch, labels
+  /// from the dataset graph. The engine must outlive the service.
+  static std::unique_ptr<ExpertSearchService> ForEngine(
+      ExpertFindingEngine* engine, ServiceConfig config);
+
+  /// HttpServer::Handler entry point.
+  void Handle(const HttpRequest& request, HttpServer::Responder respond);
+
+  /// Stops admission and flushes queued queries (callbacks still fire).
+  /// Call before the HTTP server's graceful drain completes so in-flight
+  /// requests get real responses.
+  void Drain() { batcher_.Shutdown(); }
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  void HandleFindExperts(const HttpRequest& request,
+                         HttpServer::Responder respond);
+
+  const ServiceConfig config_;
+  const EngineInfo info_;
+  const LabelFn label_;
+  MicroBatcher batcher_;
+};
+
+}  // namespace kpef::serve
+
+#endif  // KPEF_SERVE_SERVICE_H_

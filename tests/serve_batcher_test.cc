@@ -1,0 +1,351 @@
+// MicroBatcher as a pure unit (ISSUE 5 satellite): flush-on-size,
+// flush-on-age, per-request deadline propagation into BatchQueryOptions,
+// shed-when-full, and drain-on-shutdown — all against a fake engine
+// function, no sockets involved.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+
+namespace kpef::serve {
+namespace {
+
+using Clock = CancelToken::Clock;
+
+/// Records every engine call; optionally blocks until released and/or
+/// sleeps to simulate slow batches.
+struct FakeEngine {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool blocked = false;
+  double sleep_ms = 0.0;
+  std::vector<size_t> batch_sizes;
+  std::vector<size_t> top_ns;
+  std::vector<BatchQueryOptions> options_seen;
+
+  BatchExecuteFn AsFn() {
+    return [this](const std::vector<std::string>& texts, size_t top_n,
+                  const BatchQueryOptions& options,
+                  std::vector<QueryStats>* stats) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        batch_sizes.push_back(texts.size());
+        top_ns.push_back(top_n);
+        options_seen.push_back(options);
+        cv.wait(lock, [this] { return !blocked; });
+      }
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      stats->assign(texts.size(), QueryStats());
+      std::vector<std::vector<ExpertScore>> results(texts.size());
+      for (size_t q = 0; q < texts.size(); ++q) {
+        for (size_t i = 0; i < top_n; ++i) {
+          results[q].push_back(
+              ExpertScore{static_cast<NodeId>(i), 1.0 / (1.0 + i)});
+        }
+      }
+      return results;
+    };
+  }
+
+  void Block() {
+    std::lock_guard<std::mutex> lock(mutex);
+    blocked = true;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      blocked = false;
+    }
+    cv.notify_all();
+  }
+  size_t NumCalls() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return batch_sizes.size();
+  }
+};
+
+/// Collects completions with a latch-style wait.
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<BatchResponse> responses;
+
+  MicroBatcher::CompletionFn Fn() {
+    return [this](BatchResponse response) {
+      // Notify while holding the lock: the waiter may destroy this
+      // Collector the moment the predicate holds, so an unlocked
+      // notify_all could touch a dead condvar.
+      std::lock_guard<std::mutex> lock(mutex);
+      responses.push_back(std::move(response));
+      cv.notify_all();
+    };
+  }
+
+  bool WaitForCount(size_t n, double timeout_ms = 5000.0) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeout_ms),
+        [&] { return responses.size() >= n; });
+  }
+};
+
+BatchRequest Request(const std::string& query, size_t top_n = 5) {
+  BatchRequest request;
+  request.query = query;
+  request.top_n = top_n;
+  return request;
+}
+
+TEST(MicroBatcherTest, FlushOnSizeCoalescesIntoOneEngineCall) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 4;
+  config.max_queue_age_ms = 60000.0;  // age never fires in this test
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.Submit(Request("q" + std::to_string(i)),
+                               collector.Fn()));
+  }
+  ASSERT_TRUE(collector.WaitForCount(4));
+  ASSERT_EQ(engine.NumCalls(), 1u);
+  EXPECT_EQ(engine.batch_sizes[0], 4u);
+  for (const BatchResponse& r : collector.responses) {
+    EXPECT_EQ(r.batch_size, 4u);
+    EXPECT_FALSE(r.deadline_exceeded);
+    EXPECT_GE(r.queue_wait_ms, 0.0);
+  }
+}
+
+TEST(MicroBatcherTest, FlushOnAgeDispatchesPartialBatch) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 64;  // size never fires in this test
+  config.max_queue_age_ms = 5.0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  ASSERT_TRUE(batcher.Submit(Request("lonely"), collector.Fn()));
+  // Nothing else arrives; the age timer must flush the singleton batch.
+  ASSERT_TRUE(collector.WaitForCount(1));
+  ASSERT_EQ(engine.NumCalls(), 1u);
+  EXPECT_EQ(engine.batch_sizes[0], 1u);
+  EXPECT_EQ(collector.responses[0].batch_size, 1u);
+}
+
+TEST(MicroBatcherTest, TopNIsBatchMaxAndResultsAreTruncatedPerRequest) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  ASSERT_TRUE(batcher.Submit(Request("small", 3), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(Request("large", 9), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(2));
+  ASSERT_EQ(engine.top_ns.size(), 1u);
+  EXPECT_EQ(engine.top_ns[0], 9u);  // engine ran at the batch max
+  // Each request got its own n back.
+  std::vector<size_t> sizes;
+  for (const BatchResponse& r : collector.responses) {
+    sizes.push_back(r.experts.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{3, 9}));
+}
+
+TEST(MicroBatcherTest, DeadlinePropagatesIntoBatchQueryOptions) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  BatchRequest a = Request("a");
+  a.has_deadline = true;
+  a.deadline = Clock::now() + std::chrono::seconds(30);
+  BatchRequest b = Request("b");
+  b.has_deadline = true;
+  b.deadline = Clock::now() + std::chrono::seconds(60);
+  ASSERT_TRUE(batcher.Submit(std::move(a), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(std::move(b), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(2));
+  ASSERT_EQ(engine.options_seen.size(), 1u);
+  // Every request carried a deadline, so the batch got a cancel token
+  // (deadline = the latest of the two; it must not have fired).
+  EXPECT_TRUE(engine.options_seen[0].cancel.CanBeCancelled());
+  EXPECT_FALSE(engine.options_seen[0].cancel.IsCancelled());
+  for (const BatchResponse& r : collector.responses) {
+    EXPECT_FALSE(r.deadline_exceeded);
+  }
+}
+
+TEST(MicroBatcherTest, NoCancelTokenWhenAnyRequestLacksDeadline) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  BatchRequest a = Request("a");
+  a.has_deadline = true;
+  a.deadline = Clock::now() + std::chrono::seconds(30);
+  ASSERT_TRUE(batcher.Submit(std::move(a), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(Request("b"), collector.Fn()));  // no deadline
+  ASSERT_TRUE(collector.WaitForCount(2));
+  ASSERT_EQ(engine.options_seen.size(), 1u);
+  // An unbounded request rides in the batch, so the engine call must
+  // not be cancellable at the bounded request's deadline.
+  EXPECT_FALSE(engine.options_seen[0].cancel.CanBeCancelled());
+}
+
+TEST(MicroBatcherTest, ExpiredRequestsNeverReachTheEngine) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  BatchRequest expired = Request("expired");
+  expired.has_deadline = true;
+  expired.deadline = Clock::now() - std::chrono::milliseconds(1);
+  ASSERT_TRUE(batcher.Submit(std::move(expired), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(Request("live"), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(2));
+  // The engine saw only the live request.
+  ASSERT_EQ(engine.batch_sizes.size(), 1u);
+  EXPECT_EQ(engine.batch_sizes[0], 1u);
+  size_t expired_count = 0;
+  for (const BatchResponse& r : collector.responses) {
+    if (r.deadline_exceeded) {
+      ++expired_count;
+      EXPECT_TRUE(r.experts.empty());
+      EXPECT_EQ(r.batch_size, 0u);
+    }
+  }
+  EXPECT_EQ(expired_count, 1u);
+}
+
+TEST(MicroBatcherTest, MissedDeadlineFlaggedAfterSlowBatch) {
+  FakeEngine engine;
+  engine.sleep_ms = 30.0;
+  BatcherConfig config;
+  config.max_batch_size = 1;
+  config.max_queue_age_ms = 0.0;  // dispatch immediately
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  BatchRequest tight = Request("tight");
+  tight.has_deadline = true;
+  tight.deadline = Clock::now() + std::chrono::milliseconds(5);
+  ASSERT_TRUE(batcher.Submit(std::move(tight), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(1));
+  EXPECT_TRUE(collector.responses[0].deadline_exceeded);
+}
+
+TEST(MicroBatcherTest, ShedsWhenQueueFull) {
+  FakeEngine engine;
+  engine.Block();  // first batch wedges the dispatcher
+  BatcherConfig config;
+  config.max_batch_size = 1;
+  config.max_queue_age_ms = 0.0;
+  config.max_pending = 2;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  // First submit is popped by the dispatcher (blocked in the engine);
+  // wait until the queue is empty again before filling it.
+  ASSERT_TRUE(batcher.Submit(Request("in-engine"), collector.Fn()));
+  while (batcher.PendingForTest() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(batcher.Submit(Request("q1"), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(Request("q2"), collector.Fn()));
+  // Queue is at max_pending: admission control sheds, callback not run.
+  EXPECT_FALSE(batcher.Submit(Request("q3"), collector.Fn()));
+  EXPECT_EQ(collector.responses.size(), 0u);
+  engine.Release();
+  ASSERT_TRUE(collector.WaitForCount(3));
+  EXPECT_EQ(collector.responses.size(), 3u);
+  batcher.Shutdown();
+}
+
+TEST(MicroBatcherTest, ShutdownDrainsEveryQueuedRequest) {
+  FakeEngine engine;
+  engine.Block();
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  config.max_pending = 64;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(batcher.Submit(Request("q" + std::to_string(i)),
+                               collector.Fn()));
+  }
+  // Shutdown must flush all 7 even though the age timer never fired.
+  std::thread release([&engine] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    engine.Release();
+  });
+  batcher.Shutdown();
+  release.join();
+  EXPECT_EQ(collector.responses.size(), 7u);
+  // After shutdown, admission is closed (and sheds without callback).
+  EXPECT_FALSE(batcher.Submit(Request("late"), collector.Fn()));
+  EXPECT_EQ(collector.responses.size(), 7u);
+}
+
+TEST(MicroBatcherTest, DestructorDrains) {
+  FakeEngine engine;
+  Collector collector;
+  {
+    BatcherConfig config;
+    config.max_batch_size = 8;
+    config.max_queue_age_ms = 60000.0;
+    MicroBatcher batcher(config, engine.AsFn());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(batcher.Submit(Request("q"), collector.Fn()));
+    }
+  }
+  EXPECT_EQ(collector.responses.size(), 3u);
+}
+
+TEST(MicroBatcherTest, ConcurrentSubmittersAllComplete) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 8;
+  config.max_queue_age_ms = 1.0;
+  config.max_pending = 1024;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (batcher.Submit(Request("q"), collector.Fn())) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(collector.WaitForCount(static_cast<size_t>(accepted.load())));
+  EXPECT_EQ(collector.responses.size(),
+            static_cast<size_t>(accepted.load()));
+  EXPECT_EQ(accepted.load(), kThreads * kPerThread);  // queue never filled
+}
+
+}  // namespace
+}  // namespace kpef::serve

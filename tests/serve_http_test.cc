@@ -1,0 +1,254 @@
+// Hostile-input tests for the serving subsystem's HTTP parser and JSON
+// layer: split reads, pipelining, missing/huge/garbage Content-Length,
+// truncated headers, non-UTF-8 bodies. The contract under attack input
+// is "400, never crash or hang" (ISSUE 5 satellite).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/http_parser.h"
+#include "serve/json_util.h"
+
+namespace kpef::serve {
+namespace {
+
+using State = HttpRequestParser::State;
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n"),
+            State::kComplete);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.Path(), "/healthz");
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_TRUE(request.body.empty());
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+}
+
+TEST(HttpParserTest, ParsesPostBodyAndQueryString) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /v1/find_experts?verbose=1 HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 16\r\n\r\n"
+      "{\"query\":\"gnn\"}\n";
+  EXPECT_EQ(parser.Feed(wire), State::kComplete);
+  EXPECT_EQ(parser.request().Path(), "/v1/find_experts");
+  EXPECT_EQ(parser.request().body, "{\"query\":\"gnn\"}\n");
+  // Header names are lowercased.
+  ASSERT_NE(parser.request().FindHeader("content-type"), nullptr);
+}
+
+TEST(HttpParserTest, SplitReadsOfAnyGranularity) {
+  const std::string wire =
+      "POST /v1/find_experts HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+  // Byte-by-byte feed must hit kComplete exactly at the last byte.
+  HttpRequestParser parser;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    const State state = parser.Feed(&wire[i], 1);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(state, State::kNeedMore) << "byte " << i;
+    } else {
+      ASSERT_EQ(state, State::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParserTest, PipelinedRequestsCompleteWithoutFurtherFeeds) {
+  HttpRequestParser parser;
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nok";
+  EXPECT_EQ(parser.Feed(two), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_EQ(parser.ConsumeRequest(), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_EQ(parser.request().body, "ok");
+  EXPECT_EQ(parser.ConsumeRequest(), State::kNeedMore);
+  EXPECT_EQ(parser.BufferedBytes(), 0u);
+}
+
+TEST(HttpParserTest, MissingContentLengthMeansEmptyBody) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("POST /v1/find_experts HTTP/1.1\r\n\r\n"),
+            State::kComplete);
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, HugeContentLengthRejectedBeforeBuffering) {
+  HttpRequestParser parser;  // default max body 1 MiB
+  EXPECT_EQ(
+      parser.Feed("POST /x HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n"),
+      State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, OverflowingContentLengthRejected) {
+  HttpRequestParser parser;
+  // 10^30 would wrap a naive 64-bit parse into a small allocation.
+  EXPECT_EQ(parser.Feed("POST /x HTTP/1.1\r\ncontent-length: "
+                        "1000000000000000000000000000000\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, NegativeAndGarbageContentLengthRejected) {
+  for (const char* value : {"-5", "0x10", "12a", "1e3", ""}) {
+    HttpRequestParser parser;
+    const std::string wire = std::string("POST /x HTTP/1.1\r\ncontent-length:")
+                             + value + "\r\n\r\n";
+    EXPECT_EQ(parser.Feed(wire), State::kError) << value;
+  }
+}
+
+TEST(HttpParserTest, TruncatedHeadersStayIncompleteThenBounded) {
+  HttpRequestParser parser;
+  // A truncated header block never completes and never errors...
+  EXPECT_EQ(parser.Feed("GET /x HTTP/1.1\r\nhost: exam"), State::kNeedMore);
+  // ...until it exceeds the header budget, at which point it errors
+  // instead of buffering without bound.
+  const std::string filler(9000, 'a');
+  EXPECT_EQ(parser.Feed(filler), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, MalformedRequestLinesRejected) {
+  for (const char* line :
+       {"GET\r\n\r\n", "GET /x\r\n\r\n", "GET /x HTTP/2.0\r\n\r\n",
+        "GET /x HTTP/1.1 extra\r\n\r\n", " / HTTP/1.1\r\n\r\n",
+        "GET x HTTP/1.1\r\n\r\n", "\r\n\r\n"}) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Feed(line), State::kError) << line;
+    EXPECT_EQ(parser.error_status(), 400) << line;
+  }
+}
+
+TEST(HttpParserTest, MalformedHeaderLinesRejected) {
+  for (const char* header :
+       {"no-colon-here\r\n", ": empty-name\r\n", "bad name: x\r\n"}) {
+    HttpRequestParser parser;
+    const std::string wire =
+        std::string("GET /x HTTP/1.1\r\n") + header + "\r\n";
+    EXPECT_EQ(parser.Feed(wire), State::kError) << header;
+  }
+}
+
+TEST(HttpParserTest, TransferEncodingRejected) {
+  HttpRequestParser parser;
+  EXPECT_EQ(
+      parser.Feed("POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+      State::kError);
+}
+
+TEST(HttpParserTest, ConnectionSemantics) {
+  {
+    HttpRequestParser parser;
+    parser.Feed("GET /x HTTP/1.1\r\nconnection: close\r\n\r\n");
+    EXPECT_FALSE(parser.request().keep_alive);
+  }
+  {
+    HttpRequestParser parser;
+    parser.Feed("GET /x HTTP/1.0\r\n\r\n");
+    EXPECT_FALSE(parser.request().keep_alive);
+  }
+  {
+    HttpRequestParser parser;
+    parser.Feed("GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+    EXPECT_TRUE(parser.request().keep_alive);
+  }
+}
+
+TEST(HttpParserTest, BareLfLineEndingsAccepted) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("GET /x HTTP/1.1\nhost: y\n\n"), State::kComplete);
+  EXPECT_EQ(*parser.request().FindHeader("host"), "y");
+}
+
+// --- JSON layer ------------------------------------------------------
+
+TEST(JsonTest, ParsesFindExpertsRequest) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"query": "graph neural networks", "n": 5, "deadline_ms": 50.5})",
+      &doc, &error))
+      << error;
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.Find("query"), nullptr);
+  EXPECT_EQ(doc.Find("query")->string_value, "graph neural networks");
+  EXPECT_EQ(doc.Find("n")->number_value, 5.0);
+  EXPECT_EQ(doc.Find("deadline_ms")->number_value, 50.5);
+}
+
+TEST(JsonTest, RejectsNonUtf8Bodies) {
+  JsonValue doc;
+  std::string error;
+  // Invalid lead byte, overlong encoding, lone continuation, surrogate.
+  for (const std::string& body :
+       {std::string("{\"query\":\"\xff\"}"),
+        std::string("{\"query\":\"\xc0\xaf\"}"),
+        std::string("{\"query\":\"\x80\"}"),
+        std::string("{\"query\":\"\xed\xa0\x80\"}")}) {
+    EXPECT_FALSE(ParseJson(body, &doc, &error)) << body;
+    EXPECT_NE(error.find("UTF-8"), std::string::npos);
+  }
+  // Well-formed multibyte UTF-8 passes.
+  EXPECT_TRUE(ParseJson("{\"query\":\"caf\xc3\xa9 \xe2\x9c\x93\"}", &doc,
+                        &error))
+      << error;
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  JsonValue doc;
+  std::string error;
+  for (const char* body :
+       {"", "{", "{\"a\":}", "{\"a\":1,}", "[1,2", "tru", "01", "1.",
+        "\"unterminated", "{\"a\" 1}", "{\"a\":1} trailing",
+        "{\"a\":\"\\q\"}", "{\"a\":\"\\ud800\"}", "nan", "-", "+1"}) {
+    EXPECT_FALSE(ParseJson(body, &doc, &error)) << body;
+  }
+}
+
+TEST(JsonTest, DepthBombRejected) {
+  std::string bomb;
+  for (int i = 0; i < 4000; ++i) bomb.push_back('[');
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(ParseJson(bomb, &doc, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(JsonTest, SurrogatePairAndEscapeDecoding) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(
+      ParseJson(R"({"s": "\u00e9\n\t\"\\\ud83d\ude00"})", &doc, &error))
+      << error;
+  const JsonValue* s = doc.Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string_value, "\xc3\xa9\n\t\"\\\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, StringEscaping) {
+  std::string out;
+  AppendJsonString("a\"b\\c\nd\x01", &out);
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+TEST(JsonTest, NumberFormattingRoundTrips) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(2.0), "2");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  const double value = 0.1234567890123;
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(JsonNumber(value), &doc, &error));
+  EXPECT_EQ(doc.number_value, value);
+}
+
+}  // namespace
+}  // namespace kpef::serve

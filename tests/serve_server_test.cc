@@ -1,0 +1,484 @@
+// End-to-end serving tests over real loopback sockets: keep-alive,
+// pipelining, concurrent clients coalescing into batches, 429 shedding,
+// 504 deadlines, hostile wire input, and graceful drain. The engine is
+// faked through ExpertSearchService's BatchExecuteFn seam, so these
+// tests exercise every serving layer except the model itself.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/http_server.h"
+#include "serve/service.h"
+
+namespace kpef::serve {
+namespace {
+
+// --- Minimal blocking HTTP client ------------------------------------
+
+struct ClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lowercased names
+  std::string body;
+};
+
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendRaw(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Post(const std::string& path, const std::string& body) {
+    return SendRaw("POST " + path + " HTTP/1.1\r\ncontent-length: " +
+                   std::to_string(body.size()) + "\r\n\r\n" + body);
+  }
+
+  bool Get(const std::string& path) {
+    return SendRaw("GET " + path + " HTTP/1.1\r\n\r\n");
+  }
+
+  /// Reads exactly one response (headers + content-length body).
+  bool ReadResponse(ClientResponse* out) {
+    while (true) {
+      const size_t header_end = buffer_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        return ParseAndFill(header_end, out);
+      }
+      if (!FillBuffer()) return false;
+    }
+  }
+
+  /// True when the server closed the connection (EOF).
+  bool WaitForClose() {
+    while (true) {
+      char c;
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n == 0) return true;
+      if (n < 0) return errno == ECONNRESET;
+      buffer_.push_back(c);
+    }
+  }
+
+ private:
+  bool FillBuffer() {
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    buffer_.append(buf, static_cast<size_t>(n));
+    return true;
+  }
+
+  bool ParseAndFill(size_t header_end, ClientResponse* out) {
+    const std::string head = buffer_.substr(0, header_end);
+    out->status = std::atoi(head.c_str() + 9);  // "HTTP/1.1 NNN ..."
+    out->headers.clear();
+    size_t line_start = head.find("\r\n") + 2;
+    while (line_start < head.size()) {
+      size_t line_end = head.find("\r\n", line_start);
+      if (line_end == std::string::npos) line_end = head.size();
+      const std::string line = head.substr(line_start, line_end - line_start);
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::string name = line.substr(0, colon);
+        for (char& c : name) c = static_cast<char>(std::tolower(c));
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+        out->headers[name] = value;
+      }
+      line_start = line_end + 2;
+    }
+    const size_t content_length =
+        static_cast<size_t>(std::atoll(out->headers["content-length"].c_str()));
+    const size_t body_start = header_end + 4;
+    while (buffer_.size() < body_start + content_length) {
+      if (!FillBuffer()) return false;
+    }
+    out->body = buffer_.substr(body_start, content_length);
+    buffer_.erase(0, body_start + content_length);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// --- Fake engine + service/server fixture ----------------------------
+
+struct FakeEngine {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool blocked = false;
+  double sleep_ms = 0.0;
+  std::vector<size_t> batch_sizes;
+
+  BatchExecuteFn AsFn() {
+    return [this](const std::vector<std::string>& texts, size_t top_n,
+                  const BatchQueryOptions&, std::vector<QueryStats>* stats) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        batch_sizes.push_back(texts.size());
+        cv.wait(lock, [this] { return !blocked; });
+      }
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      stats->assign(texts.size(), QueryStats());
+      std::vector<std::vector<ExpertScore>> results(texts.size());
+      for (size_t q = 0; q < texts.size(); ++q) {
+        for (size_t i = 0; i < top_n; ++i) {
+          results[q].push_back(
+              ExpertScore{static_cast<NodeId>(100 + i), 1.0 / (1.0 + i)});
+        }
+      }
+      return results;
+    };
+  }
+
+  void Block() {
+    std::lock_guard<std::mutex> lock(mutex);
+    blocked = true;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      blocked = false;
+    }
+    cv.notify_all();
+  }
+  size_t MaxBatchSize() {
+    std::lock_guard<std::mutex> lock(mutex);
+    size_t best = 0;
+    for (size_t s : batch_sizes) best = std::max(best, s);
+    return best;
+  }
+};
+
+/// Server + service pair on an ephemeral port. Declaration order
+/// matters: the server must outlive the service's batcher callbacks.
+struct Harness {
+  FakeEngine engine;
+  std::unique_ptr<HttpServer> server;
+  std::unique_ptr<ExpertSearchService> service;
+
+  explicit Harness(ServiceConfig service_config = ServiceConfig(),
+                   HttpServerConfig server_config = HttpServerConfig()) {
+    EngineInfo info;
+    info.display_name = "fake";
+    info.num_papers = 10;
+    info.num_experts = 5;
+    info.embedding_dim = 8;
+    info.has_index = true;
+    service = std::make_unique<ExpertSearchService>(
+        service_config, info, engine.AsFn(),
+        [](NodeId id) { return "expert-" + std::to_string(id); });
+    server = std::make_unique<HttpServer>(
+        server_config, [this](const HttpRequest& request,
+                              HttpServer::Responder respond) {
+          service->Handle(request, std::move(respond));
+        });
+    const Status started = server->Start();
+    if (!started.ok()) std::abort();
+  }
+
+  ~Harness() {
+    server->ShutdownGracefully(2000.0);
+    service->Drain();
+  }
+
+  uint16_t port() const { return server->port(); }
+};
+
+ServiceConfig FastConfig() {
+  ServiceConfig config;
+  config.batcher.max_batch_size = 8;
+  config.batcher.max_queue_age_ms = 1.0;
+  return config;
+}
+
+TEST(ServeServerTest, HealthzMetricsAndKeepAlive) {
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Get("/healthz"));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"engine\":\"fake\""), std::string::npos);
+  EXPECT_EQ(response.headers["connection"], "keep-alive");
+
+  // Same connection serves the next request (keep-alive).
+  ASSERT_TRUE(client.Get("/metrics"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+#ifndef KPEF_METRICS_DISABLED
+  EXPECT_NE(response.body.find("serve_requests"), std::string::npos);
+#endif
+}
+
+TEST(ServeServerTest, FindExpertsHappyPath) {
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(
+      client.Post("/v1/find_experts", R"({"query":"deep learning","n":3})"));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"experts\":[{\"id\":100,"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("expert-100"), std::string::npos);
+  EXPECT_NE(response.body.find("\"stats\":"), std::string::npos);
+  // n=3 requested: exactly 3 expert objects.
+  size_t count = 0;
+  for (size_t pos = 0;
+       (pos = response.body.find("\"id\":", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(ServeServerTest, UnknownRoutesAndMethods) {
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ClientResponse response;
+  ASSERT_TRUE(client.Get("/nope"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 404);
+  ASSERT_TRUE(client.Get("/v1/find_experts"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 405);
+}
+
+TEST(ServeServerTest, ConcurrentClientsCoalesceIntoBatches) {
+  ServiceConfig config;
+  config.batcher.max_batch_size = 8;
+  config.batcher.max_queue_age_ms = 25.0;  // wide coalescing window
+  Harness harness(config);
+  constexpr int kClients = 8;
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<TestClient>(harness.port()));
+    ASSERT_TRUE(clients.back()->connected());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      if (!clients[static_cast<size_t>(i)]->Post("/v1/find_experts",
+                                                 R"({"query":"q"})")) {
+        return;
+      }
+      ClientResponse response;
+      if (clients[static_cast<size_t>(i)]->ReadResponse(&response) &&
+          response.status == 200) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  // The micro-batcher must have coalesced at least two concurrent
+  // requests into one engine call.
+  EXPECT_GT(harness.engine.MaxBatchSize(), 1u);
+}
+
+TEST(ServeServerTest, ShedsWith429AndRetryAfter) {
+  ServiceConfig config;
+  config.batcher.max_batch_size = 1;
+  config.batcher.max_queue_age_ms = 0.0;
+  config.batcher.max_pending = 1;
+  Harness harness(config);
+  harness.engine.Block();
+
+  // First request occupies the engine; second fills the queue.
+  TestClient first(harness.port());
+  ASSERT_TRUE(first.Post("/v1/find_experts", R"({"query":"a"})"));
+  // Wait for it to be popped into the (blocked) engine call.
+  while (harness.engine.MaxBatchSize() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  TestClient second(harness.port());
+  ASSERT_TRUE(second.Post("/v1/find_experts", R"({"query":"b"})"));
+  // Give the queued request time to be admitted before overflowing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  TestClient third(harness.port());
+  ASSERT_TRUE(third.Post("/v1/find_experts", R"({"query":"c"})"));
+  ClientResponse shed;
+  ASSERT_TRUE(third.ReadResponse(&shed));
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_EQ(shed.headers["retry-after"], "1");
+
+  harness.engine.Release();
+  ClientResponse response;
+  ASSERT_TRUE(first.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_TRUE(second.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST(ServeServerTest, DeadlineReturns504WithPartialFlag) {
+  ServiceConfig config;
+  config.batcher.max_batch_size = 1;
+  config.batcher.max_queue_age_ms = 0.0;
+  Harness harness(config);
+  harness.engine.sleep_ms = 50.0;
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.Post("/v1/find_experts",
+                          R"({"query":"slow","deadline_ms":1})"));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 504);
+  EXPECT_NE(response.body.find("\"partial\":true"), std::string::npos);
+  EXPECT_NE(response.body.find("\"deadline_exceeded\":true"),
+            std::string::npos);
+}
+
+TEST(ServeServerTest, MalformedBodiesReturn400) {
+  Harness harness(FastConfig());
+  for (const std::string& body :
+       {std::string("{\"query\":"), std::string("[1,2,3]"),
+        std::string("{\"query\":\"\xff\xfe\"}"), std::string("{\"n\":3}"),
+        std::string("{\"query\":\"x\",\"n\":0}"),
+        std::string("{\"query\":\"x\",\"n\":1.5}"),
+        std::string("{\"query\":\"x\",\"deadline_ms\":-1}")}) {
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Post("/v1/find_experts", body));
+    ClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response));
+    EXPECT_EQ(response.status, 400) << body;
+  }
+}
+
+TEST(ServeServerTest, HostileWireInputGets400AndClose) {
+  Harness harness(FastConfig());
+  {
+    // Huge declared Content-Length: rejected before any body arrives.
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.SendRaw(
+        "POST /v1/find_experts HTTP/1.1\r\ncontent-length: "
+        "99999999999\r\n\r\n"));
+    ClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response));
+    EXPECT_EQ(response.status, 400);
+    EXPECT_EQ(response.headers["connection"], "close");
+    EXPECT_TRUE(client.WaitForClose());
+  }
+  {
+    // Garbage request line.
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.SendRaw("NONSENSE\r\n\r\n"));
+    ClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response));
+    EXPECT_EQ(response.status, 400);
+    EXPECT_TRUE(client.WaitForClose());
+  }
+}
+
+TEST(ServeServerTest, PipelinedRequestsAnsweredInOrder) {
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  const std::string body = R"({"query":"q","n":1})";
+  std::string wire;
+  for (int i = 0; i < 2; ++i) {
+    wire += "POST /v1/find_experts HTTP/1.1\r\ncontent-length: " +
+            std::to_string(body.size()) + "\r\n\r\n" + body;
+  }
+  wire += "GET /healthz HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(client.SendRaw(wire));
+  ClientResponse response;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.ReadResponse(&response)) << i;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("experts"), std::string::npos);
+  }
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ServeServerTest, GracefulDrainFinishesInFlightThenCloses) {
+  ServiceConfig config;
+  config.batcher.max_batch_size = 1;
+  config.batcher.max_queue_age_ms = 0.0;
+  Harness harness(config);
+  harness.engine.Block();
+
+  TestClient busy(harness.port());
+  ASSERT_TRUE(busy.Post("/v1/find_experts", R"({"query":"inflight"})"));
+  while (harness.engine.MaxBatchSize() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  TestClient idle(harness.port());  // keep-alive, nothing in flight
+  ASSERT_TRUE(idle.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    harness.engine.Release();
+  });
+  harness.server->ShutdownGracefully(5000.0);
+  drainer.join();
+  EXPECT_TRUE(harness.server->draining());
+
+  // The in-flight request got a real response, marked connection:close.
+  ClientResponse response;
+  ASSERT_TRUE(busy.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers["connection"], "close");
+  EXPECT_TRUE(busy.WaitForClose());
+  // The idle keep-alive connection was closed without a response.
+  EXPECT_TRUE(idle.WaitForClose());
+  // New connections are refused (listener is gone).
+  TestClient late(harness.port());
+  ClientResponse none;
+  EXPECT_FALSE(late.connected() && late.Get("/healthz") &&
+               late.ReadResponse(&none));
+}
+
+}  // namespace
+}  // namespace kpef::serve
