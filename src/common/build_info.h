@@ -1,0 +1,19 @@
+// Build/version stamp, filled at configure time (build_info.cc.in):
+// surfaced in /healthz, EngineInfo, the access-log header line, and the
+// kpef_serve startup banner so a log segment or a metrics scrape is
+// attributable to an exact build.
+
+#ifndef KPEF_COMMON_BUILD_INFO_H_
+#define KPEF_COMMON_BUILD_INFO_H_
+
+namespace kpef {
+
+/// Short git hash of the checkout ("unknown" outside a git tree).
+const char* BuildGitHash();
+
+/// CMake build type ("Release", "Debug", ... or "unspecified").
+const char* BuildType();
+
+}  // namespace kpef
+
+#endif  // KPEF_COMMON_BUILD_INFO_H_

@@ -9,11 +9,19 @@ namespace kpef {
 namespace {
 
 std::atomic<ThreadPool::MetricsHook> g_metrics_hook{nullptr};
+std::atomic<ThreadPool::ContextCaptureHook> g_context_capture{nullptr};
+std::atomic<ThreadPool::ContextSwapHook> g_context_swap{nullptr};
 
 }  // namespace
 
 void ThreadPool::SetMetricsHook(MetricsHook hook) {
   g_metrics_hook.store(hook, std::memory_order_release);
+}
+
+void ThreadPool::SetContextHooks(ContextCaptureHook capture,
+                                 ContextSwapHook swap) {
+  g_context_capture.store(capture, std::memory_order_release);
+  g_context_swap.store(swap, std::memory_order_release);
 }
 
 void ThreadPool::EmitMetric(const char* counter, uint64_t delta) {
@@ -71,12 +79,22 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() { default_group_.Wait(); }
 
 void ThreadPool::SubmitToGroup(TaskGroup& group, std::function<void()> task) {
+  uint64_t context = 0;
+  if (ContextCaptureHook capture =
+          g_context_capture.load(std::memory_order_acquire)) {
+    context = capture();
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     ++group.pending_;
-    tasks_.push_back({&group, std::move(task)});
+    tasks_.push_back({&group, std::move(task), context});
   }
   task_available_.notify_one();
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
 }
 
 void ThreadPool::RunTask(QueuedTask task) {
@@ -86,6 +104,12 @@ void ThreadPool::RunTask(QueuedTask task) {
     // task accounted for.
     EmitMetric("pool.tasks_cancelled", 1);
   } else {
+    // Install the submitter's context (trace key) around the body; the
+    // swap hook returns this thread's previous context for restoration,
+    // which also covers helping joins re-entering RunTask.
+    ContextSwapHook swap = g_context_swap.load(std::memory_order_acquire);
+    const uint64_t prev_context = swap ? swap(task.context) : 0;
+    active_workers_.fetch_add(1, std::memory_order_relaxed);
     try {
       task.fn();
     } catch (...) {
@@ -99,6 +123,8 @@ void ThreadPool::RunTask(QueuedTask task) {
       // surfaces at the join point instead of escaping the worker.
       group->Cancel();
     }
+    active_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (swap) swap(prev_context);
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);

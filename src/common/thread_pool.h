@@ -113,12 +113,35 @@ class ThreadPool {
   using MetricsHook = void (*)(const char* counter, uint64_t delta);
   static void SetMetricsHook(MetricsHook hook);
 
+  /// Optional process-wide context propagation (request trace contexts):
+  /// capture() runs on the submitting thread at enqueue time and its
+  /// value rides along with the task; swap(value) runs on the executing
+  /// thread immediately before the task body (and again afterwards with
+  /// the returned previous value, restoring it). Both must be
+  /// data-race-free. Installed by kpef_obs (pipeline_metrics.cc) so the
+  /// pool stays free of the obs dependency; 0 means "no context".
+  using ContextCaptureHook = uint64_t (*)();
+  using ContextSwapHook = uint64_t (*)(uint64_t context);
+  static void SetContextHooks(ContextCaptureHook capture,
+                              ContextSwapHook swap);
+
+  /// Tasks queued but not yet claimed (all groups); sampled on /metrics
+  /// scrapes.
+  size_t QueueDepth() const;
+
+  /// Workers (or helping waiters) currently inside a task body.
+  size_t ActiveWorkers() const {
+    return active_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TaskGroup;
 
   struct QueuedTask {
     TaskGroup* group;
     std::function<void()> fn;
+    /// Submitter's context, captured at enqueue time (0 = none).
+    uint64_t context = 0;
   };
 
   void WorkerLoop();
@@ -132,11 +155,12 @@ class ThreadPool {
 
   static void EmitMetric(const char* counter, uint64_t delta);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable group_settled_;
   std::deque<QueuedTask> tasks_;
   bool shutting_down_ = false;
+  std::atomic<size_t> active_workers_{0};
   std::vector<std::thread> workers_;
   /// Latch for the legacy Submit()/Wait() API.
   TaskGroup default_group_{*this};

@@ -4,6 +4,7 @@
 
 #include "ann/brute_force.h"
 #include "embed/model_io.h"
+#include "common/build_info.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -178,6 +179,8 @@ EngineInfo ExpertFindingEngine::Info() const {
   info.has_index = index_ != nullptr;
   info.use_ta = config_.use_ta;
   info.top_m = config_.top_m;
+  info.git_hash = BuildGitHash();
+  info.build_type = BuildType();
   return info;
 }
 
@@ -185,8 +188,14 @@ std::vector<NodeId> ExpertFindingEngine::RetrievePapers(
     const std::string& query_text, size_t m, QueryStats* stats) {
   KPEF_TRACE_SPAN("engine.retrieve_papers");
   Timer timer;
-  const std::vector<float> query =
-      encoder_->Encode(corpus_->EncodeQuery(query_text));
+  double encode_ms = 0.0;
+  std::vector<float> query;
+  {
+    KPEF_TRACE_SPAN("engine.encode");
+    Timer encode_timer;
+    query = encoder_->Encode(corpus_->EncodeQuery(query_text));
+    encode_ms = encode_timer.ElapsedMillis();
+  }
   std::vector<Neighbor> neighbors;
   uint64_t distance_computations = 0;
   if (index_) {
@@ -204,6 +213,7 @@ std::vector<NodeId> ExpertFindingEngine::RetrievePapers(
   for (const Neighbor& nb : neighbors) result.push_back(papers[nb.id]);
   if (stats) {
     stats->retrieval_ms = timer.ElapsedMillis();
+    stats->encode_ms = encode_ms;
     stats->distance_computations = distance_computations;
   }
   return result;
@@ -269,6 +279,11 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
     cancel = CancelToken::AfterMillis(options.deadline_ms, options.cancel);
   }
   const bool cancellable = cancel.CanBeCancelled();
+  // Per-query request-trace key (0 = untraced); phase lambdas install it
+  // as the thread's context so their spans land in the right request.
+  const auto trace_key = [&options](size_t q) -> uint64_t {
+    return q < options.trace_keys.size() ? options.trace_keys[q] : 0;
+  };
 
   // Encode all queries into one padded matrix (PG-Index consumes the
   // rows in place, no per-query copies). Each phase below records which
@@ -279,13 +294,16 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
   ParallelFor(
       workers, batch,
       [&](size_t q) {
+        obs::ScopedTraceContext trace_scope(trace_key(q));
+        KPEF_TRACE_SPAN("engine.encode");
         Timer encode_timer;
         const std::vector<float> v =
             encoder_->Encode(corpus_->EncodeQuery(query_texts[q]));
         std::copy(v.begin(), v.end(), queries.Row(q).begin());
         // Encoding counts toward retrieval time, matching the serial
         // path where RetrievePapers times encode + search together.
-        local[q].retrieval_ms = encode_timer.ElapsedMillis();
+        local[q].encode_ms = encode_timer.ElapsedMillis();
+        local[q].retrieval_ms = local[q].encode_ms;
         encoded[q] = 1;
       },
       cancel);
@@ -300,18 +318,26 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
   if (index_) {
     const size_t ef = config_.search_ef == 0 ? m : config_.search_ef;
     std::vector<PGIndex::SearchStats> search_stats;
+    const uint64_t search_start_ns = obs::Tracer::Global().NowNanos();
     neighbors =
         index_->SearchBatch(queries, m, ef, &search_stats, &workers, cancel);
     for (size_t q = 0; q < batch; ++q) {
       local[q].distance_computations = search_stats[q].distance_computations;
       local[q].retrieval_ms += search_stats[q].search_ms;
       retrieved[q] = encoded[q] && !search_stats[q].cancelled;
+      // The index layer stays trace-free; attribute each query's share
+      // of the batched search as a manual span anchored at dispatch.
+      obs::RecordSpan(
+          trace_key(q), "engine.search", search_start_ns,
+          static_cast<uint64_t>(search_stats[q].search_ms * 1e6));
     }
   } else {
     ParallelFor(
         workers, batch,
         [&](size_t q) {
           if (!encoded[q] || (cancellable && cancel.IsCancelled())) return;
+          obs::ScopedTraceContext trace_scope(trace_key(q));
+          KPEF_TRACE_SPAN("engine.search");
           Timer search_timer;
           neighbors[q] = BruteForceSearch(embeddings_, queries.Row(q), m);
           local[q].distance_computations = embeddings_.rows();
@@ -328,6 +354,8 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
       workers, batch,
       [&](size_t q) {
         if (!retrieved[q] || (cancellable && cancel.IsCancelled())) return;
+        obs::ScopedTraceContext trace_scope(trace_key(q));
+        KPEF_TRACE_SPAN("engine.ranking");
         Timer ranking_timer;
         std::vector<NodeId> top_papers;
         top_papers.reserve(neighbors[q].size());

@@ -98,6 +98,9 @@ struct EngineInfo {
   bool has_index = false;
   bool use_ta = false;
   size_t top_m = 0;
+  /// Build stamp (common/build_info.h): short git hash and build type.
+  std::string git_hash;
+  std::string build_type;
 };
 
 /// Per-query online statistics. In the batch path both timing fields are
@@ -105,6 +108,9 @@ struct EngineInfo {
 /// per-query SearchStats inside SearchBatch), so they are comparable.
 struct QueryStats {
   double retrieval_ms = 0.0;
+  /// Query-encoding share of retrieval_ms (retrieval_ms = encode +
+  /// index/brute-force search).
+  double encode_ms = 0.0;
   double ranking_ms = 0.0;
   uint64_t distance_computations = 0;
   size_t ranking_entries_accessed = 0;
@@ -127,6 +133,11 @@ struct BatchQueryOptions {
   /// External cancellation, combined with the deadline (whichever fires
   /// first wins). A null token never fires.
   CancelToken cancel;
+  /// Per-query request-trace keys (obs::Tracer::BeginTrace). When
+  /// non-empty, must match the query list's size; query q's encode /
+  /// search / ranking spans are recorded into trace_keys[q] (0 entries
+  /// skip recording). Empty = no request tracing.
+  std::vector<uint64_t> trace_keys;
 };
 
 class ExpertFindingEngine : public RetrievalModel {

@@ -1,12 +1,21 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 
+#include "obs/pipeline_metrics.h"
+
 namespace kpef::obs {
 namespace {
+
+/// Histograms that additionally export a p50/p95/p99 summary family.
+constexpr const char* kQuantileHistograms[] = {"serve.e2e_ms",
+                                               "serve.queue_wait_ms",
+                                               "serve.batch_size"};
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
 
 std::string Sanitize(const std::string& name) {
   std::string out = name;
@@ -33,22 +42,76 @@ std::string FormatU64(uint64_t value) {
   return buf;
 }
 
+void AppendHelp(std::string* out, const std::string& name,
+                const std::string& id) {
+  if (const char* help = PipelineMetricHelp(name)) {
+    *out += "# HELP " + id + " " + help + "\n";
+  }
+}
+
 }  // namespace
+
+double HistogramQuantile(const MetricsSnapshot::HistogramData& data,
+                         double q) {
+  if (data.total_count == 0 || data.upper_bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(data.total_count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
+    const uint64_t prev = cumulative;
+    cumulative += data.bucket_counts[i];
+    if (static_cast<double>(cumulative) >= rank && data.bucket_counts[i] > 0) {
+      if (i >= data.upper_bounds.size()) return data.upper_bounds.back();
+      const double lo = i == 0 ? 0.0 : data.upper_bounds[i - 1];
+      const double hi = data.upper_bounds[i];
+      const double frac = std::clamp(
+          (rank - static_cast<double>(prev)) /
+              static_cast<double>(data.bucket_counts[i]),
+          0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return data.upper_bounds.back();
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 std::string ExportPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     const std::string id = Sanitize(name);
+    AppendHelp(&out, name, id);
     out += "# TYPE " + id + " counter\n";
     out += id + " " + FormatU64(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string id = Sanitize(name);
+    AppendHelp(&out, name, id);
     out += "# TYPE " + id + " gauge\n";
     out += id + " " + FormatDouble(value) + "\n";
   }
   for (const auto& [name, data] : snapshot.histograms) {
     const std::string id = Sanitize(name);
+    AppendHelp(&out, name, id);
     out += "# TYPE " + id + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
@@ -57,6 +120,27 @@ std::string ExportPrometheusText(const MetricsSnapshot& snapshot) {
                                  ? FormatDouble(data.upper_bounds[i])
                                  : "+Inf";
       out += id + "_bucket{le=\"" + le + "\"} " + FormatU64(cumulative) + "\n";
+    }
+    out += id + "_sum " + FormatDouble(data.sum) + "\n";
+    out += id + "_count " + FormatU64(data.total_count) + "\n";
+  }
+  // Summary-style tail quantiles for the serving-latency histograms,
+  // derived from the same snapshot so they agree with the buckets above.
+  for (const char* name : kQuantileHistograms) {
+    auto it = snapshot.histograms.find(name);
+    if (it == snapshot.histograms.end()) continue;
+    const auto& data = it->second;
+    const std::string id = Sanitize(name) + "_quantile";
+    if (const char* help = PipelineMetricHelp(name)) {
+      out += "# HELP " + id + " " + help;
+      out += " (tail quantiles derived from the histogram)\n";
+    }
+    out += "# TYPE " + id + " summary\n";
+    for (double q : kQuantiles) {
+      char qbuf[16];
+      std::snprintf(qbuf, sizeof(qbuf), "%g", q);
+      out += id + "{quantile=\"" + qbuf + "\"} " +
+             FormatDouble(HistogramQuantile(data, q)) + "\n";
     }
     out += id + "_sum " + FormatDouble(data.sum) + "\n";
     out += id + "_count " + FormatU64(data.total_count) + "\n";

@@ -14,9 +14,23 @@ namespace kpef::obs {
 
 /// Prometheus text format. Metric names are sanitized ('.' and other
 /// non-[a-zA-Z0-9_:] characters become '_'); histograms expand into the
-/// conventional cumulative _bucket{le=...}/_sum/_count series.
+/// conventional cumulative _bucket{le=...}/_sum/_count series. Canonical
+/// pipeline metrics get a `# HELP` line; the serving-latency histograms
+/// additionally export a `<id>_quantile` summary family with p50/p95/p99
+/// derived from the bucket snapshot (see HistogramQuantile).
 std::string ExportPrometheusText(const MetricsSnapshot& snapshot);
 std::string ExportPrometheusText();  // Global registry.
+
+/// Estimates quantile `q` in [0, 1] from a bucketed snapshot by linear
+/// interpolation inside the bucket holding the target rank (lower edge 0
+/// for the first bucket). Observations in the overflow bucket clamp to
+/// the highest finite bound — the reason serve latencies use the wide
+/// LatencyHistogramBounds(). Returns 0 for an empty histogram.
+double HistogramQuantile(const MetricsSnapshot::HistogramData& data,
+                         double q);
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string EscapeLabelValue(const std::string& value);
 
 /// JSON document:
 ///   {"counters": {name: integer, ...},

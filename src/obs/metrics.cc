@@ -15,6 +15,13 @@ const std::vector<double>& DefaultHistogramBounds() {
   return *bounds;
 }
 
+const std::vector<double>& LatencyHistogramBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      0.05, 0.1,  0.25, 0.5,   1.0,   2.5,   5.0,    10.0,    25.0,   50.0,
+      100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0};
+  return *bounds;
+}
+
 #ifndef KPEF_METRICS_DISABLED
 
 Histogram::Histogram(std::vector<double> upper_bounds)

@@ -123,6 +123,13 @@ class Histogram {
 /// list entries, queue sizes) and acceptable for millisecond latencies.
 const std::vector<double>& DefaultHistogramBounds();
 
+/// Bounds for millisecond-valued latency histograms: sub-millisecond
+/// resolution at the low end (serve-path queries complete in tens of
+/// microseconds on small corpora) through 60 s at the top, so tail
+/// percentiles derived from the snapshot are not saturated in one
+/// bucket. Pass to the registry at warm-up; the creating call wins.
+const std::vector<double>& LatencyHistogramBounds();
+
 /// Immutable copy of every instrument's current value, taken under the
 /// registration lock (values themselves are relaxed-atomic reads).
 struct MetricsSnapshot {

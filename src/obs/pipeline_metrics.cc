@@ -1,7 +1,10 @@
 #include "obs/pipeline_metrics.h"
 
+#include <map>
+
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kpef::obs {
 
@@ -15,8 +18,15 @@ void PoolMetricsHook(const char* counter, uint64_t delta) {
   MetricsRegistry::Global().GetCounter(counter).Add(delta);
 }
 
-const bool g_pool_hook_installed = [] {
+// Same bridge for trace contexts: a task submitted while a request
+// trace is installed carries its key onto the worker, so spans opened
+// inside pool tasks land in the submitting request's trace.
+uint64_t TraceContextCapture() { return CurrentTraceKey(); }
+uint64_t TraceContextSwap(uint64_t key) { return SwapCurrentTraceKey(key); }
+
+const bool g_pool_hooks_installed = [] {
   ThreadPool::SetMetricsHook(&PoolMetricsHook);
+  ThreadPool::SetContextHooks(&TraceContextCapture, &TraceContextSwap);
   return true;
 }();
 
@@ -38,19 +48,70 @@ void WarmPipelineMetrics() {
         kPoolTasksCancelled, kPoolWaitHelpRuns, kEngineBuildsTotal,
         kEngineQueriesTotal, kEngineBatchQueriesTotal,
         kEngineQueriesDeadlineExceeded, kServeRequests, kServeShed,
-        kServeDeadlineExceeded, kServeBadRequests, kServeBatches}) {
+        kServeDeadlineExceeded, kServeBadRequests, kServeBatches,
+        kServeSlowQueries, kServeTracesStarted, kServeTracesRetained}) {
     registry.GetCounter(name);
   }
-  for (const char* name : {kTrainerLastEpochLoss, kTrainerTriplesPerSec}) {
+  for (const char* name :
+       {kTrainerLastEpochLoss, kTrainerTriplesPerSec, kProcessRssBytes,
+        kProcessOpenFds, kProcessUptimeSeconds, kPoolQueueDepth,
+        kPoolActiveWorkers, kPoolThreads}) {
     registry.GetGauge(name);
+  }
+  // Latency-valued histograms get sub-millisecond .. 60 s bounds so tail
+  // quantiles resolve; count-valued ones keep the power-of-two default.
+  for (const char* name : {kEngineQueryLatencyMs, kEngineBatchLatencyMs,
+                           kServeQueueWaitMs, kServeE2eMs}) {
+    registry.GetHistogram(name, LatencyHistogramBounds());
   }
   for (const char* name :
        {kKpcoreDeleteQueueSize, kProjectionBuildMs, kPgindexSearchHops,
-        kPgindexCandidatePoolOccupancy, kTaRounds, kEngineQueryLatencyMs,
-        kEngineBatchSize, kEngineBatchLatencyMs, kServeBatchSize,
-        kServeQueueWaitMs, kServeE2eMs}) {
+        kPgindexCandidatePoolOccupancy, kTaRounds, kEngineBatchSize,
+        kServeBatchSize}) {
     registry.GetHistogram(name);
   }
+}
+
+const char* PipelineMetricHelp(const std::string& name) {
+  static const std::map<std::string, const char*>* help =
+      new std::map<std::string, const char*>{
+          {kServeRequests, "HTTP requests accepted by the service router."},
+          {kServeShed, "Requests shed by admission control (429)."},
+          {kServeDeadlineExceeded,
+           "Requests that missed their deadline (504)."},
+          {kServeBadRequests, "Malformed requests rejected (400)."},
+          {kServeBatches, "Micro-batches dispatched to the engine."},
+          {kServeBatchSize, "Queries coalesced per dispatched micro-batch."},
+          {kServeQueueWaitMs,
+           "Time a query waited in the batcher queue, milliseconds."},
+          {kServeE2eMs,
+           "End-to-end service latency (parse to response), milliseconds."},
+          {kServeSlowQueries,
+           "Requests that crossed a slow threshold (tail-kept trace)."},
+          {kServeTracesStarted, "Request traces opened."},
+          {kServeTracesRetained, "Request traces retained for debugging."},
+          {kProcessRssBytes, "Resident set size, bytes (sampled on scrape)."},
+          {kProcessOpenFds,
+           "Open file descriptors (sampled on scrape)."},
+          {kProcessUptimeSeconds, "Process uptime, seconds."},
+          {kPoolQueueDepth, "Thread-pool tasks queued at scrape time."},
+          {kPoolActiveWorkers,
+           "Thread-pool workers inside a task body at scrape time."},
+          {kPoolThreads, "Thread-pool worker count."},
+          {kEngineQueriesTotal, "Queries answered by the engine facade."},
+          {kEngineQueryLatencyMs,
+           "End-to-end FindExperts latency, milliseconds."},
+          {kEngineBatchLatencyMs,
+           "End-to-end FindExpertsBatch latency, milliseconds."},
+          {kEngineQueriesDeadlineExceeded,
+           "Queries whose batch deadline fired before completion."},
+          {kPoolTasksCancelled,
+           "Pool tasks skipped because their TaskGroup was cancelled."},
+          {kPoolWaitHelpRuns,
+           "Queued tasks run on a waiting thread (helping joins)."},
+      };
+  auto it = help->find(name);
+  return it == help->end() ? nullptr : it->second;
 }
 
 }  // namespace kpef::obs

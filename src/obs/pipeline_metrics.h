@@ -7,6 +7,8 @@
 #ifndef KPEF_OBS_PIPELINE_METRICS_H_
 #define KPEF_OBS_PIPELINE_METRICS_H_
 
+#include <string>
+
 namespace kpef::obs {
 
 // --- (k, P)-core search (Algorithm 1, §III-A).
@@ -120,10 +122,33 @@ inline constexpr char kServeBatchSize[] = "serve.batch_size";
 inline constexpr char kServeQueueWaitMs[] = "serve.queue_wait_ms";
 /// Histogram: end-to-end service latency (parse -> response), ms.
 inline constexpr char kServeE2eMs[] = "serve.e2e_ms";
+/// Requests that crossed a slow threshold (tail-kept trace + ring entry).
+inline constexpr char kServeSlowQueries[] = "serve.slow_queries";
+/// Request traces opened (mode sampled or always-on).
+inline constexpr char kServeTracesStarted[] = "serve.traces_started";
+/// Request traces retained for /v1/debug/trace (head + tail + always-on).
+inline constexpr char kServeTracesRetained[] = "serve.traces_retained";
+
+// --- Process self-metrics (gauges, sampled on /metrics scrape).
+inline constexpr char kProcessRssBytes[] = "process.rss_bytes";
+inline constexpr char kProcessOpenFds[] = "process.open_fds";
+inline constexpr char kProcessUptimeSeconds[] = "process.uptime_seconds";
+/// Gauge: tasks queued on the serving pool at scrape time.
+inline constexpr char kPoolQueueDepth[] = "pool.queue_depth";
+/// Gauge: pool workers inside a task body at scrape time.
+inline constexpr char kPoolActiveWorkers[] = "pool.active_workers";
+inline constexpr char kPoolThreads[] = "pool.threads";
 
 /// Registers every canonical metric above (no-op values). Call before
-/// exporting so dumps always contain the full schema.
+/// exporting so dumps always contain the full schema. Latency-valued
+/// serve/engine histograms are registered with LatencyHistogramBounds(),
+/// so calling this before the first observation also fixes their bucket
+/// layout (the creating registration wins).
 void WarmPipelineMetrics();
+
+/// One-line HELP text for a canonical metric name (nullptr if unknown);
+/// the Prometheus exporter emits it as a `# HELP` line.
+const char* PipelineMetricHelp(const std::string& name);
 
 }  // namespace kpef::obs
 

@@ -1,0 +1,152 @@
+#include "obs/request_log.h"
+
+#include <cinttypes>
+#include <ctime>
+
+#include "common/build_info.h"
+
+namespace kpef::obs {
+namespace {
+
+// Minimal JSON string escaper (obs/ cannot depend on serve/json_util).
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// ISO-8601 UTC with millisecond precision ("2026-08-08T12:34:56.789Z").
+std::string NowIso8601() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char buf[40];
+  const size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03ldZ", ts.tv_nsec / 1000000);
+  return buf;
+}
+
+void AppendField(std::string* out, const char* key, const std::string& value,
+                 bool* first) {
+  *out += *first ? "{\"" : ",\"";
+  *first = false;
+  *out += key;
+  *out += "\":\"";
+  AppendEscaped(out, value);
+  *out += '"';
+}
+
+void AppendRawField(std::string* out, const char* key,
+                    const std::string& raw, bool* first) {
+  *out += *first ? "{\"" : ",\"";
+  *first = false;
+  *out += key;
+  *out += "\":";
+  *out += raw;
+}
+
+std::string FormatMs(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+RequestLog::~RequestLog() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    if (owns_file_) std::fclose(file_);
+  }
+}
+
+std::unique_ptr<RequestLog> RequestLog::Open(const std::string& path) {
+  FILE* file = nullptr;
+  bool owns = false;
+  if (path == "-") {
+    file = stdout;
+  } else {
+    file = std::fopen(path.c_str(), "a");
+    if (file == nullptr) return nullptr;
+    owns = true;
+  }
+  std::unique_ptr<RequestLog> log(new RequestLog());
+  log->file_ = file;
+  log->owns_file_ = owns;
+  return log;
+}
+
+void RequestLog::WriteHeader(const std::string& service) {
+  std::string line;
+  bool first = true;
+  AppendField(&line, "event", "start", &first);
+  AppendField(&line, "ts", NowIso8601(), &first);
+  AppendField(&line, "service", service, &first);
+  AppendField(&line, "git", BuildGitHash(), &first);
+  AppendField(&line, "build", BuildType(), &first);
+  line += "}\n";
+  Emit(std::move(line));
+}
+
+void RequestLog::Write(const RequestLogRecord& r) {
+  std::string line;
+  bool first = true;
+  AppendField(&line, "ts", NowIso8601(), &first);
+  AppendField(&line, "trace_id", r.trace_id, &first);
+  AppendRawField(&line, "status", std::to_string(r.status), &first);
+  AppendRawField(&line, "top_n", std::to_string(r.top_n), &first);
+  AppendRawField(&line, "batch_size", std::to_string(r.batch_size), &first);
+  AppendRawField(&line, "e2e_ms", FormatMs(r.e2e_ms), &first);
+  AppendRawField(&line, "queue_wait_ms", FormatMs(r.queue_wait_ms), &first);
+  AppendRawField(&line, "encode_ms", FormatMs(r.encode_ms), &first);
+  AppendRawField(&line, "search_ms", FormatMs(r.search_ms), &first);
+  AppendRawField(&line, "ranking_ms", FormatMs(r.ranking_ms), &first);
+  AppendRawField(&line, "shed", r.shed ? "true" : "false", &first);
+  AppendRawField(&line, "deadline_exceeded",
+                 r.deadline_exceeded ? "true" : "false", &first);
+  AppendRawField(&line, "sampled", r.sampled ? "true" : "false", &first);
+  AppendRawField(&line, "trace_kept", r.trace_kept ? "true" : "false",
+                 &first);
+  line += "}\n";
+  Emit(std::move(line));
+}
+
+void RequestLog::Emit(std::string line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++lines_;
+  if (sink_) {
+    sink_(line);
+    return;
+  }
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+  }
+}
+
+}  // namespace kpef::obs

@@ -1,0 +1,62 @@
+// Bounded ring of the most recent slow requests, behind /v1/debug/slow.
+// Lock-light by construction: only requests that crossed a slow
+// threshold ever touch the mutex (fast-path requests pay nothing), and a
+// push is a couple of string moves into a pre-sized slot.
+
+#ifndef KPEF_OBS_SLOW_QUERY_RING_H_
+#define KPEF_OBS_SLOW_QUERY_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kpef::obs {
+
+struct SlowQueryRecord {
+  std::string trace_id;
+  /// Query text, truncated to kMaxQueryBytes.
+  std::string query;
+  int status = 0;
+  double e2e_ms = 0.0;
+  double queue_wait_ms = 0.0;
+  double encode_ms = 0.0;
+  double search_ms = 0.0;
+  double ranking_ms = 0.0;
+  size_t batch_size = 0;
+  bool deadline_exceeded = false;
+};
+
+class SlowQueryRing {
+ public:
+  static constexpr size_t kMaxQueryBytes = 256;
+
+  explicit SlowQueryRing(size_t capacity = 128);
+
+  /// Records a slow request, evicting the oldest once full. Truncates
+  /// record.query to kMaxQueryBytes.
+  void Push(SlowQueryRecord record);
+
+  /// Newest first.
+  std::vector<SlowQueryRecord> SnapshotNewestFirst() const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t TotalPushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SlowQueryRecord> ring_;
+  /// Next slot to overwrite once ring_ reached capacity.
+  size_t next_ = 0;
+  std::atomic<uint64_t> pushed_{0};
+};
+
+}  // namespace kpef::obs
+
+#endif  // KPEF_OBS_SLOW_QUERY_RING_H_

@@ -140,6 +140,19 @@ void MicroBatcher::RunBatch(std::vector<Pending> batch) {
   if (all_have_deadlines) {
     options.cancel = CancelToken::WithDeadline(latest_deadline);
   }
+  bool any_traced = false;
+  for (const size_t i : live) {
+    if (batch[i].request.trace_key != 0) {
+      any_traced = true;
+      break;
+    }
+  }
+  if (any_traced) {
+    options.trace_keys.reserve(live.size());
+    for (const size_t i : live) {
+      options.trace_keys.push_back(batch[i].request.trace_key);
+    }
+  }
 
   KPEF_COUNTER_ADD(obs::kServeBatches, 1);
   KPEF_HISTOGRAM_OBSERVE(obs::kServeBatchSize, live.size());

@@ -52,6 +52,10 @@ struct BatchRequest {
   /// Absolute per-request deadline; meaningful when has_deadline.
   CancelToken::Clock::time_point deadline{};
   bool has_deadline = false;
+  /// Request-trace key (obs::Tracer::BeginTrace; 0 = untraced). Forwarded
+  /// into BatchQueryOptions::trace_keys so engine-phase spans land in
+  /// this request's trace.
+  uint64_t trace_key = 0;
 };
 
 /// Delivered to the completion callback, on the dispatch thread.

@@ -78,6 +78,26 @@ std::string_view HttpRequest::Path() const {
   return q == std::string_view::npos ? t : t.substr(0, q);
 }
 
+std::string_view QueryParam(std::string_view target, std::string_view name) {
+  const size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) return {};
+  std::string_view query = target.substr(qmark + 1);
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (pair == name) return {};
+      continue;
+    }
+    if (pair.substr(0, eq) == name) return pair.substr(eq + 1);
+  }
+  return {};
+}
+
 HttpRequestParser::HttpRequestParser(HttpParserLimits limits)
     : limits_(limits) {}
 

@@ -37,6 +37,11 @@ struct HttpRequest {
   std::string_view Path() const;
 };
 
+/// Value of `name` in `target`'s query string ("" when absent or empty).
+/// No percent-decoding: the debug endpoints that use this restrict their
+/// ids to URL-safe bytes, so encoded ids simply fail to match.
+std::string_view QueryParam(std::string_view target, std::string_view name);
+
 struct HttpParserLimits {
   /// Request line + headers, including terminators.
   size_t max_header_bytes = 8 * 1024;

@@ -6,6 +6,8 @@
 //              [--port 8080] [--batch-size 16] [--batch-age-ms 4]
 //              [--max-pending 256] [--default-n 10]
 //              [--default-deadline-ms 0] [--metrics-out path]
+//              [--access-log path|-] [--trace-mode off|sampled|always]
+//              [--trace-head-every 64] [--slow-ms 100] [--slow-queue-ms 50]
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, flush queued batches,
 // answer in-flight requests, then exit 0.
@@ -16,6 +18,7 @@
 #include <map>
 #include <string>
 
+#include "common/build_info.h"
 #include "common/logging.h"
 #include "core/engine.h"
 #include "data/corpus_builder.h"
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
       &*dataset, &corpus, engine_config, model_dir);
   if (!engine.ok()) return Fail(engine.status());
   const EngineInfo info = (*engine)->Info();
+  std::printf("kpef_serve %s (%s build)\n", BuildGitHash(), BuildType());
   std::printf("loaded %s: %zu papers, %zu experts, dim %zu, index=%s\n",
               model_dir.c_str(), info.num_papers, info.num_experts,
               info.embedding_dim, info.has_index ? "pg" : "brute");
@@ -98,6 +102,21 @@ int main(int argc, char** argv) {
       std::atoi(FlagOr(flags, "default-n", "10").c_str()));
   service_config.default_deadline_ms =
       std::atof(FlagOr(flags, "default-deadline-ms", "0").c_str());
+  service_config.access_log_path = FlagOr(flags, "access-log", "");
+  const std::string trace_mode = FlagOr(flags, "trace-mode", "sampled");
+  if (trace_mode == "off") {
+    service_config.trace_mode = obs::TraceMode::kOff;
+  } else if (trace_mode == "always") {
+    service_config.trace_mode = obs::TraceMode::kAlwaysOn;
+  } else {
+    service_config.trace_mode = obs::TraceMode::kSampled;
+  }
+  service_config.trace_head_every = static_cast<uint32_t>(
+      std::atoi(FlagOr(flags, "trace-head-every", "64").c_str()));
+  service_config.slow_e2e_ms =
+      std::atof(FlagOr(flags, "slow-ms", "100").c_str());
+  service_config.slow_queue_wait_ms =
+      std::atof(FlagOr(flags, "slow-queue-ms", "50").c_str());
 
   serve::HttpServerConfig server_config;
   server_config.address = FlagOr(flags, "address", "127.0.0.1");

@@ -1,13 +1,18 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
+#include "common/build_info.h"
 #include "common/timer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
+#include "obs/process_metrics.h"
 #include "serve/json_util.h"
 
 namespace kpef::serve {
@@ -23,14 +28,50 @@ HttpResponse JsonError(int status, std::string_view message) {
   return response;
 }
 
+/// Keeps [A-Za-z0-9._-] up to 64 bytes; everything else (control bytes,
+/// UTF-8 junk, separators a hostile client might use for header or log
+/// injection) is dropped, not escaped — the id round-trips through a
+/// response header, the access log, and a query parameter.
+std::string SanitizeRequestId(const std::string& raw) {
+  std::string out;
+  out.reserve(std::min<size_t>(raw.size(), 64));
+  for (char c : raw) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+        c == '.') {
+      out.push_back(c);
+      if (out.size() == 64) break;
+    }
+  }
+  return out;
+}
+
+uint64_t MsToNs(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1e6);
+}
+
 }  // namespace
 
 ExpertSearchService::ExpertSearchService(ServiceConfig config, EngineInfo info,
                                          BatchExecuteFn execute, LabelFn label)
-    : config_(config),
+    : config_(std::move(config)),
       info_(std::move(info)),
       label_(std::move(label)),
-      batcher_(config.batcher, std::move(execute)) {}
+      slow_ring_(config_.slow_ring_capacity),
+      batcher_(config_.batcher, std::move(execute)) {
+  // Register the full metric schema (latency histograms get their wide
+  // bounds) before the first request observes anything.
+  obs::WarmPipelineMetrics();
+  obs::Tracer::Global().SetMode(config_.trace_mode);
+  if (config_.access_log_sink) {
+    access_log_ = std::make_unique<obs::RequestLog>(config_.access_log_sink);
+  } else if (!config_.access_log_path.empty()) {
+    access_log_ = obs::RequestLog::Open(config_.access_log_path);
+  }
+  if (access_log_) {
+    access_log_->WriteHeader(info_.display_name.empty() ? "kpef_serve"
+                                                        : info_.display_name);
+  }
+}
 
 std::unique_ptr<ExpertSearchService> ExpertSearchService::ForEngine(
     ExpertFindingEngine* engine, ServiceConfig config) {
@@ -67,6 +108,14 @@ void ExpertSearchService::Handle(const HttpRequest& request,
     response.body.append(std::to_string(info_.embedding_dim));
     response.body.append(",\"pg_index\":");
     response.body.append(info_.has_index ? "true" : "false");
+    response.body.append(",\"git\":");
+    AppendJsonString(
+        info_.git_hash.empty() ? BuildGitHash() : info_.git_hash.c_str(),
+        &response.body);
+    response.body.append(",\"build\":");
+    AppendJsonString(
+        info_.build_type.empty() ? BuildType() : info_.build_type.c_str(),
+        &response.body);
     response.body.append(",\"draining\":false}\n");
     respond(std::move(response));
     return;
@@ -77,10 +126,31 @@ void ExpertSearchService::Handle(const HttpRequest& request,
       respond(JsonError(405, "use GET"));
       return;
     }
+    // Gauges like RSS and pool occupancy are meaningful at scrape time,
+    // not at event time, so they are sampled here.
+    obs::SampleProcessMetrics(config_.batcher.pool);
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4";
     response.body = obs::ExportPrometheusText();
     respond(std::move(response));
+    return;
+  }
+
+  if (path == "/v1/debug/slow") {
+    if (request.method != "GET") {
+      respond(JsonError(405, "use GET"));
+      return;
+    }
+    HandleDebugSlow(std::move(respond));
+    return;
+  }
+
+  if (path == "/v1/debug/trace") {
+    if (request.method != "GET") {
+      respond(JsonError(405, "use GET"));
+      return;
+    }
+    HandleDebugTrace(request, std::move(respond));
     return;
   }
 
@@ -96,32 +166,77 @@ void ExpertSearchService::Handle(const HttpRequest& request,
   respond(JsonError(404, "unknown endpoint"));
 }
 
+std::string ExpertSearchService::RequestIdFor(const HttpRequest& request) {
+  if (const std::string* raw = request.FindHeader("x-request-id")) {
+    std::string id = SanitizeRequestId(*raw);
+    if (!id.empty()) return id;
+  }
+  static std::atomic<uint64_t> generated{0};
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "req-%016" PRIx64,
+                generated.fetch_add(1, std::memory_order_relaxed));
+  return buf;
+}
+
+bool ExpertSearchService::IsSlow(double e2e_ms,
+                                 const BatchResponse& result) const {
+  return result.deadline_exceeded ||
+         (config_.slow_e2e_ms > 0.0 && e2e_ms >= config_.slow_e2e_ms) ||
+         (config_.slow_queue_wait_ms > 0.0 &&
+          result.queue_wait_ms >= config_.slow_queue_wait_ms);
+}
+
+void ExpertSearchService::WriteAccessLog(const obs::RequestLogRecord& record) {
+  if (access_log_) access_log_->Write(record);
+}
+
 void ExpertSearchService::HandleFindExperts(const HttpRequest& request,
                                             HttpServer::Responder respond) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t t0_ns = tracer.NowNanos();
+  auto started = std::make_shared<Timer>();
+  const std::string trace_id = RequestIdFor(request);
+  const uint64_t seq = request_seq_.fetch_add(1, std::memory_order_relaxed);
+  const bool head = config_.trace_head_every > 0 &&
+                    seq % config_.trace_head_every == 0;
+  const uint64_t trace_key = tracer.BeginTrace(trace_id, head);
+  if (trace_key != 0) KPEF_COUNTER_ADD(obs::kServeTracesStarted, 1);
+
+  const auto reject = [&](std::string_view message) {
+    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+    tracer.EndTrace(trace_key, false);
+    obs::RequestLogRecord record;
+    record.trace_id = trace_id;
+    record.status = 400;
+    record.e2e_ms = started->ElapsedMillis();
+    record.sampled = head;
+    WriteAccessLog(record);
+    HttpResponse response = JsonError(400, message);
+    response.extra_headers.emplace_back("x-request-id", trace_id);
+    respond(std::move(response));
+  };
+
   JsonValue doc;
   std::string parse_error;
   if (!ParseJson(request.body, &doc, &parse_error) || !doc.is_object()) {
-    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
-    respond(JsonError(400, parse_error.empty() ? "body must be a JSON object"
-                                               : parse_error));
+    reject(parse_error.empty() ? "body must be a JSON object" : parse_error);
     return;
   }
   const JsonValue* query = doc.Find("query");
   if (query == nullptr || !query->is_string() ||
       query->string_value.empty()) {
-    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
-    respond(JsonError(400, "\"query\" must be a non-empty string"));
+    reject("\"query\" must be a non-empty string");
     return;
   }
 
   BatchRequest batch_request;
   batch_request.query = query->string_value;
   batch_request.top_n = config_.default_top_n;
+  batch_request.trace_key = trace_key;
   if (const JsonValue* n = doc.Find("n")) {
     if (!n->is_number() || n->number_value < 1.0 ||
         n->number_value != std::floor(n->number_value)) {
-      KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
-      respond(JsonError(400, "\"n\" must be a positive integer"));
+      reject("\"n\" must be a positive integer");
       return;
     }
     batch_request.top_n = std::min<size_t>(
@@ -130,8 +245,7 @@ void ExpertSearchService::HandleFindExperts(const HttpRequest& request,
   double deadline_ms = config_.default_deadline_ms;
   if (const JsonValue* d = doc.Find("deadline_ms")) {
     if (!d->is_number() || d->number_value <= 0.0) {
-      KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
-      respond(JsonError(400, "\"deadline_ms\" must be a positive number"));
+      reject("\"deadline_ms\" must be a positive number");
       return;
     }
     deadline_ms = std::min(d->number_value, config_.max_deadline_ms);
@@ -148,12 +262,71 @@ void ExpertSearchService::HandleFindExperts(const HttpRequest& request,
   // routes the rendered response back to the event loop. A copy stays
   // behind for the shed path (Submit never invokes `done` on failure).
   HttpServer::Responder respond_on_shed = respond;
-  auto started = std::make_shared<Timer>();
   LabelFn label = label_;
-  auto done = [respond = std::move(respond), label = std::move(label),
-               started](BatchResponse result) {
+  auto done = [this, respond = std::move(respond), label = std::move(label),
+               started, trace_id, trace_key, head, t0_ns,
+               query_text = batch_request.query,
+               top_n = batch_request.top_n](BatchResponse result) {
+    const double e2e_ms = started->ElapsedMillis();
+    const bool slow = IsSlow(e2e_ms, result);
+    obs::Tracer& tracer = obs::Tracer::Global();
+
+    bool kept = false;
+    if (trace_key != 0) {
+      // The server/queue/batch phases are measured by timers (the queue
+      // wait has no thread to scope a span on), so they are recorded
+      // manually; together with the engine-phase spans they form the
+      // server -> queue -> batch -> encode/search/ranking tree.
+      const uint64_t e2e_ns = MsToNs(e2e_ms);
+      const uint64_t queue_ns =
+          std::min(MsToNs(result.queue_wait_ms), e2e_ns);
+      obs::RecordSpan(trace_key, "server.request", t0_ns, e2e_ns);
+      obs::RecordSpan(trace_key, "serve.queue", t0_ns, queue_ns);
+      obs::RecordSpan(trace_key, "serve.batch", t0_ns + queue_ns,
+                      e2e_ns - queue_ns);
+      kept = head || slow || tracer.mode() == obs::TraceMode::kAlwaysOn;
+      tracer.EndTrace(trace_key, slow);
+      if (kept) KPEF_COUNTER_ADD(obs::kServeTracesRetained, 1);
+    }
+
+    const double search_ms =
+        std::max(0.0, result.stats.retrieval_ms - result.stats.encode_ms);
+    if (slow) {
+      KPEF_COUNTER_ADD(obs::kServeSlowQueries, 1);
+      obs::SlowQueryRecord srec;
+      srec.trace_id = trace_id;
+      srec.query = query_text;
+      srec.status = result.deadline_exceeded ? 504 : 200;
+      srec.e2e_ms = e2e_ms;
+      srec.queue_wait_ms = result.queue_wait_ms;
+      srec.encode_ms = result.stats.encode_ms;
+      srec.search_ms = search_ms;
+      srec.ranking_ms = result.stats.ranking_ms;
+      srec.batch_size = result.batch_size;
+      srec.deadline_exceeded = result.deadline_exceeded;
+      slow_ring_.Push(std::move(srec));
+    }
+
+    // Log before responding so a client that saw the response can rely
+    // on the line existing.
+    obs::RequestLogRecord record;
+    record.trace_id = trace_id;
+    record.status = result.deadline_exceeded ? 504 : 200;
+    record.top_n = top_n;
+    record.batch_size = result.batch_size;
+    record.e2e_ms = e2e_ms;
+    record.queue_wait_ms = result.queue_wait_ms;
+    record.encode_ms = result.stats.encode_ms;
+    record.search_ms = search_ms;
+    record.ranking_ms = result.stats.ranking_ms;
+    record.deadline_exceeded = result.deadline_exceeded;
+    record.sampled = head;
+    record.trace_kept = kept;
+    WriteAccessLog(record);
+
     HttpResponse response;
     response.status = result.deadline_exceeded ? 504 : 200;
+    response.extra_headers.emplace_back("x-request-id", trace_id);
     std::string& body = response.body;
     body.push_back('{');
     if (result.deadline_exceeded) {
@@ -173,6 +346,8 @@ void ExpertSearchService::HandleFindExperts(const HttpRequest& request,
     }
     body.append("],\"stats\":{\"retrieval_ms\":");
     body.append(JsonNumber(result.stats.retrieval_ms));
+    body.append(",\"encode_ms\":");
+    body.append(JsonNumber(result.stats.encode_ms));
     body.append(",\"ranking_ms\":");
     body.append(JsonNumber(result.stats.ranking_ms));
     body.append(",\"distance_computations\":");
@@ -187,18 +362,89 @@ void ExpertSearchService::HandleFindExperts(const HttpRequest& request,
     body.append(std::to_string(result.batch_size));
     body.append(",\"queue_wait_ms\":");
     body.append(JsonNumber(result.queue_wait_ms));
+    body.append(",\"trace_id\":");
+    AppendJsonString(trace_id, &body);
     body.append("}\n");
-    KPEF_HISTOGRAM_OBSERVE(obs::kServeE2eMs, started->ElapsedMillis());
+    KPEF_HISTOGRAM_OBSERVE(obs::kServeE2eMs, e2e_ms);
     respond(std::move(response));
   };
 
   if (!batcher_.Submit(std::move(batch_request), std::move(done))) {
     // Shed (or draining): tell the client when to come back.
+    tracer.EndTrace(trace_key, false);
+    obs::RequestLogRecord record;
+    record.trace_id = trace_id;
+    record.status = 429;
+    record.e2e_ms = started->ElapsedMillis();
+    record.shed = true;
+    record.sampled = head;
+    WriteAccessLog(record);
     HttpResponse response = JsonError(429, "server overloaded, retry later");
     response.extra_headers.emplace_back(
         "retry-after", std::to_string(config_.retry_after_seconds));
+    response.extra_headers.emplace_back("x-request-id", trace_id);
     respond_on_shed(std::move(response));
   }
+}
+
+void ExpertSearchService::HandleDebugSlow(HttpServer::Responder respond) {
+  const std::vector<obs::SlowQueryRecord> records =
+      slow_ring_.SnapshotNewestFirst();
+  HttpResponse response;
+  std::string& body = response.body;
+  body.append("{\"total_recorded\":");
+  body.append(std::to_string(slow_ring_.TotalPushed()));
+  body.append(",\"slow\":[");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const obs::SlowQueryRecord& r = records[i];
+    if (i > 0) body.push_back(',');
+    body.append("{\"trace_id\":");
+    AppendJsonString(r.trace_id, &body);
+    body.append(",\"query\":");
+    AppendJsonString(r.query, &body);
+    body.append(",\"status\":");
+    body.append(std::to_string(r.status));
+    body.append(",\"e2e_ms\":");
+    body.append(JsonNumber(r.e2e_ms));
+    body.append(",\"queue_wait_ms\":");
+    body.append(JsonNumber(r.queue_wait_ms));
+    body.append(",\"encode_ms\":");
+    body.append(JsonNumber(r.encode_ms));
+    body.append(",\"search_ms\":");
+    body.append(JsonNumber(r.search_ms));
+    body.append(",\"ranking_ms\":");
+    body.append(JsonNumber(r.ranking_ms));
+    body.append(",\"batch_size\":");
+    body.append(std::to_string(r.batch_size));
+    body.append(",\"deadline_exceeded\":");
+    body.append(r.deadline_exceeded ? "true" : "false");
+    body.push_back('}');
+  }
+  body.append("]}\n");
+  respond(std::move(response));
+}
+
+void ExpertSearchService::HandleDebugTrace(const HttpRequest& request,
+                                           HttpServer::Responder respond) {
+  const std::string_view id = QueryParam(request.target, "id");
+  if (id.empty()) {
+    respond(JsonError(400, "missing id parameter"));
+    return;
+  }
+  obs::TraceSnapshot snapshot;
+  if (!obs::Tracer::Global().FindRetained(id, &snapshot)) {
+    respond(JsonError(
+        404, "trace not retained (sampled out, expired, or unknown id)"));
+    return;
+  }
+  HttpResponse response;
+  if (QueryParam(request.target, "format") == "chrome") {
+    response.body = obs::ExportChromeTrace(snapshot);
+  } else {
+    response.body = obs::ExportTraceJson(snapshot);
+  }
+  response.body.push_back('\n');
+  respond(std::move(response));
 }
 
 }  // namespace kpef::serve

@@ -1,15 +1,25 @@
 // ExpertSearchService: HTTP endpoint contracts over the engine
-// (DESIGN.md §11).
+// (DESIGN.md §11, observability in §12).
 //
 //   POST /v1/find_experts   {"query": "...", "n": 10, "deadline_ms": 50}
 //     200 {"experts":[{"id":..,"name":"..","score":..},...],
-//          "stats":{...}, "batch_size":.., "queue_wait_ms":..}
+//          "stats":{...}, "batch_size":.., "queue_wait_ms":..,
+//          "trace_id":".."}
 //     400 malformed HTTP/JSON (incl. non-UTF-8 bodies)
 //     429 admission queue full (Retry-After header)
 //     504 per-request deadline missed ("partial": true, any results the
 //         engine finished before the deadline are included)
-//   GET /healthz             200 {"status":"ok", ...engine summary}
-//   GET /metrics             200 Prometheus text exposition
+//     Every response echoes the request's trace id in an x-request-id
+//     header (client-supplied X-Request-Id is sanitized; otherwise one
+//     is generated).
+//   GET /healthz             200 {"status":"ok", ...engine summary,
+//                                 "git":"..","build":".."}
+//   GET /metrics             200 Prometheus text exposition (process
+//                                self-metrics sampled on each scrape)
+//   GET /v1/debug/slow       200 recent slow queries, newest first
+//   GET /v1/debug/trace?id=X 200 retained span tree for trace id X
+//                                (&format=chrome for trace-event JSON);
+//                                404 when not retained
 //
 // The service talks to the engine exclusively through a BatchExecuteFn,
 // so tests wire a fake engine; ForEngine() adapts a real
@@ -18,12 +28,17 @@
 #ifndef KPEF_SERVE_SERVICE_H_
 #define KPEF_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 
 #include "core/engine.h"
+#include "obs/request_log.h"
+#include "obs/slow_query_ring.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/http_server.h"
 
@@ -40,6 +55,27 @@ struct ServiceConfig {
   double max_deadline_ms = 60000.0;
   /// Retry-After value on 429 responses, seconds.
   int retry_after_seconds = 1;
+
+  // --- Request-scoped tracing (DESIGN.md §12).
+  /// Installed on the global tracer at construction. kSampled records
+  /// every request and retains heads + tails; kAlwaysOn retains all.
+  obs::TraceMode trace_mode = obs::TraceMode::kSampled;
+  /// Head sampling: every Nth find_experts request is retained
+  /// unconditionally (1 = all, 0 = heads off; tail rules still apply).
+  uint32_t trace_head_every = 64;
+  /// Tail-based keep + slow-query-ring thresholds: a request whose e2e
+  /// latency or queue wait crosses these (or that missed its deadline)
+  /// has its trace retained and lands in /v1/debug/slow.
+  double slow_e2e_ms = 100.0;
+  double slow_queue_wait_ms = 50.0;
+  /// Slow-query ring capacity.
+  size_t slow_ring_capacity = 128;
+
+  // --- Structured access log (JSON lines).
+  /// "" = disabled, "-" = stdout, otherwise a file appended to.
+  std::string access_log_path;
+  /// Test seam: when set, lines go here instead of access_log_path.
+  obs::RequestLog::Sink access_log_sink;
 };
 
 class ExpertSearchService {
@@ -64,14 +100,32 @@ class ExpertSearchService {
   void Drain() { batcher_.Shutdown(); }
 
   const ServiceConfig& config() const { return config_; }
+  const obs::SlowQueryRing& slow_ring() const { return slow_ring_; }
 
  private:
   void HandleFindExperts(const HttpRequest& request,
                          HttpServer::Responder respond);
+  void HandleDebugSlow(HttpServer::Responder respond);
+  void HandleDebugTrace(const HttpRequest& request,
+                        HttpServer::Responder respond);
+
+  /// Sanitized client X-Request-Id, or a generated id when absent/empty
+  /// after sanitization.
+  std::string RequestIdFor(const HttpRequest& request);
+
+  /// Tail rule: did this completed request cross a slow threshold?
+  bool IsSlow(double e2e_ms, const BatchResponse& result) const;
+
+  void WriteAccessLog(const obs::RequestLogRecord& record);
 
   const ServiceConfig config_;
   const EngineInfo info_;
   const LabelFn label_;
+  std::unique_ptr<obs::RequestLog> access_log_;
+  obs::SlowQueryRing slow_ring_;
+  /// find_experts sequence number, drives head sampling and id
+  /// generation.
+  std::atomic<uint64_t> request_seq_{0};
   MicroBatcher batcher_;
 };
 

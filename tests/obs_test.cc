@@ -100,6 +100,20 @@ class JsonParser {
       out->kind = JsonValue::Kind::kString;
       return ParseString(&out->str);
     }
+    // Literals: booleans read back as 1/0 numbers, null as kNull.
+    for (const auto& [literal, kind, number] :
+         {std::tuple<const char*, JsonValue::Kind, double>{
+              "true", JsonValue::Kind::kNumber, 1.0},
+          {"false", JsonValue::Kind::kNumber, 0.0},
+          {"null", JsonValue::Kind::kNull, 0.0}}) {
+      const size_t len = std::char_traits<char>::length(literal);
+      if (text_.compare(pos_, len, literal) == 0) {
+        out->kind = kind;
+        out->number = number;
+        pos_ += len;
+        return true;
+      }
+    }
     // Number.
     size_t end = pos_;
     while (end < text_.size() &&
@@ -379,6 +393,342 @@ TEST(ExportTest, PrometheusTextShape) {
   EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"+Inf\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("obs_test_prom_hist_count 1"), std::string::npos);
+}
+
+// --- Request-scoped tracing (PR 6) ------------------------------------
+
+/// Restores tracer state so request-trace tests do not leak into each
+/// other (the tracer is a process-global singleton).
+class RequestTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Clear();
+    tracer.ClearRequestTraces();
+    tracer.SetEnabled(false);
+    tracer.SetMode(obs::TraceMode::kSampled);
+  }
+  void TearDown() override {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.SetMode(obs::TraceMode::kOff);
+    tracer.ClearRequestTraces();
+    tracer.Clear();
+  }
+};
+
+TEST_F(RequestTraceTest, OffModeReturnsZeroKey) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.SetMode(obs::TraceMode::kOff);
+  EXPECT_EQ(tracer.BeginTrace("req-off", true), 0u);
+  // Downstream calls on key 0 are safe no-ops.
+  tracer.AppendToTrace(0, obs::SpanRecord{});
+  tracer.EndTrace(0, true);
+  obs::TraceSnapshot snapshot;
+  EXPECT_FALSE(tracer.FindRetained("req-off", &snapshot));
+}
+
+TEST_F(RequestTraceTest, HeadSampledTraceIsRetained) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t key = tracer.BeginTrace("req-head", /*head_sampled=*/true);
+  ASSERT_NE(key, 0u);
+  EXPECT_EQ(tracer.ActiveTraceCount(), 1u);
+  {
+    obs::ScopedTraceContext scope(key);
+    KPEF_TRACE_SPAN("obs_test.request_work");
+  }
+  tracer.EndTrace(key, /*keep_tail=*/false);
+  EXPECT_EQ(tracer.ActiveTraceCount(), 0u);
+  obs::TraceSnapshot snapshot;
+  ASSERT_TRUE(tracer.FindRetained("req-head", &snapshot));
+  EXPECT_TRUE(snapshot.head_sampled);
+  EXPECT_FALSE(snapshot.kept_tail);
+  ASSERT_EQ(snapshot.spans.size(), 1u);
+  EXPECT_STREQ(snapshot.spans[0].name, "obs_test.request_work");
+  EXPECT_EQ(snapshot.spans[0].trace_key, key);
+  // Request-scoped spans never touch the global buffer.
+  EXPECT_EQ(tracer.NumSpans(), 0u);
+}
+
+TEST_F(RequestTraceTest, UnsampledFastTraceIsDropped) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t key = tracer.BeginTrace("req-fast", /*head_sampled=*/false);
+  ASSERT_NE(key, 0u);
+  {
+    obs::ScopedTraceContext scope(key);
+    KPEF_TRACE_SPAN("obs_test.fast");
+  }
+  tracer.EndTrace(key, /*keep_tail=*/false);
+  obs::TraceSnapshot snapshot;
+  EXPECT_FALSE(tracer.FindRetained("req-fast", &snapshot));
+}
+
+TEST_F(RequestTraceTest, TailKeepRetainsUnsampledTrace) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t key = tracer.BeginTrace("req-slow", /*head_sampled=*/false);
+  ASSERT_NE(key, 0u);
+  obs::RecordSpan(key, "obs_test.slow_phase", 100, 50);
+  tracer.EndTrace(key, /*keep_tail=*/true);
+  obs::TraceSnapshot snapshot;
+  ASSERT_TRUE(tracer.FindRetained("req-slow", &snapshot));
+  EXPECT_FALSE(snapshot.head_sampled);
+  EXPECT_TRUE(snapshot.kept_tail);
+  ASSERT_EQ(snapshot.spans.size(), 1u);
+  EXPECT_EQ(snapshot.spans[0].start_ns, 100u);
+  EXPECT_EQ(snapshot.spans[0].duration_ns, 50u);
+}
+
+TEST_F(RequestTraceTest, AlwaysOnRetainsEverything) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.SetMode(obs::TraceMode::kAlwaysOn);
+  const uint64_t key = tracer.BeginTrace("req-always", /*head_sampled=*/false);
+  ASSERT_NE(key, 0u);
+  tracer.EndTrace(key, /*keep_tail=*/false);
+  obs::TraceSnapshot snapshot;
+  EXPECT_TRUE(tracer.FindRetained("req-always", &snapshot));
+}
+
+TEST_F(RequestTraceTest, FindRetainedReturnsNewestForDuplicateIds) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t first = tracer.BeginTrace("req-dup", true);
+  obs::RecordSpan(first, "obs_test.first", 1, 1);
+  tracer.EndTrace(first, false);
+  const uint64_t second = tracer.BeginTrace("req-dup", true);
+  obs::RecordSpan(second, "obs_test.second", 2, 2);
+  tracer.EndTrace(second, false);
+  obs::TraceSnapshot snapshot;
+  ASSERT_TRUE(tracer.FindRetained("req-dup", &snapshot));
+  ASSERT_EQ(snapshot.spans.size(), 1u);
+  EXPECT_STREQ(snapshot.spans[0].name, "obs_test.second");
+}
+
+TEST_F(RequestTraceTest, RetainedRingIsBounded) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  for (size_t i = 0; i < obs::Tracer::kMaxRetainedTraces + 8; ++i) {
+    const uint64_t key =
+        tracer.BeginTrace("req-ring-" + std::to_string(i), true);
+    tracer.EndTrace(key, false);
+  }
+  EXPECT_EQ(tracer.RetainedSnapshots().size(),
+            obs::Tracer::kMaxRetainedTraces);
+  obs::TraceSnapshot snapshot;
+  // The oldest 8 were evicted; the newest survive.
+  EXPECT_FALSE(tracer.FindRetained("req-ring-0", &snapshot));
+  EXPECT_TRUE(tracer.FindRetained(
+      "req-ring-" + std::to_string(obs::Tracer::kMaxRetainedTraces + 7),
+      &snapshot));
+}
+
+TEST_F(RequestTraceTest, PerTraceSpanCapCountsDrops) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t key = tracer.BeginTrace("req-cap", true);
+  for (size_t i = 0; i < obs::Tracer::kMaxSpansPerTrace + 10; ++i) {
+    obs::RecordSpan(key, "obs_test.flood", i, 1);
+  }
+  tracer.EndTrace(key, false);
+  obs::TraceSnapshot snapshot;
+  ASSERT_TRUE(tracer.FindRetained("req-cap", &snapshot));
+  EXPECT_EQ(snapshot.spans.size(), obs::Tracer::kMaxSpansPerTrace);
+  EXPECT_EQ(snapshot.dropped_spans, 10u);
+}
+
+TEST_F(RequestTraceTest, ScopedContextRestoresPreviousKey) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  EXPECT_EQ(obs::CurrentTraceKey(), 0u);
+  {
+    obs::ScopedTraceContext outer(7);
+    EXPECT_EQ(obs::CurrentTraceKey(), 7u);
+    {
+      obs::ScopedTraceContext inner(9);
+      EXPECT_EQ(obs::CurrentTraceKey(), 9u);
+    }
+    EXPECT_EQ(obs::CurrentTraceKey(), 7u);
+  }
+  EXPECT_EQ(obs::CurrentTraceKey(), 0u);
+}
+
+TEST_F(RequestTraceTest, GlobalPlaneUnaffectedByRequestPlane) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.SetEnabled(true);
+  const uint64_t key = tracer.BeginTrace("req-mixed", true);
+  {
+    // With a request context installed the span goes to the request.
+    obs::ScopedTraceContext scope(key);
+    KPEF_TRACE_SPAN("obs_test.request_span");
+  }
+  {
+    // Without one it goes to the global buffer.
+    KPEF_TRACE_SPAN("obs_test.global_span");
+  }
+  tracer.EndTrace(key, false);
+  tracer.SetEnabled(false);
+  const std::vector<obs::SpanRecord> global_spans = tracer.Snapshot();
+  ASSERT_EQ(global_spans.size(), 1u);
+  EXPECT_STREQ(global_spans[0].name, "obs_test.global_span");
+  obs::TraceSnapshot snapshot;
+  ASSERT_TRUE(tracer.FindRetained("req-mixed", &snapshot));
+  ASSERT_EQ(snapshot.spans.size(), 1u);
+  EXPECT_STREQ(snapshot.spans[0].name, "obs_test.request_span");
+}
+
+TEST_F(RequestTraceTest, ExportTraceJsonParses) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t key = tracer.BeginTrace("req-export", true);
+  obs::RecordSpan(key, "obs_test.phase_a", 1000, 2000);
+  obs::RecordSpan(key, "obs_test.phase_b", 1500, 400);
+  tracer.EndTrace(key, true);
+  obs::TraceSnapshot snapshot;
+  ASSERT_TRUE(tracer.FindRetained("req-export", &snapshot));
+  const JsonValue doc = ParseJsonOrDie(obs::ExportTraceJson(snapshot));
+  EXPECT_EQ(doc["trace_id"].str, "req-export");
+  EXPECT_EQ(doc["dropped_spans"].number, 0.0);
+  ASSERT_EQ(doc["spans"].array.size(), 2u);
+  // Ordered by start time.
+  EXPECT_EQ(doc["spans"].array[0]["name"].str, "obs_test.phase_a");
+  EXPECT_EQ(doc["spans"].array[1]["name"].str, "obs_test.phase_b");
+  EXPECT_DOUBLE_EQ(doc["spans"].array[0]["start_us"].number, 1.0);
+  EXPECT_DOUBLE_EQ(doc["spans"].array[0]["dur_us"].number, 2.0);
+}
+
+TEST_F(RequestTraceTest, ExportChromeTraceParses) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t key = tracer.BeginTrace("req-chrome", true);
+  obs::RecordSpan(key, "obs_test.chrome_span", 3000, 1000);
+  tracer.EndTrace(key, true);
+  obs::TraceSnapshot snapshot;
+  ASSERT_TRUE(tracer.FindRetained("req-chrome", &snapshot));
+  const JsonValue doc = ParseJsonOrDie(obs::ExportChromeTrace(snapshot));
+  ASSERT_TRUE(doc.Has("traceEvents"));
+  ASSERT_EQ(doc["traceEvents"].array.size(), 1u);
+  const JsonValue& event = doc["traceEvents"].array[0];
+  EXPECT_EQ(event["ph"].str, "X");
+  EXPECT_EQ(event["name"].str, "obs_test.chrome_span");
+  EXPECT_DOUBLE_EQ(event["ts"].number, 3.0);
+  EXPECT_DOUBLE_EQ(event["dur"].number, 1.0);
+  EXPECT_EQ(doc["displayTimeUnit"].str, "ms");
+}
+
+// --- Quantile estimation and exposition format (PR 6) -----------------
+
+TEST(QuantileTest, EmptyHistogramIsZero) {
+  MetricsSnapshot::HistogramData data;
+  data.upper_bounds = {1.0, 2.0};
+  data.bucket_counts = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.5), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesWithinBucket) {
+  MetricsSnapshot::HistogramData data;
+  data.upper_bounds = {10.0, 20.0, 40.0};
+  // 10 observations <= 10, 10 in (10, 20], none beyond.
+  data.bucket_counts = {10, 10, 0, 0};
+  data.total_count = 20;
+  // Median rank = 10 lands exactly at the first bucket's upper edge.
+  EXPECT_NEAR(obs::HistogramQuantile(data, 0.5), 10.0, 1e-9);
+  // p75 -> rank 15: halfway through the (10, 20] bucket.
+  EXPECT_NEAR(obs::HistogramQuantile(data, 0.75), 15.0, 1e-9);
+  // p100 caps at the highest populated bound.
+  EXPECT_NEAR(obs::HistogramQuantile(data, 1.0), 20.0, 1e-9);
+}
+
+TEST(QuantileTest, OverflowBucketClampsToHighestBound) {
+  MetricsSnapshot::HistogramData data;
+  data.upper_bounds = {10.0, 20.0};
+  data.bucket_counts = {0, 0, 5};  // everything overflowed
+  data.total_count = 5;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(data, 0.99), 20.0);
+}
+
+TEST(ExportTest, EscapeLabelValue) {
+  EXPECT_EQ(obs::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(ExportTest, PrometheusHelpAndTypeForCanonicalMetrics) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::WarmPipelineMetrics();
+  const std::string text = obs::ExportPrometheusText();
+  EXPECT_NE(text.find("# HELP serve_e2e_ms "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_e2e_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("# HELP process_rss_bytes "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE process_rss_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_requests counter"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusQuantileSummaries) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::WarmPipelineMetrics();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Histogram& hist = registry.GetHistogram(obs::kServeE2eMs);
+  hist.Reset();
+  for (int i = 0; i < 100; ++i) hist.Observe(0.2);
+  const std::string text = obs::ExportPrometheusText();
+  EXPECT_NE(text.find("# TYPE serve_e2e_ms_quantile summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_e2e_ms_quantile{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_e2e_ms_quantile{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_e2e_ms_quantile{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_e2e_ms_quantile_count 100"), std::string::npos);
+  // The widened buckets resolve sub-millisecond latencies: with every
+  // observation at 0.2ms the p99 estimate must stay near 0.25, not be
+  // flattened into a 1ms-wide first bucket.
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const double p99 =
+      obs::HistogramQuantile(snapshot.histograms.at(obs::kServeE2eMs), 0.99);
+  EXPECT_LE(p99, 0.25);
+  EXPECT_GT(p99, 0.0);
+}
+
+TEST(ExportTest, PrometheusBucketsAreMonotonic) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::WarmPipelineMetrics();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Histogram& hist = registry.GetHistogram(obs::kServeQueueWaitMs);
+  hist.Reset();
+  const double values[] = {0.01, 0.3, 1.7, 9.0, 80.0, 999.0, 1e5};
+  for (double v : values) hist.Observe(v);
+  const std::string text = obs::ExportPrometheusText();
+  // Walk every _bucket series in the exposition: cumulative counts must
+  // be non-decreasing within a metric and end at the +Inf bucket.
+  size_t pos = 0;
+  std::string current_metric;
+  uint64_t last_count = 0;
+  bool saw_any_bucket = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t bucket_at = line.find("_bucket{le=\"");
+    if (bucket_at == std::string::npos) continue;
+    saw_any_bucket = true;
+    const std::string metric = line.substr(0, bucket_at);
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const uint64_t count = std::stoull(line.substr(space + 1));
+    if (metric != current_metric) {
+      current_metric = metric;
+      last_count = 0;
+    }
+    EXPECT_GE(count, last_count) << "non-monotonic buckets: " << line;
+    last_count = count;
+  }
+  EXPECT_TRUE(saw_any_bucket);
 }
 
 TEST(ExportTest, DisabledBuildExportsEmptyDocuments) {

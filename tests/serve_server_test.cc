@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
 #include "serve/http_server.h"
 #include "serve/service.h"
 
@@ -69,6 +70,15 @@ class TestClient {
   bool Post(const std::string& path, const std::string& body) {
     return SendRaw("POST " + path + " HTTP/1.1\r\ncontent-length: " +
                    std::to_string(body.size()) + "\r\n\r\n" + body);
+  }
+
+  bool PostWithHeaders(const std::string& path, const std::string& body,
+                       const std::vector<std::string>& extra_headers) {
+    std::string wire = "POST " + path + " HTTP/1.1\r\ncontent-length: " +
+                       std::to_string(body.size()) + "\r\n";
+    for (const std::string& h : extra_headers) wire += h + "\r\n";
+    wire += "\r\n" + body;
+    return SendRaw(wire);
   }
 
   bool Get(const std::string& path) {
@@ -151,7 +161,8 @@ struct FakeEngine {
 
   BatchExecuteFn AsFn() {
     return [this](const std::vector<std::string>& texts, size_t top_n,
-                  const BatchQueryOptions&, std::vector<QueryStats>* stats) {
+                  const BatchQueryOptions& options,
+                  std::vector<QueryStats>* stats) {
       {
         std::unique_lock<std::mutex> lock(mutex);
         batch_sizes.push_back(texts.size());
@@ -160,6 +171,12 @@ struct FakeEngine {
       if (sleep_ms > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      // Simulate the real engine's per-query trace attribution so the
+      // serving layers' key plumbing is testable without a model.
+      for (size_t q = 0; q < options.trace_keys.size(); ++q) {
+        obs::RecordSpan(options.trace_keys[q], "engine.fake",
+                        obs::Tracer::Global().NowNanos(), 1000);
       }
       stats->assign(texts.size(), QueryStats());
       std::vector<std::vector<ExpertScore>> results(texts.size());
@@ -478,6 +495,256 @@ TEST(ServeServerTest, GracefulDrainFinishesInFlightThenCloses) {
   ClientResponse none;
   EXPECT_FALSE(late.connected() && late.Get("/healthz") &&
                late.ReadResponse(&none));
+}
+
+// --- Request-scoped observability (PR 6) ------------------------------
+
+#ifdef KPEF_METRICS_DISABLED
+#define KPEF_SKIP_IF_METRICS_DISABLED() \
+  GTEST_SKIP() << "tracing compiled out (KPEF_METRICS_DISABLED)"
+#else
+#define KPEF_SKIP_IF_METRICS_DISABLED() \
+  do {                                  \
+  } while (0)
+#endif
+
+/// Thread-safe collector for the access-log sink seam.
+struct LogLines {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+
+  obs::RequestLog::Sink AsSink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mutex);
+      lines.push_back(line);
+    };
+  }
+  std::vector<std::string> Snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return lines;
+  }
+  /// First line containing `needle`, or "".
+  std::string Find(const std::string& needle) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const std::string& line : lines) {
+      if (line.find(needle) != std::string::npos) return line;
+    }
+    return "";
+  }
+};
+
+TEST(ServeObsTest, EveryResponseEchoesRequestId) {
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.PostWithHeaders("/v1/find_experts",
+                                     R"({"query":"q","n":1})",
+                                     {"x-request-id: my-req.01"}));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers["x-request-id"], "my-req.01");
+  EXPECT_NE(response.body.find("\"trace_id\":\"my-req.01\""),
+            std::string::npos);
+
+  // Without a client id, a server-generated one comes back.
+  ASSERT_TRUE(client.Post("/v1/find_experts", R"({"query":"q","n":1})"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_FALSE(response.headers["x-request-id"].empty());
+}
+
+TEST(ServeObsTest, HostileRequestIdsAreSanitized) {
+  Harness harness(FastConfig());
+  struct Case {
+    std::string raw;
+    std::string expected;  // "" = server generates instead
+  };
+  const std::vector<Case> cases = {
+      // Header-injection attempt: CR/LF cannot survive into the echoed
+      // header (the parser rejects embedded CRLF outright, so test the
+      // in-value control bytes that do parse).
+      {"abc\tdef", "abcdef"},
+      {"\xc3\xa9\xf0\x9f\x92\xa9", ""},  // UTF-8 junk: nothing survives
+      {"{\"x\":1}", "x1"},               // JSON-injection attempt
+      {std::string(200, 'a'), std::string(64, 'a')},  // over-long: clamped
+  };
+  for (const Case& c : cases) {
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.PostWithHeaders("/v1/find_experts",
+                                       R"({"query":"q","n":1})",
+                                       {"x-request-id: " + c.raw}));
+    ClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response));
+    EXPECT_EQ(response.status, 200);
+    const std::string echoed = response.headers["x-request-id"];
+    if (c.expected.empty()) {
+      // Fully hostile ids are replaced by a generated one.
+      EXPECT_EQ(echoed.rfind("req-", 0), 0u) << "raw: " << c.raw;
+    } else {
+      EXPECT_EQ(echoed, c.expected) << "raw: " << c.raw;
+    }
+    for (char ch : echoed) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) ||
+                  ch == '-' || ch == '_' || ch == '.')
+          << "unsanitized byte in echoed id: " << echoed;
+    }
+  }
+}
+
+TEST(ServeObsTest, AccessLogLineMatchesResponse) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  LogLines log;
+  ServiceConfig config = FastConfig();
+  config.access_log_sink = log.AsSink();
+  Harness harness(config);
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.PostWithHeaders("/v1/find_experts",
+                                     R"({"query":"q","n":2})",
+                                     {"x-request-id: log-me-1"}));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  // The line is written before the response is released, so it must be
+  // visible now.
+  const std::string line = log.Find("log-me-1");
+  ASSERT_FALSE(line.empty()) << "no access-log line for the request";
+  EXPECT_NE(line.find("\"status\":200"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"top_n\":2"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"e2e_ms\":"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"queue_wait_ms\":"), std::string::npos) << line;
+  // Startup header line carries the build stamp.
+  const std::string header = log.Find("\"event\":\"start\"");
+  ASSERT_FALSE(header.empty());
+  EXPECT_NE(header.find("\"git\":"), std::string::npos) << header;
+
+  // A 400 is logged too.
+  ASSERT_TRUE(client.PostWithHeaders("/v1/find_experts", "not json",
+                                     {"x-request-id: log-me-2"}));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 400);
+  const std::string bad = log.Find("log-me-2");
+  ASSERT_FALSE(bad.empty());
+  EXPECT_NE(bad.find("\"status\":400"), std::string::npos) << bad;
+}
+
+TEST(ServeObsTest, SlowRequestLandsInDebugSlowAndTrace) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer::Global().ClearRequestTraces();
+  ServiceConfig config = FastConfig();
+  config.slow_e2e_ms = 0.0001;  // every request crosses the tail bar
+  config.trace_head_every = 0;  // heads off: retention is tail-only
+  Harness harness(config);
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.PostWithHeaders("/v1/find_experts",
+                                     R"({"query":"needle query","n":1})",
+                                     {"x-request-id: slow-req-7"}));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+
+  // The slow ring has the request, newest first, with its phase split.
+  ASSERT_TRUE(client.Get("/v1/debug/slow"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"trace_id\":\"slow-req-7\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"query\":\"needle query\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"e2e_ms\":"), std::string::npos);
+
+  // Tail-based retention: the full span tree is queryable by id even
+  // though the request was not head-sampled.
+  ASSERT_TRUE(client.Get("/v1/debug/trace?id=slow-req-7"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"trace_id\": \"slow-req-7\""),
+            std::string::npos);
+  for (const char* span :
+       {"server.request", "serve.queue", "serve.batch", "engine.fake"}) {
+    EXPECT_NE(response.body.find(span), std::string::npos)
+        << "missing span " << span << " in " << response.body;
+  }
+
+  // Chrome trace-event export of the same trace.
+  ASSERT_TRUE(client.Get("/v1/debug/trace?id=slow-req-7&format=chrome"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ServeObsTest, UnknownTraceIdReturns404) {
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ClientResponse response;
+  ASSERT_TRUE(client.Get("/v1/debug/trace?id=never-seen"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 404);
+  ASSERT_TRUE(client.Get("/v1/debug/trace"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 400);
+}
+
+TEST(ServeObsTest, FastUnsampledRequestIsNotRetained) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  obs::Tracer::Global().ClearRequestTraces();
+  ServiceConfig config = FastConfig();
+  config.trace_head_every = 0;   // no head sampling
+  config.slow_e2e_ms = 1e9;      // tail bar unreachable
+  config.slow_queue_wait_ms = 1e9;
+  Harness harness(config);
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.PostWithHeaders("/v1/find_experts",
+                                     R"({"query":"q","n":1})",
+                                     {"x-request-id: dropped-req"}));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_TRUE(client.Get("/v1/debug/trace?id=dropped-req"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 404);
+}
+
+TEST(ServeObsTest, HealthzCarriesBuildStamp) {
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ClientResponse response;
+  ASSERT_TRUE(client.Get("/healthz"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"git\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"build\":"), std::string::npos);
+}
+
+TEST(ServeObsTest, MetricsExposeQuantilesAndProcessGauges) {
+  KPEF_SKIP_IF_METRICS_DISABLED();
+  Harness harness(FastConfig());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  // Drive one request so the latency histograms are populated.
+  ASSERT_TRUE(client.Post("/v1/find_experts", R"({"query":"q","n":1})"));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_TRUE(client.Get("/metrics"));
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  for (const char* needle :
+       {"serve_e2e_ms_quantile{quantile=\"0.99\"}",
+        "serve_queue_wait_ms_quantile{quantile=\"0.5\"}",
+        "process_rss_bytes", "process_open_fds", "process_uptime_seconds",
+        "pool_queue_depth", "serve_traces_started"}) {
+    EXPECT_NE(response.body.find(needle), std::string::npos)
+        << "missing " << needle;
+  }
 }
 
 }  // namespace
