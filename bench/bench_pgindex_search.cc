@@ -131,15 +131,26 @@ void BM_PGSearchBatch(benchmark::State& state) {
   const PGIndex& index = IndexVariant(2);
   constexpr size_t kBatch = 32;
   Matrix queries(kBatch, kDim);
+  std::vector<std::vector<Neighbor>> truth(kBatch);
   for (size_t q = 0; q < kBatch; ++q) {
     const std::vector<float> v = QueryFor(q);
     std::copy(v.begin(), v.end(), queries.Row(q).begin());
+    truth[q] = BruteForceSearch(Points(), v, kTopK);
   }
   const size_t ef = static_cast<size_t>(state.range(0));
+  double recall = 0.0;
   for (auto _ : state) {
     const auto results = index.SearchBatch(queries, kTopK, ef);
     benchmark::DoNotOptimize(results.data());
+    state.PauseTiming();
+    recall = 0.0;  // steady-state recall: same queries every iteration
+    for (size_t q = 0; q < kBatch; ++q) {
+      recall += ComputeRecall(results[q], truth[q]);
+    }
+    recall /= static_cast<double>(kBatch);
+    state.ResumeTiming();
   }
+  state.counters["recall"] = recall;
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
 }
 

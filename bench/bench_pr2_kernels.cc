@@ -125,7 +125,11 @@ int main() {
   const size_t kDim = 128;
   const size_t kReps = 4'000'000;
   const DistanceKernel baseline_kernel = {"pre_pr_baseline", BaselineDot,
-                                          BaselineSquaredL2, nullptr, nullptr};
+                                          BaselineSquaredL2,
+                                          nullptr,  // axpy
+                                          nullptr,  // scale
+                                          nullptr,  // sq8_asym_l2
+                                          nullptr}; // sq8_asym_l2x4
   const KernelResult baseline = TimeKernel(baseline_kernel, kDim, kReps / 4);
   const KernelResult scalar = TimeKernel(ScalarKernel(), kDim, kReps);
   const KernelResult active = TimeKernel(ActiveKernel(), kDim, kReps);

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "ann/brute_force.h"
+#include "ann/stamp_set.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -14,28 +15,9 @@
 namespace kpef {
 namespace {
 
-// Epoch-stamped membership set over node ids. Begin() starts a fresh
-// (empty) set in O(1); TestAndSet is O(1). One instance lives per worker
-// thread, so the per-insert duplicate check costs one array probe
-// instead of the former O(k) linear scan of the heap.
-class StampSet {
- public:
-  void Begin(size_t n) {
-    if (stamps_.size() < n) stamps_.assign(n, 0);
-    ++epoch_;
-  }
-  /// Returns true if `id` was already present; marks it present.
-  bool TestAndSet(int32_t id) {
-    if (stamps_[id] == epoch_) return true;
-    stamps_[id] = epoch_;
-    return false;
-  }
-
- private:
-  std::vector<uint64_t> stamps_;
-  uint64_t epoch_ = 0;
-};
-
+// One StampSet (ann/stamp_set.h) lives per worker thread, so the
+// per-insert duplicate check costs one array probe instead of the
+// former O(k) linear scan of the heap.
 StampSet& LocalStamps() {
   static thread_local StampSet stamps;
   return stamps;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <queue>
+#include <limits>
 #include <unordered_set>
+#include <utility>
 
+#include "ann/stamp_set.h"
 #include "common/aligned_buffer.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -17,23 +19,115 @@
 
 namespace kpef {
 
+namespace {
+
+// Pull a whole point row into cache ahead of its distance evaluation.
+inline void PrefetchBytes(const void* p, size_t bytes) {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* c = static_cast<const char*>(p);
+  for (size_t off = 0; off < bytes; off += kCacheLineBytes) {
+    __builtin_prefetch(c + off, /*rw=*/0, /*locality=*/3);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
+
+// Per-query bindings of one lockstep group search.
+struct PGIndex::GroupSlot {
+  std::span<const float> query;  // padded fp32 row (stride-wide)
+  SearchStats* stats = nullptr;
+  std::vector<Neighbor>* out = nullptr;
+  size_t pool_occupancy = 0;  // pool size at termination (histogram)
+};
+
+// Thread-local scratch reused across searches: per-slot visited stamps,
+// heap storage, and prepared SQ8 queries, plus shared work lists. A
+// steady-state search allocates nothing.
+struct PGIndex::SearchArena {
+  // One row to score in pass B of a lockstep round: node's code row
+  // against run_slots[begin, begin + count).
+  struct ScoreRun {
+    int32_t node;
+    uint32_t begin;
+    uint32_t count;
+  };
+
+  std::vector<VisitedBitset> visited;
+  std::vector<std::vector<Neighbor>> cand;  // min-heaps (std::greater)
+  std::vector<std::vector<Neighbor>> pool;  // max-heaps (worst on top)
+  std::vector<AlignedVector> qt;            // prepared SQ8 queries
+  std::vector<std::pair<int32_t, uint32_t>> expand;  // (node, slot)
+  std::vector<std::pair<uint32_t, uint32_t>> groups;  // [begin, end) in expand
+  std::vector<ScoreRun> runs;               // pass A -> pass B worklist
+  std::vector<uint32_t> run_slots;          // flat slot lists for runs
+  std::vector<Neighbor> rerank;
+
+  void Prepare(size_t slots) {
+    if (visited.size() < slots) {
+      visited.resize(slots);
+      cand.resize(slots);
+      pool.resize(slots);
+      qt.resize(slots);
+    }
+  }
+};
+
+namespace {
+
+// Replaces the top of a full max-heap pool with a strictly better
+// element: one sift-down instead of push_heap + pop_heap. The heap
+// holds the same element set either way (the displaced top is exactly
+// what pop_heap would remove), but at half the comparison/move cost —
+// which matters because on a full pool every improving candidate of
+// the navigating node's highway scan takes this path.
+inline void ReplaceHeapTop(std::vector<Neighbor>& heap, Neighbor next) {
+  const size_t n = heap.size();
+  size_t i = 0;
+  for (;;) {
+    size_t c = 2 * i + 1;
+    if (c >= n) break;
+    if (c + 1 < n && heap[c] < heap[c + 1]) ++c;
+    if (!(next < heap[c])) break;
+    heap[i] = heap[c];
+    i = c;
+  }
+  heap[i] = next;
+}
+
+}  // namespace
+
+PGIndex::SearchArena& PGIndex::LocalArena() {
+  static thread_local SearchArena arena;
+  return arena;
+}
+
 PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
                        PGIndexBuildStats* stats) {
   KPEF_TRACE_SPAN("pgindex.build");
   Timer total_timer;
   PGIndex index;
-  index.points_ = points;
+  index.rerank_factor_ = std::max(1.0, config.rerank_factor);
   const size_t n = points.rows();
   const size_t d = points.cols();
-  index.adjacency_.resize(n);
   PGIndexBuildStats local_stats;
   if (n == 0) {
+    index.points_ = points;
+    index.adj_offsets_.assign(1, 0);
     if (stats) *stats = local_stats;
     return index;
   }
   ThreadPool& pool = config.nndescent.pool != nullptr
                          ? *config.nndescent.pool
                          : ThreadPool::Default();
+  // The graph is built over *external* ids (row numbers of `points`);
+  // FinalizeLayout at the end relabels everything into the cache-aware
+  // internal order.
+  std::vector<std::vector<int32_t>> adjacency(n);
+  int32_t navigating = -1;
   // All hot-loop distances below are squared L2 over padded rows: the
   // square root is monotone, so every comparison (argmin, sort, occlusion
   // check) is unchanged, and padded rows let the kernel run tail-free.
@@ -73,7 +167,7 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
     for (const Neighbor& cand : chunk_best) {
       if (cand.id >= 0 && (best.id < 0 || cand < best)) best = cand;
     }
-    index.navigating_node_ = best.id;
+    navigating = best.id;
     local_stats.distance_computations += n;
   }
 
@@ -132,7 +226,7 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
 
     // Redundant neighbors removal (lines 9-12): scanning nearest-first,
     // drop y when some kept x satisfies δ(x, y) <= δ(y, p).
-    auto& out = index.adjacency_[p];
+    auto& out = adjacency[p];
     out.clear();
     if (config.remove_redundant) {
       std::vector<Neighbor> kept;
@@ -162,12 +256,77 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
   }
   local_stats.refine_seconds = refine_timer.ElapsedSeconds();
 
-  // --- Connectivity repair: the kNN graph of clustered data can be
-  // disconnected, which would make whole clusters unreachable from the
-  // navigating node. Link the navigating node to the nearest point of
-  // each unreachable component (these are exactly the "highway" edges of
-  // §IV-A, guaranteeing the greedy search can leave the entry cluster).
+  // --- Reverse-edge pass: occlusion pruning keeps *out*-edges only, so
+  // the directed graph fragments at scale — a large fraction of nodes
+  // ends up with no in-edge from the navigating node's component, and
+  // every fragment would need its own highway below. Inserting p into
+  // q's list for each kept edge p->q (only while q has spare capacity,
+  // so the refine degree cap still holds) makes the graph near-symmetric,
+  // which repairs most of that fragmentation up front and gives the
+  // greedy search a way back "up" toward a query's cluster. Serial with
+  // a fixed visit order, so builds stay bit-identical across pool sizes.
   {
+    std::vector<uint32_t> base_degree(n);
+    for (size_t p = 0; p < n; ++p) {
+      base_degree[p] = static_cast<uint32_t>(adjacency[p].size());
+    }
+    for (size_t p = 0; p < n; ++p) {
+      for (uint32_t i = 0; i < base_degree[p]; ++i) {
+        const int32_t q = adjacency[p][i];
+        auto& back = adjacency[q];
+        if (back.size() >= config.max_degree) continue;
+        if (std::find(back.begin(), back.end(), static_cast<int32_t>(p)) ==
+            back.end()) {
+          back.push_back(static_cast<int32_t>(p));
+          ++local_stats.reverse_edges;
+        }
+      }
+    }
+  }
+
+  // --- Connectivity repair: even after the reverse pass, far-apart
+  // clusters can be unreachable from the navigating node. Link the
+  // navigating node to the nearest point of each unreachable component
+  // (these are exactly the "highway" edges of §IV-A, guaranteeing the
+  // greedy search can leave the entry cluster — and giving every query
+  // a one-hop teleport toward its cluster). The reverse pass above is
+  // what keeps this affordable at scale: without it, directed pruning
+  // fragments each cluster into many single-node components and the
+  // navigating node degenerates into a hub whose expansion costs
+  // O(fragments) distance computations on every search; with it, the
+  // highway count is the number of genuine clusters.
+  {
+    // Reachability is judged over *strong* edges only: p -> q counts
+    // only while d(p, q) <= 2x p's shortest kept edge (a factor of 4
+    // on squared distances). Candidate pools leave a few long one-way
+    // edges between far clusters; through those a cluster is
+    // technically reachable, but the best-first search never follows
+    // them (a weak link's far endpoint never outranks the local
+    // frontier), so without a highway every query into that cluster
+    // misses. Filtering weak edges out of this pass — the search graph
+    // itself is untouched — makes such clusters count as unreached and
+    // earn a proper highway. On smoothly-distributed data edge lengths
+    // are comparable, nothing is filtered, and this degenerates to
+    // plain reachability.
+    constexpr float kStrongEdgeFactor = 4.0f;  // squared-distance ratio
+    std::vector<std::vector<int32_t>> strong(n);
+    std::vector<float> edge_dist;
+    for (size_t p = 0; p < n; ++p) {
+      const auto& nbrs = adjacency[p];
+      if (nbrs.empty()) continue;
+      edge_dist.resize(nbrs.size());
+      float dmin = std::numeric_limits<float>::max();
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        ++local_stats.distance_computations;
+        edge_dist[i] = squared(static_cast<int32_t>(p), nbrs[i]);
+        dmin = std::min(dmin, edge_dist[i]);
+      }
+      auto& out = strong[p];
+      out.reserve(nbrs.size());
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (edge_dist[i] <= kStrongEdgeFactor * dmin) out.push_back(nbrs[i]);
+      }
+    }
     std::vector<char> reachable(n, 0);
     std::vector<int32_t> stack;
     auto bfs_from = [&](int32_t start) {
@@ -176,7 +335,7 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
       while (!stack.empty()) {
         const int32_t v = stack.back();
         stack.pop_back();
-        for (int32_t u : index.adjacency_[v]) {
+        for (int32_t u : strong[v]) {
           if (!reachable[u]) {
             reachable[u] = 1;
             stack.push_back(u);
@@ -184,26 +343,28 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
         }
       }
     };
-    bfs_from(index.navigating_node_);
+    bfs_from(navigating);
     for (;;) {
       int32_t nearest = -1;
       float nearest_dist = 0.0f;
       for (size_t u = 0; u < n; ++u) {
         if (reachable[u]) continue;
         ++local_stats.distance_computations;
-        const float dist =
-            squared(index.navigating_node_, static_cast<int32_t>(u));
+        const float dist = squared(navigating, static_cast<int32_t>(u));
         if (nearest < 0 || dist < nearest_dist) {
           nearest = static_cast<int32_t>(u);
           nearest_dist = dist;
         }
       }
       if (nearest < 0) break;
-      index.adjacency_[index.navigating_node_].push_back(nearest);
+      adjacency[navigating].push_back(nearest);
       ++local_stats.connectivity_edges;
       bfs_from(nearest);
     }
   }
+
+  index.FinalizeLayout(points, std::move(adjacency), navigating,
+                       config.quantize, /*ext_codes=*/nullptr);
 
   local_stats.edges_final = index.NumEdges();
   local_stats.build_seconds = total_timer.ElapsedSeconds();
@@ -214,88 +375,389 @@ PGIndex PGIndex::Build(const Matrix& points, const PGIndexConfig& config,
   return index;
 }
 
-std::vector<Neighbor> PGIndex::SearchImpl(std::span<const float> padded_query,
-                                          size_t m, size_t ef,
-                                          SearchStats& local_stats,
-                                          size_t& pool_occupancy) const {
-  const size_t n = points_.rows();
-  std::vector<Neighbor> result;
-  if (n == 0 || m == 0) return result;
-  const size_t pool_size = std::max(ef, m);
-  // Squared distance throughout the greedy loop; sqrt once on the
-  // surviving pool at the end.
-  auto distance = [&](int32_t id) {
-    ++local_stats.distance_computations;
-    return SquaredL2Distance(points_.PaddedRow(id), padded_query);
-  };
+void PGIndex::FinalizeLayout(const Matrix& ext_points,
+                             std::vector<std::vector<int32_t>>&& ext_adjacency,
+                             int32_t navigating_external, bool quantize,
+                             const Sq8Codes* ext_codes) {
+  const size_t n = ext_points.rows();
+  const size_t d = ext_points.cols();
+  navigating_node_ = navigating_external;
 
-  // Best-first search from the navigating node with a bounded result pool
-  // (§IV-B): candidates ascending, pool as max-heap of size pool_size.
-  std::priority_queue<Neighbor, std::vector<Neighbor>,
-                      std::greater<Neighbor>>
-      candidates;
-  std::priority_queue<Neighbor> pool;  // max-heap: worst on top
-  std::vector<char> visited(n, 0);
-
-  const Neighbor entry{navigating_node_, distance(navigating_node_)};
-  candidates.push(entry);
-  pool.push(entry);
-  visited[navigating_node_] = 1;
-
-  while (!candidates.empty()) {
-    const Neighbor current = candidates.top();
-    candidates.pop();
-    if (pool.size() >= pool_size && current.distance > pool.top().distance) {
-      break;  // Cannot improve the pool anymore.
-    }
-    ++local_stats.hops;
-    for (int32_t u : adjacency_[current.id]) {
-      if (visited[u]) continue;
-      visited[u] = 1;
-      const Neighbor next{u, distance(u)};
-      if (pool.size() < pool_size || next.distance < pool.top().distance) {
-        candidates.push(next);
-        pool.push(next);
-        if (pool.size() > pool_size) pool.pop();
+  // BFS relabeling from the navigating node: the greedy search expands
+  // nodes roughly in BFS order, so storing rows in that order turns graph
+  // locality into memory locality. FIFO order with neighbors taken in
+  // their stored (refinement) order makes the permutation a pure function
+  // of the external graph — Build and a later Load agree bit-for-bit.
+  to_external_.clear();
+  to_external_.reserve(n);
+  std::vector<char> seen(n, 0);
+  if (n > 0 && navigating_external >= 0) {
+    size_t head = 0;
+    to_external_.push_back(navigating_external);
+    seen[navigating_external] = 1;
+    while (head < to_external_.size()) {
+      const int32_t v = to_external_[head++];
+      for (int32_t u : ext_adjacency[v]) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          to_external_.push_back(u);
+        }
       }
     }
   }
-  pool_occupancy = pool.size();
-  result.reserve(pool.size());
-  while (!pool.empty()) {
-    result.push_back(pool.top());
-    pool.pop();
+  // Unreachable stragglers (possible only in degenerate graphs) keep
+  // their relative order at the end.
+  for (size_t v = 0; v < n; ++v) {
+    if (!seen[v]) to_external_.push_back(static_cast<int32_t>(v));
   }
-  std::reverse(result.begin(), result.end());
-  if (result.size() > m) result.resize(m);
-  for (Neighbor& nb : result) nb.distance = std::sqrt(nb.distance);
-  return result;
+  to_internal_.assign(n, -1);
+  for (size_t i = 0; i < n; ++i) to_internal_[to_external_[i]] = static_cast<int32_t>(i);
+
+  // Permuted copies: points, then the adjacency flattened to CSR (ids
+  // remapped to internal, per-node order preserved).
+  points_ = Matrix(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto src = ext_points.Row(to_external_[i]);
+    auto dst = points_.Row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  size_t total_edges = 0;
+  for (const auto& nbrs : ext_adjacency) total_edges += nbrs.size();
+  adj_offsets_.assign(n + 1, 0);
+  adj_.clear();
+  adj_.reserve(total_edges);
+  for (size_t i = 0; i < n; ++i) {
+    for (int32_t u : ext_adjacency[to_external_[i]]) {
+      adj_.push_back(to_internal_[u]);
+    }
+    adj_offsets_[i + 1] = static_cast<int64_t>(adj_.size());
+  }
+  ext_adjacency.clear();
+
+  codes_ = Sq8Codes();
+  if (quantize && n > 0) {
+    if (ext_codes != nullptr && !ext_codes->empty()) {
+      codes_ = Sq8Codes::Permuted(*ext_codes, to_external_);
+    } else {
+      // Encoding commutes with row permutation (per-dim min/max are
+      // order-independent), so encoding the internal-order matrix equals
+      // permuting externally-encoded codes.
+      codes_ = Sq8Codes::Encode(points_);
+    }
+  }
+}
+
+std::vector<int32_t> PGIndex::NeighborsOf(int32_t node) const {
+  const auto nbrs = InternalNeighbors(to_internal_[node]);
+  std::vector<int32_t> out;
+  out.reserve(nbrs.size());
+  for (int32_t u : nbrs) out.push_back(to_external_[u]);
+  return out;
+}
+
+void PGIndex::set_rerank_factor(double factor) {
+  rerank_factor_ = std::max(1.0, factor);
+}
+
+uint64_t PGIndex::SearchGroup(GroupSlot* slots, size_t count,
+                              const SearchParams& params,
+                              SearchArena& arena) const {
+  const size_t n = points_.rows();
+  const size_t m = params.m;
+  if (n == 0 || m == 0 || count == 0) return 0;
+  const bool use_sq8 = quantized() && !params.force_exact;
+  double rf = params.rerank_factor > 0.0 ? params.rerank_factor
+                                         : rerank_factor_;
+  rf = std::max(1.0, rf);
+  const size_t rerank_depth =
+      use_sq8 ? std::max(m, static_cast<size_t>(rf * static_cast<double>(m)))
+              : m;
+  const size_t pool_size = std::max(params.ef, rerank_depth);
+
+  arena.Prepare(count);
+  const DistanceKernel& kernel = ActiveKernel();
+  const size_t fp32_width = points_.stride();
+  const float* steps = use_sq8 ? codes_.steps().data() : nullptr;
+  const size_t code_width = use_sq8 ? codes_.stride() : 0;
+
+  auto fp32_distance = [&](size_t s, int32_t u) {
+    ++slots[s].stats->distance_computations;
+    return kernel.squared_l2(points_.PaddedRow(u).data(),
+                             slots[s].query.data(), fp32_width);
+  };
+  auto traversal_distance = [&](size_t s, int32_t u) {
+    if (use_sq8) {
+      ++slots[s].stats->sq8_distance_computations;
+      return kernel.sq8_asym_l2(arena.qt[s].data(), steps, codes_.RowPtr(u),
+                                code_width);
+    }
+    return fp32_distance(s, u);
+  };
+  auto prefetch_point = [&](int32_t u) {
+    if (use_sq8) {
+      PrefetchBytes(codes_.RowPtr(u), code_width);
+    } else {
+      PrefetchBytes(points_.PaddedRow(u).data(), fp32_width * sizeof(float));
+    }
+  };
+  const auto min_cmp = std::greater<Neighbor>{};
+
+  const int32_t entry = to_internal_[navigating_node_];
+  bool live[64];  // count is bounded by the batch group size (<= 8)
+  KPEF_CHECK(count <= 64);
+  for (size_t s = 0; s < count; ++s) {
+    arena.visited[s].Begin(n);
+    arena.cand[s].clear();
+    arena.pool[s].clear();
+    if (use_sq8) codes_.PrepareQuery(slots[s].query, arena.qt[s]);
+    const Neighbor first{entry, traversal_distance(s, entry)};
+    arena.cand[s].push_back(first);
+    arena.pool[s].push_back(first);
+    arena.visited[s].TestAndSet(entry);
+    live[s] = true;
+  }
+
+  // Lockstep rounds: phase 1 pops each live query's best candidate (the
+  // per-query pop/terminate logic is exactly the serial greedy loop, so
+  // results are independent of group composition); phase 2 expands the
+  // popped nodes, grouping queries that landed on the same node so one
+  // pass over its adjacency (and one load of each neighbor row) services
+  // all of them, with the next rows prefetched while the current one is
+  // scored.
+  uint64_t interleaved_hops = 0;
+  auto& expand = arena.expand;
+  for (;;) {
+    size_t live_count = 0;
+    for (size_t s = 0; s < count; ++s) live_count += live[s] ? 1 : 0;
+    if (live_count == 0) break;
+    expand.clear();
+    for (size_t s = 0; s < count; ++s) {
+      if (!live[s]) continue;
+      auto& cand = arena.cand[s];
+      if (cand.empty()) {
+        live[s] = false;
+        continue;
+      }
+      std::pop_heap(cand.begin(), cand.end(), min_cmp);
+      const Neighbor current = cand.back();
+      cand.pop_back();
+      auto& pool = arena.pool[s];
+      if (pool.size() >= pool_size &&
+          current.distance > pool.front().distance) {
+        live[s] = false;  // cannot improve the pool anymore
+        continue;
+      }
+      ++slots[s].stats->hops;
+      if (live_count > 1) ++interleaved_hops;
+      expand.emplace_back(current.id, static_cast<uint32_t>(s));
+    }
+    if (expand.empty()) continue;
+    // Group coinciding nodes. Insertion sort by node id, stable so
+    // per-slot processing order within a node is the slot order
+    // (irrelevant to results, nice for reading): expand holds at most
+    // one entry per live slot, and std::stable_sort would allocate its
+    // merge buffer on every round.
+    for (size_t i = 1; i < expand.size(); ++i) {
+      const auto e = expand[i];
+      size_t j = i;
+      for (; j > 0 && expand[j - 1].first > e.first; --j) {
+        expand[j] = expand[j - 1];
+      }
+      expand[j] = e;
+    }
+    // Split into coincidence groups and prefetch every popped node's
+    // adjacency range before any of them is walked — with up to 8 live
+    // queries the ranges' cache misses overlap instead of serializing.
+    auto& groups = arena.groups;
+    groups.clear();
+    for (size_t i = 0; i < expand.size();) {
+      size_t j = i;
+      while (j < expand.size() && expand[j].first == expand[i].first) ++j;
+      groups.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      PrefetchBytes(adj_.data() + adj_offsets_[expand[i].first],
+                    static_cast<size_t>(adj_offsets_[expand[i].first + 1] -
+                                        adj_offsets_[expand[i].first]) *
+                        sizeof(int32_t));
+      i = j;
+    }
+    // Warm a group's visited-bitmap words a couple of groups ahead of
+    // pass A's walk (the row prefetches are issued by pass A itself).
+    auto warm_visited = [&](size_t g) {
+      const auto [begin, end] = groups[g];
+      const auto nbrs = InternalNeighbors(expand[begin].first);
+      for (const int32_t u : nbrs) {
+        for (uint32_t w = begin; w < end; ++w) {
+          arena.visited[expand[w].second].Prefetch(u);
+        }
+      }
+    };
+    if (!groups.empty()) warm_visited(0);
+    if (groups.size() > 1) warm_visited(1);
+    // Phase 2 proper runs as two passes over the round's groups. Pass A
+    // walks every group's adjacency once: it marks visited (in exactly
+    // the serial order), records a ScoreRun for each neighbor row that
+    // any groupmate still needs, and issues that row's prefetch the
+    // moment it is known to be needed. Pass B then scores the runs in
+    // the same order. The split means every row fetch of the round is
+    // in flight before pass B needs it: the misses overlap into
+    // bandwidth instead of serializing behind kernel calls, and the
+    // overlap window grows with the number of live groups — this is
+    // where a real batch beats one-at-a-time on an index bigger than
+    // cache. Visited updates all happen in pass A and heap updates all
+    // happen in pass B, each in the serial nested order, so results
+    // are bit-identical to the fused loop.
+    auto& runs = arena.runs;
+    auto& run_slots = arena.run_slots;
+    runs.clear();
+    run_slots.clear();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (g + 2 < groups.size()) warm_visited(g + 2);
+      const auto [begin, end] = groups[g];
+      const auto nbrs = InternalNeighbors(expand[begin].first);
+      for (const int32_t u : nbrs) {
+        const uint32_t first = static_cast<uint32_t>(run_slots.size());
+        for (uint32_t w = begin; w < end; ++w) {
+          const uint32_t slot = expand[w].second;
+          if (arena.visited[slot].TestAndSet(u)) continue;
+          run_slots.push_back(slot);
+        }
+        const uint32_t nfresh =
+            static_cast<uint32_t>(run_slots.size()) - first;
+        if (nfresh == 0) continue;
+        prefetch_point(u);
+        runs.push_back({u, first, nfresh});
+      }
+    }
+    for (const auto& run : runs) {
+      const int32_t u = run.node;
+      const uint32_t* fresh = run_slots.data() + run.begin;
+      const uint32_t nfresh = run.count;
+      float dists[64];  // count <= 64, so a run never exceeds 64 slots
+      // When several queries share the node, the x4 kernel dequantizes
+      // u's code row once for up to four of them (bit-identical per
+      // slot to single-row calls).
+      if (use_sq8 && nfresh >= 3) {
+          for (uint32_t base = 0; base < nfresh; base += 4) {
+            const float* qts[4];
+            for (uint32_t k = 0; k < 4; ++k) {
+              const uint32_t t = base + k < nfresh ? base + k : nfresh - 1;
+              qts[k] = arena.qt[fresh[t]].data();
+            }
+            float quad[4];
+            kernel.sq8_asym_l2x4(qts, steps, codes_.RowPtr(u), code_width,
+                                 quad);
+            for (uint32_t k = 0; k < 4 && base + k < nfresh; ++k) {
+              dists[base + k] = quad[k];
+              ++slots[fresh[base + k]].stats->sq8_distance_computations;
+            }
+          }
+      } else {
+        for (uint32_t t = 0; t < nfresh; ++t) {
+          dists[t] = traversal_distance(fresh[t], u);
+        }
+      }
+      for (uint32_t t = 0; t < nfresh; ++t) {
+        const size_t s = fresh[t];
+        const float dist = dists[t];
+        auto& pool = arena.pool[s];
+        if (pool.size() < pool_size || dist < pool.front().distance) {
+          const Neighbor next{u, dist};
+          auto& cand = arena.cand[s];
+          cand.push_back(next);
+          std::push_heap(cand.begin(), cand.end(), min_cmp);
+          if (pool.size() < pool_size) {
+            pool.push_back(next);
+            std::push_heap(pool.begin(), pool.end());
+          } else {
+            ReplaceHeapTop(pool, next);
+          }
+        }
+      }
+    }
+  }
+
+  // Finalization per slot: order the surviving pool, exact-rerank the
+  // SQ8 frontrunners in fp32, cut to m, and translate internal ids back
+  // to external. Distances returned are true (rooted) L2.
+  for (size_t s = 0; s < count; ++s) {
+    auto& pool = arena.pool[s];
+    slots[s].pool_occupancy = pool.size();
+    std::sort_heap(pool.begin(), pool.end());  // ascending (dist, id)
+    std::vector<Neighbor>& out = *slots[s].out;
+    out.clear();
+    if (use_sq8) {
+      const size_t rcount = std::min(pool.size(), rerank_depth);
+      slots[s].stats->rerank_candidates += rcount;
+      auto& rr = arena.rerank;
+      rr.clear();
+      rr.reserve(rcount);
+      for (size_t r = 0; r < rcount; ++r) {
+        PrefetchBytes(points_.PaddedRow(pool[r].id).data(),
+                      fp32_width * sizeof(float));
+      }
+      for (size_t r = 0; r < rcount; ++r) {
+        const int32_t u = pool[r].id;
+        rr.push_back({u, fp32_distance(s, u)});
+      }
+      std::sort(rr.begin(), rr.end());
+      if (rr.size() > m) rr.resize(m);
+      out.reserve(rr.size());
+      for (const Neighbor& nb : rr) {
+        out.push_back({to_external_[nb.id], std::sqrt(nb.distance)});
+      }
+    } else {
+      const size_t rcount = std::min(pool.size(), m);
+      out.reserve(rcount);
+      for (size_t r = 0; r < rcount; ++r) {
+        out.push_back({to_external_[pool[r].id], std::sqrt(pool[r].distance)});
+      }
+    }
+  }
+  return interleaved_hops;
 }
 
 std::vector<Neighbor> PGIndex::Search(std::span<const float> query, size_t m,
                                       size_t ef, SearchStats* stats) const {
+  return Search(query, SearchParams{.m = m, .ef = ef}, stats);
+}
+
+std::vector<Neighbor> PGIndex::Search(std::span<const float> query,
+                                      const SearchParams& params,
+                                      SearchStats* stats) const {
   KPEF_TRACE_SPAN("pgindex.search");
   const AlignedVector padded = PadToAligned(query);
   SearchStats local_stats;
-  size_t pool_occupancy = 0;
+  std::vector<Neighbor> result;
   Timer search_timer;
-  std::vector<Neighbor> result =
-      SearchImpl({padded.data(), padded.size()}, m, ef, local_stats,
-                 pool_occupancy);
+  GroupSlot slot{{padded.data(), padded.size()}, &local_stats, &result};
+  SearchGroup(&slot, 1, params, LocalArena());
   local_stats.search_ms = search_timer.ElapsedMillis();
   // The greedy loop above accumulated into stack-local stats only;
   // concurrent searches over a shared (const) index merge here, once.
   KPEF_COUNTER_ADD(obs::kPgindexSearchesTotal, 1);
   KPEF_COUNTER_ADD(obs::kPgindexDistanceComputations,
                    local_stats.distance_computations);
+  KPEF_COUNTER_ADD(obs::kPgindexSq8DistanceComputations,
+                   local_stats.sq8_distance_computations);
+  KPEF_COUNTER_ADD(obs::kPgindexRerankCandidates,
+                   local_stats.rerank_candidates);
   KPEF_HISTOGRAM_OBSERVE(obs::kPgindexSearchHops, local_stats.hops);
-  KPEF_HISTOGRAM_OBSERVE(obs::kPgindexCandidatePoolOccupancy, pool_occupancy);
+  KPEF_HISTOGRAM_OBSERVE(obs::kPgindexCandidatePoolOccupancy,
+                         slot.pool_occupancy);
   if (stats) *stats = local_stats;
   return result;
 }
 
 std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
     const Matrix& queries, size_t m, size_t ef,
+    std::vector<SearchStats>* stats, ThreadPool* pool,
+    const CancelToken& cancel) const {
+  return SearchBatch(queries, SearchParams{.m = m, .ef = ef}, stats, pool,
+                     cancel);
+}
+
+std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
+    const Matrix& queries, const SearchParams& params,
     std::vector<SearchStats>* stats, ThreadPool* pool,
     const CancelToken& cancel) const {
   KPEF_TRACE_SPAN("pgindex.search_batch");
@@ -311,28 +773,110 @@ std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
   std::vector<size_t> occupancy(batch, 0);
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Default();
   const bool cancellable = cancel.CanBeCancelled();
-  // Query rows are already padded/aligned by Matrix, so each task reads
-  // its row in place; every output slot is per-query, so the batch is
-  // trivially deterministic. Cancellation is checked once per query:
-  // a query either runs to completion or is skipped whole.
-  ParallelFor(p, batch, [&](size_t q) {
-    if (cancellable && cancel.IsCancelled()) {
-      local_stats[q].cancelled = true;
-      return;
+  // Queries run in lockstep groups of kGroup: one task per group, groups
+  // fanned over the pool. Within a group the per-query greedy logic is
+  // byte-identical to the serial path (see SearchGroup), so results do
+  // not depend on the pool size or how the batch splits into groups.
+  // Cancellation is checked once per query as its group forms: a query
+  // either runs to completion or is skipped whole.
+  constexpr size_t kGroup = 64;
+  // Destination-aware grouping: a lockstep group only amortizes work
+  // (shared adjacency walks, the x4 shared-row kernel, one prefetch per
+  // node instead of one per query) for queries that actually traverse
+  // the same rows. Each query's nearest highway — the navigating node's
+  // adjacency holds one per cluster by construction — is a cheap proxy
+  // for the region its greedy descent will enter, so the batch is
+  // ordered by that key before being cut into groups. Per-query results
+  // are independent of group composition (see SearchGroup), so this
+  // reorders work, never answers.
+  std::vector<uint32_t> order(batch);
+  for (size_t q = 0; q < batch; ++q) order[q] = static_cast<uint32_t>(q);
+  if (batch > kGroup && points_.rows() > 0) {
+    const auto highways = InternalNeighbors(to_internal_[navigating_node_]);
+    if (highways.size() > 1) {
+      // The key scan is per-batch plumbing, deliberately left out of
+      // per-query SearchStats: those stay byte-identical to the serial
+      // path (tested), and wall-clock throughput pays for the scan
+      // either way.
+      const DistanceKernel& kernel = ActiveKernel();
+      const size_t width = points_.stride();
+      std::vector<int32_t> region(batch);
+      for (size_t q = 0; q < batch; ++q) {
+        const float* query = queries.PaddedRow(q).data();
+        int32_t best = highways[0];
+        float best_dist = std::numeric_limits<float>::infinity();
+        for (const int32_t h : highways) {
+          const float d =
+              kernel.squared_l2(points_.PaddedRow(h).data(), query, width);
+          if (d < best_dist) {
+            best_dist = d;
+            best = h;
+          }
+        }
+        region[q] = best;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return region[a] < region[b];
+                       });
     }
-    Timer search_timer;
-    results[q] = SearchImpl(queries.PaddedRow(q), m, ef, local_stats[q],
-                            occupancy[q]);
-    local_stats[q].search_ms = search_timer.ElapsedMillis();
+  }
+  const size_t num_groups = (batch + kGroup - 1) / kGroup;
+  std::vector<uint64_t> group_interleaved(num_groups, 0);
+  ParallelFor(p, num_groups, [&](size_t g) {
+    const size_t begin = g * kGroup;
+    const size_t end = std::min(batch, begin + kGroup);
+    GroupSlot slots[kGroup];
+    size_t slot_q[kGroup];
+    size_t count = 0;
+    for (size_t qi = begin; qi < end; ++qi) {
+      const size_t q = order[qi];
+      if (cancellable && cancel.IsCancelled()) {
+        local_stats[q].cancelled = true;
+        continue;
+      }
+      slots[count] = GroupSlot{queries.PaddedRow(q), &local_stats[q],
+                               &results[q]};
+      slot_q[count] = q;
+      ++count;
+    }
+    if (count == 0) return;
+    Timer group_timer;
+    group_interleaved[g] = SearchGroup(slots, count, params, LocalArena());
+    const double elapsed_ms = group_timer.ElapsedMillis();
+    // The group overlaps its queries in time; attribute its wall-clock
+    // to them proportionally to their distance-evaluation counts.
+    double total_work = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      total_work +=
+          static_cast<double>(slots[i].stats->distance_computations +
+                              slots[i].stats->sq8_distance_computations);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const double work =
+          static_cast<double>(slots[i].stats->distance_computations +
+                              slots[i].stats->sq8_distance_computations);
+      slots[i].stats->search_ms = total_work > 0.0
+                                      ? elapsed_ms * (work / total_work)
+                                      : elapsed_ms / static_cast<double>(count);
+      occupancy[slot_q[i]] = slots[i].pool_occupancy;
+    }
   });
   // Merge per-query stats through the registry once for the whole batch.
-  uint64_t total_distances = 0;
+  uint64_t total_fp32 = 0, total_sq8 = 0, total_rerank = 0;
+  uint64_t total_interleaved = 0;
   for (const SearchStats& s : local_stats) {
-    total_distances += s.distance_computations;
+    total_fp32 += s.distance_computations;
+    total_sq8 += s.sq8_distance_computations;
+    total_rerank += s.rerank_candidates;
   }
+  for (uint64_t h : group_interleaved) total_interleaved += h;
   KPEF_COUNTER_ADD(obs::kPgindexSearchesTotal, batch);
   KPEF_COUNTER_ADD(obs::kPgindexBatchSearchesTotal, 1);
-  KPEF_COUNTER_ADD(obs::kPgindexDistanceComputations, total_distances);
+  KPEF_COUNTER_ADD(obs::kPgindexDistanceComputations, total_fp32);
+  KPEF_COUNTER_ADD(obs::kPgindexSq8DistanceComputations, total_sq8);
+  KPEF_COUNTER_ADD(obs::kPgindexRerankCandidates, total_rerank);
+  KPEF_COUNTER_ADD(obs::kPgindexBatchInterleavedHops, total_interleaved);
   for (size_t q = 0; q < batch; ++q) {
     KPEF_HISTOGRAM_OBSERVE(obs::kPgindexSearchHops, local_stats[q].hops);
     KPEF_HISTOGRAM_OBSERVE(obs::kPgindexCandidatePoolOccupancy, occupancy[q]);
@@ -341,24 +885,22 @@ std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
   return results;
 }
 
-size_t PGIndex::NumEdges() const {
-  size_t total = 0;
-  for (const auto& nbrs : adjacency_) total += nbrs.size();
-  return total;
-}
-
 size_t PGIndex::MemoryUsageBytes() const {
-  size_t bytes = points_.PaddedSize() * sizeof(float);
-  for (const auto& nbrs : adjacency_) {
-    bytes += nbrs.size() * sizeof(int32_t) + sizeof(std::vector<int32_t>);
-  }
-  return bytes;
+  return points_.PaddedSize() * sizeof(float) +
+         adj_.size() * sizeof(int32_t) +
+         adj_offsets_.size() * sizeof(int64_t) +
+         (to_external_.size() + to_internal_.size()) * sizeof(int32_t) +
+         codes_.MemoryUsageBytes();
 }
 
 namespace {
 
 constexpr uint32_t kPGIndexMagic = 0x4B504749;  // "KPGI"
-constexpr uint32_t kPGIndexVersion = 1;
+// v1: fp32 points + adjacency. v2 appends a has-codes flag and, when
+// set, the SQ8 mins/steps and dense code rows. The v1 prefix layout is
+// byte-identical, so the header checks (and their tests) carry over.
+constexpr uint32_t kPGIndexVersionFp32 = 1;
+constexpr uint32_t kPGIndexVersion = 2;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -374,21 +916,42 @@ bool ReadPod(std::istream& in, T& value) {
 }  // namespace
 
 Status PGIndex::Save(std::ostream& out) const {
+  const size_t n = points_.rows();
   WritePod(out, kPGIndexMagic);
   WritePod(out, kPGIndexVersion);
-  WritePod(out, static_cast<uint64_t>(points_.rows()));
+  WritePod(out, static_cast<uint64_t>(n));
   WritePod(out, static_cast<uint64_t>(points_.cols()));
   WritePod(out, navigating_node_);
-  // Row-wise so the on-disk layout stays dense (padding never persists).
-  for (size_t r = 0; r < points_.rows(); ++r) {
-    auto row = points_.Row(r);
+  // Everything below is written in external-id order (dense, no padding),
+  // so the artifact is independent of the in-memory relabeling.
+  for (size_t r = 0; r < n; ++r) {
+    const auto row = points_.Row(to_internal_[r]);
     out.write(reinterpret_cast<const char*>(row.data()),
               static_cast<std::streamsize>(row.size() * sizeof(float)));
   }
-  for (const auto& nbrs : adjacency_) {
+  std::vector<int32_t> nbrs;
+  for (size_t v = 0; v < n; ++v) {
+    const auto internal = InternalNeighbors(to_internal_[v]);
+    nbrs.clear();
+    nbrs.reserve(internal.size());
+    for (int32_t u : internal) nbrs.push_back(to_external_[u]);
     WritePod(out, static_cast<uint32_t>(nbrs.size()));
     out.write(reinterpret_cast<const char*>(nbrs.data()),
               static_cast<std::streamsize>(nbrs.size() * sizeof(int32_t)));
+  }
+  const uint8_t has_codes = quantized() ? 1 : 0;
+  WritePod(out, has_codes);
+  if (has_codes) {
+    const size_t d = points_.cols();
+    out.write(reinterpret_cast<const char*>(codes_.mins().data()),
+              static_cast<std::streamsize>(d * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(codes_.steps().data()),
+              static_cast<std::streamsize>(d * sizeof(float)));
+    for (size_t r = 0; r < n; ++r) {
+      const auto row = codes_.Row(to_internal_[r]);
+      out.write(reinterpret_cast<const char*>(row.data()),
+                static_cast<std::streamsize>(d));
+    }
   }
   if (!out) return Status::IOError("write failed");
   return Status::OK();
@@ -410,12 +973,15 @@ StatusOr<PGIndex> PGIndex::Load(std::istream& in) {
   if (!ReadPod(in, magic) || magic != kPGIndexMagic) {
     return Status::InvalidArgument("not a kpef PG-Index file");
   }
-  if (!ReadPod(in, version) || version != kPGIndexVersion) {
+  if (!ReadPod(in, version) ||
+      (version != kPGIndexVersionFp32 && version != kPGIndexVersion)) {
     return Status::InvalidArgument("unsupported PG-Index version");
   }
   if (!ReadPod(in, rows) || !ReadPod(in, cols) || !ReadPod(in, navigating)) {
     return Status::InvalidArgument("corrupt PG-Index header");
   }
+  // Bound rows and cols individually before touching the product so the
+  // multiplication cannot wrap (mirrors model_io's PlausibleMatrixDims).
   if (rows > (1ull << 32) || cols > (1ull << 20) ||
       rows * cols > (1ull << 31)) {
     return Status::InvalidArgument("implausible PG-Index dimensions");
@@ -424,22 +990,20 @@ StatusOr<PGIndex> PGIndex::Load(std::istream& in) {
       (navigating < 0 || static_cast<uint64_t>(navigating) >= rows)) {
     return Status::InvalidArgument("navigating node out of range");
   }
-  PGIndex index;
-  index.navigating_node_ = navigating;
-  index.points_ = Matrix(rows, cols);
+  Matrix ext_points(rows, cols);
   for (uint64_t r = 0; r < rows; ++r) {
-    auto row = index.points_.Row(r);
+    auto row = ext_points.Row(r);
     in.read(reinterpret_cast<char*>(row.data()),
             static_cast<std::streamsize>(row.size() * sizeof(float)));
   }
   if (!in) return Status::InvalidArgument("truncated PG-Index embeddings");
-  index.adjacency_.resize(rows);
+  std::vector<std::vector<int32_t>> ext_adjacency(rows);
   for (uint64_t v = 0; v < rows; ++v) {
     uint32_t degree = 0;
     if (!ReadPod(in, degree) || degree > rows) {
       return Status::InvalidArgument("corrupt adjacency header");
     }
-    auto& nbrs = index.adjacency_[v];
+    auto& nbrs = ext_adjacency[v];
     nbrs.resize(degree);
     in.read(reinterpret_cast<char*>(nbrs.data()),
             static_cast<std::streamsize>(degree * sizeof(int32_t)));
@@ -450,6 +1014,42 @@ StatusOr<PGIndex> PGIndex::Load(std::istream& in) {
       }
     }
   }
+  // v2 carries the codes; a v1 artifact is re-encoded below (encoding is
+  // deterministic, so this reproduces exactly what a v2 save would hold).
+  bool quantize = true;
+  Sq8Codes ext_codes;
+  bool have_codes = false;
+  if (version >= kPGIndexVersion) {
+    uint8_t has_codes = 0;
+    if (!ReadPod(in, has_codes) || has_codes > 1) {
+      return Status::InvalidArgument("corrupt PG-Index code flag");
+    }
+    if (has_codes == 0) {
+      quantize = false;  // explicitly-unquantized artifact
+    } else {
+      std::vector<float> mins(cols), steps(cols);
+      in.read(reinterpret_cast<char*>(mins.data()),
+              static_cast<std::streamsize>(cols * sizeof(float)));
+      in.read(reinterpret_cast<char*>(steps.data()),
+              static_cast<std::streamsize>(cols * sizeof(float)));
+      if (!in) return Status::InvalidArgument("truncated SQ8 scales");
+      for (size_t k = 0; k < cols; ++k) {
+        if (!std::isfinite(mins[k]) || !std::isfinite(steps[k]) ||
+            steps[k] < 0.0f) {
+          return Status::InvalidArgument("corrupt SQ8 scales");
+        }
+      }
+      std::vector<uint8_t> dense(rows * cols);
+      in.read(reinterpret_cast<char*>(dense.data()),
+              static_cast<std::streamsize>(dense.size()));
+      if (!in) return Status::InvalidArgument("truncated SQ8 codes");
+      ext_codes = Sq8Codes::FromParts(rows, cols, mins, steps, dense);
+      have_codes = true;
+    }
+  }
+  PGIndex index;
+  index.FinalizeLayout(ext_points, std::move(ext_adjacency), navigating,
+                       quantize, have_codes ? &ext_codes : nullptr);
   return index;
 }
 

@@ -1,5 +1,22 @@
 // Proximity graph-based document index (§IV-A, Algorithm 2) and the
 // greedy best-first search over it (§IV-B).
+//
+// Since PR 7 the index is laid out for the traversal's memory access
+// pattern (DESIGN.md §12):
+//  - nodes are relabeled into BFS order from the navigating node at
+//    Build/Load finalization, so graph neighbors tend to be memory
+//    neighbors (the permutation is kept internally; every public id —
+//    navigating_node(), NeighborsOf(), search results — is an *external*
+//    id, i.e. the row number of the original point matrix);
+//  - adjacency is one flat CSR array instead of per-node vectors;
+//  - stored vectors are SQ8-quantized (ann/sq8.h) and the greedy loop
+//    scores 64-byte-aligned code rows with the dispatched asymmetric
+//    int8 kernel, then exact-reranks the top rerank_factor * m
+//    candidates in fp32 so recall stays contractual;
+//  - SearchBatch interleaves frontier expansion across query groups with
+//    shared visited/heap arenas (no per-query allocation), servicing
+//    several queries' distance evaluations per pass over a node's
+//    adjacency list.
 
 #ifndef KPEF_ANN_PG_INDEX_H_
 #define KPEF_ANN_PG_INDEX_H_
@@ -12,6 +29,7 @@
 
 #include "ann/neighbor.h"
 #include "ann/nndescent.h"
+#include "ann/sq8.h"
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "embed/matrix.h"
@@ -30,6 +48,14 @@ struct PGIndexConfig {
   bool remove_redundant = true;
   /// Hard cap on a node's out-degree after refinement.
   size_t max_degree = 48;
+  /// SQ8-quantize the stored vectors at finalization: the greedy
+  /// traversal then runs over compressed code rows with an exact fp32
+  /// rerank of the survivors. OFF keeps the pure-fp32 traversal.
+  bool quantize = true;
+  /// Exact-rerank depth of the quantized path: the top
+  /// rerank_factor * m SQ8 candidates are re-scored in fp32 before the
+  /// final top-m cut (values < 1 are clamped to 1).
+  double rerank_factor = 2.0;
 };
 
 /// Build-time diagnostics (Table VI).
@@ -41,8 +67,13 @@ struct PGIndexBuildStats {
   size_t edges_after_knn = 0;
   size_t edges_after_extension = 0;
   size_t edges_final = 0;
-  /// Highway edges added to connect otherwise-unreachable components.
+  /// Highway edges added to connect otherwise-unreachable components
+  /// (placed at the component's nearest reachable node, so individual
+  /// nodes may exceed the refine degree cap by the highways they carry).
   size_t connectivity_edges = 0;
+  /// Edges added by the reverse pass (p inserted into q's list for kept
+  /// p->q while q had spare capacity under the degree cap).
+  size_t reverse_edges = 0;
 };
 
 /// The index: a navigating entry node plus a pruned neighborhood graph
@@ -54,15 +85,37 @@ class PGIndex {
                        PGIndexBuildStats* stats = nullptr);
 
   struct SearchStats {
+    /// fp32 distance evaluations (the whole traversal on the exact
+    /// path; only the rerank pass on the quantized path).
     uint64_t distance_computations = 0;
+    /// SQ8 asymmetric distance evaluations (quantized traversal only).
+    uint64_t sq8_distance_computations = 0;
+    /// Candidates exact-reranked in fp32 (quantized path only).
+    uint64_t rerank_candidates = 0;
     /// Nodes whose adjacency lists were expanded.
     uint64_t hops = 0;
-    /// Wall-clock time of this query's own greedy search (batch queries
-    /// overlap in time, so this is the honest per-query retrieval cost).
+    /// Wall-clock time of this query's own greedy search. Batch groups
+    /// run interleaved, so there the group's wall-clock is attributed
+    /// to its queries proportionally to their distance evaluations (an
+    /// honest per-query cost estimate; the batch overlaps in time).
     double search_ms = 0.0;
     /// True when SearchBatch skipped this query because the cancel token
     /// had fired; its result list is empty.
     bool cancelled = false;
+  };
+
+  /// Per-call search knobs beyond the result count.
+  struct SearchParams {
+    /// Results returned (ascending by true L2 distance).
+    size_t m = 10;
+    /// Candidate-pool size of the greedy loop (clamped up to the rerank
+    /// depth; 0 = just the rerank depth / m).
+    size_t ef = 0;
+    /// Overrides the index's rerank factor for this call (0 = keep).
+    double rerank_factor = 0.0;
+    /// Forces the pure-fp32 traversal even on a quantized index
+    /// (ablation/bench baseline; no-op when the index has no codes).
+    bool force_exact = false;
   };
 
   /// Returns the approximate `m` nearest points to `query`, ascending by
@@ -70,54 +123,111 @@ class PGIndex {
   std::vector<Neighbor> Search(std::span<const float> query, size_t m,
                                size_t ef = 0, SearchStats* stats = nullptr) const;
 
+  /// Search with explicit per-call knobs.
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               const SearchParams& params,
+                               SearchStats* stats = nullptr) const;
+
   /// Searches every row of `queries` (one query per row, same
-  /// dimensionality as the indexed points), fanning the batch across
-  /// `pool` (nullptr = ThreadPool::Default()). Results are identical to
-  /// calling Search per row; per-query stats land in `*stats` (resized to
+  /// dimensionality as the indexed points), fanning groups of queries
+  /// across `pool` (nullptr = ThreadPool::Default()). Within a group
+  /// the greedy searches run in lockstep over shared arenas; results
+  /// are identical to calling Search per row for any pool size and any
+  /// batch composition. Per-query stats land in `*stats` (resized to
   /// the batch) and the metrics registry is updated once per batch. A
-  /// non-null `cancel` token is checked at per-query boundaries: queries
-  /// whose task starts after the token fired are skipped (empty result,
-  /// SearchStats::cancelled set), so an expired deadline yields partial
-  /// batch results instead of a wedged call.
+  /// non-null `cancel` token is checked at per-query boundaries:
+  /// queries whose group starts after the token fired are skipped
+  /// (empty result, SearchStats::cancelled set), so an expired deadline
+  /// yields partial batch results instead of a wedged call.
   std::vector<std::vector<Neighbor>> SearchBatch(
       const Matrix& queries, size_t m, size_t ef = 0,
       std::vector<SearchStats>* stats = nullptr, ThreadPool* pool = nullptr,
       const CancelToken& cancel = CancelToken()) const;
 
+  /// SearchBatch with explicit per-call knobs.
+  std::vector<std::vector<Neighbor>> SearchBatch(
+      const Matrix& queries, const SearchParams& params,
+      std::vector<SearchStats>* stats = nullptr, ThreadPool* pool = nullptr,
+      const CancelToken& cancel = CancelToken()) const;
+
   int32_t navigating_node() const { return navigating_node_; }
   size_t NumPoints() const { return points_.rows(); }
-  const std::vector<int32_t>& NeighborsOf(int32_t node) const {
-    return adjacency_[node];
-  }
+  /// Out-neighbors of external node id `node`, as external ids, in the
+  /// build's refinement order (returned by value: storage is internally
+  /// relabeled).
+  std::vector<int32_t> NeighborsOf(int32_t node) const;
+  /// The stored embeddings in the *internal* (BFS-relabeled) row order;
+  /// row i holds the point whose external id is permutation()[i]. Use
+  /// rows()/cols() for shape checks.
   const Matrix& points() const { return points_; }
+  /// Internal row -> external id mapping of the BFS relabeling.
+  const std::vector<int32_t>& permutation() const { return to_external_; }
 
-  /// Persists the index (embeddings + adjacency + navigating node) in a
-  /// host-endian binary format, enabling the paper's offline-build /
-  /// online-serve split.
+  /// True when the index carries SQ8 codes (quantized traversal).
+  bool quantized() const { return !codes_.empty(); }
+  double rerank_factor() const { return rerank_factor_; }
+  /// Serving-time recall knob (quantized path); values < 1 clamp to 1.
+  void set_rerank_factor(double factor);
+
+  /// Persists the index (embeddings + adjacency + navigating node and,
+  /// when quantized, the SQ8 code matrix) in a host-endian binary
+  /// format, enabling the paper's offline-build / online-serve split.
+  /// Everything is written in external-id order, so version-1 readers'
+  /// expectations about row identity still hold.
   Status Save(const std::string& path) const;
   Status Save(std::ostream& out) const;
 
-  /// Loads an index written by Save.
+  /// Loads an index written by Save. Accepts version 1 (fp32-only, pre
+  /// PR 7) and version 2 (fp32 + optional SQ8 codes) artifacts; a v1
+  /// artifact is quantized on load so old artifacts get the fast path.
   static StatusOr<PGIndex> Load(const std::string& path);
   static StatusOr<PGIndex> Load(std::istream& in);
 
   /// Total directed edges in the refined graph.
-  size_t NumEdges() const;
-  /// Approximate heap footprint: embeddings + adjacency (Table VI).
+  size_t NumEdges() const { return adj_.size(); }
+  /// Approximate heap footprint: embeddings + adjacency + codes
+  /// (Table VI).
   size_t MemoryUsageBytes() const;
 
  private:
   PGIndex() = default;
 
-  /// Greedy best-first search working in squared distance over a padded
-  /// query span (length points_.stride()); returns true-L2 results.
-  std::vector<Neighbor> SearchImpl(std::span<const float> padded_query,
-                                   size_t m, size_t ef, SearchStats& stats,
-                                   size_t& pool_occupancy) const;
+  struct GroupSlot;
+  struct SearchArena;
 
-  Matrix points_;
-  std::vector<std::vector<int32_t>> adjacency_;
-  int32_t navigating_node_ = -1;
+  /// Thread-local scratch (visited stamps, heap storage, prepared
+  /// queries) reused across searches on this thread.
+  static SearchArena& LocalArena();
+
+  /// Shared by Build and Load: BFS-relabels the external-order graph
+  /// into the cache-aware internal layout and installs the SQ8 codes
+  /// (`codes` non-null reuses pre-encoded external-order rows; else the
+  /// permuted points are encoded when `quantize`).
+  void FinalizeLayout(const Matrix& ext_points,
+                      std::vector<std::vector<int32_t>>&& ext_adjacency,
+                      int32_t navigating_external, bool quantize,
+                      const Sq8Codes* ext_codes);
+
+  /// Runs `count` greedy searches in lockstep; slots must be primed
+  /// with query spans and stats sinks. Returns hops executed while two
+  /// or more queries were live (the interleaving measure).
+  uint64_t SearchGroup(GroupSlot* slots, size_t count,
+                       const SearchParams& params, SearchArena& arena) const;
+
+  std::span<const int32_t> InternalNeighbors(int32_t internal) const {
+    return {adj_.data() + adj_offsets_[internal],
+            static_cast<size_t>(adj_offsets_[internal + 1] -
+                                adj_offsets_[internal])};
+  }
+
+  Matrix points_;                     // internal (BFS) row order
+  std::vector<int64_t> adj_offsets_;  // CSR offsets, internal ids
+  std::vector<int32_t> adj_;          // flat neighbor array, internal ids
+  std::vector<int32_t> to_external_;  // internal -> external
+  std::vector<int32_t> to_internal_;  // external -> internal
+  Sq8Codes codes_;                    // empty when not quantized
+  double rerank_factor_ = 2.0;
+  int32_t navigating_node_ = -1;  // external id
 };
 
 }  // namespace kpef

@@ -8,6 +8,7 @@
 #define KPEF_COMMON_ALIGNED_BUFFER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <vector>
@@ -27,33 +28,51 @@ constexpr size_t PadToKernelWidth(size_t n) {
          kKernelWidthFloats;
 }
 
-/// Minimal C++17 allocator handing out kKernelAlignment-aligned blocks.
-template <typename T>
+/// Alignment (bytes) for structures laid out on cache-line boundaries
+/// (e.g. the SQ8 code matrix rows in ann/sq8.h).
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Minimal C++17 allocator handing out `Alignment`-aligned blocks
+/// (defaults to the kernel operand alignment).
+template <typename T, size_t Alignment = kKernelAlignment>
 struct AlignedAllocator {
   using value_type = T;
+  // The non-type Alignment parameter defeats allocator_traits' default
+  // rebind, so spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
 
   AlignedAllocator() = default;
   template <typename U>
-  AlignedAllocator(const AlignedAllocator<U>&) {}
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
 
   T* allocate(size_t n) {
     if (n == 0) return nullptr;
-    void* p = ::operator new(n * sizeof(T),
-                             std::align_val_t(kKernelAlignment));
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Alignment));
     return static_cast<T*>(p);
   }
   void deallocate(T* p, size_t) {
-    ::operator delete(p, std::align_val_t(kKernelAlignment));
+    ::operator delete(p, std::align_val_t(Alignment));
   }
 
   template <typename U>
-  bool operator==(const AlignedAllocator<U>&) const { return true; }
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
   template <typename U>
-  bool operator!=(const AlignedAllocator<U>&) const { return false; }
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const {
+    return false;
+  }
 };
 
 /// Float vector whose data() is 32-byte aligned.
 using AlignedVector = std::vector<float, AlignedAllocator<float>>;
+
+/// Byte vector whose data() is cache-line (64-byte) aligned.
+using AlignedByteVector =
+    std::vector<uint8_t, AlignedAllocator<uint8_t, kCacheLineBytes>>;
 
 /// Copies `src[0..n)` into an AlignedVector padded with zeros to the
 /// kernel width, so it can be paired with Matrix::PaddedRow spans.

@@ -165,6 +165,10 @@ ExpertFindingEngine::LoadFromArtifacts(const Dataset* dataset,
       return Status::FailedPrecondition(
           "index dimension does not match the embeddings");
     }
+    // Whether the index is quantized follows the artifact; the rerank
+    // depth is a serving-time knob, so the config wins over the saved
+    // default.
+    index.set_rerank_factor(config.pg_index.rerank_factor);
     engine->index_ = std::make_unique<PGIndex>(std::move(index));
   }
   return engine;
@@ -177,6 +181,7 @@ EngineInfo ExpertFindingEngine::Info() const {
   info.num_experts = dataset_->Authors().size();
   info.embedding_dim = embeddings_.cols();
   info.has_index = index_ != nullptr;
+  info.quantized_index = index_ != nullptr && index_->quantized();
   info.use_ta = config_.use_ta;
   info.top_m = config_.top_m;
   info.git_hash = BuildGitHash();
@@ -202,7 +207,8 @@ std::vector<NodeId> ExpertFindingEngine::RetrievePapers(
     PGIndex::SearchStats search_stats;
     const size_t ef = config_.search_ef == 0 ? m : config_.search_ef;
     neighbors = index_->Search(query, m, ef, &search_stats);
-    distance_computations = search_stats.distance_computations;
+    distance_computations = search_stats.distance_computations +
+                            search_stats.sq8_distance_computations;
   } else {
     neighbors = BruteForceSearch(embeddings_, query, m);
     distance_computations = embeddings_.rows();
@@ -322,7 +328,9 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
     neighbors =
         index_->SearchBatch(queries, m, ef, &search_stats, &workers, cancel);
     for (size_t q = 0; q < batch; ++q) {
-      local[q].distance_computations = search_stats[q].distance_computations;
+      local[q].distance_computations =
+          search_stats[q].distance_computations +
+          search_stats[q].sq8_distance_computations;
       local[q].retrieval_ms += search_stats[q].search_ms;
       retrieved[q] = encoded[q] && !search_stats[q].cancelled;
       // The index layer stays trace-free; attribute each query's share

@@ -43,7 +43,8 @@ void WarmPipelineMetrics() {
         kTrainerEpochsTotal, kPgindexBuildsTotal, kPgindexNndescentIterations,
         kPgindexBuildDistanceComputations, kPgindexSearchesTotal,
         kPgindexBatchSearchesTotal, kPgindexDistanceComputations,
-        kTaQueriesTotal, kTaEntriesAccessed, kTaEarlyTerminationTotal,
+        kPgindexSq8DistanceComputations, kPgindexRerankCandidates,
+        kPgindexBatchInterleavedHops, kTaQueriesTotal, kTaEntriesAccessed, kTaEarlyTerminationTotal,
         kRankingFullScansTotal, kRankingFullScanEntriesAccessed,
         kPoolTasksCancelled, kPoolWaitHelpRuns, kEngineBuildsTotal,
         kEngineQueriesTotal, kEngineBatchQueriesTotal,
@@ -109,6 +110,12 @@ const char* PipelineMetricHelp(const std::string& name) {
            "Pool tasks skipped because their TaskGroup was cancelled."},
           {kPoolWaitHelpRuns,
            "Queued tasks run on a waiting thread (helping joins)."},
+          {kPgindexSq8DistanceComputations,
+           "SQ8 asymmetric distance evaluations (quantized traversal)."},
+          {kPgindexRerankCandidates,
+           "Candidates exact-reranked in fp32 after the SQ8 traversal."},
+          {kPgindexBatchInterleavedHops,
+           "Batch hops executed while >= 2 lockstep queries were live."},
       };
   auto it = help->find(name);
   return it == help->end() ? nullptr : it->second;

@@ -63,6 +63,16 @@ inline constexpr char kPgindexBatchSearchesTotal[] =
     "pgindex.batch_searches_total";
 inline constexpr char kPgindexDistanceComputations[] =
     "pgindex.distance_computations";
+/// SQ8 asymmetric distance evaluations (quantized traversal).
+inline constexpr char kPgindexSq8DistanceComputations[] =
+    "pgindex.sq8_distance_computations";
+/// Candidates exact-reranked in fp32 after the SQ8 traversal.
+inline constexpr char kPgindexRerankCandidates[] =
+    "pgindex.rerank_candidates";
+/// Batch-search hops executed while >= 2 queries of a lockstep group
+/// were still live (the share of the traversal that ran interleaved).
+inline constexpr char kPgindexBatchInterleavedHops[] =
+    "pgindex.batch_interleaved_hops";
 /// Histogram: adjacency expansions per search.
 inline constexpr char kPgindexSearchHops[] = "pgindex.search_hops";
 /// Histogram: result-pool occupancy when the search terminated.

@@ -8,6 +8,7 @@
 //              [--default-deadline-ms 0] [--metrics-out path]
 //              [--access-log path|-] [--trace-mode off|sampled|always]
 //              [--trace-head-every 64] [--slow-ms 100] [--slow-queue-ms 50]
+//              [--rerank-factor 2.0]
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, flush queued batches,
 // answer in-flight requests, then exit 0.
@@ -82,6 +83,11 @@ int main(int argc, char** argv) {
   // serve with the configuration they were built for.
   EngineConfig engine_config;
   engine_config.top_m = std::max<size_t>(50, dataset->Papers().size() / 10);
+  // Serving-time recall knob of the quantized index: depth of the exact
+  // fp32 rerank, as a multiple of the result count (ignored when the
+  // loaded artifact carries no SQ8 codes).
+  engine_config.pg_index.rerank_factor =
+      std::atof(FlagOr(flags, "rerank-factor", "2.0").c_str());
   auto engine = ExpertFindingEngine::LoadFromArtifacts(
       &*dataset, &corpus, engine_config, model_dir);
   if (!engine.ok()) return Fail(engine.status());
@@ -89,7 +95,10 @@ int main(int argc, char** argv) {
   std::printf("kpef_serve %s (%s build)\n", BuildGitHash(), BuildType());
   std::printf("loaded %s: %zu papers, %zu experts, dim %zu, index=%s\n",
               model_dir.c_str(), info.num_papers, info.num_experts,
-              info.embedding_dim, info.has_index ? "pg" : "brute");
+              info.embedding_dim,
+              !info.has_index        ? "brute"
+              : info.quantized_index ? "pg-sq8"
+                                     : "pg");
 
   serve::ServiceConfig service_config;
   service_config.batcher.max_batch_size = static_cast<size_t>(

@@ -141,7 +141,8 @@ TEST_F(PGIndexTest, NavigatingNodeIsNearestToCentroid) {
 TEST_F(PGIndexTest, AdjacencyInvariants) {
   for (size_t v = 0; v < index_->NumPoints(); ++v) {
     const auto& nbrs = index_->NeighborsOf(static_cast<int32_t>(v));
-    // The navigating node additionally carries connectivity highways.
+    // The reverse-edge pass respects the degree cap; the navigating
+    // node additionally carries connectivity highways.
     const size_t allowed =
         config_.max_degree +
         (static_cast<int32_t>(v) == index_->navigating_node()

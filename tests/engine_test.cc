@@ -366,8 +366,11 @@ TEST_F(EngineTest, RegistryDeltasMatchQueryStats) {
     return after.at(name) - before.at(name);
   };
   // The registry is fed from the same per-query locals as QueryStats, so
-  // for a single serial query the deltas must agree exactly.
-  EXPECT_EQ(delta(obs::kPgindexDistanceComputations),
+  // for a single serial query the deltas must agree exactly. QueryStats
+  // sums the SQ8 traversal and the fp32 rerank; the registry splits them
+  // across two counters.
+  EXPECT_EQ(delta(obs::kPgindexDistanceComputations) +
+                delta(obs::kPgindexSq8DistanceComputations),
             stats.distance_computations);
   EXPECT_EQ(delta(obs::kTaEntriesAccessed), stats.ranking_entries_accessed);
   EXPECT_EQ(delta(obs::kTaQueriesTotal), 1u);
@@ -380,7 +383,8 @@ TEST_F(EngineTest, ConcurrentQueriesMergeStatsExactly) {
   Shared& s = shared();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   const uint64_t dist_before =
-      registry.GetCounter(obs::kPgindexDistanceComputations).Value();
+      registry.GetCounter(obs::kPgindexDistanceComputations).Value() +
+      registry.GetCounter(obs::kPgindexSq8DistanceComputations).Value();
   const uint64_t entries_before =
       registry.GetCounter(obs::kTaEntriesAccessed).Value();
   constexpr size_t kRounds = 4;
@@ -404,7 +408,8 @@ TEST_F(EngineTest, ConcurrentQueriesMergeStatsExactly) {
     entries_sum += st.ranking_entries_accessed;
   }
   EXPECT_EQ(
-      registry.GetCounter(obs::kPgindexDistanceComputations).Value() -
+      registry.GetCounter(obs::kPgindexDistanceComputations).Value() +
+          registry.GetCounter(obs::kPgindexSq8DistanceComputations).Value() -
           dist_before,
       dist_sum);
   EXPECT_EQ(

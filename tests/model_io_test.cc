@@ -257,5 +257,75 @@ TEST_F(PGIndexIoTest, RejectsTruncation) {
   }
 }
 
+TEST_F(PGIndexIoTest, RoundTripKeepsQuantization) {
+  std::stringstream buffer;
+  ASSERT_TRUE(index_->Save(buffer).ok());
+  auto loaded = PGIndex::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->quantized(), index_->quantized());
+}
+
+TEST_F(PGIndexIoTest, UnquantizedIndexRoundTripsUnquantized) {
+  // An artifact saved without codes must load without codes: the
+  // has-codes byte is an explicit escape, not a default.
+  PGIndexConfig config;
+  config.knn_k = 8;
+  config.quantize = false;
+  const PGIndex exact = PGIndex::Build(points_, config);
+  ASSERT_FALSE(exact.quantized());
+  std::stringstream buffer;
+  ASSERT_TRUE(exact.Save(buffer).ok());
+  auto loaded = PGIndex::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->quantized());
+}
+
+TEST_F(PGIndexIoTest, LoadsVersion1ArtifactAndQuantizesIt) {
+  // Synthesize a pre-PR-7 (version 1) artifact from public accessors:
+  // same header prefix, fp32 rows + adjacency in external order, no
+  // code section. Load must accept it and re-encode the codes, giving
+  // old artifacts the quantized fast path with identical results.
+  std::stringstream v1;
+  auto write_pod = [&v1](const auto& value) {
+    v1.write(reinterpret_cast<const char*>(&value),
+             sizeof(value));
+  };
+  write_pod(static_cast<uint32_t>(0x4B504749));  // magic "KPGI"
+  write_pod(static_cast<uint32_t>(1));           // version 1
+  write_pod(static_cast<uint64_t>(points_.rows()));
+  write_pod(static_cast<uint64_t>(points_.cols()));
+  write_pod(index_->navigating_node());
+  for (size_t r = 0; r < points_.rows(); ++r) {
+    const auto row = points_.Row(r);
+    v1.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  for (size_t v = 0; v < points_.rows(); ++v) {
+    const auto nbrs = index_->NeighborsOf(static_cast<int32_t>(v));
+    write_pod(static_cast<uint32_t>(nbrs.size()));
+    v1.write(reinterpret_cast<const char*>(nbrs.data()),
+             static_cast<std::streamsize>(nbrs.size() * sizeof(int32_t)));
+  }
+  auto loaded = PGIndex::Load(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->quantized());
+  EXPECT_EQ(loaded->NumPoints(), index_->NumPoints());
+  EXPECT_EQ(loaded->NumEdges(), index_->NumEdges());
+  // Re-encoded codes are deterministic, so searches agree exactly with
+  // the index the bytes came from.
+  Rng rng(29);
+  for (int q = 0; q < 5; ++q) {
+    std::vector<float> query(points_.cols());
+    for (float& v : query) v = static_cast<float>(rng.Normal());
+    const auto a = index_->Search(query, 10, 30);
+    const auto b = loaded->Search(query, 10, 30);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kpef
