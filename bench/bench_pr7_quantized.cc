@@ -100,7 +100,7 @@ ModeNumbers MeasureMode(const PGIndex& index, const Matrix& queries,
                         const std::vector<Matrix>& batches,
                         const std::vector<std::vector<Neighbor>>& truth,
                         size_t top_k, size_t ef, bool force_exact,
-                        double min_seconds) {
+                        double min_seconds, ThreadPool* pool) {
   const PGIndex::SearchParams params{
       .m = top_k, .ef = ef, .rerank_factor = 0.0, .force_exact = force_exact};
   const size_t nq = queries.rows();
@@ -114,7 +114,7 @@ ModeNumbers MeasureMode(const PGIndex& index, const Matrix& queries,
   batched.reserve(nq);
   for (const Matrix& b : batches) {
     std::vector<PGIndex::SearchStats> stats;
-    auto results = index.SearchBatch(b, params, &stats);
+    auto results = index.SearchBatch(b, params, &stats, pool);
     for (const auto& st : stats) {
       out.hops += static_cast<double>(st.hops);
       out.dists += static_cast<double>(force_exact
@@ -153,7 +153,7 @@ ModeNumbers MeasureMode(const PGIndex& index, const Matrix& queries,
   start = Clock::now();
   do {
     for (const Matrix& b : batches) {
-      const auto results = index.SearchBatch(b, params);
+      const auto results = index.SearchBatch(b, params, nullptr, pool);
       batch_queries += results.size();
     }
   } while (SecondsSince(start) < min_seconds);
@@ -290,10 +290,14 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (const size_t ef : kEfs) {
     Row row{ef, {}, {}};
+    // The serving pool, passed explicitly the way kpef_serve's
+    // micro-batcher now hands its pool through BatchQueryOptions:
+    // lockstep groups fan across its workers.
+    ThreadPool* pool = &ThreadPool::Default();
     row.fp32 = MeasureMode(index, queries, query_batches, truth, kTopK, ef,
-                           /*force_exact=*/true, kMinSeconds);
+                           /*force_exact=*/true, kMinSeconds, pool);
     row.sq8 = MeasureMode(index, queries, query_batches, truth, kTopK, ef,
-                          /*force_exact=*/false, kMinSeconds);
+                          /*force_exact=*/false, kMinSeconds, pool);
     std::printf(
         "ef=%-4zu fp32: %7.0f qps single %7.0f qps batch%zu recall %.3f | "
         "sq8: %7.0f qps single %7.0f qps batch%zu recall %.3f\n",

@@ -171,6 +171,7 @@ ExpertFindingEngine::LoadFromArtifacts(const Dataset* dataset,
     index.set_rerank_factor(config.pg_index.rerank_factor);
     engine->index_ = std::make_unique<PGIndex>(std::move(index));
   }
+  engine->artifact_dir_ = dir;
   return engine;
 }
 
@@ -186,6 +187,7 @@ EngineInfo ExpertFindingEngine::Info() const {
   info.top_m = config_.top_m;
   info.git_hash = BuildGitHash();
   info.build_type = BuildType();
+  info.artifact_dir = artifact_dir_;
   return info;
 }
 
@@ -285,6 +287,16 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
     cancel = CancelToken::AfterMillis(options.deadline_ms, options.cancel);
   }
   const bool cancellable = cancel.CanBeCancelled();
+  // Per-slot deadlines: a query whose own budget expired is skipped by
+  // every later phase (and compacted out of the batched search below),
+  // independent of the whole-call token.
+  const bool has_slot_deadlines = !options.deadlines.empty();
+  KPEF_CHECK(!has_slot_deadlines || options.deadlines.size() == batch)
+      << "BatchQueryOptions::deadlines must match the query list";
+  const auto slot_expired = [&](size_t q) {
+    return has_slot_deadlines &&
+           CancelToken::Clock::now() >= options.deadlines[q];
+  };
   // Per-query request-trace key (0 = untraced); phase lambdas install it
   // as the thread's context so their spans land in the right request.
   const auto trace_key = [&options](size_t q) -> uint64_t {
@@ -300,6 +312,7 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
   ParallelFor(
       workers, batch,
       [&](size_t q) {
+        if (slot_expired(q)) return;
         obs::ScopedTraceContext trace_scope(trace_key(q));
         KPEF_TRACE_SPAN("engine.encode");
         Timer encode_timer;
@@ -319,31 +332,72 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
   // it is a real wall-clock figure comparable to ranking_ms (the batch
   // searches overlap, so a batch-average would smear them).
   const size_t m = config_.top_m;
+  const size_t ef = config_.search_ef == 0 ? m : config_.search_ef;
   std::vector<std::vector<Neighbor>> neighbors(batch);
   std::vector<char> retrieved(batch, 0);
-  if (index_) {
-    const size_t ef = config_.search_ef == 0 ? m : config_.search_ef;
+  if (options.search || index_) {
+    // Queries whose slot deadline expired between encode and here are
+    // compacted out of the search matrix: they never enter a lockstep
+    // group, so an already-504'd request stops costing traversal work.
+    std::vector<size_t> live;
+    live.reserve(batch);
+    for (size_t q = 0; q < batch; ++q) {
+      if (encoded[q] && !slot_expired(q)) live.push_back(q);
+    }
+    // Bound the batched search by the latest live slot deadline — the
+    // call must not outlive every remaining budget even when the caller
+    // passed no whole-call token (mixed-deadline batches).
+    CancelToken search_cancel = cancel;
+    if (has_slot_deadlines && !live.empty()) {
+      auto latest = CancelToken::Clock::time_point::min();
+      for (const size_t q : live) {
+        latest = std::max(latest, options.deadlines[q]);
+      }
+      if (latest != CancelToken::Clock::time_point::max()) {
+        search_cancel = CancelToken::WithDeadline(latest, cancel);
+      }
+    }
+    const Matrix* search_input = &queries;
+    Matrix compacted;
+    if (live.size() != batch) {
+      compacted = Matrix(live.size(), encoder_->dim());
+      for (size_t i = 0; i < live.size(); ++i) {
+        const auto row = queries.Row(live[i]);
+        std::copy(row.begin(), row.end(), compacted.Row(i).begin());
+      }
+      search_input = &compacted;
+    }
     std::vector<PGIndex::SearchStats> search_stats;
     const uint64_t search_start_ns = obs::Tracer::Global().NowNanos();
-    neighbors =
-        index_->SearchBatch(queries, m, ef, &search_stats, &workers, cancel);
-    for (size_t q = 0; q < batch; ++q) {
+    std::vector<std::vector<Neighbor>> found =
+        options.search
+            ? options.search(*search_input, m, ef, &search_stats, workers,
+                             search_cancel)
+            : index_->SearchBatch(*search_input, m, ef, &search_stats,
+                                  &workers, search_cancel);
+    for (size_t i = 0; i < live.size(); ++i) {
+      const size_t q = live[i];
+      if (i < found.size()) neighbors[q] = std::move(found[i]);
+      if (i >= search_stats.size()) continue;
       local[q].distance_computations =
-          search_stats[q].distance_computations +
-          search_stats[q].sq8_distance_computations;
-      local[q].retrieval_ms += search_stats[q].search_ms;
-      retrieved[q] = encoded[q] && !search_stats[q].cancelled;
+          search_stats[i].distance_computations +
+          search_stats[i].sq8_distance_computations;
+      local[q].retrieval_ms += search_stats[i].search_ms;
+      retrieved[q] = !search_stats[i].cancelled;
       // The index layer stays trace-free; attribute each query's share
       // of the batched search as a manual span anchored at dispatch.
       obs::RecordSpan(
           trace_key(q), "engine.search", search_start_ns,
-          static_cast<uint64_t>(search_stats[q].search_ms * 1e6));
+          static_cast<uint64_t>(search_stats[i].search_ms * 1e6));
     }
   } else {
     ParallelFor(
         workers, batch,
         [&](size_t q) {
-          if (!encoded[q] || (cancellable && cancel.IsCancelled())) return;
+          if (!encoded[q] || slot_expired(q) ||
+              (cancellable && cancel.IsCancelled())) {
+            return;
+          }
           obs::ScopedTraceContext trace_scope(trace_key(q));
           KPEF_TRACE_SPAN("engine.search");
           Timer search_timer;
@@ -361,7 +415,10 @@ std::vector<std::vector<ExpertScore>> ExpertFindingEngine::FindExpertsBatch(
   ParallelFor(
       workers, batch,
       [&](size_t q) {
-        if (!retrieved[q] || (cancellable && cancel.IsCancelled())) return;
+        if (!retrieved[q] || slot_expired(q) ||
+            (cancellable && cancel.IsCancelled())) {
+          return;
+        }
         obs::ScopedTraceContext trace_scope(trace_key(q));
         KPEF_TRACE_SPAN("engine.ranking");
         Timer ranking_timer;

@@ -104,6 +104,16 @@ struct EngineInfo {
   /// Build stamp (common/build_info.h): short git hash and build type.
   std::string git_hash;
   std::string build_type;
+  /// Artifact generation serving queries (EngineGroup hot-swap; a bare
+  /// engine is generation 1 of itself). Monotonic per process.
+  uint64_t generation = 1;
+  /// Corpus partitions the retrieval scatters over (1 = unsharded).
+  size_t num_shards = 1;
+  /// Directory the serving generation's artifacts were loaded from
+  /// (empty for a freshly built, never-persisted engine).
+  std::string artifact_dir;
+  /// Queries answered by the serving generation since it was published.
+  uint64_t generation_queries = 0;
 };
 
 /// Per-query online statistics. In the batch path both timing fields are
@@ -126,6 +136,20 @@ struct QueryStats {
   bool deadline_exceeded = false;
 };
 
+/// Replaces the engine's own retrieval (index or brute-force scan) in
+/// FindExpertsBatch — the seam EngineGroup uses to scatter the search
+/// across per-shard indexes while sharing the engine's encode, deadline,
+/// and ranking phases. Receives the encoded rows still live at the
+/// search boundary, the retrieval depth `m`, the candidate-pool `ef`,
+/// the batch pool, and the bounded cancel token. Must return one
+/// neighbor list per query row, ascending by (distance, id), with ids
+/// indexing the engine's paper rows, and resize `*stats` to the batch
+/// (SearchStats::cancelled marks rows it skipped).
+using BatchSearchFn = std::function<std::vector<std::vector<Neighbor>>(
+    const Matrix& queries, size_t m, size_t ef,
+    std::vector<PGIndex::SearchStats>* stats, ThreadPool& pool,
+    const CancelToken& cancel)>;
+
 /// Per-call knobs for FindExpertsBatch beyond the query list itself.
 struct BatchQueryOptions {
   /// Pool the batch fans out over (nullptr = ThreadPool::Default()).
@@ -138,6 +162,18 @@ struct BatchQueryOptions {
   /// External cancellation, combined with the deadline (whichever fires
   /// first wins). A null token never fires.
   CancelToken cancel;
+  /// Per-query absolute deadlines (time_point::max() = none for that
+  /// slot). When non-empty, must match the query list's size. Checked at
+  /// phase boundaries: an expired query is skipped by later phases
+  /// (compacted out of the batched search) and comes back empty with
+  /// QueryStats::deadline_exceeded set, so one tight budget never keeps
+  /// consuming engine time for a result nobody will read. The batched
+  /// search itself is additionally bounded by the latest live slot
+  /// deadline, so the call never outlives every budget.
+  std::vector<CancelToken::Clock::time_point> deadlines;
+  /// Retrieval override for EngineGroup's shard scatter (see
+  /// BatchSearchFn). Null = the engine's own index / brute-force path.
+  BatchSearchFn search;
   /// Per-query request-trace keys (obs::Tracer::BeginTrace). When
   /// non-empty, must match the query list's size; query q's encode /
   /// search / ranking spans are recorded into trace_keys[q] (0 entries
@@ -206,6 +242,7 @@ class ExpertFindingEngine : public RetrievalModel {
   EngineInfo Info() const;
 
   const Dataset& dataset() const { return *dataset_; }
+  const Corpus& corpus() const { return *corpus_; }
   const Matrix& embeddings() const { return embeddings_; }
   const DocumentEncoder& encoder() const { return *encoder_; }
   const PGIndex* index() const { return index_.get(); }
@@ -222,6 +259,8 @@ class ExpertFindingEngine : public RetrievalModel {
   std::unique_ptr<DocumentEncoder> encoder_;
   Matrix embeddings_;
   std::unique_ptr<PGIndex> index_;
+  /// Set by LoadFromArtifacts; empty for a freshly built engine.
+  std::string artifact_dir_;
 };
 
 }  // namespace kpef

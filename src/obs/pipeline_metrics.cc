@@ -50,13 +50,16 @@ void WarmPipelineMetrics() {
         kEngineQueriesTotal, kEngineBatchQueriesTotal,
         kEngineQueriesDeadlineExceeded, kServeRequests, kServeShed,
         kServeDeadlineExceeded, kServeBadRequests, kServeBatches,
-        kServeSlowQueries, kServeTracesStarted, kServeTracesRetained}) {
+        kServeSlowQueries, kServeTracesStarted, kServeTracesRetained,
+        kServeTopNClamped, kServeReloads, kServeReloadFailures}) {
     registry.GetCounter(name);
   }
   for (const char* name :
        {kTrainerLastEpochLoss, kTrainerTriplesPerSec, kProcessRssBytes,
         kProcessOpenFds, kProcessUptimeSeconds, kPoolQueueDepth,
-        kPoolActiveWorkers, kPoolThreads}) {
+        kPoolActiveWorkers, kPoolThreads, kServeGeneration, kServeShards,
+        kServeGenerationQueries, kServeGenerationLatencyMsMean,
+        kServeGenerationLoadSeconds}) {
     registry.GetGauge(name);
   }
   // Latency-valued histograms get sub-millisecond .. 60 s bounds so tail
@@ -91,6 +94,19 @@ const char* PipelineMetricHelp(const std::string& name) {
            "Requests that crossed a slow threshold (tail-kept trace)."},
           {kServeTracesStarted, "Request traces opened."},
           {kServeTracesRetained, "Request traces retained for debugging."},
+          {kServeTopNClamped,
+           "Requests whose n exceeded the batcher cap and was clamped."},
+          {kServeReloads, "Successful artifact generation hot-swaps."},
+          {kServeReloadFailures,
+           "Reload attempts that failed; old generation kept serving."},
+          {kServeGeneration, "Artifact generation currently serving."},
+          {kServeShards, "Shards the serving generation scatters over."},
+          {kServeGenerationQueries,
+           "Queries answered by the serving generation since publish."},
+          {kServeGenerationLatencyMsMean,
+           "Mean engine-batch latency of the serving generation, ms."},
+          {kServeGenerationLoadSeconds,
+           "Wall-clock seconds the serving generation took to load."},
           {kProcessRssBytes, "Resident set size, bytes (sampled on scrape)."},
           {kProcessOpenFds,
            "Open file descriptors (sampled on scrape)."},

@@ -114,29 +114,49 @@ void MicroBatcher::RunBatch(std::vector<Pending> batch) {
   if (live.empty()) return;
 
   // One engine call for the whole batch. top_n is the max over the
-  // batch; per-request lists are truncated afterwards (TA ranking is
-  // exact, so the top-n' of a top-n list with n' <= n is the same list).
-  // The batch deadline is the LATEST live per-request deadline — the
-  // call never outlives every request's budget, while requests with an
-  // earlier deadline are checked individually on completion.
+  // batch, clamped to max_top_n so one oversized request cannot inflate
+  // TA work for every rider; per-request lists are truncated afterwards
+  // (TA ranking is exact, so the top-n' of a top-n list with n' <= n is
+  // the same list). Deadlines propagate per slot: the engine skips a
+  // query at its next phase boundary once that query's own budget
+  // expires, and the whole call is additionally bounded by the LATEST
+  // live deadline when every request carries one.
   size_t top_n = 0;
+  uint64_t clamped = 0;
   bool all_have_deadlines = true;
+  bool any_deadline = false;
   CancelToken::Clock::time_point latest_deadline =
       CancelToken::Clock::time_point::min();
   std::vector<std::string> texts;
   texts.reserve(live.size());
   for (const size_t i : live) {
     const BatchRequest& r = batch[i].request;
-    top_n = std::max(top_n, r.top_n);
+    size_t n = r.top_n;
+    if (config_.max_top_n > 0 && n > config_.max_top_n) {
+      n = config_.max_top_n;
+      ++clamped;
+    }
+    top_n = std::max(top_n, n);
     texts.push_back(r.query);
     if (r.has_deadline) {
+      any_deadline = true;
       latest_deadline = std::max(latest_deadline, r.deadline);
     } else {
       all_have_deadlines = false;
     }
   }
+  if (clamped > 0) KPEF_COUNTER_ADD(obs::kServeTopNClamped, clamped);
   BatchQueryOptions options;
   options.pool = config_.pool;
+  if (any_deadline) {
+    options.deadlines.reserve(live.size());
+    for (const size_t i : live) {
+      const BatchRequest& r = batch[i].request;
+      options.deadlines.push_back(
+          r.has_deadline ? r.deadline
+                         : CancelToken::Clock::time_point::max());
+    }
+  }
   if (all_have_deadlines) {
     options.cancel = CancelToken::WithDeadline(latest_deadline);
   }

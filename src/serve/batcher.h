@@ -6,9 +6,10 @@
 // oldest pending request has waited max_queue_age_ms. Admission control
 // is synchronous: Submit() fails immediately when the queue is full, so
 // the caller can shed load (HTTP 429) without ever blocking the event
-// loop. Per-request deadlines propagate into the engine call as a
-// BatchQueryOptions cancel token; requests that miss their deadline come
-// back flagged (HTTP 504) instead of wedging the batch.
+// loop. Per-request deadlines propagate into the engine call per slot
+// (BatchQueryOptions::deadlines), so the engine stops spending time on a
+// query the moment its own budget expires; requests that miss their
+// deadline come back flagged (HTTP 504) instead of wedging the batch.
 //
 // The batcher is a pure unit: it executes batches through an injected
 // function, so tests drive it with a fake engine and no sockets.
@@ -41,6 +42,12 @@ struct BatcherConfig {
   /// Admission bound: Submit() sheds once this many requests are queued
   /// (requests already dispatched to the engine do not count).
   size_t max_pending = 256;
+  /// Hard cap on any request's top_n (0 = uncapped). The engine runs a
+  /// coalesced batch at the max n over its requests, so without a cap
+  /// one n=1000 request inflates TA work for every rider; clamped
+  /// requests are counted in serve.top_n_clamped and answered with
+  /// max_top_n results.
+  size_t max_top_n = 400;
   /// Pool forwarded to BatchQueryOptions (nullptr = engine default).
   ThreadPool* pool = nullptr;
 };

@@ -3,25 +3,40 @@
 // /metrics over HTTP with dynamic micro-batching (DESIGN.md §11).
 //
 //   kpef_serve --graph graph.kg --model-dir model [--address 127.0.0.1]
-//              [--port 8080] [--batch-size 16] [--batch-age-ms 4]
-//              [--max-pending 256] [--default-n 10]
+//              [--port 8080] [--shards 1] [--threads 0]
+//              [--reload-watch 0] [--batch-size 16] [--batch-age-ms 4]
+//              [--max-pending 256] [--default-n 10] [--max-n 400]
 //              [--default-deadline-ms 0] [--metrics-out path]
 //              [--access-log path|-] [--trace-mode off|sampled|always]
 //              [--trace-head-every 64] [--slow-ms 100] [--slow-queue-ms 50]
 //              [--rerank-factor 2.0]
 //
+// --shards N partitions the corpus over N per-shard PG-Indexes
+// (EngineGroup); POST /v1/admin/reload hot-swaps the artifact
+// generation with zero downtime, and --reload-watch S polls the model
+// dir every S seconds and reloads automatically when an artifact file's
+// mtime changes. --threads N sizes the serving pool the micro-batcher
+// fans SearchBatch over (0 = hardware concurrency).
+//
 // SIGTERM/SIGINT drain gracefully: stop accepting, flush queued batches,
 // answer in-flight requests, then exit 0.
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/build_info.h"
 #include "common/logging.h"
-#include "core/engine.h"
+#include "common/thread_pool.h"
+#include "core/engine_group.h"
 #include "data/corpus_builder.h"
 #include "data/dataset.h"
 #include "graph/graph_io.h"
@@ -81,24 +96,36 @@ int main(int argc, char** argv) {
 
   // Mirror kpef_cli's build-time retrieval depth so loaded artifacts
   // serve with the configuration they were built for.
-  EngineConfig engine_config;
-  engine_config.top_m = std::max<size_t>(50, dataset->Papers().size() / 10);
+  EngineGroup::Options group_options;
+  group_options.engine.top_m =
+      std::max<size_t>(50, dataset->Papers().size() / 10);
   // Serving-time recall knob of the quantized index: depth of the exact
   // fp32 rerank, as a multiple of the result count (ignored when the
   // loaded artifact carries no SQ8 codes).
-  engine_config.pg_index.rerank_factor =
+  group_options.engine.pg_index.rerank_factor =
       std::atof(FlagOr(flags, "rerank-factor", "2.0").c_str());
-  auto engine = ExpertFindingEngine::LoadFromArtifacts(
-      &*dataset, &corpus, engine_config, model_dir);
-  if (!engine.ok()) return Fail(engine.status());
-  const EngineInfo info = (*engine)->Info();
+  group_options.num_shards = static_cast<size_t>(
+      std::max(1, std::atoi(FlagOr(flags, "shards", "1").c_str())));
+  auto group = EngineGroup::Load(&*dataset, &corpus, group_options, model_dir);
+  if (!group.ok()) return Fail(group.status());
+  const EngineInfo info = (*group)->Info();
   std::printf("kpef_serve %s (%s build)\n", BuildGitHash(), BuildType());
-  std::printf("loaded %s: %zu papers, %zu experts, dim %zu, index=%s\n",
-              model_dir.c_str(), info.num_papers, info.num_experts,
-              info.embedding_dim,
-              !info.has_index        ? "brute"
-              : info.quantized_index ? "pg-sq8"
-                                     : "pg");
+  std::printf(
+      "loaded %s: %zu papers, %zu experts, dim %zu, index=%s, "
+      "shards=%zu, generation=%llu\n",
+      model_dir.c_str(), info.num_papers, info.num_experts,
+      info.embedding_dim,
+      !info.has_index        ? "brute"
+      : info.quantized_index ? "pg-sq8"
+                             : "pg",
+      info.num_shards, static_cast<unsigned long long>(info.generation));
+
+  // The pool the micro-batcher hands to FindExpertsBatch: SearchBatch
+  // and the encode/ranking phases all fan out over it (ROADMAP item —
+  // previously the batcher left BatchQueryOptions::pool null and the
+  // engine silently fell back to its default pool).
+  ThreadPool serving_pool(static_cast<size_t>(
+      std::max(0, std::atoi(FlagOr(flags, "threads", "0").c_str()))));
 
   serve::ServiceConfig service_config;
   service_config.batcher.max_batch_size = static_cast<size_t>(
@@ -107,8 +134,17 @@ int main(int argc, char** argv) {
       std::atof(FlagOr(flags, "batch-age-ms", "4").c_str());
   service_config.batcher.max_pending = static_cast<size_t>(
       std::atoi(FlagOr(flags, "max-pending", "256").c_str()));
+  service_config.batcher.max_top_n = static_cast<size_t>(
+      std::max(0, std::atoi(FlagOr(flags, "max-n", "400").c_str())));
+  service_config.batcher.pool = &serving_pool;
+  service_config.reload_dir = model_dir;
   service_config.default_top_n = static_cast<size_t>(
       std::atoi(FlagOr(flags, "default-n", "10").c_str()));
+  // The HTTP-level cap mirrors the batcher's (0 = batcher uncapped, but
+  // the parse-time clamp still needs a bound).
+  if (service_config.batcher.max_top_n > 0) {
+    service_config.max_top_n = service_config.batcher.max_top_n;
+  }
   service_config.default_deadline_ms =
       std::atof(FlagOr(flags, "default-deadline-ms", "0").c_str());
   service_config.access_log_path = FlagOr(flags, "access-log", "");
@@ -137,8 +173,8 @@ int main(int argc, char** argv) {
   // explicit drain below runs server.ShutdownGracefully() and then
   // service->Drain() before either destructor: by destruction time the
   // batcher has no in-flight completions left to route.
-  auto service = serve::ExpertSearchService::ForEngine(engine->get(),
-                                                       service_config);
+  auto service = serve::ExpertSearchService::ForEngineGroup(group->get(),
+                                                            service_config);
   serve::HttpServer server(
       server_config,
       [&service](const serve::HttpRequest& request,
@@ -155,14 +191,72 @@ int main(int argc, char** argv) {
               service_config.batcher.max_pending);
   std::fflush(stdout);
 
+  // --reload-watch S: poll the artifact files every S seconds and
+  // hot-swap the generation when any mtime changes (the push-based
+  // /v1/admin/reload endpoint stays available either way).
+  const double watch_seconds =
+      std::atof(FlagOr(flags, "reload-watch", "0").c_str());
+  std::mutex watch_mutex;
+  std::condition_variable watch_cv;
+  bool watch_stop = false;
+  std::thread watcher;
+  if (watch_seconds > 0) {
+    watcher = std::thread([&] {
+      namespace fs = std::filesystem;
+      const char* kArtifacts[] = {"encoder.bin", "embeddings.bin",
+                                  "pgindex.bin"};
+      auto stamp = [&] {
+        // min(), not {}: the file clock's zero point can postdate every
+        // real mtime (libstdc++ anchors it in the future), so a {}-
+        // initialized max would swallow all timestamps.
+        auto latest = fs::file_time_type::min();
+        for (const char* name : kArtifacts) {
+          std::error_code ec;
+          const auto t = fs::last_write_time(fs::path(model_dir) / name, ec);
+          if (!ec && t > latest) latest = t;
+        }
+        return latest;
+      };
+      auto last = stamp();
+      const auto period = std::chrono::duration<double>(watch_seconds);
+      std::unique_lock<std::mutex> lock(watch_mutex);
+      while (!watch_cv.wait_for(lock, period, [&] { return watch_stop; })) {
+        lock.unlock();
+        const auto now_stamp = stamp();
+        if (now_stamp > last) {
+          last = now_stamp;
+          const Status s = (*group)->Reload(model_dir);
+          if (s.ok()) {
+            std::printf("reload-watch: published generation %llu\n",
+                        static_cast<unsigned long long>((*group)->generation()));
+          } else {
+            std::fprintf(stderr, "reload-watch: reload failed: %s\n",
+                         s.ToString().c_str());
+          }
+          std::fflush(stdout);
+        }
+        lock.lock();
+      }
+    });
+  }
+
   int sig = 0;
   sigwait(&sigset, &sig);
   std::printf("received %s, draining...\n",
               sig == SIGTERM ? "SIGTERM" : "SIGINT");
   std::fflush(stdout);
 
-  // Drain order: stop accepting and let in-flight requests finish (the
-  // batcher is still running and answers them), then stop the batcher.
+  // Drain order: stop the reload watcher, stop accepting and let
+  // in-flight requests finish (the batcher is still running and answers
+  // them), then stop the batcher + any in-flight admin reload.
+  if (watcher.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mutex);
+      watch_stop = true;
+    }
+    watch_cv.notify_all();
+    watcher.join();
+  }
   server.ShutdownGracefully(/*timeout_ms=*/15000.0);
   service->Drain();
 

@@ -52,10 +52,12 @@ uint64_t MsToNs(double ms) {
 }  // namespace
 
 ExpertSearchService::ExpertSearchService(ServiceConfig config, EngineInfo info,
-                                         BatchExecuteFn execute, LabelFn label)
+                                         BatchExecuteFn execute, LabelFn label,
+                                         ServiceHooks hooks)
     : config_(std::move(config)),
       info_(std::move(info)),
       label_(std::move(label)),
+      hooks_(std::move(hooks)),
       slow_ring_(config_.slow_ring_capacity),
       batcher_(config_.batcher, std::move(execute)) {
   // Register the full metric schema (latency histograms get their wide
@@ -87,6 +89,38 @@ std::unique_ptr<ExpertSearchService> ExpertSearchService::ForEngine(
       config, engine->Info(), std::move(execute), std::move(label));
 }
 
+std::unique_ptr<ExpertSearchService> ExpertSearchService::ForEngineGroup(
+    EngineGroup* group, ServiceConfig config) {
+  BatchExecuteFn execute = [group](const std::vector<std::string>& texts,
+                                   size_t top_n,
+                                   const BatchQueryOptions& options,
+                                   std::vector<QueryStats>* stats) {
+    return group->FindExpertsBatch(texts, top_n, options, stats);
+  };
+  // Labels come from the dataset, which is shared by every generation,
+  // so the label fn survives hot swaps.
+  const HeteroGraph* graph = &group->dataset().graph;
+  LabelFn label = [graph](NodeId id) { return graph->Label(id); };
+  ServiceHooks hooks;
+  hooks.info = [group] { return group->Info(); };
+  hooks.reload = [group](const std::string& dir) -> StatusOr<uint64_t> {
+    KPEF_RETURN_IF_ERROR(group->Reload(dir));
+    return group->generation();
+  };
+  hooks.sample = [group] { group->SampleMetrics(); };
+  return std::make_unique<ExpertSearchService>(config, group->Info(),
+                                               std::move(execute),
+                                               std::move(label),
+                                               std::move(hooks));
+}
+
+ExpertSearchService::~ExpertSearchService() { Drain(); }
+
+void ExpertSearchService::Drain() {
+  batcher_.Shutdown();
+  if (reload_thread_.joinable()) reload_thread_.join();
+}
+
 void ExpertSearchService::Handle(const HttpRequest& request,
                                  HttpServer::Responder respond) {
   KPEF_COUNTER_ADD(obs::kServeRequests, 1);
@@ -97,24 +131,36 @@ void ExpertSearchService::Handle(const HttpRequest& request,
       respond(JsonError(405, "use GET"));
       return;
     }
+    // Live info (generation, shards, per-generation tallies) when an
+    // EngineGroup is behind the service; the construction-time summary
+    // otherwise.
+    const EngineInfo info = hooks_.info ? hooks_.info() : info_;
     HttpResponse response;
     response.body.append("{\"status\":\"ok\",\"engine\":");
-    AppendJsonString(info_.display_name, &response.body);
+    AppendJsonString(info.display_name, &response.body);
     response.body.append(",\"papers\":");
-    response.body.append(std::to_string(info_.num_papers));
+    response.body.append(std::to_string(info.num_papers));
     response.body.append(",\"experts\":");
-    response.body.append(std::to_string(info_.num_experts));
+    response.body.append(std::to_string(info.num_experts));
     response.body.append(",\"dim\":");
-    response.body.append(std::to_string(info_.embedding_dim));
+    response.body.append(std::to_string(info.embedding_dim));
     response.body.append(",\"pg_index\":");
-    response.body.append(info_.has_index ? "true" : "false");
+    response.body.append(info.has_index ? "true" : "false");
+    response.body.append(",\"generation\":");
+    response.body.append(std::to_string(info.generation));
+    response.body.append(",\"shards\":");
+    response.body.append(std::to_string(info.num_shards));
+    response.body.append(",\"generation_queries\":");
+    response.body.append(std::to_string(info.generation_queries));
+    response.body.append(",\"artifact_dir\":");
+    AppendJsonString(info.artifact_dir, &response.body);
     response.body.append(",\"git\":");
     AppendJsonString(
-        info_.git_hash.empty() ? BuildGitHash() : info_.git_hash.c_str(),
+        info.git_hash.empty() ? BuildGitHash() : info.git_hash.c_str(),
         &response.body);
     response.body.append(",\"build\":");
     AppendJsonString(
-        info_.build_type.empty() ? BuildType() : info_.build_type.c_str(),
+        info.build_type.empty() ? BuildType() : info.build_type.c_str(),
         &response.body);
     response.body.append(",\"draining\":false}\n");
     respond(std::move(response));
@@ -129,10 +175,20 @@ void ExpertSearchService::Handle(const HttpRequest& request,
     // Gauges like RSS and pool occupancy are meaningful at scrape time,
     // not at event time, so they are sampled here.
     obs::SampleProcessMetrics(config_.batcher.pool);
+    if (hooks_.sample) hooks_.sample();
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4";
     response.body = obs::ExportPrometheusText();
     respond(std::move(response));
+    return;
+  }
+
+  if (path == "/v1/admin/reload") {
+    if (request.method != "POST") {
+      respond(JsonError(405, "use POST"));
+      return;
+    }
+    HandleReload(request, std::move(respond));
     return;
   }
 
@@ -385,6 +441,65 @@ void ExpertSearchService::HandleFindExperts(const HttpRequest& request,
     response.extra_headers.emplace_back("x-request-id", trace_id);
     respond_on_shed(std::move(response));
   }
+}
+
+void ExpertSearchService::HandleReload(const HttpRequest& request,
+                                       HttpServer::Responder respond) {
+  if (!hooks_.reload) {
+    respond(JsonError(503, "reload not supported by this deployment"));
+    return;
+  }
+  std::string dir = config_.reload_dir;
+  if (!request.body.empty()) {
+    JsonValue doc;
+    std::string parse_error;
+    if (!ParseJson(request.body, &doc, &parse_error) || !doc.is_object()) {
+      KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+      respond(JsonError(400, parse_error.empty()
+                                 ? "body must be a JSON object"
+                                 : parse_error));
+      return;
+    }
+    if (const JsonValue* d = doc.Find("dir")) {
+      if (!d->is_string() || d->string_value.empty()) {
+        KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+        respond(JsonError(400, "\"dir\" must be a non-empty string"));
+        return;
+      }
+      dir = d->string_value;
+    }
+  }
+  if (reload_in_flight_.exchange(true)) {
+    respond(JsonError(409, "a reload is already in progress"));
+    return;
+  }
+  // The previous loader thread (if any) has finished — the in-flight
+  // flag was false — so reaping it here cannot block the event loop.
+  if (reload_thread_.joinable()) reload_thread_.join();
+  // The load itself (artifact IO + per-shard index builds) runs off the
+  // event loop; the Responder is thread-safe and routes the response
+  // back through the loop's eventfd.
+  auto reload = hooks_.reload;
+  reload_thread_ = std::thread([this, reload = std::move(reload),
+                                dir = std::move(dir),
+                                respond = std::move(respond)]() mutable {
+    Timer timer;
+    StatusOr<uint64_t> swapped = reload(dir);
+    if (swapped.ok()) {
+      KPEF_COUNTER_ADD(obs::kServeReloads, 1);
+      HttpResponse response;
+      response.body.append("{\"generation\":");
+      response.body.append(std::to_string(*swapped));
+      response.body.append(",\"load_seconds\":");
+      response.body.append(JsonNumber(timer.ElapsedSeconds()));
+      response.body.append("}\n");
+      respond(std::move(response));
+    } else {
+      KPEF_COUNTER_ADD(obs::kServeReloadFailures, 1);
+      respond(JsonError(500, swapped.status().ToString()));
+    }
+    reload_in_flight_.store(false);
+  });
 }
 
 void ExpertSearchService::HandleDebugSlow(HttpServer::Responder respond) {

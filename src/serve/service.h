@@ -20,6 +20,14 @@
 //   GET /v1/debug/trace?id=X 200 retained span tree for trace id X
 //                                (&format=chrome for trace-event JSON);
 //                                404 when not retained
+//   POST /v1/admin/reload    {"dir":"path"} (body optional; falls back
+//                            to ServiceConfig::reload_dir, then the
+//                            serving directory)
+//     200 {"generation":N,"load_seconds":S} after the new generation is
+//         published; in-flight queries drain on the old one
+//     409 another reload is already in progress
+//     500 load failed (old generation keeps serving)
+//     503 service built without a reload hook
 //
 // The service talks to the engine exclusively through a BatchExecuteFn,
 // so tests wire a fake engine; ForEngine() adapts a real
@@ -34,8 +42,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/engine.h"
+#include "core/engine_group.h"
 #include "obs/request_log.h"
 #include "obs/slow_query_ring.h"
 #include "obs/trace.h"
@@ -76,6 +86,24 @@ struct ServiceConfig {
   std::string access_log_path;
   /// Test seam: when set, lines go here instead of access_log_path.
   obs::RequestLog::Sink access_log_sink;
+
+  /// Artifact directory /v1/admin/reload falls back to when the request
+  /// body names none ("" = reload whatever directory is serving now).
+  std::string reload_dir;
+};
+
+/// Optional live hooks behind the service (EngineGroup wiring). All may
+/// be null: info falls back to the static EngineInfo, reload answers
+/// 503, sample is skipped.
+struct ServiceHooks {
+  /// Fresh serving summary per /healthz call (generation, shards, ...).
+  std::function<EngineInfo()> info;
+  /// Builds + publishes a new generation from the directory; returns
+  /// the new generation id. Runs on a background thread — must be
+  /// thread-safe against concurrent queries.
+  std::function<StatusOr<uint64_t>(const std::string& dir)> reload;
+  /// Called on each /metrics scrape before export (generation gauges).
+  std::function<void()> sample;
 };
 
 class ExpertSearchService {
@@ -84,20 +112,29 @@ class ExpertSearchService {
   using LabelFn = std::function<std::string(NodeId)>;
 
   ExpertSearchService(ServiceConfig config, EngineInfo info,
-                      BatchExecuteFn execute, LabelFn label);
+                      BatchExecuteFn execute, LabelFn label,
+                      ServiceHooks hooks = {});
+  ~ExpertSearchService();
 
   /// Wires a real engine: execute = engine->FindExpertsBatch, labels
   /// from the dataset graph. The engine must outlive the service.
   static std::unique_ptr<ExpertSearchService> ForEngine(
       ExpertFindingEngine* engine, ServiceConfig config);
 
+  /// Wires an EngineGroup: queries go to the current generation,
+  /// /healthz reads live generation info, POST /v1/admin/reload
+  /// hot-swaps artifacts, and /metrics samples the generation gauges.
+  /// The group must outlive the service.
+  static std::unique_ptr<ExpertSearchService> ForEngineGroup(
+      EngineGroup* group, ServiceConfig config);
+
   /// HttpServer::Handler entry point.
   void Handle(const HttpRequest& request, HttpServer::Responder respond);
 
-  /// Stops admission and flushes queued queries (callbacks still fire).
-  /// Call before the HTTP server's graceful drain completes so in-flight
-  /// requests get real responses.
-  void Drain() { batcher_.Shutdown(); }
+  /// Stops admission and flushes queued queries (callbacks still fire),
+  /// and joins any in-flight reload. Call before the HTTP server's
+  /// graceful drain completes so in-flight requests get real responses.
+  void Drain();
 
   const ServiceConfig& config() const { return config_; }
   const obs::SlowQueryRing& slow_ring() const { return slow_ring_; }
@@ -105,6 +142,8 @@ class ExpertSearchService {
  private:
   void HandleFindExperts(const HttpRequest& request,
                          HttpServer::Responder respond);
+  void HandleReload(const HttpRequest& request,
+                    HttpServer::Responder respond);
   void HandleDebugSlow(HttpServer::Responder respond);
   void HandleDebugTrace(const HttpRequest& request,
                         HttpServer::Responder respond);
@@ -121,11 +160,17 @@ class ExpertSearchService {
   const ServiceConfig config_;
   const EngineInfo info_;
   const LabelFn label_;
+  const ServiceHooks hooks_;
   std::unique_ptr<obs::RequestLog> access_log_;
   obs::SlowQueryRing slow_ring_;
   /// find_experts sequence number, drives head sampling and id
   /// generation.
   std::atomic<uint64_t> request_seq_{0};
+  /// At most one artifact reload runs at a time (extra requests 409).
+  std::atomic<bool> reload_in_flight_{false};
+  /// The loader thread of the current/last reload. Started and reaped
+  /// on the event-loop thread (Handle), joined finally by Drain().
+  std::thread reload_thread_;
   MicroBatcher batcher_;
 };
 

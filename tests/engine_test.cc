@@ -203,6 +203,40 @@ TEST_F(EngineTest, TinyDeadlineFlagsOvertakenQueriesOnly) {
   }
 }
 
+// Per-slot deadlines (PR 8): an expired slot is skipped at every phase
+// boundary and flagged, while its batchmates — including ones with no
+// deadline at all — come back identical to the serial path.
+TEST_F(EngineTest, PerSlotDeadlineSkipsOnlyTheExpiredQuery) {
+  Shared& s = shared();
+  std::vector<std::string> texts;
+  for (const Query& q : s.queries.queries) texts.push_back(q.text);
+  ASSERT_GE(texts.size(), 2u);
+  ThreadPool pool(4);
+  BatchQueryOptions options;
+  options.pool = &pool;
+  options.deadlines.assign(texts.size(),
+                           CancelToken::Clock::time_point::max());
+  options.deadlines[0] =
+      CancelToken::Clock::now() - std::chrono::milliseconds(1);
+  std::vector<QueryStats> stats;
+  const auto results = s.engine->FindExpertsBatch(texts, 8, options, &stats);
+  ASSERT_EQ(results.size(), texts.size());
+  ASSERT_EQ(stats.size(), texts.size());
+  EXPECT_TRUE(stats[0].deadline_exceeded);
+  EXPECT_TRUE(results[0].empty());
+  for (size_t q = 1; q < texts.size(); ++q) {
+    EXPECT_FALSE(stats[q].deadline_exceeded) << "query " << q;
+    const auto serial = s.engine->FindExperts(texts[q], 8);
+    ASSERT_EQ(results[q].size(), serial.size()) << "query " << q;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(results[q][i].author, serial[i].author)
+          << "query " << q << " rank " << i;
+      EXPECT_EQ(results[q][i].score, serial[i].score)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
 #ifndef KPEF_METRICS_DISABLED
 TEST_F(EngineTest, DeadlineExceededQueriesCounted) {
   Shared& s = shared();

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "serve/batcher.h"
 
 namespace kpef::serve {
@@ -345,6 +346,121 @@ TEST(MicroBatcherTest, ConcurrentSubmittersAllComplete) {
   EXPECT_EQ(collector.responses.size(),
             static_cast<size_t>(accepted.load()));
   EXPECT_EQ(accepted.load(), kThreads * kPerThread);  // queue never filled
+}
+
+// Regression (PR 8): a short-deadline request batched with an unbounded
+// one used to inherit the batch's LATEST deadline — the engine kept
+// working on it long past its own budget and the caller got a late 200
+// instead of a timely 504. Per-slot deadlines fix both sides: the
+// engine sees each slot's own budget, and the unbounded rider is
+// unaffected.
+TEST(MicroBatcherTest, MixedDeadlinesPropagatePerSlot) {
+  FakeEngine engine;
+  engine.sleep_ms = 100.0;  // the batch outlives the tight deadline
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  BatchRequest tight = Request("tight");
+  tight.has_deadline = true;
+  // Far enough out to survive queueing, well inside the engine sleep.
+  const auto tight_deadline = Clock::now() + std::chrono::milliseconds(25);
+  tight.deadline = tight_deadline;
+  ASSERT_TRUE(batcher.Submit(std::move(tight), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(Request("unbounded"), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(2));
+
+  ASSERT_EQ(engine.options_seen.size(), 1u);
+  const BatchQueryOptions& options = engine.options_seen[0];
+  // The engine call itself stays uncancellable (the unbounded rider
+  // must finish), but each slot's own budget rode along.
+  EXPECT_FALSE(options.cancel.CanBeCancelled());
+  ASSERT_EQ(options.deadlines.size(), 2u);
+  EXPECT_EQ(options.deadlines[0], tight_deadline);
+  EXPECT_EQ(options.deadlines[1], Clock::time_point::max());
+
+  // Exactly the tight request is flagged; the unbounded one is whole.
+  size_t exceeded = 0;
+  for (const BatchResponse& r : collector.responses) {
+    if (r.deadline_exceeded) {
+      ++exceeded;
+    } else {
+      EXPECT_EQ(r.experts.size(), 5u);
+    }
+  }
+  EXPECT_EQ(exceeded, 1u);
+}
+
+TEST(MicroBatcherTest, NoDeadlinesMeansNoSlotDeadlineVector) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  ASSERT_TRUE(batcher.Submit(Request("a"), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(Request("b"), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(2));
+  ASSERT_EQ(engine.options_seen.size(), 1u);
+  EXPECT_TRUE(engine.options_seen[0].deadlines.empty());
+}
+
+// Regression (PR 8): the engine used to run the coalesced batch at the
+// unclamped max top_n, so one n=100000 request inflated TA work for
+// every rider. The batcher now clamps per request to max_top_n.
+TEST(MicroBatcherTest, OversizedTopNIsClampedToConfigCap) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_age_ms = 60000.0;
+  config.max_top_n = 50;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  ASSERT_TRUE(batcher.Submit(Request("huge", 100000), collector.Fn()));
+  ASSERT_TRUE(batcher.Submit(Request("small", 3), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(2));
+  ASSERT_EQ(engine.top_ns.size(), 1u);
+  EXPECT_EQ(engine.top_ns[0], 50u);  // clamped batch max, not 100000
+  std::vector<size_t> sizes;
+  for (const BatchResponse& r : collector.responses) {
+    sizes.push_back(r.experts.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  // The oversized request is answered with the cap, not its ask.
+  EXPECT_EQ(sizes, (std::vector<size_t>{3, 50}));
+}
+
+TEST(MicroBatcherTest, ZeroMaxTopNDisablesTheCap) {
+  FakeEngine engine;
+  BatcherConfig config;
+  config.max_batch_size = 1;
+  config.max_queue_age_ms = 0.0;
+  config.max_top_n = 0;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  ASSERT_TRUE(batcher.Submit(Request("big", 900), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(1));
+  ASSERT_EQ(engine.top_ns.size(), 1u);
+  EXPECT_EQ(engine.top_ns[0], 900u);
+}
+
+// ROADMAP leftover (PR 7 → PR 8): the batcher must hand its configured
+// pool to the engine, so SearchBatch actually fans out over it instead
+// of silently falling back to the engine's default pool.
+TEST(MicroBatcherTest, ConfiguredPoolReachesBatchQueryOptions) {
+  FakeEngine engine;
+  ThreadPool pool(2);
+  BatcherConfig config;
+  config.max_batch_size = 1;
+  config.max_queue_age_ms = 0.0;
+  config.pool = &pool;
+  MicroBatcher batcher(config, engine.AsFn());
+  Collector collector;
+  ASSERT_TRUE(batcher.Submit(Request("q"), collector.Fn()));
+  ASSERT_TRUE(collector.WaitForCount(1));
+  ASSERT_EQ(engine.options_seen.size(), 1u);
+  EXPECT_EQ(engine.options_seen[0].pool, &pool);
 }
 
 }  // namespace
