@@ -5,8 +5,13 @@
 //                     [--scale 0.5]
 //   kpef_cli stats    --graph graph.kg
 //   kpef_cli build    --graph graph.kg --model-dir dir [--k 4]
+//                     [--train-threads N] [--train-deterministic]
 //   kpef_cli query    --graph graph.kg --model-dir dir --text "..."
 //                     [--n 10]
+//
+// `--train-threads N` fine-tunes the encoder with N HogWild workers
+// (0 = all cores); add `--train-deterministic` for the slower schedule
+// whose trained parameters are byte-identical for any thread count.
 //
 // `build` persists the fine-tuned encoder, the paper embeddings, and the
 // PG-Index; `query` reloads them and serves queries without retraining.
@@ -41,10 +46,18 @@ using namespace kpef;
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
-    flags[key] = argv[i + 1];
+    // A flag followed by another --flag (or nothing) is a bare boolean
+    // switch, e.g. --train-deterministic.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[i + 1];
+      i += 2;
+    } else {
+      flags[key] = "1";
+      i += 1;
+    }
   }
   return flags;
 }
@@ -109,6 +122,10 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   config.k = std::atoi(FlagOr(flags, "k", "4").c_str());
   config.top_m =
       std::max<size_t>(50, dataset->Papers().size() / 10);
+  config.trainer.num_threads = static_cast<size_t>(
+      std::atoi(FlagOr(flags, "train-threads", "1").c_str()));
+  config.trainer.deterministic =
+      FlagOr(flags, "train-deterministic", "0") != "0";
   Timer timer;
   EngineBuildReport report;
   auto engine = ExpertFindingEngine::Build(&*dataset, &corpus, config,
@@ -117,6 +134,10 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::printf("built pipeline in %.1fs (%zu triples, %zu index edges)\n",
               timer.ElapsedSeconds(), report.sampling.triples.size(),
               report.index.edges_final);
+  std::printf("trained %zu triples at %.0f triples/s (%zu worker%s, %s)\n",
+              report.training.num_triples, report.training.triples_per_sec,
+              report.training.workers, report.training.workers == 1 ? "" : "s",
+              report.training.deterministic ? "deterministic" : "hogwild");
 
   Status s = SaveEncoder((*engine)->encoder(), model_dir + "/encoder.bin");
   if (!s.ok()) return Fail(s);

@@ -6,29 +6,29 @@
 
 namespace kpef {
 
-Adam::Adam(size_t num_params, AdamConfig config)
-    : config_(config), m_(num_params, 0.0f), v_(num_params, 0.0f) {}
+Adam::Adam(size_t num_params, AdamConfig config, const DistanceKernel* kernel)
+    : config_(config),
+      kernel_(kernel != nullptr ? kernel : &ActiveKernel()),
+      m_(num_params, 0.0f),
+      v_(num_params, 0.0f) {}
+
+float Adam::StepSize(int64_t t) const {
+  return static_cast<float>(
+      config_.learning_rate *
+      std::sqrt(1.0 - std::pow(config_.beta2, static_cast<double>(t))) /
+      (1.0 - std::pow(config_.beta1, static_cast<double>(t))));
+}
 
 void Adam::UpdateSlice(float* params, const float* grads, size_t count,
                        size_t state_offset) {
-  KPEF_CHECK(step_ > 0) << "call BeginStep() before updates";
+  const int64_t t = step();
+  KPEF_CHECK(t > 0) << "call BeginStep() before updates";
   KPEF_CHECK(state_offset + count <= m_.size());
-  const double b1 = config_.beta1;
-  const double b2 = config_.beta2;
-  // Bias-corrected step size folded into alpha.
-  const double alpha =
-      config_.learning_rate *
-      std::sqrt(1.0 - std::pow(b2, static_cast<double>(step_))) /
-      (1.0 - std::pow(b1, static_cast<double>(step_)));
-  float* m = m_.data() + state_offset;
-  float* v = v_.data() + state_offset;
-  for (size_t i = 0; i < count; ++i) {
-    const double g = grads[i];
-    m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
-    v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
-    params[i] -= static_cast<float>(alpha * m[i] /
-                                    (std::sqrt(v[i]) + config_.epsilon));
-  }
+  kernel_->adam_update(params, grads, m_.data() + state_offset,
+                       v_.data() + state_offset,
+                       static_cast<float>(config_.beta1),
+                       static_cast<float>(config_.beta2), StepSize(t),
+                       static_cast<float>(config_.epsilon), count);
 }
 
 void Adam::UpdateDense(std::span<float> params, std::span<const float> grads,

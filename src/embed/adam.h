@@ -1,13 +1,32 @@
 // Adam optimizer [33] with dense and sparse-row update paths.
+//
+// The moment/parameter update runs entirely in float32 through the
+// DistanceKernel::adam_update entry (embed/vector_ops.h), so the scalar
+// and AVX2 paths are bit-identical and the whole optimizer vectorizes.
+// Only the bias-corrected step size is computed in double (once per
+// step) before being folded to float.
+//
+// ## Thread safety (HogWild)
+//
+// The step counter is atomic, so concurrent workers may BeginStep() and
+// issue UpdateDense/UpdateRow against the *same* Adam instance without
+// locks. The float moment and parameter writes themselves are then
+// intentionally racy — the lock-free HogWild contract of the triplet
+// trainer (DESIGN.md §15): races touch only m/v cells and parameter
+// floats, never sizes or pointers, and a lost update is equivalent to a
+// slightly delayed gradient. Deterministic callers simply keep all
+// updates on one thread, as before.
 
 #ifndef KPEF_EMBED_ADAM_H_
 #define KPEF_EMBED_ADAM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "embed/matrix.h"
+#include "embed/vector_ops.h"
 
 namespace kpef {
 
@@ -29,9 +48,18 @@ struct AdamConfig {
 /// rows pay no cost (lazy Adam).
 class Adam {
  public:
-  Adam(size_t num_params, AdamConfig config);
+  /// `kernel` routes the fused moment/parameter update (nullptr =
+  /// ActiveKernel()); benches pass an explicit kernel to time both
+  /// paths in one process. Scalar and AVX2 agree bitwise.
+  Adam(size_t num_params, AdamConfig config,
+       const DistanceKernel* kernel = nullptr);
 
-  void BeginStep() { ++step_; }
+  /// Advances the bias-correction step and returns its new value.
+  /// Atomic: HogWild workers each begin their own steps against the
+  /// shared moment arrays.
+  int64_t BeginStep() {
+    return step_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   /// Dense update of params[offset .. offset+grads.size()).
   void UpdateDense(std::span<float> params, std::span<const float> grads,
@@ -42,17 +70,22 @@ class Adam {
   void UpdateRow(Matrix& params, size_t row, std::span<const float> grads,
                  size_t block_offset);
 
-  int64_t step() const { return step_; }
+  int64_t step() const { return step_.load(std::memory_order_relaxed); }
   const AdamConfig& config() const { return config_; }
+
+  /// Bias-corrected step size for step `t`, folded to float:
+  /// lr * sqrt(1 - b2^t) / (1 - b1^t).
+  float StepSize(int64_t t) const;
 
  private:
   void UpdateSlice(float* params, const float* grads, size_t count,
                    size_t state_offset);
 
   AdamConfig config_;
+  const DistanceKernel* kernel_;
   std::vector<float> m_;
   std::vector<float> v_;
-  int64_t step_ = 0;
+  std::atomic<int64_t> step_{0};
 };
 
 }  // namespace kpef

@@ -20,6 +20,8 @@ void EncoderGradients::Reset(size_t dim) {
     std::fill(d_bias.begin(), d_bias.end(), 0.0f);
   }
   d_tokens.clear();
+  scratch_grad_projected.resize(dim);
+  scratch_grad_pooled.resize(dim);
 }
 
 DocumentEncoder::DocumentEncoder(size_t vocab_size, EncoderConfig config)
@@ -53,7 +55,8 @@ void DocumentEncoder::SetTokenWeights(std::vector<float> weights) {
 
 void DocumentEncoder::Pool(std::span<const TokenId> tokens,
                            std::vector<float>& pooled,
-                           std::vector<int32_t>* argmax) const {
+                           std::vector<int32_t>* argmax,
+                           const DistanceKernel& kernel) const {
   const size_t d = config_.dim;
   pooled.assign(d, 0.0f);
   if (tokens.empty()) return;
@@ -66,13 +69,9 @@ void DocumentEncoder::Pool(std::span<const TokenId> tokens,
     for (TokenId t : tokens) {
       const float w = weighted ? token_weights_[t] : 1.0f;
       total += w;
-      auto row = token_embeddings_.Row(t);
-      for (size_t k = 0; k < d; ++k) pooled[k] += w * row[k];
+      kernel.axpy(w, token_embeddings_.Row(t).data(), pooled.data(), d);
     }
-    if (total > 0.0f) {
-      const float inv = 1.0f / total;
-      for (size_t k = 0; k < d; ++k) pooled[k] *= inv;
-    }
+    if (total > 0.0f) kernel.scale(1.0f / total, pooled.data(), d);
   } else {
     pooled.assign(d, -std::numeric_limits<float>::infinity());
     if (argmax) argmax->assign(d, 0);
@@ -90,18 +89,10 @@ void DocumentEncoder::Pool(std::span<const TokenId> tokens,
 
 std::vector<float> DocumentEncoder::Encode(
     std::span<const TokenId> tokens) const {
-  std::vector<float> pooled;
-  Pool(tokens, pooled, nullptr);
-  const size_t d = config_.dim;
-  std::vector<float> out(bias_);
-  for (size_t i = 0; i < d; ++i) {
-    auto w_row = projection_.Row(i);
-    float acc = out[i];
-    for (size_t k = 0; k < d; ++k) acc += w_row[k] * pooled[k];
-    out[i] = acc;
-  }
-  if (config_.normalize_output) NormalizeL2(out);
-  return out;
+  // Delegates to ForwardInto so Encode and Forward stay bit-identical.
+  ForwardCache cache;
+  ForwardInto(tokens, cache);
+  return std::move(cache.output);
 }
 
 Matrix DocumentEncoder::EncodeCorpus(const Corpus& corpus) const {
@@ -116,56 +107,65 @@ Matrix DocumentEncoder::EncodeCorpus(const Corpus& corpus) const {
 DocumentEncoder::ForwardCache DocumentEncoder::Forward(
     std::span<const TokenId> tokens) const {
   ForwardCache cache;
+  ForwardInto(tokens, cache);
+  return cache;
+}
+
+void DocumentEncoder::ForwardInto(std::span<const TokenId> tokens,
+                                  ForwardCache& cache,
+                                  const DistanceKernel* kernel) const {
+  const DistanceKernel& k = kernel != nullptr ? *kernel : ActiveKernel();
+  const size_t d = config_.dim;
   cache.tokens.assign(tokens.begin(), tokens.end());
   Pool(tokens, cache.pooled,
-       config_.pooling == Pooling::kMax ? &cache.argmax : nullptr);
-  const size_t d = config_.dim;
-  cache.projected = bias_;
+       config_.pooling == Pooling::kMax ? &cache.argmax : nullptr, k);
+  cache.projected.assign(bias_.begin(), bias_.end());
   for (size_t i = 0; i < d; ++i) {
-    auto w_row = projection_.Row(i);
-    float acc = cache.projected[i];
-    for (size_t k = 0; k < d; ++k) acc += w_row[k] * cache.pooled[k];
-    cache.projected[i] = acc;
+    cache.projected[i] +=
+        k.dot(projection_.Row(i).data(), cache.pooled.data(), d);
   }
-  cache.output = cache.projected;
+  cache.output.assign(cache.projected.begin(), cache.projected.end());
+  cache.norm = 1.0f;
   if (config_.normalize_output) {
-    cache.norm = std::max(L2Norm(cache.output), 1e-12f);
-    const float inv = 1.0f / cache.norm;
-    for (float& v : cache.output) v *= inv;
+    cache.norm = std::max(
+        std::sqrt(k.dot(cache.output.data(), cache.output.data(), d)), 1e-12f);
+    k.scale(1.0f / cache.norm, cache.output.data(), d);
   }
-  return cache;
 }
 
 void DocumentEncoder::Backward(const ForwardCache& cache,
                                std::span<const float> grad_output,
-                               EncoderGradients& grads) const {
+                               EncoderGradients& grads,
+                               const DistanceKernel* kernel) const {
+  const DistanceKernel& k = kernel != nullptr ? *kernel : ActiveKernel();
   const size_t d = config_.dim;
   KPEF_CHECK(grad_output.size() == d);
+  KPEF_CHECK(grads.d_bias.size() == d) << "call Reset() before Backward";
   // Backprop through the normalization u = v/||v||:
   //   dL/dv = (dL/du - (dL/du . u) u) / ||v||.
-  std::vector<float> grad_projected(grad_output.begin(), grad_output.end());
+  std::vector<float>& grad_projected = grads.scratch_grad_projected;
   if (config_.normalize_output) {
-    float dot = 0.0f;
-    for (size_t i = 0; i < d; ++i) dot += grad_output[i] * cache.output[i];
+    const float dot = k.dot(grad_output.data(), cache.output.data(), d);
     const float inv = 1.0f / cache.norm;
-    for (size_t i = 0; i < d; ++i) {
-      grad_projected[i] = (grad_output[i] - dot * cache.output[i]) * inv;
-    }
+    grad_projected.assign(d, 0.0f);
+    k.axpy2(inv, grad_output.data(), -dot * inv, cache.output.data(),
+            grad_projected.data(), d);
+  } else {
+    grad_projected.assign(grad_output.begin(), grad_output.end());
   }
   // dL/dW[i][k] = g[i] * h[k];  dL/db[i] = g[i].
   for (size_t i = 0; i < d; ++i) {
     const float g = grad_projected[i];
     grads.d_bias[i] += g;
-    auto w_grad_row = grads.d_projection.Row(i);
-    for (size_t k = 0; k < d; ++k) w_grad_row[k] += g * cache.pooled[k];
+    k.axpy(g, cache.pooled.data(), grads.d_projection.Row(i).data(), d);
   }
   if (cache.tokens.empty()) return;
   // dL/dh = W^T g.
-  std::vector<float> grad_pooled(d, 0.0f);
+  std::vector<float>& grad_pooled = grads.scratch_grad_pooled;
+  grad_pooled.assign(d, 0.0f);
   for (size_t i = 0; i < d; ++i) {
-    const float g = grad_projected[i];
-    auto w_row = projection_.Row(i);
-    for (size_t k = 0; k < d; ++k) grad_pooled[k] += w_row[k] * g;
+    k.axpy(grad_projected[i], projection_.Row(i).data(), grad_pooled.data(),
+           d);
   }
   auto token_grad = [&](TokenId t) -> std::vector<float>& {
     auto [it, inserted] = grads.d_tokens.try_emplace(t);
@@ -185,14 +185,13 @@ void DocumentEncoder::Backward(const ForwardCache& cache,
     const float inv = 1.0f / total;
     for (TokenId t : cache.tokens) {
       const float w = weighted ? token_weights_[t] : 1.0f;
-      auto& g = token_grad(t);
-      for (size_t k = 0; k < d; ++k) g[k] += grad_pooled[k] * w * inv;
+      k.axpy(w * inv, grad_pooled.data(), token_grad(t).data(), d);
     }
   } else {
     // Max pooling routes each dimension's gradient to the winning token.
-    for (size_t k = 0; k < d; ++k) {
-      const TokenId t = cache.tokens[cache.argmax[k]];
-      token_grad(t)[k] += grad_pooled[k];
+    for (size_t k2 = 0; k2 < d; ++k2) {
+      const TokenId t = cache.tokens[cache.argmax[k2]];
+      token_grad(t)[k2] += grad_pooled[k2];
     }
   }
 }

@@ -49,7 +49,14 @@ struct EncoderGradients {
   std::unordered_map<TokenId, std::vector<float>> d_tokens;
 
   void Reset(size_t dim);
+
+  /// Backward() scratch, reused across calls so the trainer's hot loop
+  /// allocates nothing per triple. Not part of the accumulated result.
+  std::vector<float> scratch_grad_projected;
+  std::vector<float> scratch_grad_pooled;
 };
+
+struct DistanceKernel;
 
 /// The encoder model. Parameters: token table E (V x d), projection
 /// W (d x d), bias b (d). Encode(tokens) = W * pool(E[tokens]) + b.
@@ -88,9 +95,18 @@ class DocumentEncoder {
 
   ForwardCache Forward(std::span<const TokenId> tokens) const;
 
-  /// Accumulates dL/dW, dL/db, dL/dE into `grads` given dL/dv.
+  /// Forward() into a caller-owned cache, reusing its buffers — the
+  /// trainer's per-worker workspaces make the hot loop allocation-free.
+  /// `kernel` routes the pooling/matmul math (nullptr = ActiveKernel());
+  /// scalar and AVX2 agree bitwise, so the choice only changes speed.
+  void ForwardInto(std::span<const TokenId> tokens, ForwardCache& cache,
+                   const DistanceKernel* kernel = nullptr) const;
+
+  /// Accumulates dL/dW, dL/db, dL/dE into `grads` given dL/dv. Uses the
+  /// scratch buffers inside `grads`; `kernel` as in ForwardInto.
   void Backward(const ForwardCache& cache, std::span<const float> grad_output,
-                EncoderGradients& grads) const;
+                EncoderGradients& grads,
+                const DistanceKernel* kernel = nullptr) const;
 
   size_t dim() const { return config_.dim; }
   size_t vocab_size() const { return token_embeddings_.rows(); }
@@ -107,7 +123,7 @@ class DocumentEncoder {
 
  private:
   void Pool(std::span<const TokenId> tokens, std::vector<float>& pooled,
-            std::vector<int32_t>* argmax) const;
+            std::vector<int32_t>* argmax, const DistanceKernel& kernel) const;
 
   EncoderConfig config_;
   Matrix token_embeddings_;  // V x d

@@ -1,15 +1,224 @@
 #include "embed/trainer.h"
 
 #include <algorithm>
+#include <memory>
+#include <numeric>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "embed/vector_ops.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
 #include "obs/trace.h"
 
+// TSan cannot model HogWild's intentional benign races (aligned float
+// loads/stores on shared parameters); sanitizer builds keep the
+// disjoint-buffer deterministic schedule instead (see trainer.h).
+#if defined(__SANITIZE_THREAD__)
+#define KPEF_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KPEF_TSAN_BUILD 1
+#endif
+#endif
+
 namespace kpef {
+namespace {
+
+/// Per-worker (HogWild) or per-chunk (deterministic) training state,
+/// reused across batches and epochs so the hot loop allocates nothing
+/// after first touch.
+struct Workspace {
+  DocumentEncoder::ForwardCache cache_seed;
+  DocumentEncoder::ForwardCache cache_pos;
+  DocumentEncoder::ForwardCache cache_neg;
+  TripletLossResult loss;
+  EncoderGradients grads;
+  std::vector<uint32_t> local_order;  // HogWild: this worker's slice
+  double loss_sum = 0.0;
+  size_t active = 0;
+};
+
+/// One Train() invocation's shared state and the two epoch schedules.
+class TrainRun {
+ public:
+  TrainRun(DocumentEncoder* encoder, const Corpus* corpus,
+           const std::vector<Triple>& triples, const TrainerConfig& config,
+           const DistanceKernel& kernel, Adam& adam)
+      : encoder_(encoder),
+        corpus_(corpus),
+        triples_(triples),
+        config_(config),
+        kernel_(kernel),
+        adam_(adam),
+        d_(encoder->dim()),
+        proj_offset_(encoder->vocab_size() * encoder->dim()),
+        bias_offset_(proj_offset_ + encoder->dim() * encoder->dim()) {}
+
+  /// Deterministic schedule: fixed micro-chunks per batch, disjoint
+  /// per-chunk gradients, serial merge in chunk order, one Adam step.
+  /// Byte-identical results for any pool size (including pool==nullptr).
+  double DeterministicEpoch(const std::vector<uint32_t>& order,
+                            std::vector<Workspace>& ws, ThreadPool* pool,
+                            size_t* epoch_active) {
+    constexpr size_t kChunk = TripletTrainer::kDeterministicChunk;
+    double epoch_loss = 0.0;
+    const size_t n = order.size();
+    for (size_t start = 0; start < n; start += config_.batch_size) {
+      const size_t end = std::min(n, start + config_.batch_size);
+      const size_t chunks = (end - start + kChunk - 1) / kChunk;
+      KPEF_CHECK(chunks <= ws.size());
+      auto run_chunk = [&](size_t c) {
+        Workspace& w = ws[c];
+        w.grads.Reset(d_);
+        w.loss_sum = 0.0;
+        w.active = 0;
+        const size_t cbegin = start + c * kChunk;
+        const size_t cend = std::min(end, cbegin + kChunk);
+        for (size_t i = cbegin; i < cend; ++i) {
+          ProcessTriple(w, triples_[order[i]]);
+        }
+      };
+      if (pool != nullptr && chunks > 1) {
+        ParallelFor(*pool, chunks, run_chunk);
+      } else {
+        for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+      }
+      // Serial merge in chunk order: float addition over a fixed order is
+      // deterministic, so the merged gradient — and every parameter bit
+      // downstream — is independent of how chunks were scheduled.
+      size_t batch_active = 0;
+      for (size_t c = 0; c < chunks; ++c) {
+        epoch_loss += ws[c].loss_sum;
+        batch_active += ws[c].active;
+      }
+      if (batch_active == 0) continue;
+      *epoch_active += batch_active;
+      EncoderGradients& merged = ws[0].grads;
+      for (size_t c = 1; c < chunks; ++c) MergeGrads(merged, ws[c].grads);
+      ApplyAdamStep(merged, end - start);
+    }
+    return epoch_loss;
+  }
+
+  /// HogWild schedule: W contiguous slices of the shuffled order, each
+  /// worker re-shuffling its slice with its own MixSeed stream, then
+  /// running mini-batches against the shared parameters and Adam state
+  /// without locks. Throughput-optimal; not bitwise reproducible.
+  double HogwildEpoch(const std::vector<uint32_t>& order,
+                      std::vector<Workspace>& ws, ThreadPool& pool,
+                      size_t epoch, size_t* epoch_active) {
+    const size_t n = order.size();
+    const size_t num_workers = ws.size();
+    ParallelFor(pool, num_workers, [&](size_t w) {
+      Workspace& me = ws[w];
+      me.loss_sum = 0.0;
+      me.active = 0;
+      const size_t begin = n * w / num_workers;
+      const size_t end = n * (w + 1) / num_workers;
+      me.local_order.assign(order.begin() + static_cast<ptrdiff_t>(begin),
+                            order.begin() + static_cast<ptrdiff_t>(end));
+      Rng rng(MixSeed(config_.seed, /*stream=*/epoch, /*index=*/w));
+      rng.Shuffle(me.local_order);
+      for (size_t start = 0; start < me.local_order.size();
+           start += config_.batch_size) {
+        const size_t bend =
+            std::min(me.local_order.size(), start + config_.batch_size);
+        me.grads.Reset(d_);
+        const size_t active_before = me.active;
+        for (size_t i = start; i < bend; ++i) {
+          ProcessTriple(me, triples_[me.local_order[i]]);
+        }
+        if (me.active == active_before) continue;
+        ApplyAdamStep(me.grads, bend - start);
+      }
+    });
+    double epoch_loss = 0.0;
+    for (Workspace& w : ws) {
+      epoch_loss += w.loss_sum;
+      *epoch_active += w.active;
+    }
+    return epoch_loss;
+  }
+
+ private:
+  /// Forward x3, triplet loss, and (when margin-active) backward x3 into
+  /// the workspace's gradient accumulators. Allocation-free after the
+  /// workspace's first use.
+  void ProcessTriple(Workspace& ws, const Triple& t) {
+    encoder_->ForwardInto(corpus_->Document(t.seed), ws.cache_seed, &kernel_);
+    encoder_->ForwardInto(corpus_->Document(t.positive), ws.cache_pos,
+                          &kernel_);
+    encoder_->ForwardInto(corpus_->Document(t.negative), ws.cache_neg,
+                          &kernel_);
+    ComputeTripletLossInto(ws.cache_seed.output, ws.cache_pos.output,
+                           ws.cache_neg.output, config_.margin,
+                           /*epsilon=*/1e-8f, kernel_, ws.loss);
+    ws.loss_sum += ws.loss.loss;
+    if (!ws.loss.active) return;
+    ++ws.active;
+    encoder_->Backward(ws.cache_seed, ws.loss.grad_seed, ws.grads, &kernel_);
+    encoder_->Backward(ws.cache_pos, ws.loss.grad_positive, ws.grads,
+                       &kernel_);
+    encoder_->Backward(ws.cache_neg, ws.loss.grad_negative, ws.grads,
+                       &kernel_);
+  }
+
+  /// dst += src, in a fixed order (rows ascending; src's token map in its
+  /// iteration order, which is a pure function of its insertion sequence).
+  void MergeGrads(EncoderGradients& dst, const EncoderGradients& src) {
+    for (size_t r = 0; r < d_; ++r) {
+      kernel_.axpy(1.0f, src.d_projection.Row(r).data(),
+                   dst.d_projection.Row(r).data(), d_);
+    }
+    kernel_.axpy(1.0f, src.d_bias.data(), dst.d_bias.data(), d_);
+    for (const auto& [token, grad] : src.d_tokens) {
+      auto [it, inserted] = dst.d_tokens.try_emplace(token);
+      if (inserted) it->second.assign(d_, 0.0f);
+      kernel_.axpy(1.0f, grad.data(), it->second.data(), d_);
+    }
+  }
+
+  /// Averages the accumulated gradients over the batch and takes one Adam
+  /// step. In HogWild mode this races with other workers on the shared
+  /// moments and parameters — benign by construction (embed/adam.h).
+  void ApplyAdamStep(EncoderGradients& grads, size_t batch_size) {
+    const float inv = 1.0f / static_cast<float>(batch_size);
+    adam_.BeginStep();
+    if (config_.train_token_embeddings) {
+      for (auto& [token, grad] : grads.d_tokens) {
+        kernel_.scale(inv, grad.data(), grad.size());
+        adam_.UpdateRow(encoder_->token_embeddings(),
+                        static_cast<size_t>(token), grad, /*block_offset=*/0);
+      }
+    }
+    // Projection rows share one dense Adam block starting at
+    // proj_offset; row r's state lives at proj_offset + r * d.
+    for (size_t r = 0; r < d_; ++r) {
+      auto row = grads.d_projection.Row(r);
+      kernel_.scale(inv, row.data(), row.size());
+      adam_.UpdateRow(encoder_->projection(), r, row, proj_offset_);
+    }
+    kernel_.scale(inv, grads.d_bias.data(), grads.d_bias.size());
+    adam_.UpdateDense(std::span<float>(encoder_->bias()), grads.d_bias,
+                      bias_offset_);
+  }
+
+  DocumentEncoder* encoder_;
+  const Corpus* corpus_;
+  const std::vector<Triple>& triples_;
+  const TrainerConfig& config_;
+  const DistanceKernel& kernel_;
+  Adam& adam_;
+  const size_t d_;
+  const size_t proj_offset_;
+  const size_t bias_offset_;
+};
+
+}  // namespace
 
 TrainStats TripletTrainer::Train(const std::vector<Triple>& triples,
                                  const TrainerConfig& config) {
@@ -21,84 +230,72 @@ TrainStats TripletTrainer::Train(const std::vector<Triple>& triples,
     KPEF_LOG(Warning) << "no training triples; encoder left unchanged";
     return stats;
   }
+  KPEF_CHECK(config.batch_size > 0);
 
+  const DistanceKernel& kernel =
+      config.kernel != nullptr ? *config.kernel : ActiveKernel();
   const size_t d = encoder_->dim();
   const size_t token_params = encoder_->vocab_size() * d;
   const size_t proj_params = d * d;
   // One optimizer state over [tokens | projection | bias].
-  Adam adam(token_params + proj_params + d, config.adam);
-  const size_t proj_offset = token_params;
-  const size_t bias_offset = token_params + proj_params;
+  Adam adam(token_params + proj_params + d, config.adam, &kernel);
 
-  std::vector<Triple> shuffled(triples);
+  size_t workers =
+      config.num_threads != 0
+          ? config.num_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  workers = std::max<size_t>(1, std::min(workers, triples.size()));
+  bool deterministic = config.deterministic || workers <= 1;
+#ifdef KPEF_TSAN_BUILD
+  deterministic = true;
+#endif
+  stats.workers = workers;
+  stats.deterministic = deterministic;
+
+  // Deterministic mode needs one workspace per micro-chunk of a batch,
+  // HogWild one per worker.
+  const size_t num_ws =
+      deterministic ? (std::min(config.batch_size, triples.size()) +
+                       kDeterministicChunk - 1) /
+                          kDeterministicChunk
+                    : workers;
+  std::vector<Workspace> workspaces(std::max<size_t>(1, num_ws));
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+
+  TrainRun run(encoder_, corpus_, triples, config, kernel, adam);
+
+  std::vector<uint32_t> order(triples.size());
+  std::iota(order.begin(), order.end(), 0u);
   Rng rng(config.seed);
-  EncoderGradients grads;
-  grads.Reset(d);
+  const double n = static_cast<double>(triples.size());
 
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    rng.Shuffle(shuffled);
-    double epoch_loss = 0.0;
+    rng.Shuffle(order);
     size_t active = 0;
-    for (size_t start = 0; start < shuffled.size();
-         start += config.batch_size) {
-      const size_t end = std::min(shuffled.size(), start + config.batch_size);
-      grads.Reset(d);
-      size_t batch_active = 0;
-      for (size_t i = start; i < end; ++i) {
-        const Triple& t = shuffled[i];
-        const auto cache_s = encoder_->Forward(corpus_->Document(t.seed));
-        const auto cache_p = encoder_->Forward(corpus_->Document(t.positive));
-        const auto cache_n = encoder_->Forward(corpus_->Document(t.negative));
-        const TripletLossResult loss = ComputeTripletLoss(
-            cache_s.output, cache_p.output, cache_n.output, config.margin);
-        epoch_loss += loss.loss;
-        if (!loss.active) continue;
-        ++batch_active;
-        encoder_->Backward(cache_s, loss.grad_seed, grads);
-        encoder_->Backward(cache_p, loss.grad_positive, grads);
-        encoder_->Backward(cache_n, loss.grad_negative, grads);
-      }
-      if (batch_active == 0) continue;
-      active += batch_active;
-      // Average accumulated gradients over the batch, then one Adam step.
-      const float inv = 1.0f / static_cast<float>(end - start);
-      adam.BeginStep();
-      if (config.train_token_embeddings) {
-        for (auto& [token, grad] : grads.d_tokens) {
-          for (float& g : grad) g *= inv;
-          adam.UpdateRow(encoder_->token_embeddings(),
-                         static_cast<size_t>(token), grad, /*block_offset=*/0);
-        }
-      }
-      for (size_t r = 0; r < grads.d_projection.rows(); ++r) {
-        for (float& g : grads.d_projection.Row(r)) g *= inv;
-      }
-      for (float& g : grads.d_bias) g *= inv;
-      // Projection rows share one dense Adam block starting at
-      // proj_offset; row r's state lives at proj_offset + r * d.
-      for (size_t r = 0; r < d; ++r) {
-        adam.UpdateRow(encoder_->projection(), r, grads.d_projection.Row(r),
-                       proj_offset);
-      }
-      adam.UpdateDense(std::span<float>(encoder_->bias()), grads.d_bias,
-                       bias_offset);
-    }
-    stats.epoch_loss.push_back(epoch_loss /
-                               static_cast<double>(shuffled.size()));
-    stats.final_active_fraction =
-        static_cast<double>(active) / static_cast<double>(shuffled.size());
+    const double epoch_loss =
+        deterministic
+            ? run.DeterministicEpoch(order, workspaces, pool.get(), &active)
+            : run.HogwildEpoch(order, workspaces, *pool, epoch, &active);
+    stats.epoch_loss.push_back(epoch_loss / n);
+    stats.final_active_fraction = static_cast<double>(active) / n;
     KPEF_COUNTER_ADD(obs::kTrainerEpochsTotal, 1);
-    KPEF_GAUGE_SET(obs::kTrainerLastEpochLoss, stats.epoch_loss.back());
+    KPEF_GAUGE_SET(obs::kTrainerEpochLoss, stats.epoch_loss.back());
     KPEF_LOG(Info) << "epoch " << epoch + 1 << "/" << config.epochs
                    << " loss=" << stats.epoch_loss.back()
-                   << " active=" << stats.final_active_fraction;
+                   << " active=" << stats.final_active_fraction
+                   << " workers=" << workers
+                   << (deterministic ? " (deterministic)" : " (hogwild)");
   }
   stats.train_seconds = timer.ElapsedSeconds();
   if (stats.train_seconds > 0.0) {
-    KPEF_GAUGE_SET(obs::kTrainerTriplesPerSec,
-                   static_cast<double>(stats.num_triples * config.epochs) /
-                       stats.train_seconds);
+    stats.triples_per_sec =
+        static_cast<double>(stats.num_triples * config.epochs) /
+        stats.train_seconds;
+    KPEF_GAUGE_SET(obs::kTrainerTriplesPerSec, stats.triples_per_sec);
   }
+  KPEF_GAUGE_SET(obs::kTrainerActiveTriples, stats.final_active_fraction);
+  KPEF_GAUGE_SET(obs::kTrainerWorkers, static_cast<double>(stats.workers));
   return stats;
 }
 

@@ -1,5 +1,27 @@
 // Fine-tuning loop of §III-C: minimizes the triplet loss over the sampled
 // triples with Adam, updating the encoder's token table and projection.
+//
+// The trainer runs in one of two parallel schedules (DESIGN.md §15):
+//
+//  - **Deterministic** (TrainerConfig::deterministic, or whenever only one
+//    worker is resolved): each mini-batch is split into fixed micro-chunks
+//    of kDeterministicChunk triples; workers fill disjoint per-chunk
+//    gradient buffers, which are then merged *serially in chunk order*
+//    and applied by a single Adam step. Chunk boundaries and the merge
+//    order depend only on the shuffle (seeded) — never on the thread
+//    count — so the trained parameters are byte-identical for any
+//    `num_threads`, including 1.
+//
+//  - **HogWild** (the default for num_threads > 1): the shuffled triple
+//    stream is sliced across workers that read and write the *shared*
+//    encoder parameters and Adam moments without locks. Races lose or
+//    reorder a few component updates, which SGD absorbs as slightly stale
+//    gradients; final eval metrics match the serial trainer within noise
+//    while throughput scales with cores. Not bitwise reproducible.
+//
+// Under ThreadSanitizer builds the HogWild schedule is replaced by the
+// deterministic one: the races are intentional and benign on x86 (aligned
+// 4-byte float loads/stores), but TSan has no way to express that.
 
 #ifndef KPEF_EMBED_TRAINER_H_
 #define KPEF_EMBED_TRAINER_H_
@@ -14,6 +36,8 @@
 
 namespace kpef {
 
+struct DistanceKernel;
+
 /// Training hyperparameters. Defaults follow §VI-A: margin c = 1,
 /// 4 epochs, batch size 64 used for gradient accumulation.
 struct TrainerConfig {
@@ -25,6 +49,18 @@ struct TrainerConfig {
   /// Also fine-tune the token embedding table (Θ_B); disabling restricts
   /// training to the projection head.
   bool train_token_embeddings = true;
+  /// Worker threads for the training loop (0 = hardware concurrency).
+  /// 1 keeps the classic serial loop (trivially deterministic).
+  size_t num_threads = 1;
+  /// Force the deterministic chunked schedule even with multiple
+  /// workers: byte-identical parameters for any thread count, at the
+  /// cost of a merge barrier per mini-batch. Off = HogWild (fastest).
+  bool deterministic = false;
+  /// Compute kernel for forward/backward/Adam math (nullptr =
+  /// ActiveKernel()). Scalar and AVX2 agree bitwise on every kernel the
+  /// trainer uses, so this only changes speed; benches pin it to time
+  /// one path end-to-end.
+  const DistanceKernel* kernel = nullptr;
 };
 
 /// Outcome of a training run.
@@ -35,11 +71,22 @@ struct TrainStats {
   double final_active_fraction = 0.0;
   size_t num_triples = 0;
   double train_seconds = 0.0;
+  /// Triples processed per second across all epochs.
+  double triples_per_sec = 0.0;
+  /// Worker threads the run actually used.
+  size_t workers = 1;
+  /// True when the run used the deterministic schedule (serial runs
+  /// always do).
+  bool deterministic = true;
 };
 
 /// Runs triplet fine-tuning in place on `encoder`.
 class TripletTrainer {
  public:
+  /// Micro-chunk width of the deterministic schedule. Fixed so that the
+  /// chunk decomposition of a batch is a property of the shuffle alone.
+  static constexpr size_t kDeterministicChunk = 8;
+
   TripletTrainer(DocumentEncoder* encoder, const Corpus* corpus)
       : encoder_(encoder), corpus_(corpus) {}
 

@@ -8,36 +8,45 @@
 
 namespace kpef {
 
-TripletLossResult ComputeTripletLoss(std::span<const float> seed,
-                                     std::span<const float> positive,
-                                     std::span<const float> negative,
-                                     float margin, float epsilon) {
+void ComputeTripletLossInto(std::span<const float> seed,
+                            std::span<const float> positive,
+                            std::span<const float> negative, float margin,
+                            float epsilon, const DistanceKernel& kernel,
+                            TripletLossResult& result) {
   KPEF_CHECK(seed.size() == positive.size());
   KPEF_CHECK(seed.size() == negative.size());
   const size_t d = seed.size();
-  TripletLossResult result;
 
-  const float d_pos = std::max(L2Distance(seed, positive), epsilon);
-  const float d_neg = std::max(L2Distance(seed, negative), epsilon);
+  const float d_pos = std::max(
+      std::sqrt(kernel.squared_l2(seed.data(), positive.data(), d)), epsilon);
+  const float d_neg = std::max(
+      std::sqrt(kernel.squared_l2(seed.data(), negative.data(), d)), epsilon);
   const float raw = d_pos - d_neg + margin;
   if (raw <= 0.0f) {
     result.loss = 0.0f;
     result.active = false;
-    return result;
+    return;
   }
   result.loss = raw;
   result.active = true;
-  result.grad_seed.assign(d, 0.0f);
-  result.grad_positive.assign(d, 0.0f);
-  result.grad_negative.assign(d, 0.0f);
-  // d||a-b|| / da = (a-b)/||a-b||.
-  for (size_t k = 0; k < d; ++k) {
-    const float u_pos = (seed[k] - positive[k]) / d_pos;
-    const float u_neg = (seed[k] - negative[k]) / d_neg;
-    result.grad_seed[k] = u_pos - u_neg;
-    result.grad_positive[k] = -u_pos;
-    result.grad_negative[k] = u_neg;
-  }
+  result.grad_seed.resize(d);
+  result.grad_positive.resize(d);
+  result.grad_negative.resize(d);
+  // d||a-b|| / da = (a-b)/||a-b||, applied as one fused reciprocal-scaled
+  // pass over all three gradients.
+  kernel.triplet_grad(seed.data(), positive.data(), negative.data(),
+                      1.0f / d_pos, 1.0f / d_neg, result.grad_seed.data(),
+                      result.grad_positive.data(), result.grad_negative.data(),
+                      d);
+}
+
+TripletLossResult ComputeTripletLoss(std::span<const float> seed,
+                                     std::span<const float> positive,
+                                     std::span<const float> negative,
+                                     float margin, float epsilon) {
+  TripletLossResult result;
+  ComputeTripletLossInto(seed, positive, negative, margin, epsilon,
+                         ActiveKernel(), result);
   return result;
 }
 

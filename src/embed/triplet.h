@@ -39,6 +39,20 @@ TripletLossResult ComputeTripletLoss(std::span<const float> seed,
                                      std::span<const float> negative,
                                      float margin, float epsilon = 1e-8f);
 
+struct DistanceKernel;
+
+/// Low-allocation variant for the trainer's hot loop: reuses `result`'s
+/// gradient buffers (resized only when the example is active; their
+/// contents are unspecified when `result.active` is false) and routes
+/// the distances and the fused gradient fill through `kernel`. Scalar
+/// and AVX2 kernels agree bitwise (embed/vector_ops.h), so the kernel
+/// choice only changes speed.
+void ComputeTripletLossInto(std::span<const float> seed,
+                            std::span<const float> positive,
+                            std::span<const float> negative, float margin,
+                            float epsilon, const DistanceKernel& kernel,
+                            TripletLossResult& result);
+
 }  // namespace kpef
 
 #endif  // KPEF_EMBED_TRIPLET_H_

@@ -96,9 +96,48 @@ void Sq8AsymL2x4Scalar(const float* const qts[4], const float* step,
   for (int k = 0; k < 4; ++k) out[k] = Sq8AsymL2Scalar(qts[k], step, codes, n);
 }
 
+// --- Trainer kernels: purely elementwise (no accumulator lanes), so the
+// scalar and AVX2 paths are bit-identical as long as neither contracts
+// mul+add into FMA (this TU targets baseline x86-64, which has no FMA;
+// the AVX2 TU is compiled with -ffp-contract=off).
+
+void Axpy2Scalar(float a, const float* x1, float b, const float* x2, float* y,
+                 size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x1[i] + b * x2[i];
+}
+
+void TripletGradScalar(const float* s, const float* p, const float* n_,
+                       float inv_dpos, float inv_dneg, float* gs, float* gp,
+                       float* gn, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float up = (s[i] - p[i]) * inv_dpos;
+    const float un = (s[i] - n_[i]) * inv_dneg;
+    gs[i] = up - un;
+    gp[i] = -up;
+    gn[i] = un;
+  }
+}
+
+void AdamUpdateScalar(float* params, const float* grads, float* m, float* v,
+                      float beta1, float beta2, float alpha, float eps,
+                      size_t n) {
+  const float omb1 = 1.0f - beta1;
+  const float omb2 = 1.0f - beta2;
+  for (size_t i = 0; i < n; ++i) {
+    const float g = grads[i];
+    const float mi = beta1 * m[i] + omb1 * g;
+    const float vi = beta2 * v[i] + omb2 * (g * g);
+    m[i] = mi;
+    v[i] = vi;
+    params[i] -= (alpha * mi) / (std::sqrt(vi) + eps);
+  }
+}
+
 constexpr DistanceKernel kScalarKernel = {
-    "scalar", DotScalar, SquaredL2Scalar, AxpyScalar, ScaleScalar,
-    Sq8AsymL2Scalar, Sq8AsymL2x4Scalar};
+    "scalar",        DotScalar,         SquaredL2Scalar,
+    AxpyScalar,      ScaleScalar,       Sq8AsymL2Scalar,
+    Sq8AsymL2x4Scalar, Axpy2Scalar,     TripletGradScalar,
+    AdamUpdateScalar};
 
 }  // namespace
 

@@ -83,6 +83,35 @@ struct DistanceKernel {
   /// short group pads with a duplicate pointer).
   void (*sq8_asym_l2x4)(const float* const qts[4], const float* step,
                         const uint8_t* codes, size_t n, float out[4]);
+  /// Fused two-term axpy: y += a * x1 + b * x2. Elementwise in index
+  /// order — y[i] + (a*x1[i] + b*x2[i]) with one rounding per arithmetic
+  /// op and no FMA contraction — so, having no accumulator lanes at all,
+  /// the scalar and AVX2 paths are bit-identical by construction. Used by
+  /// the encoder's normalization backprop (a*grad_out + b*output in one
+  /// pass).
+  void (*axpy2)(float a, const float* x1, float b, const float* x2, float* y,
+                size_t n);
+  /// Triplet-loss input gradients (embed/triplet.h). Given the three
+  /// encoded vectors and the *reciprocal* distances inv_dpos = 1/δ(s,p),
+  /// inv_dneg = 1/δ(s,n), overwrites
+  ///   gs[i] = (s[i]-p[i])*inv_dpos - (s[i]-n[i])*inv_dneg
+  ///   gp[i] = -(s[i]-p[i])*inv_dpos
+  ///   gn[i] =  (s[i]-n[i])*inv_dneg
+  /// Elementwise (sub, mul, sub/neg per element, fixed order, no FMA), so
+  /// scalar and AVX2 are bit-identical.
+  void (*triplet_grad)(const float* s, const float* p, const float* n_,
+                       float inv_dpos, float inv_dneg, float* gs, float* gp,
+                       float* gn, size_t n);
+  /// Fused Adam moment + parameter update (embed/adam.h), all float32:
+  ///   m[i] = b1*m[i] + (1-b1)*g      (two mults, one add)
+  ///   v[i] = b2*v[i] + (1-b2)*(g*g)
+  ///   p[i] -= (alpha*m[i]) / (sqrt(v[i]) + eps)
+  /// sqrt and div are IEEE correctly rounded on both paths and there are
+  /// no reductions, so scalar and AVX2 are bit-identical. `alpha` is the
+  /// bias-corrected step size, folded by the caller once per step.
+  void (*adam_update)(float* params, const float* grads, float* m, float* v,
+                      float beta1, float beta2, float alpha, float eps,
+                      size_t n);
 };
 
 /// The portable 8-lane-unrolled baseline. Always available.

@@ -55,7 +55,8 @@ void WarmPipelineMetrics() {
     registry.GetCounter(name);
   }
   for (const char* name :
-       {kTrainerLastEpochLoss, kTrainerTriplesPerSec, kProcessRssBytes,
+       {kTrainerEpochLoss, kTrainerTriplesPerSec, kTrainerActiveTriples,
+        kTrainerWorkers, kProcessRssBytes,
         kProcessOpenFds, kProcessUptimeSeconds, kPoolQueueDepth,
         kPoolActiveWorkers, kPoolThreads, kServeGeneration, kServeShards,
         kServeGenerationQueries, kServeGenerationLatencyMsMean,
@@ -132,6 +133,14 @@ const char* PipelineMetricHelp(const std::string& name) {
            "Candidates exact-reranked in fp32 after the SQ8 traversal."},
           {kPgindexBatchInterleavedHops,
            "Batch hops executed while >= 2 lockstep queries were live."},
+          {kTrainerEpochLoss,
+           "Mean triplet loss of the most recent training epoch."},
+          {kTrainerTriplesPerSec,
+           "Training throughput of the most recent Train() call."},
+          {kTrainerActiveTriples,
+           "Fraction of margin-active triples in the final epoch."},
+          {kTrainerWorkers,
+           "Worker threads the most recent Train() call used."},
       };
   auto it = help->find(name);
   return it == help->end() ? nullptr : it->second;

@@ -45,9 +45,14 @@ inline constexpr char kSamplingSeedsParallel[] = "sampling.seeds_parallel";
 // --- Triplet fine-tuning (§III-C).
 inline constexpr char kTrainerEpochsTotal[] = "trainer.epochs_total";
 /// Gauge: mean triplet loss of the most recent epoch.
-inline constexpr char kTrainerLastEpochLoss[] = "trainer.last_epoch_loss";
+inline constexpr char kTrainerEpochLoss[] = "trainer.epoch_loss";
 /// Gauge: training throughput of the most recent Train() call.
 inline constexpr char kTrainerTriplesPerSec[] = "trainer.triples_per_sec";
+/// Gauge: fraction of margin-active triples in the final epoch of the
+/// most recent Train() call.
+inline constexpr char kTrainerActiveTriples[] = "trainer.active_triples";
+/// Gauge: worker threads the most recent Train() call used.
+inline constexpr char kTrainerWorkers[] = "trainer.workers";
 
 // --- PG-Index build (Algorithm 2, §IV-A).
 inline constexpr char kPgindexBuildsTotal[] = "pgindex.builds_total";

@@ -286,7 +286,7 @@ TEST(PipelineMetricsTest, WarmRegistersCanonicalSchema) {
   EXPECT_TRUE(snapshot.counters.count(obs::kTaEntriesAccessed));
   EXPECT_TRUE(snapshot.counters.count(obs::kTaEarlyTerminationTotal));
   EXPECT_TRUE(snapshot.histograms.count(obs::kPgindexSearchHops));
-  EXPECT_TRUE(snapshot.gauges.count(obs::kTrainerLastEpochLoss));
+  EXPECT_TRUE(snapshot.gauges.count(obs::kTrainerEpochLoss));
 }
 
 TEST(TracerTest, SpansNestPerThread) {
