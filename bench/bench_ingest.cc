@@ -1,0 +1,292 @@
+// PR-10 acceptance bench: streaming ingestion under concurrent queries.
+//
+// Writes BENCH_pr10.json into the current working directory. Run from
+// the repo root so the artifact lands next to the sources:
+//
+//   ./build/bench/bench_ingest
+//
+// Splits a generated dataset into a base prefix and a held-out tail
+// (data/drip.h), serves the base through an EngineGroup, then replays
+// the tail as WAL-backed ingest batches through an IngestCoordinator
+// while closed-loop query threads hammer the group. Reports sustained
+// ingest throughput (papers/sec, batches/sec, publish + merge counts)
+// alongside the concurrent query QPS, plus an idle-query baseline taken
+// before ingest starts.
+//
+// On a single-core host the query and ingest threads time-share, so the
+// concurrent QPS necessarily dips below the idle baseline; the JSON
+// records host_cores so that case is self-describing.
+//
+// Flags (defaults are the acceptance configuration):
+//   --papers N     generated papers                 (default 900)
+//   --holdout N    papers held out for streaming    (default 240)
+//   --batch N      papers per ingest batch          (default 16)
+//   --threads N    closed-loop query threads        (default 2)
+//   --json PATH    output path                      (default BENCH_pr10.json)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/engine_group.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "data/drip.h"
+#include "data/queries.h"
+#include "embed/pretrain.h"
+#include "ingest/coordinator.h"
+#include "ingest/ingest_batch.h"
+
+namespace {
+
+using namespace kpef;
+namespace fs = std::filesystem;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+size_t FlagOr(int argc, char** argv, const char* name, size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+std::string FlagOr(int argc, char** argv, const char* name,
+                   const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+EngineConfig BenchConfig() {
+  EngineConfig config;
+  config.k = 3;
+  config.seed_fraction = 0.2;
+  config.encoder.dim = 32;
+  config.trainer.epochs = 2;
+  config.top_m = 60;
+  config.pg_index.knn_k = 8;
+  config.use_pg_index = true;
+  return config;
+}
+
+IngestBatch ToIngestBatch(const std::vector<DripPaper>& papers) {
+  IngestBatch batch;
+  batch.papers.reserve(papers.size());
+  for (const DripPaper& p : papers) {
+    batch.papers.push_back(
+        IngestPaper{p.text, p.authors, p.venue, p.topics, p.cites});
+  }
+  return batch;
+}
+
+struct QueryLoad {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> empty_results{0};
+  std::vector<std::thread> threads;
+
+  void Start(EngineGroup* group, const std::vector<std::string>& texts,
+             size_t num_threads) {
+    stop.store(false);
+    queries.store(0);
+    empty_results.store(0);
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([this, group, &texts, t] {
+        size_t at = t;  // stagger the rotation per thread
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::vector<std::string> slice;
+          for (size_t i = 0; i < 4; ++i) {
+            slice.push_back(texts[(at + i) % texts.size()]);
+          }
+          at += 4;
+          auto results = group->FindExpertsBatch(slice, 10);
+          queries.fetch_add(slice.size(), std::memory_order_relaxed);
+          for (const auto& r : results) {
+            if (r.empty()) empty_results.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+
+  uint64_t StopAndCount() {
+    stop.store(true);
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+    return queries.load();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kError);
+  const size_t kPapers = FlagOr(argc, argv, "--papers", size_t{900});
+  const size_t kHoldout = FlagOr(argc, argv, "--holdout", size_t{240});
+  const size_t kBatch = FlagOr(argc, argv, "--batch", size_t{16});
+  const size_t kThreads = FlagOr(argc, argv, "--threads", size_t{2});
+  const std::string json_path =
+      FlagOr(argc, argv, "--json", std::string("BENCH_pr10.json"));
+  const size_t host_cores = std::max(1u, std::thread::hardware_concurrency());
+
+  DatasetConfig config = TinyProfile();
+  config.name = "bench-ingest";
+  config.num_papers = kPapers;
+  config.num_authors = std::max<size_t>(64, kPapers * 2 / 3);
+  std::printf("dataset %zu papers (%zu held out), batch %zu, %zu query "
+              "thread%s, host %zu core%s\n",
+              kPapers, kHoldout, kBatch, kThreads, kThreads == 1 ? "" : "s",
+              host_cores, host_cores == 1 ? "" : "s");
+
+  const Dataset full = GenerateDataset(config);
+  auto split = MakeDripSplit(full, kHoldout);
+  KPEF_CHECK(split.ok()) << split.status().ToString();
+  const Dataset& base = split->base;
+  const Corpus corpus = BuildPaperCorpus(base);
+  const QuerySet queries = GenerateQueries(base, 8, 23);
+  std::vector<std::string> texts;
+  for (const Query& q : queries.queries) texts.push_back(q.text);
+
+  const EngineConfig engine_config = BenchConfig();
+  Matrix tokens = [&] {
+    PretrainConfig pc;
+    pc.dim = engine_config.encoder.dim;
+    pc.epochs = 4;
+    return PretrainTokenEmbeddings(corpus, pc).token_embeddings;
+  }();
+  auto built = ExpertFindingEngine::Build(&base, &corpus, engine_config,
+                                          &tokens);
+  KPEF_CHECK(built.ok()) << built.status().ToString();
+
+  const fs::path root = fs::temp_directory_path() /
+                        ("kpef_bench_ingest_" + std::to_string(::getpid()));
+  fs::create_directories(root / "artifacts");
+  KPEF_CHECK((*built)->SaveArtifacts((root / "artifacts").string()).ok());
+
+  EngineGroup::Options group_options;
+  group_options.engine = engine_config;
+  auto group = EngineGroup::Load(&base, &corpus, group_options,
+                                 (root / "artifacts").string());
+  KPEF_CHECK(group.ok()) << group.status().ToString();
+
+  IngestOptions ingest_options;
+  ingest_options.wal_path = (root / "ingest.wal").string();
+  auto coordinator = IngestCoordinator::Create(
+      group->get(), engine_config, ingest_options);
+  KPEF_CHECK(coordinator.ok()) << coordinator.status().ToString();
+
+  // --- Idle query baseline ---------------------------------------------
+  QueryLoad idle;
+  idle.Start(group->get(), texts, kThreads);
+  const Clock::time_point idle_start = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  const uint64_t idle_queries = idle.StopAndCount();
+  const double idle_seconds = SecondsSince(idle_start);
+  const double idle_qps = static_cast<double>(idle_queries) / idle_seconds;
+  std::printf("idle     %7.0f queries/s (%llu queries, %.2fs)\n", idle_qps,
+              static_cast<unsigned long long>(idle_queries), idle_seconds);
+
+  // --- Streaming ingest under concurrent query load --------------------
+  const std::vector<std::vector<DripPaper>> batches =
+      DripBatches(std::move(split->tail), kBatch);
+  QueryLoad load;
+  load.Start(group->get(), texts, kThreads);
+  const Clock::time_point ingest_start = Clock::now();
+  size_t applied = 0;
+  size_t publishes = 0;
+  double max_apply_seconds = 0.0;
+  for (const std::vector<DripPaper>& drip : batches) {
+    const Clock::time_point batch_start = Clock::now();
+    auto result = (*coordinator)->Apply(ToIngestBatch(drip));
+    KPEF_CHECK(result.ok()) << result.status().ToString();
+    max_apply_seconds = std::max(max_apply_seconds, SecondsSince(batch_start));
+    applied += result->applied;
+    ++publishes;
+  }
+  const double ingest_seconds = SecondsSince(ingest_start);
+  const uint64_t concurrent_queries = load.StopAndCount();
+  const double concurrent_qps =
+      static_cast<double>(concurrent_queries) / ingest_seconds;
+  const IngestStats stats = (*coordinator)->Stats();
+
+  KPEF_CHECK(applied == kHoldout)
+      << "applied " << applied << " of " << kHoldout;
+  KPEF_CHECK(load.empty_results.load() == 0)
+      << load.empty_results.load() << " empty query results during ingest";
+  const auto snapshot = group->get()->Snapshot();
+  KPEF_CHECK(snapshot->owned_dataset != nullptr);
+  KPEF_CHECK(snapshot->owned_dataset->Papers().size() == full.Papers().size());
+
+  const double papers_per_sec = static_cast<double>(applied) / ingest_seconds;
+  const double batches_per_sec =
+      static_cast<double>(batches.size()) / ingest_seconds;
+  std::printf("ingest   %7.1f papers/s  %5.1f batches/s  (%zu papers, %zu "
+              "batches, %.2fs, max batch %.0f ms)\n",
+              papers_per_sec, batches_per_sec, applied, batches.size(),
+              ingest_seconds, max_apply_seconds * 1e3);
+  std::printf("         %llu merges, %llu WAL bytes, %llu pending delta "
+              "edges after drain\n",
+              static_cast<unsigned long long>(stats.merges),
+              static_cast<unsigned long long>(stats.wal_bytes),
+              static_cast<unsigned long long>(stats.pending_delta_edges));
+  std::printf("queries  %7.0f queries/s concurrent with ingest (%llu "
+              "queries, 0 empty)\n",
+              concurrent_qps,
+              static_cast<unsigned long long>(concurrent_queries));
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  KPEF_CHECK(f != nullptr) << "cannot write " << json_path;
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"pr10_ingest\",\n"
+      "  \"host_cores\": %zu,\n"
+      "  \"dataset\": {\"papers\": %zu, \"holdout\": %zu, \"batch\": %zu},\n"
+      "  \"query_threads\": %zu,\n"
+      "  \"idle_query_qps\": %.1f,\n"
+      "  \"ingest\": {\n"
+      "    \"papers_per_sec\": %.1f,\n"
+      "    \"batches_per_sec\": %.2f,\n"
+      "    \"seconds\": %.3f,\n"
+      "    \"max_batch_ms\": %.1f,\n"
+      "    \"publishes\": %zu,\n"
+      "    \"merges\": %llu,\n"
+      "    \"wal_bytes\": %llu,\n"
+      "    \"pending_delta_edges_after_drain\": %llu\n"
+      "  },\n"
+      "  \"concurrent_query_qps\": %.1f,\n"
+      "  \"query_errors\": %llu,\n"
+      "  \"note\": \"%s\"\n"
+      "}\n",
+      host_cores, kPapers, kHoldout, kBatch, kThreads, idle_qps,
+      papers_per_sec, batches_per_sec, ingest_seconds, max_apply_seconds * 1e3,
+      publishes, static_cast<unsigned long long>(stats.merges),
+      static_cast<unsigned long long>(stats.wal_bytes),
+      static_cast<unsigned long long>(stats.pending_delta_edges),
+      concurrent_qps,
+      static_cast<unsigned long long>(load.empty_results.load()),
+      host_cores == 1
+          ? "single-core host: query and ingest threads time-share, so the "
+            "concurrent QPS understates multi-core behavior"
+          : "");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  fs::remove_all(root);
+  return 0;
+}

@@ -4,6 +4,7 @@
 //   kpef_cli generate --out graph.kg [--profile aminer|dblp|acm|tiny]
 //                     [--scale 0.5]
 //   kpef_cli stats    --graph graph.kg
+//   kpef_cli texts    --graph graph.kg [--count 1] [--skip 0]
 //   kpef_cli build    --graph graph.kg --model-dir dir [--k 4]
 //                     [--train-threads N] [--train-deterministic]
 //   kpef_cli query    --graph graph.kg --model-dir dir --text "..."
@@ -112,6 +113,25 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdTexts(const std::map<std::string, std::string>& flags) {
+  // Print paper texts from a graph, one per line. Scripted clients (the
+  // CI ingest smoke) use this to craft in-vocabulary ingest payloads:
+  // the serving encoder's vocabulary is frozen at build time, so a
+  // query can only retrieve an ingested paper whose tokens overlap the
+  // offline corpus.
+  auto dataset = LoadDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const size_t count = static_cast<size_t>(
+      std::atoi(FlagOr(flags, "count", "1").c_str()));
+  const size_t skip = static_cast<size_t>(
+      std::atoi(FlagOr(flags, "skip", "0").c_str()));
+  const auto& papers = dataset->Papers();
+  for (size_t i = skip; i < papers.size() && i < skip + count; ++i) {
+    std::printf("%s\n", dataset->graph.Label(papers[i]).c_str());
+  }
+  return 0;
+}
+
 int CmdBuild(const std::map<std::string, std::string>& flags) {
   auto dataset = LoadDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
@@ -196,7 +216,7 @@ int main(int argc, char** argv) {
   kpef::SetLogLevel(kpef::LogLevel::kWarning);
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: kpef_cli <generate|stats|build|query> [--flag "
+                 "usage: kpef_cli <generate|stats|texts|build|query> [--flag "
                  "value]...\n");
     return 1;
   }
@@ -217,6 +237,8 @@ int main(int argc, char** argv) {
     rc = CmdGenerate(flags);
   } else if (command == "stats") {
     rc = CmdStats(flags);
+  } else if (command == "texts") {
+    rc = CmdTexts(flags);
   } else if (command == "build") {
     rc = CmdBuild(flags);
   } else if (command == "query") {

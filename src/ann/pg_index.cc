@@ -65,6 +65,11 @@ struct PGIndex::SearchArena {
   std::vector<ScoreRun> runs;               // pass A -> pass B worklist
   std::vector<uint32_t> run_slots;          // flat slot lists for runs
   std::vector<Neighbor> rerank;
+  // Base+overlay concatenation scratch (used only while inserts pend;
+  // two buffers because the visited-warm lookahead and pass A's walk of
+  // an earlier group interleave within one round).
+  std::vector<int32_t> merged;
+  std::vector<int32_t> merged_warm;
 
   void Prepare(size_t slots) {
     if (visited.size() < slots) {
@@ -445,18 +450,150 @@ void PGIndex::FinalizeLayout(const Matrix& ext_points,
       codes_ = Sq8Codes::Encode(points_);
     }
   }
+  extra_.clear();
+  extra_edges_ = 0;
+}
+
+std::span<const int32_t> PGIndex::MergedNeighbors(
+    int32_t internal, std::vector<int32_t>& scratch) const {
+  const auto base = InternalNeighbors(internal);
+  const auto extra = ExtraNeighbors(internal);
+  if (extra.empty()) return base;
+  scratch.assign(base.begin(), base.end());
+  scratch.insert(scratch.end(), extra.begin(), extra.end());
+  return {scratch.data(), scratch.size()};
 }
 
 std::vector<int32_t> PGIndex::NeighborsOf(int32_t node) const {
-  const auto nbrs = InternalNeighbors(to_internal_[node]);
+  const int32_t internal = to_internal_[node];
   std::vector<int32_t> out;
-  out.reserve(nbrs.size());
-  for (int32_t u : nbrs) out.push_back(to_external_[u]);
+  out.reserve(InternalNeighbors(internal).size() +
+              ExtraNeighbors(internal).size());
+  for (int32_t u : InternalNeighbors(internal)) out.push_back(to_external_[u]);
+  for (int32_t u : ExtraNeighbors(internal)) out.push_back(to_external_[u]);
   return out;
 }
 
 void PGIndex::set_rerank_factor(double factor) {
   rerank_factor_ = std::max(1.0, factor);
+}
+
+Status PGIndex::InsertBatch(const Matrix& new_points,
+                            const InsertParams& params, InsertStats* stats) {
+  if (new_points.rows() == 0) return Status::OK();
+  if (points_.rows() == 0) {
+    return Status::FailedPrecondition(
+        "PGIndex::InsertBatch requires a non-empty base index");
+  }
+  if (new_points.cols() != points_.cols()) {
+    return Status::InvalidArgument(
+        "inserted point dimensionality does not match the index");
+  }
+  const size_t max_degree = std::max<size_t>(1, params.max_degree);
+  const DistanceKernel& kernel = ActiveKernel();
+  const size_t width = points_.stride();
+  auto squared = [&](int32_t a, int32_t b) {
+    return kernel.squared_l2(points_.PaddedRow(a).data(),
+                             points_.PaddedRow(b).data(), width);
+  };
+  InsertStats local;
+  std::vector<std::pair<float, int32_t>> cands;  // (squared dist, internal)
+  std::vector<int32_t> kept;
+  for (size_t r = 0; r < new_points.rows(); ++r) {
+    // Locate the neighborhood with the regular greedy search (rerank
+    // makes the candidate distances exact fp32 on the quantized path).
+    SearchParams sp;
+    sp.m = max_degree;
+    sp.ef = std::max(params.ef, max_degree + 8);
+    sp.rerank_factor =
+        quantized() ? std::max(rerank_factor_,
+                               static_cast<double>(sp.ef) /
+                                   static_cast<double>(std::max<size_t>(1, sp.m)))
+                    : 0.0;
+    SearchStats search_stats;
+    const std::vector<Neighbor> found =
+        Search(new_points.Row(r), sp, &search_stats);
+    cands.clear();
+    cands.reserve(found.size());
+    for (const Neighbor& nb : found) {
+      // Search returns true (rooted) L2 over external ids.
+      cands.emplace_back(nb.distance * nb.distance, to_internal_[nb.id]);
+    }
+    std::sort(cands.begin(), cands.end());
+    // Occlusion prune (Algorithm 2 lines 9-12): walking candidates
+    // nearest-first, drop y when some kept x satisfies
+    // d(x, y) <= d(y, p) — x "covers" the direction of y.
+    kept.clear();
+    for (const auto& [dist_yp, y] : cands) {
+      if (kept.size() >= max_degree) break;
+      bool occluded = false;
+      for (const int32_t x : kept) {
+        if (squared(x, y) <= dist_yp) {
+          occluded = true;
+          break;
+        }
+      }
+      if (!occluded) kept.push_back(y);
+    }
+    // Append the point: new external id == new internal id (both are the
+    // next row number), so the relabeling maps stay consistent without
+    // touching existing entries.
+    const int32_t fresh = static_cast<int32_t>(points_.rows());
+    points_.AppendRow(new_points.Row(r));
+    if (quantized()) codes_.AppendRow(new_points.Row(r));
+    to_external_.push_back(fresh);
+    to_internal_.push_back(fresh);
+    if (extra_.size() < points_.rows()) extra_.resize(points_.rows());
+    const int32_t entry = to_internal_[navigating_node_];
+    if (kept.empty()) kept.push_back(entry);
+    extra_[fresh].assign(kept.begin(), kept.end());
+    local.edges_added += kept.size();
+    // Reverse edges keep the new node reachable from the base graph;
+    // capacity-capped like the build's reverse pass, with at least one
+    // in-edge forced so the greedy search can always arrive.
+    size_t reverse_added = 0;
+    for (const int32_t q : kept) {
+      const size_t degree =
+          InternalNeighbors(q).size() + extra_[q].size();
+      if (degree >= max_degree) continue;
+      extra_[q].push_back(fresh);
+      ++reverse_added;
+    }
+    if (reverse_added == 0) {
+      extra_[kept.front()].push_back(fresh);
+      ++reverse_added;
+    }
+    local.edges_added += reverse_added;
+    ++local.inserted;
+  }
+  extra_edges_ += local.edges_added;
+  if (stats) *stats = local;
+  return Status::OK();
+}
+
+void PGIndex::CompactDelta() {
+  if (extra_edges_ == 0 && extra_.empty()) return;
+  const size_t n = points_.rows();
+  // Reassemble the external-order view (the layout Save writes), then
+  // re-run the exact Build/Load finalization over the merged graph: BFS
+  // relabel, CSR flatten, SQ8 re-encode with scales covering the full
+  // point set.
+  Matrix ext_points(n, points_.cols());
+  for (size_t v = 0; v < n; ++v) {
+    const auto src = points_.Row(to_internal_[v]);
+    auto dst = ext_points.Row(v);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  std::vector<std::vector<int32_t>> ext_adjacency(n);
+  std::vector<int32_t> scratch;
+  for (size_t v = 0; v < n; ++v) {
+    const auto merged = MergedNeighbors(to_internal_[v], scratch);
+    auto& out = ext_adjacency[v];
+    out.reserve(merged.size());
+    for (int32_t u : merged) out.push_back(to_external_[u]);
+  }
+  FinalizeLayout(ext_points, std::move(ext_adjacency), navigating_node_,
+                 quantized(), /*ext_codes=*/nullptr);
 }
 
 uint64_t PGIndex::SearchGroup(GroupSlot* slots, size_t count,
@@ -574,17 +711,18 @@ uint64_t PGIndex::SearchGroup(GroupSlot* slots, size_t count,
       size_t j = i;
       while (j < expand.size() && expand[j].first == expand[i].first) ++j;
       groups.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
-      PrefetchBytes(adj_.data() + adj_offsets_[expand[i].first],
-                    static_cast<size_t>(adj_offsets_[expand[i].first + 1] -
-                                        adj_offsets_[expand[i].first]) *
-                        sizeof(int32_t));
+      const auto base_nbrs = InternalNeighbors(expand[i].first);
+      if (!base_nbrs.empty()) {
+        PrefetchBytes(base_nbrs.data(), base_nbrs.size() * sizeof(int32_t));
+      }
       i = j;
     }
     // Warm a group's visited-bitmap words a couple of groups ahead of
     // pass A's walk (the row prefetches are issued by pass A itself).
     auto warm_visited = [&](size_t g) {
       const auto [begin, end] = groups[g];
-      const auto nbrs = InternalNeighbors(expand[begin].first);
+      const auto nbrs =
+          MergedNeighbors(expand[begin].first, arena.merged_warm);
       for (const int32_t u : nbrs) {
         for (uint32_t w = begin; w < end; ++w) {
           arena.visited[expand[w].second].Prefetch(u);
@@ -613,7 +751,7 @@ uint64_t PGIndex::SearchGroup(GroupSlot* slots, size_t count,
     for (size_t g = 0; g < groups.size(); ++g) {
       if (g + 2 < groups.size()) warm_visited(g + 2);
       const auto [begin, end] = groups[g];
-      const auto nbrs = InternalNeighbors(expand[begin].first);
+      const auto nbrs = MergedNeighbors(expand[begin].first, arena.merged);
       for (const int32_t u : nbrs) {
         const uint32_t first = static_cast<uint32_t>(run_slots.size());
         for (uint32_t w = begin; w < end; ++w) {
@@ -791,8 +929,10 @@ std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
   // reorders work, never answers.
   std::vector<uint32_t> order(batch);
   for (size_t q = 0; q < batch; ++q) order[q] = static_cast<uint32_t>(q);
+  std::vector<int32_t> highway_scratch;
   if (batch > kGroup && points_.rows() > 0) {
-    const auto highways = InternalNeighbors(to_internal_[navigating_node_]);
+    const auto highways =
+        MergedNeighbors(to_internal_[navigating_node_], highway_scratch);
     if (highways.size() > 1) {
       // The key scan is per-batch plumbing, deliberately left out of
       // per-query SearchStats: those stay byte-identical to the serial
@@ -886,11 +1026,15 @@ std::vector<std::vector<Neighbor>> PGIndex::SearchBatch(
 }
 
 size_t PGIndex::MemoryUsageBytes() const {
+  size_t extra_bytes = 0;
+  for (const auto& list : extra_) {
+    extra_bytes += list.capacity() * sizeof(int32_t);
+  }
   return points_.PaddedSize() * sizeof(float) +
          adj_.size() * sizeof(int32_t) +
          adj_offsets_.size() * sizeof(int64_t) +
          (to_external_.size() + to_internal_.size()) * sizeof(int32_t) +
-         codes_.MemoryUsageBytes();
+         extra_bytes + codes_.MemoryUsageBytes();
 }
 
 namespace {
@@ -930,8 +1074,10 @@ Status PGIndex::Save(std::ostream& out) const {
               static_cast<std::streamsize>(row.size() * sizeof(float)));
   }
   std::vector<int32_t> nbrs;
+  std::vector<int32_t> merged_scratch;
   for (size_t v = 0; v < n; ++v) {
-    const auto internal = InternalNeighbors(to_internal_[v]);
+    const auto internal =
+        MergedNeighbors(to_internal_[v], merged_scratch);
     nbrs.clear();
     nbrs.reserve(internal.size());
     for (int32_t u : internal) nbrs.push_back(to_external_[u]);

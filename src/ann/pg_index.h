@@ -183,11 +183,47 @@ class PGIndex {
   static StatusOr<PGIndex> Load(const std::string& path);
   static StatusOr<PGIndex> Load(std::istream& in);
 
-  /// Total directed edges in the refined graph.
-  size_t NumEdges() const { return adj_.size(); }
+  /// Total directed edges in the refined graph (base CSR + overlay).
+  size_t NumEdges() const { return adj_.size() + extra_edges_; }
   /// Approximate heap footprint: embeddings + adjacency + codes
   /// (Table VI).
   size_t MemoryUsageBytes() const;
+
+  /// Per-insert knobs of the streaming append path.
+  struct InsertParams {
+    /// Degree cap of a new node's pruned out-list and of overlay growth
+    /// on existing nodes (mirror of PGIndexConfig::max_degree).
+    size_t max_degree = 48;
+    /// Candidate-pool size of the locating search per new point.
+    size_t ef = 64;
+  };
+  struct InsertStats {
+    size_t inserted = 0;
+    size_t edges_added = 0;
+  };
+
+  /// Appends every row of `new_points` to the index (external id == its
+  /// new row number, preserving row identity for serialized prefixes).
+  /// Each point is located by a greedy search from the navigating node,
+  /// its candidate list occlusion-pruned with Algorithm 2's rule, and
+  /// the surviving edges placed in a delta overlay on top of the frozen
+  /// base CSR (reverse edges keep the new node reachable). Quantized
+  /// indexes encode the new rows against the frozen SQ8 scales — the
+  /// exact fp32 rerank absorbs any extra quantization error. NOT
+  /// thread-safe against concurrent searches; callers publish a copy
+  /// (RCU) after mutating a private staging index.
+  Status InsertBatch(const Matrix& new_points, const InsertParams& params,
+                     InsertStats* stats = nullptr);
+
+  /// Directed overlay edges not yet folded into the base CSR.
+  size_t PendingDeltaEdges() const { return extra_edges_; }
+
+  /// Folds the overlay into a fresh base layout: re-runs the BFS
+  /// relabeling + CSR flatten (and re-encodes SQ8 scales over the full
+  /// point set) exactly as Build/Load finalization would on the merged
+  /// graph. After this PendingDeltaEdges() == 0 and the hot path walks
+  /// pure CSR again.
+  void CompactDelta();
 
  private:
   PGIndex() = default;
@@ -214,11 +250,25 @@ class PGIndex {
   uint64_t SearchGroup(GroupSlot* slots, size_t count,
                        const SearchParams& params, SearchArena& arena) const;
 
+  /// Base-CSR out-neighbors; empty span for nodes appended after the
+  /// last finalization (their edges live only in the overlay).
   std::span<const int32_t> InternalNeighbors(int32_t internal) const {
+    if (static_cast<size_t>(internal) + 1 >= adj_offsets_.size()) return {};
     return {adj_.data() + adj_offsets_[internal],
             static_cast<size_t>(adj_offsets_[internal + 1] -
                                 adj_offsets_[internal])};
   }
+
+  /// Overlay out-neighbors of `internal` (empty when no inserts pend).
+  std::span<const int32_t> ExtraNeighbors(int32_t internal) const {
+    if (static_cast<size_t>(internal) >= extra_.size()) return {};
+    return {extra_[internal].data(), extra_[internal].size()};
+  }
+
+  /// Base + overlay concatenated into `scratch` when the overlay is
+  /// non-empty for this node; otherwise the base span, copy-free.
+  std::span<const int32_t> MergedNeighbors(int32_t internal,
+                                           std::vector<int32_t>& scratch) const;
 
   Matrix points_;                     // internal (BFS) row order
   std::vector<int64_t> adj_offsets_;  // CSR offsets, internal ids
@@ -226,6 +276,10 @@ class PGIndex {
   std::vector<int32_t> to_external_;  // internal -> external
   std::vector<int32_t> to_internal_;  // external -> internal
   Sq8Codes codes_;                    // empty when not quantized
+  /// Streaming-insert overlay: per internal id, out-edges appended since
+  /// the last finalization (sized to NumPoints() only while non-empty).
+  std::vector<std::vector<int32_t>> extra_;
+  size_t extra_edges_ = 0;
   double rerank_factor_ = 2.0;
   int32_t navigating_node_ = -1;  // external id
 };

@@ -103,6 +103,19 @@ Sq8Codes Sq8Codes::Permuted(const Sq8Codes& src,
   return out;
 }
 
+void Sq8Codes::AppendRow(std::span<const float> values) {
+  KPEF_CHECK(values.size() == cols_);
+  codes_.resize((rows_ + 1) * stride_, 0);
+  uint8_t* codes = codes_.data() + rows_ * stride_;
+  for (size_t k = 0; k < cols_; ++k) {
+    if (steps_[k] == 0.0f) continue;  // constant dim -> code 0
+    const float scaled = (values[k] - mins_[k]) / steps_[k];
+    const float rounded = std::nearbyintf(scaled);
+    codes[k] = static_cast<uint8_t>(std::clamp(rounded, 0.0f, 255.0f));
+  }
+  ++rows_;
+}
+
 void Sq8Codes::PrepareQuery(std::span<const float> padded_query,
                             AlignedVector& qt) const {
   KPEF_CHECK(padded_query.size() >= cols_);

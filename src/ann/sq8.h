@@ -70,6 +70,13 @@ class Sq8Codes {
     return {steps_.data(), steps_.size()};
   }
 
+  /// Encodes and appends one row (values.size() must equal cols) against
+  /// the EXISTING per-dimension mins/steps — the scales are frozen at
+  /// Encode() time. Values outside the original [min, max] range clamp to
+  /// code 0/255; the traversal stays admissible because the exact fp32
+  /// rerank corrects any extra quantization error on appended points.
+  void AppendRow(std::span<const float> values);
+
   /// Fills `qt` (resized to stride()) with query[d] - min[d]; tail zero.
   /// `padded_query` must hold at least cols() values.
   void PrepareQuery(std::span<const float> padded_query,

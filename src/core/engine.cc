@@ -175,6 +175,42 @@ ExpertFindingEngine::LoadFromArtifacts(const Dataset* dataset,
   return engine;
 }
 
+StatusOr<std::unique_ptr<ExpertFindingEngine>> ExpertFindingEngine::FromParts(
+    const Dataset* dataset, const Corpus* corpus, const EngineConfig& config,
+    DocumentEncoder encoder, Matrix embeddings, std::unique_ptr<PGIndex> index,
+    std::string artifact_dir) {
+  auto engine = std::unique_ptr<ExpertFindingEngine>(
+      new ExpertFindingEngine(dataset, corpus, config));
+  if (encoder.vocab_size() != corpus->vocabulary().size()) {
+    return Status::FailedPrecondition(
+        "encoder vocabulary does not match the corpus");
+  }
+  if (embeddings.rows() != corpus->NumDocuments()) {
+    return Status::FailedPrecondition(
+        "embedding count does not match the corpus");
+  }
+  if (encoder.dim() != embeddings.cols()) {
+    return Status::FailedPrecondition(
+        "encoder dimension does not match the embeddings");
+  }
+  if (index != nullptr) {
+    if (index->NumPoints() != embeddings.rows()) {
+      return Status::FailedPrecondition(
+          "index size does not match the embeddings");
+    }
+    if (index->points().cols() != embeddings.cols()) {
+      return Status::FailedPrecondition(
+          "index dimension does not match the embeddings");
+    }
+    index->set_rerank_factor(config.pg_index.rerank_factor);
+  }
+  engine->encoder_ = std::make_unique<DocumentEncoder>(std::move(encoder));
+  engine->embeddings_ = std::move(embeddings);
+  engine->index_ = std::move(index);
+  engine->artifact_dir_ = std::move(artifact_dir);
+  return engine;
+}
+
 EngineInfo ExpertFindingEngine::Info() const {
   EngineInfo info;
   info.display_name = config_.display_name;

@@ -114,6 +114,17 @@ struct EngineInfo {
   std::string artifact_dir;
   /// Queries answered by the serving generation since it was published.
   uint64_t generation_queries = 0;
+
+  // --- Streaming-ingest state (IngestCoordinator; zero when the process
+  // serves a static snapshot).
+  /// Ingest records applied since startup (WAL replay + live batches).
+  uint64_t ingest_records = 0;
+  /// Byte offset of the last durable WAL record (replay position).
+  uint64_t ingest_wal_bytes = 0;
+  /// Graph + index delta edges not yet merged into the base CSRs.
+  uint64_t ingest_pending_delta_edges = 0;
+  /// Generation id published by the last delta merge (0 = never merged).
+  uint64_t ingest_last_merge_generation = 0;
 };
 
 /// Per-query online statistics. In the batch path both timing fields are
@@ -201,6 +212,18 @@ class ExpertFindingEngine : public RetrievalModel {
   static StatusOr<std::unique_ptr<ExpertFindingEngine>> LoadFromArtifacts(
       const Dataset* dataset, const Corpus* corpus, const EngineConfig& config,
       const std::string& dir);
+
+  /// Assembles a serving engine directly from in-memory parts — the
+  /// streaming-ingest path, where the coordinator extends a loaded
+  /// encoder/embedding/index set with appended rows and publishes the
+  /// result as a new generation without touching disk. Cross-checks
+  /// mirror LoadFromArtifacts: encoder vocab == corpus vocab, embedding
+  /// rows == corpus documents, index (when present) matching the
+  /// embedding shape. The dataset and corpus must outlive the engine.
+  static StatusOr<std::unique_ptr<ExpertFindingEngine>> FromParts(
+      const Dataset* dataset, const Corpus* corpus, const EngineConfig& config,
+      DocumentEncoder encoder, Matrix embeddings,
+      std::unique_ptr<PGIndex> index, std::string artifact_dir = "");
 
   std::string name() const override { return config_.display_name; }
 

@@ -177,6 +177,22 @@ std::shared_ptr<const EngineGroup::Generation> EngineGroup::Snapshot() const {
   return current_;
 }
 
+StatusOr<uint64_t> EngineGroup::PublishExternal(
+    std::shared_ptr<Generation> generation) {
+  if (generation == nullptr || generation->engine == nullptr) {
+    return Status::InvalidArgument("external generation must carry an engine");
+  }
+  if (options_.num_shards > 1) {
+    return Status::FailedPrecondition(
+        "streaming ingest requires an unsharded group");
+  }
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  const uint64_t id = next_generation_.fetch_add(1);
+  generation->id = id;
+  Publish(std::shared_ptr<const Generation>(std::move(generation)));
+  return id;
+}
+
 Status EngineGroup::Reload(const std::string& dir) {
   std::lock_guard<std::mutex> reload_lock(reload_mutex_);
   std::string target = dir;
@@ -237,6 +253,10 @@ EngineInfo EngineGroup::Info() const {
     info.quantized_index =
         info.has_index && gen->shards.front().index->quantized();
   }
+  info.ingest_records = gen->ingest_records;
+  info.ingest_wal_bytes = gen->ingest_wal_bytes;
+  info.ingest_pending_delta_edges = gen->ingest_pending_delta_edges;
+  info.ingest_last_merge_generation = gen->ingest_last_merge_generation;
   return info;
 }
 

@@ -61,6 +61,13 @@ class EngineGroup {
     uint64_t id = 0;
     std::string artifact_dir;
     double load_seconds = 0.0;
+    /// Streaming-ingest generations own deep copies of the grown
+    /// dataset/corpus (a reload from disk serves the base ones via the
+    /// group's pointers instead and these stay null). Declared before
+    /// `engine`, which holds raw pointers into them, so destruction
+    /// order (reverse declaration) tears the engine down first.
+    std::shared_ptr<const Dataset> owned_dataset;
+    std::shared_ptr<const Corpus> owned_corpus;
     /// The loaded engine: encoder + embeddings + (for num_shards == 1)
     /// the persisted index. Sharded generations route retrieval through
     /// `shards` instead via the engine's BatchSearchFn seam.
@@ -69,6 +76,11 @@ class EngineGroup {
     // Per-generation serving tallies (relaxed; exported as gauges).
     mutable std::atomic<uint64_t> queries{0};
     mutable std::atomic<uint64_t> latency_us{0};
+    /// Snapshot of the publisher's ingest state (EngineInfo passthrough).
+    uint64_t ingest_records = 0;
+    uint64_t ingest_wal_bytes = 0;
+    uint64_t ingest_pending_delta_edges = 0;
+    uint64_t ingest_last_merge_generation = 0;
   };
 
   /// Loads generation 1 from `dir` (artifacts written by SaveArtifacts /
@@ -85,6 +97,15 @@ class EngineGroup {
   /// generation keeps serving untouched. Concurrent Reload() calls are
   /// serialized; safe to call from any thread while queries run.
   Status Reload(const std::string& dir);
+
+  /// Atomically publishes an externally assembled generation (the
+  /// streaming-ingest path: the IngestCoordinator builds a Generation
+  /// holding deep copies of its staging dataset/corpus plus an engine
+  /// over them, then swaps it in here). Assigns the next generation id
+  /// (written into generation->id) under the same serialization as
+  /// Reload and returns it. Restricted to unsharded groups — ingest
+  /// appends rows, and re-sharding per batch would defeat the point.
+  StatusOr<uint64_t> PublishExternal(std::shared_ptr<Generation> generation);
 
   /// Same contract as ExpertFindingEngine::FindExpertsBatch, answered
   /// by the current generation (snapshotted once per call). Sharded

@@ -69,6 +69,17 @@ class Matrix {
     }
   }
 
+  /// Appends a row (values.size() must equal cols; padding stays zero).
+  /// Streaming ingestion appends one embedding per new document; existing
+  /// rows are untouched, so serialized prefixes stay byte-identical.
+  void AppendRow(std::span<const float> values) {
+    KPEF_CHECK(values.size() == cols_);
+    data_.resize((rows_ + 1) * stride_, 0.0f);
+    float* row = data_.data() + rows_ * stride_;
+    for (size_t c = 0; c < cols_; ++c) row[c] = values[c];
+    ++rows_;
+  }
+
   /// Total allocated floats (rows * stride), e.g. for memory accounting.
   size_t PaddedSize() const { return rows_ * stride_; }
 

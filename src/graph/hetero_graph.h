@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -18,17 +19,23 @@ namespace kpef {
 
 class HeteroGraphBuilder;
 
-/// Immutable heterogeneous graph.
+/// Heterogeneous graph with an immutable CSR base plus an append-only
+/// delta overlay.
 ///
-/// Storage: one undirected CSR slice per edge type. Every relation is
-/// traversable from both endpoints (Neighbors(author, Write) yields the
-/// author's papers; Neighbors(paper, Write) yields its authors).
+/// Storage: one undirected CSR slice per edge type, frozen at Build()
+/// time. Every relation is traversable from both endpoints
+/// (Neighbors(author, Write) yields the author's papers; Neighbors(paper,
+/// Write) yields its authors). Nodes and edges appended after Build()
+/// (streaming ingestion) live in per-type delta segments until
+/// CompactDeltas() folds them into the base CSR.
 ///
 /// Ordering guarantee: within a node's neighbor list for one edge type,
-/// neighbors appear in edge-insertion order. Dataset builders insert Write
-/// edges in author-rank order, so Neighbors(paper, Write) is the paper's
-/// author list ranked first-author-first — the order the expert ranking
-/// score (Eq. 5) depends on.
+/// neighbors appear in edge-insertion order — base segment first, then
+/// delta segment, each internally in insertion order. Dataset builders
+/// insert Write edges in author-rank order, so the paper's merged
+/// neighbor list is its author list ranked first-author-first — the
+/// order the expert ranking score (Eq. 5) depends on. CompactDeltas()
+/// preserves the merged order exactly.
 class HeteroGraph {
  public:
   /// One edge as originally inserted (canonical src->dst orientation).
@@ -56,8 +63,42 @@ class HeteroGraph {
   /// Node label L(v); empty when the node carries no text.
   const std::string& Label(NodeId v) const { return labels_[v]; }
 
-  /// Neighbors of `v` through edges of type `type`, both orientations.
+  /// Base-segment neighbors of `v` through edges of type `type`, both
+  /// orientations. Edges appended after Build() are NOT included — use
+  /// NeighborSegments() on graphs that may carry deltas. For a node
+  /// appended after Build() the base segment is empty.
   std::span<const NodeId> Neighbors(NodeId v, EdgeTypeId type) const;
+
+  /// Base + delta neighbor segments of `v` for `type`. Concatenated they
+  /// are the full neighbor list in edge-insertion order. The delta span
+  /// is invalidated by the next AppendEdge/CompactDeltas call.
+  struct NeighborSpans {
+    std::span<const NodeId> base;
+    std::span<const NodeId> delta;
+    size_t size() const { return base.size() + delta.size(); }
+    bool empty() const { return base.empty() && delta.empty(); }
+  };
+  NeighborSpans NeighborSegments(NodeId v, EdgeTypeId type) const;
+
+  /// Appends a node of `type` to the delta overlay; returns its id. The
+  /// node joins NodesOfType/LocalIndex immediately (papers appended in
+  /// order keep the LocalIndex == corpus-doc-id invariant).
+  NodeId AppendNode(NodeTypeId type, std::string label = "");
+
+  /// Appends an undirected edge to the delta overlay. Endpoints may be
+  /// base or appended nodes; validation matches HeteroGraphBuilder.
+  Status AppendEdge(EdgeTypeId type, NodeId src, NodeId dst);
+
+  /// Undirected edges currently sitting in the delta overlay.
+  size_t PendingDeltaEdges() const { return pending_delta_edges_; }
+  /// Nodes appended after Build().
+  size_t NumAppendedNodes() const { return NumNodes() - base_num_nodes_; }
+
+  /// Folds the delta overlay into the base CSRs by re-running the exact
+  /// counting sort of HeteroGraphBuilder::Build() over Edges(). After
+  /// this, Neighbors() covers every edge and PendingDeltaEdges() == 0.
+  /// Merged neighbor order is unchanged.
+  void CompactDeltas();
 
   /// Degree of `v` restricted to edges of type `type`.
   size_t Degree(NodeId v, EdgeTypeId type) const {
@@ -95,19 +136,26 @@ class HeteroGraph {
   friend class HeteroGraphBuilder;
 
   struct Csr {
-    std::vector<int64_t> offsets;  // size NumNodes()+1
+    std::vector<int64_t> offsets;  // size base_num_nodes_+1
     std::vector<NodeId> targets;
   };
+
+  void RebuildCsr();
 
   Schema schema_;
   std::vector<NodeTypeId> node_types_;
   std::vector<std::string> labels_;
   std::vector<std::vector<NodeId>> nodes_by_type_;
   std::vector<size_t> local_index_;
-  std::vector<Csr> adjacency_;  // one per edge type
+  std::vector<Csr> adjacency_;  // one per edge type, base segment only
   std::vector<size_t> edges_per_type_;
-  std::vector<EdgeRecord> edges_;  // insertion order
+  std::vector<EdgeRecord> edges_;  // insertion order (base then delta)
   size_t num_edges_ = 0;
+  /// Nodes covered by the base CSRs; ids >= this are appended nodes.
+  size_t base_num_nodes_ = 0;
+  /// Delta overlay: per edge type, appended neighbors keyed by node id.
+  std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> delta_adjacency_;
+  size_t pending_delta_edges_ = 0;
 };
 
 /// Accumulates nodes and edges, then finalizes into a HeteroGraph.

@@ -1,0 +1,155 @@
+// IngestCoordinator: folds streaming ingest batches into live serving
+// state (DESIGN.md §16).
+//
+// The coordinator owns a mutable *staging* copy of the base dataset,
+// corpus, embeddings, and PG-Index. Applying a batch (after its WAL
+// record is durable) appends to every layer in lockstep:
+//
+//   graph    — AppendNode/AppendEdge delta segments on the HeteroGraph
+//   text     — Corpus::AddDocumentFrozen (vocabulary stays frozen)
+//   embed    — DocumentEncoder::Encode of the new doc -> Matrix row
+//   ann      — PGIndex::InsertBatch local-join insertion (when indexed)
+//   metapath — DeltaProjection edges for every configured meta-path
+//   kpcore   — CoreMaintenance subcore updates per inserted edge
+//
+// and then publishes an immutable Generation (deep copies of the staging
+// dataset/corpus plus an ExpertFindingEngine::FromParts engine) through
+// EngineGroup::PublishExternal — queries never observe the mutable
+// staging state, so concurrent query traffic needs no locks (the RCU
+// contract of DESIGN.md §14). When the accumulated deltas cross the
+// merge budget the coordinator compacts every overlay back into flat
+// CSRs before publishing.
+//
+// Determinism contract (asserted by ingest_test.cc): a drained snapshot
+// is query-equivalent to a full offline assembly over the unioned graph
+// — identical top-n on the brute-force path, scores within fp tolerance
+// on the reranked PG path.
+
+#ifndef KPEF_INGEST_COORDINATOR_H_
+#define KPEF_INGEST_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine_group.h"
+#include "ingest/ingest_batch.h"
+#include "ingest/wal.h"
+#include "kpcore/core_maintenance.h"
+#include "metapath/delta_projection.h"
+
+namespace kpef {
+
+struct IngestOptions {
+  /// WAL file; created (with header) when absent, replayed when present.
+  std::string wal_path;
+  /// Pending delta edges (graph + index + projections) that trigger a
+  /// compaction before the next publish. 0 = compact every batch.
+  size_t merge_pending_edge_budget = 20000;
+  /// Delta heap bytes that trigger a compaction, whichever trips first.
+  size_t merge_delta_byte_budget = 32u << 20;
+  /// PG-Index insertion knobs (ignored on brute-force engines).
+  PGIndex::InsertParams insert;
+};
+
+/// Monotonic ingest state, for /healthz and tests.
+struct IngestStats {
+  uint64_t records_applied = 0;
+  uint64_t batches_applied = 0;
+  uint64_t duplicates_skipped = 0;
+  uint64_t replayed_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t pending_delta_edges = 0;
+  uint64_t merges = 0;
+  /// Generation id published by the most recent merge (0 = never).
+  uint64_t last_merge_generation = 0;
+  /// Generation id of the most recent publish (0 = base generation).
+  uint64_t last_publish_generation = 0;
+};
+
+struct IngestApplyResult {
+  size_t applied = 0;
+  size_t duplicates = 0;
+  bool merged = false;
+  uint64_t generation = 0;
+};
+
+class IngestCoordinator {
+ public:
+  /// Builds the staging state from `group`'s current generation, opens
+  /// (or creates) the WAL, replays any logged records into staging, and
+  /// — when the replay applied anything — publishes the caught-up
+  /// generation. `group` must be unsharded and must outlive the
+  /// coordinator; `config` must be the EngineConfig the group serves
+  /// with (the published engines inherit it).
+  static StatusOr<std::unique_ptr<IngestCoordinator>> Create(
+      EngineGroup* group, const EngineConfig& config, IngestOptions options);
+
+  /// Logs `batch` to the WAL, applies it to staging, maybe compacts,
+  /// and publishes a new generation. Serialized internally; safe to
+  /// call while queries run.
+  StatusOr<IngestApplyResult> Apply(const IngestBatch& batch);
+
+  IngestStats Stats() const;
+
+  /// Incrementally maintained core numbers for meta-path `i` (order of
+  /// EngineConfig::meta_paths) — introspection seam for tests, which
+  /// compare against a fresh CoreDecomposition over the merged graph.
+  StatusOr<std::vector<int32_t>> PathCores(size_t i) const;
+
+ private:
+  IngestCoordinator(const EngineConfig& config, IngestOptions options)
+      : config_(config), options_(std::move(options)) {}
+
+  /// One meta-path's incremental machinery.
+  struct PathState {
+    MetaPath path;
+    DeltaProjection projection;
+    CoreMaintenance cores;
+  };
+
+  Status InitStaging(EngineGroup* group);
+  StatusOr<IngestApplyResult> ApplyLocked(const IngestBatch& batch,
+                                          bool log_to_wal, bool publish);
+  /// Appends one paper to every staging layer; false = duplicate.
+  StatusOr<bool> ApplyPaper(const IngestPaper& paper,
+                            std::vector<size_t>* new_rows);
+  /// Papers reachable from `paper` over `path` in the staging graph.
+  std::vector<int32_t> PathNeighbors(const MetaPath& path, NodeId paper) const;
+  size_t PendingDeltaEdges() const;
+  size_t DeltaBytes() const;
+  void CompactAll();
+  StatusOr<uint64_t> PublishSnapshot();
+
+  const EngineConfig config_;
+  const IngestOptions options_;
+  EngineGroup* group_ = nullptr;
+  std::string base_artifact_dir_;
+
+  mutable std::mutex mutex_;
+  // --- Staging state (guarded by mutex_; published as deep copies).
+  std::shared_ptr<Dataset> dataset_;
+  std::shared_ptr<Corpus> corpus_;
+  std::unique_ptr<DocumentEncoder> encoder_;
+  Matrix embeddings_;
+  std::unique_ptr<PGIndex> index_;
+  std::vector<PathState> paths_;
+  /// Label -> node id per entity kind (papers key on their text).
+  std::unordered_map<std::string, NodeId> paper_by_label_;
+  std::unordered_map<std::string, NodeId> author_by_label_;
+  std::unordered_map<std::string, NodeId> venue_by_label_;
+  std::unordered_map<std::string, NodeId> topic_by_label_;
+
+  WalWriter wal_;
+  IngestStats stats_;
+  /// A compaction ran since the last publish; the next published id
+  /// becomes stats_.last_merge_generation.
+  bool merged_since_publish_ = false;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_INGEST_COORDINATOR_H_

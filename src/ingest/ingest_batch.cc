@@ -1,0 +1,114 @@
+#include "ingest/ingest_batch.h"
+
+#include <cstring>
+
+namespace kpef {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void PutStringList(std::vector<uint8_t>& out,
+                   const std::vector<std::string>& list) {
+  PutU32(out, static_cast<uint32_t>(list.size()));
+  for (const std::string& s : list) PutString(out, s);
+}
+
+/// Cursor with hard bounds; every getter fails cleanly past the end.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  StatusOr<uint32_t> U32() {
+    if (bytes_.size() - pos_ < 4) {
+      return Status::InvalidArgument("ingest batch truncated");
+    }
+    const uint8_t* p = bytes_.data() + pos_;
+    pos_ += 4;
+    return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+  }
+
+  StatusOr<std::string> String() {
+    KPEF_ASSIGN_OR_RETURN(const uint32_t len, U32());
+    if (bytes_.size() - pos_ < len) {
+      return Status::InvalidArgument("ingest batch string overruns payload");
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  StatusOr<std::vector<std::string>> StringList() {
+    KPEF_ASSIGN_OR_RETURN(const uint32_t count, U32());
+    // Each entry needs at least its length prefix, bounding count.
+    if (bytes_.size() - pos_ < static_cast<size_t>(count) * 4) {
+      return Status::InvalidArgument("ingest batch list count overruns");
+    }
+    std::vector<std::string> list;
+    list.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      KPEF_ASSIGN_OR_RETURN(std::string s, String());
+      list.push_back(std::move(s));
+    }
+    return list;
+  }
+
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeBatch(const IngestBatch& batch) {
+  std::vector<uint8_t> out;
+  PutU32(out, static_cast<uint32_t>(batch.papers.size()));
+  for (const IngestPaper& paper : batch.papers) {
+    PutString(out, paper.text);
+    PutStringList(out, paper.authors);
+    PutString(out, paper.venue);
+    PutStringList(out, paper.topics);
+    PutStringList(out, paper.cites);
+  }
+  return out;
+}
+
+StatusOr<IngestBatch> ParseBatch(std::span<const uint8_t> payload) {
+  Reader reader(payload);
+  KPEF_ASSIGN_OR_RETURN(const uint32_t count, reader.U32());
+  // Minimum 20 bytes per paper (five empty fields), bounding count.
+  if (payload.size() < static_cast<size_t>(count) * 20) {
+    return Status::InvalidArgument("ingest batch paper count overruns");
+  }
+  IngestBatch batch;
+  batch.papers.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    IngestPaper paper;
+    KPEF_ASSIGN_OR_RETURN(paper.text, reader.String());
+    KPEF_ASSIGN_OR_RETURN(paper.authors, reader.StringList());
+    KPEF_ASSIGN_OR_RETURN(paper.venue, reader.String());
+    KPEF_ASSIGN_OR_RETURN(paper.topics, reader.StringList());
+    KPEF_ASSIGN_OR_RETURN(paper.cites, reader.StringList());
+    batch.papers.push_back(std::move(paper));
+  }
+  if (reader.Remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after ingest batch");
+  }
+  return batch;
+}
+
+}  // namespace kpef

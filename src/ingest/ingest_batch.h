@@ -1,0 +1,53 @@
+// Wire format of one streaming-ingest batch (DESIGN.md §16).
+//
+// A batch is a list of new papers. Entities are named by label strings —
+// authors/venues/topics resolve against the live graph's labels (new
+// labels create new nodes), and a paper's text doubles as its identity:
+// the corpus stores L(p) = title + abstract as the paper's label, so
+// `text` is both the document body, the duplicate key, and the target of
+// `cites` references. The binary encoding below is what lands in WAL
+// records; the HTTP endpoint accepts the same shape as JSON and
+// serializes it before logging.
+
+#ifndef KPEF_INGEST_INGEST_BATCH_H_
+#define KPEF_INGEST_INGEST_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kpef {
+
+struct IngestPaper {
+  /// L(p): title + abstract. Also the paper's label and dedup key.
+  std::string text;
+  /// Author labels in contribution-rank order (Eq. 5's Zipf ranks).
+  std::vector<std::string> authors;
+  /// Venue label; "" = unpublished (no Publish edge).
+  std::string venue;
+  /// Topic labels; first one becomes the paper's primary topic.
+  std::vector<std::string> topics;
+  /// Texts (labels) of cited papers; unresolved citations are skipped.
+  std::vector<std::string> cites;
+};
+
+struct IngestBatch {
+  std::vector<IngestPaper> papers;
+};
+
+/// Binary encoding: u32 paper count, then per paper each field as
+/// (u32 length | bytes) strings and (u32 count | strings) lists, all
+/// little-endian. This is the exact WAL record payload.
+std::vector<uint8_t> SerializeBatch(const IngestBatch& batch);
+
+/// Bounds-checked decode; any overrun or trailing garbage is an error
+/// (WAL CRCs make in-record corruption unreachable in practice, but the
+/// HTTP path feeds this with attacker-shaped bytes in tests).
+StatusOr<IngestBatch> ParseBatch(std::span<const uint8_t> payload);
+
+}  // namespace kpef
+
+#endif  // KPEF_INGEST_INGEST_BATCH_H_

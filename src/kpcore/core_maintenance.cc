@@ -1,0 +1,88 @@
+#include "kpcore/core_maintenance.h"
+
+#include <algorithm>
+
+#include "kpcore/core_decomposition.h"
+
+namespace kpef {
+
+CoreMaintenance::CoreMaintenance(const HomogeneousProjection& base)
+    : core_(CoreDecomposition(base)) {}
+
+// Traversal insertion algorithm. With r = min(core(u), core(v)):
+//  - no core number below r or above r can change (monotonicity), and
+//    changes are at most +1;
+//  - the nodes that can change are the subcore: nodes of core exactly r
+//    reachable from the lower-core endpoint(s) through nodes of core r;
+//  - a subcore node survives into the (r+1)-core iff it keeps >= r+1
+//    neighbors that are themselves survivors or already have core > r.
+// So: flood the subcore, seed each member's effective degree with
+// |{w in N(c) : core(w) >= r}| (its equal-core neighbors are adjacent to
+// the subcore and hence members of it), peel members whose effective
+// degree falls to r, and promote the survivors.
+void CoreMaintenance::OnEdgeInserted(const DeltaProjection& graph, int32_t u,
+                                     int32_t v) {
+  const size_t n = graph.NumNodes();
+  if (core_.size() < n) core_.resize(n, 0);
+  if (u == v || u < 0 || v < 0 || static_cast<size_t>(u) >= n ||
+      static_cast<size_t>(v) >= n) {
+    return;
+  }
+  const int32_t r = std::min(core_[u], core_[v]);
+  if (in_subcore_.size() < n) {
+    in_subcore_.resize(n, 0);
+    effective_degree_.resize(n, 0);
+  }
+
+  candidates_.clear();
+  stack_.clear();
+  auto push_root = [&](int32_t x) {
+    if (core_[x] == r && !in_subcore_[x]) {
+      in_subcore_[x] = 1;
+      stack_.push_back(x);
+    }
+  };
+  push_root(u);
+  push_root(v);
+  while (!stack_.empty()) {
+    const int32_t c = stack_.back();
+    stack_.pop_back();
+    candidates_.push_back(c);
+    int32_t ed = 0;
+    for (const int32_t w : graph.Neighbors(c, neighbor_scratch_)) {
+      if (core_[w] >= r) ++ed;
+      if (core_[w] == r && !in_subcore_[w]) {
+        in_subcore_[w] = 1;
+        stack_.push_back(w);
+      }
+    }
+    effective_degree_[c] = ed;
+  }
+
+  // Peel. A member of the r-core always has >= r neighbors of core >= r,
+  // so effective degrees start at >= r and cross the removal threshold
+  // (== r) exactly once; in_subcore_ doubles as the not-yet-removed mark.
+  std::vector<int32_t>& worklist = stack_;
+  for (const int32_t c : candidates_) {
+    if (effective_degree_[c] <= r) worklist.push_back(c);
+  }
+  while (!worklist.empty()) {
+    const int32_t c = worklist.back();
+    worklist.pop_back();
+    if (!in_subcore_[c]) continue;
+    in_subcore_[c] = 0;
+    for (const int32_t w : graph.Neighbors(c, neighbor_scratch_)) {
+      if (core_[w] == r && in_subcore_[w] && --effective_degree_[w] == r) {
+        worklist.push_back(w);
+      }
+    }
+  }
+
+  for (const int32_t c : candidates_) {
+    if (in_subcore_[c]) core_[c] = r + 1;
+    in_subcore_[c] = 0;
+    effective_degree_[c] = 0;
+  }
+}
+
+}  // namespace kpef

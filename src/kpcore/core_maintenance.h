@@ -1,0 +1,61 @@
+// Incremental (k, P)-core maintenance under edge insertion
+// (DESIGN.md §16).
+//
+// Streaming ingestion only ever *adds* papers and meta-path edges, and
+// core numbers are monotone under edge insertion: inserting one edge
+// changes no core number by more than +1, and the only candidates for
+// that +1 are the nodes with core number r = min(core(u), core(v)) that
+// reach the lower-core endpoint through nodes of core exactly r (the
+// subcore). So instead of re-running the O(m) Batagelj-Zaversnik peel of
+// core_decomposition.h per batch, OnEdgeInserted walks just the subcore
+// and peels it locally — the same monotonicity Algorithm 1 exploits for
+// query-time pruning, applied to maintenance.
+
+#ifndef KPEF_KPCORE_CORE_MAINTENANCE_H_
+#define KPEF_KPCORE_CORE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metapath/delta_projection.h"
+
+namespace kpef {
+
+/// Maintains the core number of every node of one DeltaProjection across
+/// node appends and edge insertions. Not thread-safe (single ingest
+/// writer). Equivalent, after any insertion sequence, to
+/// CoreDecomposition over the final merged graph — asserted by
+/// core_maintenance_test.cc on randomized sequences.
+class CoreMaintenance {
+ public:
+  CoreMaintenance() = default;
+
+  /// Seeds from the base projection (full Batagelj-Zaversnik pass).
+  explicit CoreMaintenance(const HomogeneousProjection& base);
+
+  /// Registers one appended node (isolated => core 0).
+  void OnNodeAdded() { core_.push_back(0); }
+
+  /// Updates core numbers for the undirected edge {u, v}, which must
+  /// already be present in `graph` (insert into the projection first,
+  /// then notify). Cost is proportional to the subcore of the lower
+  /// endpoint, not the graph.
+  void OnEdgeInserted(const DeltaProjection& graph, int32_t u, int32_t v);
+
+  int32_t CoreOf(int32_t local) const { return core_[local]; }
+  const std::vector<int32_t>& cores() const { return core_; }
+  size_t NumNodes() const { return core_.size(); }
+
+ private:
+  std::vector<int32_t> core_;
+  // Reused traversal scratch (avoids per-insert allocation).
+  std::vector<int32_t> stack_;
+  std::vector<int32_t> candidates_;
+  std::vector<uint8_t> in_subcore_;
+  std::vector<int32_t> effective_degree_;
+  std::vector<int32_t> neighbor_scratch_;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_KPCORE_CORE_MAINTENANCE_H_

@@ -1,0 +1,105 @@
+#include "metapath/delta_projection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kpef {
+
+DeltaProjection::DeltaProjection(HomogeneousProjection base)
+    : base_(std::move(base)) {}
+
+int32_t DeltaProjection::AddNode(NodeId global) {
+  const int32_t local = static_cast<int32_t>(NumNodes());
+  appended_nodes_.push_back(global);
+  return local;
+}
+
+StatusOr<bool> DeltaProjection::AddEdge(int32_t u, int32_t v) {
+  const int32_t n = static_cast<int32_t>(NumNodes());
+  if (u < 0 || v < 0 || u >= n || v >= n) {
+    return Status::InvalidArgument("delta edge endpoint out of range");
+  }
+  if (u == v) return false;  // projections never hold self-loops
+
+  const int32_t base_nodes = static_cast<int32_t>(base_.NumNodes());
+  auto present = [&](int32_t a, int32_t b) {
+    if (a < base_nodes) {
+      const auto row = base_.Neighbors(a);
+      if (std::binary_search(row.begin(), row.end(), b)) return true;
+    }
+    auto it = delta_.find(a);
+    if (it == delta_.end()) return false;
+    return std::binary_search(it->second.begin(), it->second.end(), b);
+  };
+  if (present(u, v)) return false;
+
+  auto insert_sorted = [&](int32_t a, int32_t b) {
+    std::vector<int32_t>& row = delta_[a];
+    row.insert(std::upper_bound(row.begin(), row.end(), b), b);
+    auto [it, fresh] = delta_degree_.try_emplace(a, 0);
+    if (fresh) it->second = a < base_nodes ? base_.Degree(a) : 0;
+    ++it->second;
+  };
+  insert_sorted(u, v);
+  insert_sorted(v, u);
+  ++delta_edges_;
+  return true;
+}
+
+size_t DeltaProjection::DeltaBytes() const {
+  size_t bytes = appended_nodes_.capacity() * sizeof(NodeId);
+  for (const auto& [local, row] : delta_) {
+    (void)local;
+    bytes += sizeof(int32_t) + row.capacity() * sizeof(int32_t);
+  }
+  bytes += delta_degree_.size() * 2 * sizeof(int32_t);
+  return bytes;
+}
+
+int32_t DeltaProjection::Degree(int32_t local) const {
+  auto it = delta_degree_.find(local);
+  if (it != delta_degree_.end()) return it->second;
+  return local < static_cast<int32_t>(base_.NumNodes()) ? base_.Degree(local)
+                                                        : 0;
+}
+
+std::span<const int32_t> DeltaProjection::Neighbors(
+    int32_t local, std::vector<int32_t>& scratch) const {
+  const bool in_base = local < static_cast<int32_t>(base_.NumNodes());
+  auto it = delta_.find(local);
+  if (it == delta_.end()) {
+    if (in_base) return base_.Neighbors(local);
+    return {};
+  }
+  if (!in_base) return {it->second.data(), it->second.size()};
+  const auto base_row = base_.Neighbors(local);
+  scratch.clear();
+  scratch.reserve(base_row.size() + it->second.size());
+  std::merge(base_row.begin(), base_row.end(), it->second.begin(),
+             it->second.end(), std::back_inserter(scratch));
+  return {scratch.data(), scratch.size()};
+}
+
+void DeltaProjection::Compact() {
+  if (delta_.empty() && appended_nodes_.empty()) return;
+  const size_t n = NumNodes();
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  nodes.insert(nodes.end(), base_.nodes().begin(), base_.nodes().end());
+  nodes.insert(nodes.end(), appended_nodes_.begin(), appended_nodes_.end());
+  std::vector<std::vector<int32_t>> adjacency(n);
+  std::vector<int32_t> scratch;
+  for (size_t local = 0; local < n; ++local) {
+    const auto row = Neighbors(static_cast<int32_t>(local), scratch);
+    adjacency[local].assign(row.begin(), row.end());
+  }
+  base_ = HomogeneousProjection::FromAdjacency(base_.node_type(),
+                                               std::move(nodes),
+                                               std::move(adjacency));
+  appended_nodes_.clear();
+  delta_.clear();
+  delta_degree_.clear();
+  delta_edges_ = 0;
+}
+
+}  // namespace kpef

@@ -1,0 +1,84 @@
+// Delta overlay over an immutable HomogeneousProjection (DESIGN.md §16).
+//
+// Streaming ingestion appends papers and meta-path edges to a projection
+// that was frozen at build time. Rebuilding the CSR per batch would make
+// ingest O(corpus) instead of O(batch), so the overlay keeps the base
+// CSR untouched and accumulates appended rows / extra edges in small
+// sorted per-node vectors. Readers see the merged view (base row ∪ delta
+// row, sorted, duplicate-free); Compact() folds the delta into a fresh
+// CSR when a byte or edge budget trips.
+
+#ifndef KPEF_METAPATH_DELTA_PROJECTION_H_
+#define KPEF_METAPATH_DELTA_PROJECTION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "metapath/projection.h"
+
+namespace kpef {
+
+/// Mutable wrapper around one homogeneous projection. Not thread-safe:
+/// the IngestCoordinator is the only writer and publishes immutable
+/// snapshots to readers.
+class DeltaProjection {
+ public:
+  DeltaProjection() = default;
+  explicit DeltaProjection(HomogeneousProjection base);
+
+  /// Registers one appended node (new last local index). Its row starts
+  /// empty; its global id extends nodes().
+  int32_t AddNode(NodeId global);
+
+  /// Inserts the undirected edge {u, v}. Self-loops and duplicates of
+  /// existing (base or delta) edges are ignored and reported as false.
+  StatusOr<bool> AddEdge(int32_t u, int32_t v);
+
+  size_t NumNodes() const { return base_.NumNodes() + appended_nodes_.size(); }
+  /// Undirected edges in the merged view.
+  size_t NumEdges() const { return base_.NumEdges() + delta_edges_; }
+  /// Undirected delta edges awaiting a Compact().
+  size_t PendingDeltaEdges() const { return delta_edges_; }
+  /// Heap bytes held by the delta structures alone.
+  size_t DeltaBytes() const;
+
+  NodeId GlobalId(int32_t local) const {
+    return local < static_cast<int32_t>(base_.NumNodes())
+               ? base_.GlobalId(local)
+               : appended_nodes_[local - base_.NumNodes()];
+  }
+
+  /// Merged degree (base + delta) in O(1).
+  int32_t Degree(int32_t local) const;
+
+  /// Merged, sorted, duplicate-free neighbor row. Returns the base span
+  /// copy-free when `local` has no delta; otherwise merges into
+  /// `scratch` and returns a span over it (valid until the next use of
+  /// the same scratch).
+  std::span<const int32_t> Neighbors(int32_t local,
+                                     std::vector<int32_t>& scratch) const;
+
+  const HomogeneousProjection& base() const { return base_; }
+
+  /// Folds the delta into a fresh base CSR (FromAdjacency over the
+  /// merged rows) and clears the overlay. Readers of the merged view
+  /// observe the identical graph before and after.
+  void Compact();
+
+ private:
+  HomogeneousProjection base_;
+  std::vector<NodeId> appended_nodes_;
+  /// Extra sorted neighbor rows, keyed by local index (base rows stay
+  /// in the CSR; appended rows live here entirely).
+  std::unordered_map<int32_t, std::vector<int32_t>> delta_;
+  /// Merged degree per delta-touched node (avoids re-merging for O(1)
+  /// Degree); nodes absent here have their base degree.
+  std::unordered_map<int32_t, int32_t> delta_degree_;
+  size_t delta_edges_ = 0;
+};
+
+}  // namespace kpef
+
+#endif  // KPEF_METAPATH_DELTA_PROJECTION_H_

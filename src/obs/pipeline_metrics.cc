@@ -51,7 +51,8 @@ void WarmPipelineMetrics() {
         kEngineQueriesDeadlineExceeded, kServeRequests, kServeShed,
         kServeDeadlineExceeded, kServeBadRequests, kServeBatches,
         kServeSlowQueries, kServeTracesStarted, kServeTracesRetained,
-        kServeTopNClamped, kServeReloads, kServeReloadFailures}) {
+        kServeTopNClamped, kServeReloads, kServeReloadFailures,
+        kIngestRecords, kIngestBatches, kIngestDuplicates, kIngestRejected}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -60,13 +61,15 @@ void WarmPipelineMetrics() {
         kProcessOpenFds, kProcessUptimeSeconds, kPoolQueueDepth,
         kPoolActiveWorkers, kPoolThreads, kServeGeneration, kServeShards,
         kServeGenerationQueries, kServeGenerationLatencyMsMean,
-        kServeGenerationLoadSeconds}) {
+        kServeGenerationLoadSeconds, kIngestWalBytes,
+        kIngestPendingDeltaEdges}) {
     registry.GetGauge(name);
   }
   // Latency-valued histograms get sub-millisecond .. 60 s bounds so tail
   // quantiles resolve; count-valued ones keep the power-of-two default.
   for (const char* name : {kEngineQueryLatencyMs, kEngineBatchLatencyMs,
-                           kServeQueueWaitMs, kServeE2eMs}) {
+                           kServeQueueWaitMs, kServeE2eMs, kIngestMergeMs,
+                           kIngestApplyMs}) {
     registry.GetHistogram(name, LatencyHistogramBounds());
   }
   for (const char* name :
@@ -108,6 +111,16 @@ const char* PipelineMetricHelp(const std::string& name) {
            "Mean engine-batch latency of the serving generation, ms."},
           {kServeGenerationLoadSeconds,
            "Wall-clock seconds the serving generation took to load."},
+          {kIngestRecords, "Ingest records (papers) applied."},
+          {kIngestBatches, "Ingest batches applied (one WAL record each)."},
+          {kIngestDuplicates,
+           "Ingest records skipped as duplicates of existing papers."},
+          {kIngestRejected, "Ingest batches rejected before any change."},
+          {kIngestWalBytes, "Byte offset of the last durable WAL record."},
+          {kIngestPendingDeltaEdges,
+           "Graph + index delta edges awaiting a base-CSR merge."},
+          {kIngestMergeMs, "Delta-merge (compaction) wall-clock, ms."},
+          {kIngestApplyMs, "Per-batch ingest apply wall-clock, ms."},
           {kProcessRssBytes, "Resident set size, bytes (sampled on scrape)."},
           {kProcessOpenFds,
            "Open file descriptors (sampled on scrape)."},

@@ -165,6 +165,25 @@ inline constexpr char kServeGenerationLatencyMsMean[] =
 inline constexpr char kServeGenerationLoadSeconds[] =
     "serve.generation_load_seconds";
 
+// --- Streaming ingestion (src/ingest; DESIGN.md §16).
+/// Ingest records (papers) applied to the staging state.
+inline constexpr char kIngestRecords[] = "ingest.records";
+/// Ingest batches applied (one WAL record each).
+inline constexpr char kIngestBatches[] = "ingest.batches";
+/// Records skipped as duplicates (same paper label already present).
+inline constexpr char kIngestDuplicates[] = "ingest.duplicates";
+/// Ingest batches rejected before any state change (bad schema, ...).
+inline constexpr char kIngestRejected[] = "ingest.rejected";
+/// Gauge: byte offset of the last durable WAL record.
+inline constexpr char kIngestWalBytes[] = "ingest.wal_bytes";
+/// Gauge: graph + index delta edges awaiting a merge into the base CSRs.
+inline constexpr char kIngestPendingDeltaEdges[] =
+    "ingest.pending_delta_edges";
+/// Histogram: wall-clock milliseconds per delta merge (compaction).
+inline constexpr char kIngestMergeMs[] = "ingest.merge_ms";
+/// Histogram: wall-clock milliseconds per applied ingest batch.
+inline constexpr char kIngestApplyMs[] = "ingest.apply_ms";
+
 // --- Process self-metrics (gauges, sampled on /metrics scrape).
 inline constexpr char kProcessRssBytes[] = "process.rss_bytes";
 inline constexpr char kProcessOpenFds[] = "process.open_fds";

@@ -25,13 +25,19 @@ RankedLists BuildRankedLists(const HeteroGraph& graph, EdgeTypeId write_type,
   std::unordered_set<NodeId> candidates;
   for (size_t j = 0; j < top_papers.size(); ++j) {
     const NodeId paper = top_papers[j];
-    const auto authors = graph.Neighbors(paper, write_type);
-    const size_t num_authors = authors.size();
+    // Segments (base + ingest delta) concatenated are the author list in
+    // insertion (author-rank) order — Eq. 5's rank still holds for
+    // papers whose edges arrived via streaming ingestion.
+    const auto segments = graph.NeighborSegments(paper, write_type);
+    const size_t num_authors = segments.size();
     auto& list = result.lists[j];
     list.reserve(num_authors);
     const double inv_paper_rank = 1.0 / static_cast<double>(j + 1);
     for (size_t rank = 1; rank <= num_authors; ++rank) {
-      const NodeId author = authors[rank - 1];
+      const size_t slot = rank - 1;
+      const NodeId author = slot < segments.base.size()
+                                ? segments.base[slot]
+                                : segments.delta[slot - segments.base.size()];
       // S(a, p) = w(a, p) / I(p)  (Eq. 4).
       const double w = weighting == ContributionWeighting::kZipf
                            ? ZipfContribution(rank, num_authors)

@@ -9,7 +9,16 @@
 //              [--default-deadline-ms 0] [--metrics-out path]
 //              [--access-log path|-] [--trace-mode off|sampled|always]
 //              [--trace-head-every 64] [--slow-ms 100] [--slow-queue-ms 50]
-//              [--rerank-factor 2.0]
+//              [--rerank-factor 2.0] [--wal path]
+//              [--ingest-merge-edges 20000]
+//
+// --wal PATH enables streaming ingestion: the WAL at PATH is replayed
+// over the loaded artifacts at startup (creating the file when absent),
+// and POST /v1/admin/ingest accepts JSON paper batches that are logged,
+// folded into the serving state, and published as new generations while
+// queries keep running. Incompatible with --shards > 1.
+// --ingest-merge-edges caps how many delta-overlay edges may accumulate
+// before the coordinator compacts them back into flat CSR.
 //
 // --shards N partitions the corpus over N per-shard PG-Indexes
 // (EngineGroup); POST /v1/admin/reload hot-swaps the artifact
@@ -42,6 +51,7 @@
 #include "graph/graph_io.h"
 #include "obs/export.h"
 #include "obs/pipeline_metrics.h"
+#include "ingest/coordinator.h"
 #include "serve/http_server.h"
 #include "serve/service.h"
 
@@ -120,6 +130,33 @@ int main(int argc, char** argv) {
                              : "pg",
       info.num_shards, static_cast<unsigned long long>(info.generation));
 
+  // --wal: streaming-ingest coordinator (replays the log before the
+  // server opens its socket, so the first query already sees the
+  // caught-up generation).
+  std::unique_ptr<IngestCoordinator> ingest;
+  const std::string wal_path = FlagOr(flags, "wal", "");
+  if (!wal_path.empty()) {
+    if (group_options.num_shards > 1) {
+      return Fail(Status::FailedPrecondition(
+          "--wal requires --shards 1 (streaming ingest appends rows; "
+          "per-batch re-sharding would defeat the point)"));
+    }
+    IngestOptions ingest_options;
+    ingest_options.wal_path = wal_path;
+    ingest_options.merge_pending_edge_budget = static_cast<size_t>(
+        std::max(0, std::atoi(FlagOr(flags, "ingest-merge-edges", "20000")
+                                  .c_str())));
+    auto coordinator = IngestCoordinator::Create(
+        group->get(), group_options.engine, std::move(ingest_options));
+    if (!coordinator.ok()) return Fail(coordinator.status());
+    ingest = std::move(coordinator).value();
+    const IngestStats ingest_stats = ingest->Stats();
+    std::printf("wal %s: %llu records replayed, %llu durable bytes\n",
+                wal_path.c_str(),
+                static_cast<unsigned long long>(ingest_stats.replayed_records),
+                static_cast<unsigned long long>(ingest_stats.wal_bytes));
+  }
+
   // The pool the micro-batcher hands to FindExpertsBatch: SearchBatch
   // and the encode/ranking phases all fan out over it (ROADMAP item —
   // previously the batcher left BatchQueryOptions::pool null and the
@@ -173,8 +210,8 @@ int main(int argc, char** argv) {
   // explicit drain below runs server.ShutdownGracefully() and then
   // service->Drain() before either destructor: by destruction time the
   // batcher has no in-flight completions left to route.
-  auto service = serve::ExpertSearchService::ForEngineGroup(group->get(),
-                                                            service_config);
+  auto service = serve::ExpertSearchService::ForEngineGroup(
+      group->get(), service_config, ingest.get());
   serve::HttpServer server(
       server_config,
       [&service](const serve::HttpRequest& request,

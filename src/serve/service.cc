@@ -49,6 +49,62 @@ uint64_t MsToNs(double ms) {
   return ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1e6);
 }
 
+/// {"papers":[{"text":..,"authors":[..],"venue":..,"topics":[..],
+/// "cites":[..]}]} -> IngestBatch. Every field but "text" is optional;
+/// anything of the wrong shape is a 400, not a silent skip.
+StatusOr<IngestBatch> IngestBatchFromJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("body must be a JSON object");
+  }
+  const JsonValue* papers = doc.Find("papers");
+  if (papers == nullptr || papers->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("\"papers\" must be an array");
+  }
+  const auto string_list =
+      [](const JsonValue& paper, std::string_view key,
+         std::vector<std::string>* out) -> Status {
+    const JsonValue* list = paper.Find(key);
+    if (list == nullptr) return Status::OK();
+    if (list->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument(std::string(key) + " must be an array");
+    }
+    out->reserve(list->array_items.size());
+    for (const JsonValue& item : list->array_items) {
+      if (!item.is_string()) {
+        return Status::InvalidArgument(std::string(key) +
+                                       " entries must be strings");
+      }
+      out->push_back(item.string_value);
+    }
+    return Status::OK();
+  };
+  IngestBatch batch;
+  batch.papers.reserve(papers->array_items.size());
+  for (const JsonValue& entry : papers->array_items) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("papers entries must be objects");
+    }
+    IngestPaper paper;
+    const JsonValue* text = entry.Find("text");
+    if (text == nullptr || !text->is_string() || text->string_value.empty()) {
+      return Status::InvalidArgument(
+          "every paper needs a non-empty \"text\"");
+    }
+    paper.text = text->string_value;
+    if (const JsonValue* venue = entry.Find("venue")) {
+      if (!venue->is_string()) {
+        return Status::InvalidArgument("venue must be a string");
+      }
+      paper.venue = venue->string_value;
+    }
+    KPEF_RETURN_IF_ERROR(string_list(entry, "authors", &paper.authors));
+    KPEF_RETURN_IF_ERROR(string_list(entry, "topics", &paper.topics));
+    KPEF_RETURN_IF_ERROR(string_list(entry, "cites", &paper.cites));
+    batch.papers.push_back(std::move(paper));
+  }
+  return batch;
+}
+
 }  // namespace
 
 ExpertSearchService::ExpertSearchService(ServiceConfig config, EngineInfo info,
@@ -90,17 +146,29 @@ std::unique_ptr<ExpertSearchService> ExpertSearchService::ForEngine(
 }
 
 std::unique_ptr<ExpertSearchService> ExpertSearchService::ForEngineGroup(
-    EngineGroup* group, ServiceConfig config) {
+    EngineGroup* group, ServiceConfig config, IngestCoordinator* ingest) {
   BatchExecuteFn execute = [group](const std::vector<std::string>& texts,
                                    size_t top_n,
                                    const BatchQueryOptions& options,
                                    std::vector<QueryStats>* stats) {
     return group->FindExpertsBatch(texts, top_n, options, stats);
   };
-  // Labels come from the dataset, which is shared by every generation,
-  // so the label fn survives hot swaps.
-  const HeteroGraph* graph = &group->dataset().graph;
-  LabelFn label = [graph](NodeId id) { return graph->Label(id); };
+  // Labels resolve against the serving generation's graph: streaming
+  // ingest publishes generations whose grown graph carries node ids the
+  // base dataset has never heard of, so the lookup goes through
+  // Snapshot() (with a bounds guard) instead of capturing the base
+  // graph pointer.
+  LabelFn label = [group](NodeId id) {
+    const std::shared_ptr<const EngineGroup::Generation> gen =
+        group->Snapshot();
+    const HeteroGraph& graph = gen->owned_dataset != nullptr
+                                   ? gen->owned_dataset->graph
+                                   : group->dataset().graph;
+    if (id < 0 || static_cast<size_t>(id) >= graph.NumNodes()) {
+      return "node-" + std::to_string(id);
+    }
+    return graph.Label(id);
+  };
   ServiceHooks hooks;
   hooks.info = [group] { return group->Info(); };
   hooks.reload = [group](const std::string& dir) -> StatusOr<uint64_t> {
@@ -108,6 +176,12 @@ std::unique_ptr<ExpertSearchService> ExpertSearchService::ForEngineGroup(
     return group->generation();
   };
   hooks.sample = [group] { group->SampleMetrics(); };
+  if (ingest != nullptr) {
+    hooks.ingest = [ingest](const IngestBatch& batch) {
+      return ingest->Apply(batch);
+    };
+    hooks.ingest_stats = [ingest] { return ingest->Stats(); };
+  }
   return std::make_unique<ExpertSearchService>(config, group->Info(),
                                                std::move(execute),
                                                std::move(label),
@@ -119,6 +193,7 @@ ExpertSearchService::~ExpertSearchService() { Drain(); }
 void ExpertSearchService::Drain() {
   batcher_.Shutdown();
   if (reload_thread_.joinable()) reload_thread_.join();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
 }
 
 void ExpertSearchService::Handle(const HttpRequest& request,
@@ -154,6 +229,28 @@ void ExpertSearchService::Handle(const HttpRequest& request,
     response.body.append(std::to_string(info.generation_queries));
     response.body.append(",\"artifact_dir\":");
     AppendJsonString(info.artifact_dir, &response.body);
+    // Streaming-ingest state: live coordinator numbers when the hook is
+    // wired, the generation's publish-time snapshot otherwise (all
+    // zeros on a static deployment).
+    uint64_t ingest_records = info.ingest_records;
+    uint64_t ingest_wal_bytes = info.ingest_wal_bytes;
+    uint64_t ingest_pending = info.ingest_pending_delta_edges;
+    uint64_t ingest_merge_gen = info.ingest_last_merge_generation;
+    if (hooks_.ingest_stats) {
+      const IngestStats ingest = hooks_.ingest_stats();
+      ingest_records = ingest.records_applied;
+      ingest_wal_bytes = ingest.wal_bytes;
+      ingest_pending = ingest.pending_delta_edges;
+      ingest_merge_gen = ingest.last_merge_generation;
+    }
+    response.body.append(",\"ingest_records\":");
+    response.body.append(std::to_string(ingest_records));
+    response.body.append(",\"ingest_wal_bytes\":");
+    response.body.append(std::to_string(ingest_wal_bytes));
+    response.body.append(",\"ingest_pending_delta_edges\":");
+    response.body.append(std::to_string(ingest_pending));
+    response.body.append(",\"ingest_last_merge_generation\":");
+    response.body.append(std::to_string(ingest_merge_gen));
     response.body.append(",\"git\":");
     AppendJsonString(
         info.git_hash.empty() ? BuildGitHash() : info.git_hash.c_str(),
@@ -180,6 +277,15 @@ void ExpertSearchService::Handle(const HttpRequest& request,
     response.content_type = "text/plain; version=0.0.4";
     response.body = obs::ExportPrometheusText();
     respond(std::move(response));
+    return;
+  }
+
+  if (path == "/v1/admin/ingest") {
+    if (request.method != "POST") {
+      respond(JsonError(405, "use POST"));
+      return;
+    }
+    HandleIngest(request, std::move(respond));
     return;
   }
 
@@ -493,12 +599,78 @@ void ExpertSearchService::HandleReload(const HttpRequest& request,
       response.body.append(",\"load_seconds\":");
       response.body.append(JsonNumber(timer.ElapsedSeconds()));
       response.body.append("}\n");
+      // Release the gate before responding so a client that saw the 200
+      // can trigger the next reload without bouncing off a stale flag.
+      reload_in_flight_.store(false);
       respond(std::move(response));
     } else {
       KPEF_COUNTER_ADD(obs::kServeReloadFailures, 1);
+      reload_in_flight_.store(false);
       respond(JsonError(500, swapped.status().ToString()));
     }
-    reload_in_flight_.store(false);
+  });
+}
+
+void ExpertSearchService::HandleIngest(const HttpRequest& request,
+                                       HttpServer::Responder respond) {
+  if (!hooks_.ingest) {
+    respond(JsonError(503, "ingest not enabled (start with --wal)"));
+    return;
+  }
+  JsonValue doc;
+  std::string parse_error;
+  if (!ParseJson(request.body, &doc, &parse_error)) {
+    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+    respond(JsonError(400, parse_error));
+    return;
+  }
+  StatusOr<IngestBatch> batch = IngestBatchFromJson(doc);
+  if (!batch.ok()) {
+    KPEF_COUNTER_ADD(obs::kServeBadRequests, 1);
+    KPEF_COUNTER_ADD(obs::kIngestRejected, 1);
+    respond(JsonError(400, batch.status().ToString()));
+    return;
+  }
+  if (ingest_in_flight_.exchange(true)) {
+    respond(JsonError(409, "an ingest is already in progress"));
+    return;
+  }
+  // Same thread discipline as HandleReload: the previous worker has
+  // finished (the flag was false), so the join cannot block the loop,
+  // and the apply (WAL fsync + index insertion + engine assembly) runs
+  // off the event loop.
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  auto ingest = hooks_.ingest;
+  ingest_thread_ = std::thread([this, ingest = std::move(ingest),
+                                batch = std::move(batch).value(),
+                                respond = std::move(respond)]() mutable {
+    StatusOr<IngestApplyResult> applied = ingest(batch);
+    if (applied.ok()) {
+      HttpResponse response;
+      response.body.append("{\"applied\":");
+      response.body.append(std::to_string(applied->applied));
+      response.body.append(",\"duplicates\":");
+      response.body.append(std::to_string(applied->duplicates));
+      response.body.append(",\"generation\":");
+      response.body.append(std::to_string(applied->generation));
+      response.body.append(",\"merged\":");
+      response.body.append(applied->merged ? "true" : "false");
+      if (hooks_.ingest_stats) {
+        response.body.append(",\"pending_delta_edges\":");
+        response.body.append(
+            std::to_string(hooks_.ingest_stats().pending_delta_edges));
+      }
+      response.body.append("}\n");
+      // Release the gate before responding: a client that has its 200
+      // may post the next batch immediately (the steady-state ingest
+      // pattern) and must not bounce off a stale in-flight flag.
+      ingest_in_flight_.store(false);
+      respond(std::move(response));
+    } else {
+      KPEF_COUNTER_ADD(obs::kIngestRejected, 1);
+      ingest_in_flight_.store(false);
+      respond(JsonError(500, applied.status().ToString()));
+    }
   });
 }
 

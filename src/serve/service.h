@@ -20,6 +20,16 @@
 //   GET /v1/debug/trace?id=X 200 retained span tree for trace id X
 //                                (&format=chrome for trace-event JSON);
 //                                404 when not retained
+//   POST /v1/admin/ingest    {"papers":[{"text":"..","authors":[".."],
+//                             "venue":"..","topics":[".."],
+//                             "cites":[".."]},...]}
+//     200 {"applied":N,"duplicates":D,"generation":G,"merged":bool,
+//          "pending_delta_edges":P} after the batch is WAL-durable,
+//         folded into the staging state, and published as a new
+//         generation; queries in flight keep draining on the old one
+//     400 malformed JSON or batch shape
+//     409 another ingest is already in progress
+//     503 service running without an ingest coordinator (--wal unset)
 //   POST /v1/admin/reload    {"dir":"path"} (body optional; falls back
 //                            to ServiceConfig::reload_dir, then the
 //                            serving directory)
@@ -46,6 +56,7 @@
 
 #include "core/engine.h"
 #include "core/engine_group.h"
+#include "ingest/coordinator.h"
 #include "obs/request_log.h"
 #include "obs/slow_query_ring.h"
 #include "obs/trace.h"
@@ -104,6 +115,12 @@ struct ServiceHooks {
   std::function<StatusOr<uint64_t>(const std::string& dir)> reload;
   /// Called on each /metrics scrape before export (generation gauges).
   std::function<void()> sample;
+  /// Applies one streaming-ingest batch (WAL append + staging apply +
+  /// generation publish). Runs on a background thread — must be
+  /// thread-safe against concurrent queries. Null => ingest answers 503.
+  std::function<StatusOr<IngestApplyResult>(const IngestBatch& batch)> ingest;
+  /// Fresh ingest state for /healthz (WAL position, pending deltas).
+  std::function<IngestStats()> ingest_stats;
 };
 
 class ExpertSearchService {
@@ -125,8 +142,11 @@ class ExpertSearchService {
   /// /healthz reads live generation info, POST /v1/admin/reload
   /// hot-swaps artifacts, and /metrics samples the generation gauges.
   /// The group must outlive the service.
+  /// `ingest` (optional) additionally enables POST /v1/admin/ingest and
+  /// the /healthz ingest fields; it must outlive the service.
   static std::unique_ptr<ExpertSearchService> ForEngineGroup(
-      EngineGroup* group, ServiceConfig config);
+      EngineGroup* group, ServiceConfig config,
+      IngestCoordinator* ingest = nullptr);
 
   /// HttpServer::Handler entry point.
   void Handle(const HttpRequest& request, HttpServer::Responder respond);
@@ -143,6 +163,8 @@ class ExpertSearchService {
   void HandleFindExperts(const HttpRequest& request,
                          HttpServer::Responder respond);
   void HandleReload(const HttpRequest& request,
+                    HttpServer::Responder respond);
+  void HandleIngest(const HttpRequest& request,
                     HttpServer::Responder respond);
   void HandleDebugSlow(HttpServer::Responder respond);
   void HandleDebugTrace(const HttpRequest& request,
@@ -171,6 +193,11 @@ class ExpertSearchService {
   /// The loader thread of the current/last reload. Started and reaped
   /// on the event-loop thread (Handle), joined finally by Drain().
   std::thread reload_thread_;
+  /// Same single-flight pattern for streaming ingest: one batch applies
+  /// at a time (the coordinator serializes anyway; the gate keeps the
+  /// event loop from stacking up worker threads).
+  std::atomic<bool> ingest_in_flight_{false};
+  std::thread ingest_thread_;
   MicroBatcher batcher_;
 };
 

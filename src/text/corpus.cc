@@ -15,6 +15,13 @@ size_t Corpus::AddDocument(std::string_view text) {
   return documents_.size() - 1;
 }
 
+size_t Corpus::AddDocumentFrozen(std::string_view text) {
+  std::vector<TokenId> ids = vocabulary_.Encode(tokenizer_.Tokenize(text));
+  total_tokens_ += ids.size();
+  documents_.push_back(std::move(ids));
+  return documents_.size() - 1;
+}
+
 std::vector<TokenId> Corpus::EncodeQuery(std::string_view text) const {
   return vocabulary_.Encode(tokenizer_.Tokenize(text));
 }

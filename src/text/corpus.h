@@ -26,6 +26,13 @@ class Corpus {
   /// vocabulary and updates document frequencies.
   size_t AddDocument(std::string_view text);
 
+  /// Tokenizes and appends a document WITHOUT touching the vocabulary:
+  /// tokens are encoded against the frozen vocab (OOV dropped) and
+  /// document frequencies are left alone, so a loaded encoder's
+  /// vocab_size check keeps holding. Streaming ingestion appends new
+  /// papers this way; returns the new document id.
+  size_t AddDocumentFrozen(std::string_view text);
+
   /// Tokenizes `text` against the frozen vocabulary (OOV tokens dropped).
   /// Used for query texts at search time.
   std::vector<TokenId> EncodeQuery(std::string_view text) const;

@@ -1,0 +1,197 @@
+// Incremental (k,P)-core maintenance and the DeltaProjection overlay.
+//
+// Ground truth: after ANY sequence of node/edge insertions, the
+// incrementally maintained core numbers must equal CoreDecomposition
+// over the merged graph, and the DeltaProjection's merged neighbor view
+// must equal a flat rebuild. Randomized insertion orders over planted
+// graphs exercise the subcore flood + peel across promotions.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/corpus_builder.h"
+#include "data/dataset.h"
+#include "kpcore/core_decomposition.h"
+#include "kpcore/core_maintenance.h"
+#include "metapath/delta_projection.h"
+#include "metapath/meta_path.h"
+#include "metapath/projection.h"
+
+namespace kpef {
+namespace {
+
+HomogeneousProjection EmptyProjection(size_t n) {
+  std::vector<NodeId> nodes(n);
+  for (size_t i = 0; i < n; ++i) nodes[i] = static_cast<NodeId>(i);
+  return HomogeneousProjection::FromAdjacency(
+      0, std::move(nodes), std::vector<std::vector<int32_t>>(n));
+}
+
+/// Flat rebuild of the delta view for ground truth.
+HomogeneousProjection Rebuild(const DeltaProjection& graph) {
+  std::vector<NodeId> nodes;
+  std::vector<std::vector<int32_t>> adjacency;
+  std::vector<int32_t> scratch;
+  for (int32_t v = 0; v < static_cast<int32_t>(graph.NumNodes()); ++v) {
+    nodes.push_back(graph.GlobalId(v));
+    auto row = graph.Neighbors(v, scratch);
+    adjacency.emplace_back(row.begin(), row.end());
+  }
+  return HomogeneousProjection::FromAdjacency(0, std::move(nodes),
+                                              std::move(adjacency));
+}
+
+void ExpectCoresMatch(const DeltaProjection& graph,
+                      const CoreMaintenance& cores, const char* label) {
+  const std::vector<int32_t> want = CoreDecomposition(Rebuild(graph));
+  ASSERT_EQ(cores.NumNodes(), want.size()) << label;
+  for (size_t v = 0; v < want.size(); ++v) {
+    EXPECT_EQ(cores.CoreOf(static_cast<int32_t>(v)), want[v])
+        << label << " node " << v;
+  }
+}
+
+TEST(CoreMaintenanceTest, TriangleThenClique) {
+  HomogeneousProjection base = EmptyProjection(5);
+  CoreMaintenance cores(base);
+  DeltaProjection graph(std::move(base));
+  const std::vector<std::pair<int32_t, int32_t>> edges = {
+      {0, 1}, {1, 2}, {0, 2},          // triangle: cores 2
+      {3, 4},                          // pendant pair: cores 1
+      {0, 3}, {1, 3}, {2, 3},          // 3 joins the clique
+      {0, 4}, {1, 4}, {2, 4}, {3, 4},  // duplicate {3,4} is a no-op
+  };
+  for (auto [u, v] : edges) {
+    auto added = graph.AddEdge(u, v);
+    ASSERT_TRUE(added.ok());
+    if (*added) cores.OnEdgeInserted(graph, u, v);
+    ExpectCoresMatch(graph, cores, "triangle-then-clique");
+  }
+  // K5 minus nothing: every core number is 4.
+  for (int32_t v = 0; v < 5; ++v) EXPECT_EQ(cores.CoreOf(v), 4);
+}
+
+TEST(CoreMaintenanceTest, RandomizedInsertionsMatchDecomposition) {
+  Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    const size_t n = 24 + static_cast<size_t>(round) * 8;
+    HomogeneousProjection base = EmptyProjection(n);
+    CoreMaintenance cores(base);
+    DeltaProjection graph(std::move(base));
+    const size_t target_edges = n * 3;
+    for (size_t e = 0; e < target_edges; ++e) {
+      const int32_t u = static_cast<int32_t>(rng.Next() % n);
+      const int32_t v = static_cast<int32_t>(rng.Next() % n);
+      auto added = graph.AddEdge(u, v);
+      ASSERT_TRUE(added.ok());
+      if (*added) cores.OnEdgeInserted(graph, u, v);
+      if (e % 16 == 0) ExpectCoresMatch(graph, cores, "randomized");
+    }
+    ExpectCoresMatch(graph, cores, "randomized-final");
+  }
+}
+
+TEST(CoreMaintenanceTest, NodeAppendsStartAtZeroAndJoinCores) {
+  HomogeneousProjection base = EmptyProjection(3);
+  CoreMaintenance cores(base);
+  DeltaProjection graph(std::move(base));
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  cores.OnEdgeInserted(graph, 0, 1);
+
+  const int32_t fresh = graph.AddNode(static_cast<NodeId>(100));
+  cores.OnNodeAdded();
+  EXPECT_EQ(cores.CoreOf(fresh), 0);
+  for (int32_t v : {0, 1, 2}) {
+    auto added = graph.AddEdge(fresh, v);
+    ASSERT_TRUE(added.ok() && *added);
+    cores.OnEdgeInserted(graph, fresh, v);
+  }
+  ExpectCoresMatch(graph, cores, "appended-node");
+}
+
+TEST(CoreMaintenanceTest, GrowsFromRealProjection) {
+  // Start from a real meta-path projection and densify it further: the
+  // maintenance must agree with a fresh decomposition at every step even
+  // when the base already has non-trivial cores.
+  const Dataset dataset = GenerateDataset(TinyProfile());
+  auto path = MetaPath::Parse(dataset.graph.schema(), "P-A-P");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  HomogeneousProjection base = ProjectHomogeneous(dataset.graph, *path);
+  const size_t n = base.NumNodes();
+  ASSERT_GT(n, 10u);
+  CoreMaintenance cores(base);
+  DeltaProjection graph(std::move(base));
+  ExpectCoresMatch(graph, cores, "fresh-projection");
+
+  Rng rng(11);
+  for (size_t e = 0; e < 48; ++e) {
+    const int32_t u = static_cast<int32_t>(rng.Next() % n);
+    const int32_t v = static_cast<int32_t>(rng.Next() % n);
+    auto added = graph.AddEdge(u, v);
+    ASSERT_TRUE(added.ok());
+    if (*added) cores.OnEdgeInserted(graph, u, v);
+    if (e % 12 == 0) ExpectCoresMatch(graph, cores, "densified");
+  }
+  ExpectCoresMatch(graph, cores, "densified-final");
+}
+
+// --- DeltaProjection overlay invariants -------------------------------
+
+TEST(DeltaProjectionTest, MergedViewMatchesRebuildAndCompactIsLossless) {
+  Rng rng(3);
+  const size_t n = 20;
+  HomogeneousProjection base = [&] {
+    std::vector<NodeId> nodes(n);
+    std::vector<std::vector<int32_t>> adjacency(n);
+    for (size_t i = 0; i < n; ++i) nodes[i] = static_cast<NodeId>(i);
+    for (size_t e = 0; e < 30; ++e) {
+      auto u = static_cast<int32_t>(rng.Next() % n);
+      auto v = static_cast<int32_t>(rng.Next() % n);
+      if (u == v) continue;
+      adjacency[static_cast<size_t>(u)].push_back(v);
+      adjacency[static_cast<size_t>(v)].push_back(u);
+    }
+    return HomogeneousProjection::FromAdjacency(0, std::move(nodes),
+                                                std::move(adjacency));
+  }();
+  DeltaProjection graph(std::move(base));
+  const size_t base_edges = graph.NumEdges();
+
+  size_t inserted = 0;
+  for (size_t e = 0; e < 40; ++e) {
+    const int32_t u = static_cast<int32_t>(rng.Next() % n);
+    const int32_t v = static_cast<int32_t>(rng.Next() % n);
+    auto added = graph.AddEdge(u, v);
+    ASSERT_TRUE(added.ok());
+    if (*added) ++inserted;
+  }
+  EXPECT_EQ(graph.NumEdges(), base_edges + inserted);
+  EXPECT_EQ(graph.PendingDeltaEdges(), inserted);
+
+  // Self-loops rejected as no-ops, duplicates detected across base and
+  // delta rows alike.
+  auto self_loop = graph.AddEdge(1, 1);
+  ASSERT_TRUE(self_loop.ok());
+  EXPECT_FALSE(*self_loop);
+
+  const HomogeneousProjection before = Rebuild(graph);
+  graph.Compact();
+  EXPECT_EQ(graph.PendingDeltaEdges(), 0u);
+  EXPECT_EQ(graph.NumEdges(), before.NumEdges());
+  std::vector<int32_t> scratch;
+  for (int32_t v = 0; v < static_cast<int32_t>(n); ++v) {
+    auto got = graph.Neighbors(v, scratch);
+    auto want = before.Neighbors(v);
+    ASSERT_EQ(got.size(), want.size()) << "node " << v;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+        << "node " << v;
+    EXPECT_EQ(graph.Degree(v), static_cast<int32_t>(want.size()));
+  }
+}
+
+}  // namespace
+}  // namespace kpef
